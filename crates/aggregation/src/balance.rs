@@ -1,0 +1,156 @@
+//! Balance-aware grouping (Valsomatzis et al., DARE 2014).
+//!
+//! TotalFlex uses aggregation "not only to reduce the number of the
+//! flex-offers, but also to partially handle the balancing task": pairing
+//! production with consumption so each aggregate's net energy is close to
+//! zero. The resulting aggregates are *mixed* flex-offers — exactly the
+//! class Section 4 shows the area-based measures cannot value, which is why
+//! the paper recommends vector or assignment flexibility in this scenario.
+
+use flexoffers_model::{FlexOffer, SignClass};
+
+use crate::start_align::{aggregate, Aggregate};
+
+/// Expected (midpoint) total energy of a flex-offer.
+fn expected_energy(fo: &FlexOffer) -> f64 {
+    (fo.total_min() + fo.total_max()) as f64 / 2.0
+}
+
+/// Greedily partitions a portfolio into balance-oriented groups.
+///
+/// Producers are processed by expected |energy| descending; each seeds a
+/// group that repeatedly absorbs the *best-fitting* remaining consumer (the
+/// one whose expected energy most reduces the group's absolute net) until no
+/// consumer improves the balance. Leftover offers become singleton groups.
+/// Mixed and zero offers pass through as singletons.
+pub fn balance_groups(offers: &[FlexOffer]) -> Vec<Vec<FlexOffer>> {
+    let mut consumers: Vec<&FlexOffer> = Vec::new();
+    let mut producers: Vec<&FlexOffer> = Vec::new();
+    let mut others: Vec<&FlexOffer> = Vec::new();
+    for fo in offers {
+        match fo.sign() {
+            SignClass::Positive => consumers.push(fo),
+            SignClass::Negative => producers.push(fo),
+            SignClass::Mixed | SignClass::Zero => others.push(fo),
+        }
+    }
+    producers.sort_by(|a, b| {
+        expected_energy(b)
+            .abs()
+            .partial_cmp(&expected_energy(a).abs())
+            .expect("finite")
+    });
+
+    let mut groups: Vec<Vec<FlexOffer>> = Vec::new();
+    for producer in producers {
+        let mut group = vec![producer.clone()];
+        let mut net = expected_energy(producer);
+        loop {
+            // Best-fitting remaining consumer: largest reduction of |net|.
+            let best = consumers
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, (net + expected_energy(c)).abs()))
+                .filter(|&(_, candidate)| candidate < net.abs())
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            match best {
+                Some((i, _)) => {
+                    let chosen = consumers.swap_remove(i);
+                    net += expected_energy(chosen);
+                    group.push(chosen.clone());
+                }
+                None => break,
+            }
+        }
+        groups.push(group);
+    }
+    for leftover in consumers {
+        groups.push(vec![leftover.clone()]);
+    }
+    for other in others {
+        groups.push(vec![other.clone()]);
+    }
+    groups
+}
+
+/// [`balance_groups`] followed by start-alignment aggregation of each group.
+pub fn balance_aggregate(offers: &[FlexOffer]) -> Vec<Aggregate> {
+    balance_groups(offers)
+        .iter()
+        .map(|g| aggregate(g).expect("balance groups are non-empty"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn consumer(tes: i64, tls: i64, amount: i64) -> FlexOffer {
+        FlexOffer::new(tes, tls, vec![Slice::new(amount - 1, amount + 1).unwrap()]).unwrap()
+    }
+
+    fn producer(tes: i64, tls: i64, amount: i64) -> FlexOffer {
+        FlexOffer::new(tes, tls, vec![Slice::new(-amount - 1, -amount + 1).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn pairs_production_with_consumption() {
+        let offers = vec![consumer(0, 2, 5), producer(0, 2, 5)];
+        let groups = balance_groups(&offers);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+        // Net expected energy of the pair is 0.
+        let net: f64 = groups[0].iter().map(expected_energy).sum();
+        assert_eq!(net, 0.0);
+    }
+
+    #[test]
+    fn big_producer_absorbs_several_consumers() {
+        let offers = vec![
+            producer(0, 2, 10),
+            consumer(0, 2, 4),
+            consumer(0, 2, 3),
+            consumer(0, 2, 3),
+        ];
+        let groups = balance_groups(&offers);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 4);
+    }
+
+    #[test]
+    fn leftover_consumers_stay_singletons() {
+        let offers = vec![producer(0, 2, 3), consumer(0, 2, 3), consumer(0, 2, 8)];
+        let groups = balance_groups(&offers);
+        // Producer pairs with the closest-magnitude consumer (3); the
+        // larger consumer worsens balance and is left alone.
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn balanced_aggregates_are_mixed() {
+        let offers = vec![consumer(0, 2, 5), producer(0, 2, 5)];
+        let aggs = balance_aggregate(&offers);
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].flexoffer().sign(), SignClass::Mixed);
+        // Net expected energy of the aggregate is zero.
+        let agg = aggs[0].flexoffer();
+        assert_eq!(agg.total_min() + agg.total_max(), 0);
+    }
+
+    #[test]
+    fn mixed_and_zero_offers_pass_through() {
+        let mixed = FlexOffer::new(0, 1, vec![Slice::new(-1, 1).unwrap()]).unwrap();
+        let zero = FlexOffer::new(0, 1, vec![Slice::fixed(0)]).unwrap();
+        let groups = balance_groups(&[mixed.clone(), zero.clone()]);
+        assert_eq!(groups, vec![vec![mixed], vec![zero]]);
+    }
+
+    #[test]
+    fn empty_portfolio() {
+        assert!(balance_groups(&[]).is_empty());
+        assert!(balance_aggregate(&[]).is_empty());
+    }
+}

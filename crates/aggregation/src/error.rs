@@ -1,0 +1,81 @@
+//! Error types for aggregation and disaggregation.
+
+use std::error::Error;
+use std::fmt;
+
+use flexoffers_model::AssignmentViolation;
+
+/// Errors raised while building an aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AggregationError {
+    /// Aggregating an empty group is undefined.
+    EmptyGroup,
+}
+
+impl fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregationError::EmptyGroup => write!(f, "cannot aggregate an empty group"),
+        }
+    }
+}
+
+impl Error for AggregationError {}
+
+/// Errors raised while disaggregating an aggregate's assignment back to its
+/// members.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DisaggregationError {
+    /// The assignment is not valid for the aggregated flex-offer itself.
+    InvalidAggregateAssignment(AssignmentViolation),
+    /// The assignment is valid for the aggregate but *no* combination of
+    /// member assignments realises it — aggregation with heterogeneous total
+    /// constraints can overestimate joint flexibility.
+    Unrealizable,
+}
+
+impl fmt::Display for DisaggregationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisaggregationError::InvalidAggregateAssignment(v) => {
+                write!(f, "assignment is invalid for the aggregate: {v}")
+            }
+            DisaggregationError::Unrealizable => write!(
+                f,
+                "assignment is valid for the aggregate but cannot be split into \
+                 valid member assignments (aggregation overestimated flexibility)"
+            ),
+        }
+    }
+}
+
+impl Error for DisaggregationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AggregationError::EmptyGroup.to_string().contains("empty"));
+        assert!(DisaggregationError::Unrealizable
+            .to_string()
+            .contains("overestimated"));
+        let v = AssignmentViolation::LengthMismatch {
+            expected: 2,
+            actual: 1,
+        };
+        assert!(DisaggregationError::InvalidAggregateAssignment(v)
+            .to_string()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&AggregationError::EmptyGroup);
+        assert_error(&DisaggregationError::Unrealizable);
+    }
+}

@@ -1,0 +1,256 @@
+//! A small feasible-flow solver (Dinic's algorithm plus the standard
+//! lower-bound transformation), the exact engine behind
+//! [`disaggregate`](crate::disaggregate).
+//!
+//! Disaggregation is a transportation problem: member-slice values must sit
+//! in their slice ranges, member totals in their `[cmin, cmax]` windows, and
+//! column sums must equal the aggregated assignment. Greedy splitting can
+//! paint itself into a corner; a feasible flow either produces an exact
+//! split or proves none exists.
+
+/// A directed flow network with per-edge lower and upper bounds.
+#[derive(Debug)]
+pub struct FlowNetwork {
+    /// Forward/backward edge pairs: edge `2k` is forward, `2k+1` its
+    /// residual twin.
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    adj: Vec<Vec<usize>>,
+    /// Node excess induced by the lower-bound transformation.
+    excess: Vec<i64>,
+    /// For each original (caller-visible) edge: internal index and lower
+    /// bound, to reconstruct flows.
+    originals: Vec<(usize, i64)>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes (indices `0..n`).
+    pub fn new(n: usize) -> Self {
+        Self {
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            excess: vec![0; n],
+            originals: Vec::new(),
+        }
+    }
+
+    fn push_edge(&mut self, u: usize, v: usize, cap: i64) -> usize {
+        let idx = self.to.len();
+        self.to.push(v);
+        self.cap.push(cap);
+        self.adj[u].push(idx);
+        self.to.push(u);
+        self.cap.push(0);
+        self.adj[v].push(idx + 1);
+        idx
+    }
+
+    /// Adds an edge `u -> v` carrying between `lower` and `upper` units.
+    /// Returns the edge's id for [`FlowNetwork::solve`]'s flow vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, lower: i64, upper: i64) -> usize {
+        assert!(lower <= upper, "edge bounds inverted: [{lower}, {upper}]");
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        let idx = self.push_edge(u, v, upper - lower);
+        self.excess[v] += lower;
+        self.excess[u] -= lower;
+        let original_id = self.originals.len();
+        self.originals.push((idx, lower));
+        original_id
+    }
+
+    /// Finds a feasible `s -> t` flow respecting all bounds. Returns the
+    /// per-original-edge flows, or `None` if no feasible flow exists.
+    pub fn solve(mut self, s: usize, t: usize) -> Option<Vec<i64>> {
+        let n = self.adj.len();
+        let super_source = n;
+        let super_sink = n + 1;
+        self.adj.push(Vec::new());
+        self.adj.push(Vec::new());
+        self.excess.push(0);
+        self.excess.push(0);
+
+        // Close the circulation in both directions: production-side
+        // networks carry *negative* lower bounds, whose transformed demands
+        // can require net flow from t back to s as well as s to t.
+        self.push_edge(t, s, i64::MAX / 4);
+        self.push_edge(s, t, i64::MAX / 4);
+
+        let mut required = 0;
+        for node in 0..n {
+            let e = self.excess[node];
+            if e > 0 {
+                self.push_edge(super_source, node, e);
+                required += e;
+            } else if e < 0 {
+                self.push_edge(node, super_sink, -e);
+            }
+        }
+
+        let initial_caps = self.cap.clone();
+        let pushed = self.dinic(super_source, super_sink);
+        if pushed != required {
+            return None;
+        }
+        Some(
+            self.originals
+                .iter()
+                .map(|&(idx, lower)| lower + (initial_caps[idx] - self.cap[idx]))
+                .collect(),
+        )
+    }
+
+    fn dinic(&mut self, s: usize, t: usize) -> i64 {
+        let n = self.adj.len();
+        let mut total = 0;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; n];
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &e in &self.adj[u] {
+                    let v = self.to[e];
+                    if self.cap[e] > 0 && level[v] == usize::MAX {
+                        level[v] = level[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if level[t] == usize::MAX {
+                return total;
+            }
+            // DFS blocking flow with iteration pointers.
+            let mut iter = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(s, t, i64::MAX / 4, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: i64, level: &[usize], iter: &mut [usize]) -> i64 {
+        if u == t {
+            return limit;
+        }
+        while iter[u] < self.adj[u].len() {
+            let e = self.adj[u][iter[u]];
+            let v = self.to[e];
+            if self.cap[e] > 0 && level[v] == level[u] + 1 {
+                let pushed = self.dfs(v, t, limit.min(self.cap[e]), level, iter);
+                if pushed > 0 {
+                    self.cap[e] -= pushed;
+                    self.cap[e ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path_flow() {
+        // s -> a -> t, demand forced by lower bounds.
+        let mut net = FlowNetwork::new(3);
+        let e1 = net.add_edge(0, 1, 2, 5);
+        let e2 = net.add_edge(1, 2, 2, 5);
+        let flows = net.solve(0, 2).expect("feasible");
+        assert!(flows[e1] >= 2 && flows[e1] <= 5);
+        assert_eq!(flows[e1], flows[e2]);
+    }
+
+    #[test]
+    fn infeasible_lower_bounds_detected() {
+        // Edge demands at least 3 but downstream capacity is 1.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 3, 5);
+        net.add_edge(1, 2, 0, 1);
+        assert!(net.solve(0, 2).is_none());
+    }
+
+    #[test]
+    fn split_across_parallel_paths() {
+        // s -> {a, b} -> t, both paths carrying at least 1: conservation
+        // holds per path and lower bounds are honoured.
+        let mut net = FlowNetwork::new(4);
+        let ea = net.add_edge(0, 1, 1, 3);
+        let eb = net.add_edge(0, 2, 1, 3);
+        let eat = net.add_edge(1, 3, 1, 3);
+        let ebt = net.add_edge(2, 3, 1, 3);
+        let flows = net.solve(0, 3).expect("feasible");
+        assert!(flows[ea] >= 1 && flows[eb] >= 1);
+        assert_eq!(flows[ea], flows[eat]);
+        assert_eq!(flows[eb], flows[ebt]);
+    }
+
+    #[test]
+    fn exact_column_demand() {
+        // Transportation shape: two suppliers, one column demanding
+        // exactly 4; supplier totals bounded [0,2] and [0,3].
+        let mut net = FlowNetwork::new(5);
+        let s = 0;
+        let m1 = 1;
+        let m2 = 2;
+        let col = 3;
+        let t = 4;
+        net.add_edge(s, m1, 0, 2);
+        net.add_edge(s, m2, 0, 3);
+        let x1 = net.add_edge(m1, col, 0, 4);
+        let x2 = net.add_edge(m2, col, 0, 4);
+        net.add_edge(col, t, 4, 4);
+        let flows = net.solve(s, t).expect("feasible");
+        assert_eq!(flows[x1] + flows[x2], 4);
+        assert!(flows[x1] <= 2 && flows[x2] <= 3);
+    }
+
+    #[test]
+    fn all_negative_bounds_feasible() {
+        // Production-shaped problem: every edge must carry exactly -1.
+        let mut net = FlowNetwork::new(3);
+        let e1 = net.add_edge(0, 1, -1, -1);
+        let e2 = net.add_edge(1, 2, -1, -1);
+        let flows = net.solve(0, 2).expect("feasible negative circulation");
+        assert_eq!(flows[e1], -1);
+        assert_eq!(flows[e2], -1);
+    }
+
+    #[test]
+    fn mixed_sign_bounds_feasible() {
+        // One member supplies [-2, 1] into a column demanding exactly -1.
+        let mut net = FlowNetwork::new(3);
+        let e1 = net.add_edge(0, 1, -2, 1);
+        let e2 = net.add_edge(1, 2, -1, -1);
+        let flows = net.solve(0, 2).expect("feasible");
+        assert_eq!(flows[e1], -1);
+        assert_eq!(flows[e2], -1);
+    }
+
+    #[test]
+    fn exact_demand_infeasible_when_supply_short() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 0, 1);
+        net.add_edge(1, 2, 0, 5);
+        net.add_edge(2, 3, 3, 3); // demand 3, supply caps at 1
+        assert!(net.solve(0, 3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge bounds inverted")]
+    fn inverted_bounds_panic() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5, 2);
+    }
+}

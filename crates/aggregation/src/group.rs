@@ -1,0 +1,170 @@
+//! Tolerance-based grouping of flex-offers before aggregation.
+//!
+//! Start-alignment aggregation keeps only the *minimum* member time
+//! flexibility, so throwing dissimilar flex-offers into one aggregate
+//! destroys flexibility. Following the grouping parameters of Šikšnys et
+//! al. (SSDBM 2012), offers are grouped only while their earliest start
+//! times and time flexibilities stay within configured tolerances — the
+//! knobs the flexibility-loss experiment sweeps.
+
+use serde::{Deserialize, Serialize};
+
+use flexoffers_model::FlexOffer;
+
+/// Grouping tolerances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupingParams {
+    /// Maximum spread of earliest start times within a group (the EST
+    /// tolerance of SSDBM 2012).
+    pub est_tolerance: i64,
+    /// Maximum spread of time flexibilities within a group (the TFT
+    /// tolerance).
+    pub tf_tolerance: i64,
+    /// Optional cap on group size (e.g. a market lot limit).
+    pub max_group_size: Option<usize>,
+}
+
+impl GroupingParams {
+    /// Tolerances of zero: only identical `(tes, tf)` profiles group.
+    pub fn strict() -> Self {
+        Self {
+            est_tolerance: 0,
+            tf_tolerance: 0,
+            max_group_size: None,
+        }
+    }
+
+    /// Unbounded tolerances: everything lands in one group.
+    pub fn single_group() -> Self {
+        Self {
+            est_tolerance: i64::MAX,
+            tf_tolerance: i64::MAX,
+            max_group_size: None,
+        }
+    }
+
+    /// Symmetric tolerances without a size cap.
+    pub fn with_tolerances(est_tolerance: i64, tf_tolerance: i64) -> Self {
+        Self {
+            est_tolerance,
+            tf_tolerance,
+            max_group_size: None,
+        }
+    }
+}
+
+/// Partitions `offers` into groups of indices honouring the tolerances.
+///
+/// Offers are sorted by `(tes, tf)` and swept greedily: an offer joins the
+/// current group while its `tes` stays within `est_tolerance` of the group's
+/// first `tes`, its `tf` within `tf_tolerance` of the group's first `tf`,
+/// and the size cap is not hit. Groups are returned in sweep order; indices
+/// refer to the *input* slice.
+pub fn group_indices(offers: &[FlexOffer], params: &GroupingParams) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..offers.len()).collect();
+    order.sort_by_key(|&i| (offers[i].earliest_start(), offers[i].time_flexibility()));
+
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut anchor: Option<(i64, i64)> = None;
+    for i in order {
+        let tes = offers[i].earliest_start();
+        let tf = offers[i].time_flexibility();
+        let fits = match (anchor, groups.last()) {
+            (Some((a_tes, a_tf)), Some(last)) => {
+                tes - a_tes <= params.est_tolerance
+                    && (tf - a_tf).abs() <= params.tf_tolerance
+                    && params.max_group_size.is_none_or(|cap| last.len() < cap)
+            }
+            _ => false,
+        };
+        if fits {
+            groups.last_mut().expect("fits implies a group").push(i);
+        } else {
+            anchor = Some((tes, tf));
+            groups.push(vec![i]);
+        }
+    }
+    groups
+}
+
+/// Like [`group_indices`] but returning cloned flex-offer groups.
+pub fn group_offers(offers: &[FlexOffer], params: &GroupingParams) -> Vec<Vec<FlexOffer>> {
+    group_indices(offers, params)
+        .into_iter()
+        .map(|idx| idx.into_iter().map(|i| offers[i].clone()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64) -> FlexOffer {
+        FlexOffer::new(tes, tls, vec![Slice::new(0, 2).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn strict_groups_only_identical_shapes() {
+        let offers = vec![fo(0, 2), fo(0, 2), fo(0, 3), fo(1, 3)];
+        let groups = group_indices(&offers, &GroupingParams::strict());
+        assert_eq!(groups, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn single_group_swallows_everything() {
+        let offers = vec![fo(0, 2), fo(50, 90), fo(7, 7)];
+        let groups = group_indices(&offers, &GroupingParams::single_group());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn tolerances_split_on_both_axes() {
+        let offers = vec![
+            fo(0, 2),  // tes 0, tf 2
+            fo(1, 3),  // tes 1, tf 2 -> within est 2, tf 0
+            fo(5, 7),  // tes 5 -> too far
+            fo(5, 20), // tf 15 -> too different
+        ];
+        let groups = group_indices(&offers, &GroupingParams::with_tolerances(2, 1));
+        assert_eq!(groups, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn size_cap_splits_groups() {
+        let offers = vec![fo(0, 2); 5];
+        let params = GroupingParams {
+            est_tolerance: 10,
+            tf_tolerance: 10,
+            max_group_size: Some(2),
+        };
+        let groups = group_indices(&offers, &params);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() <= 2));
+    }
+
+    #[test]
+    fn groups_partition_the_input() {
+        let offers = vec![fo(3, 5), fo(0, 1), fo(2, 2), fo(9, 12)];
+        let groups = group_indices(&offers, &GroupingParams::with_tolerances(3, 2));
+        let mut seen: Vec<usize> = groups.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(group_indices(&[], &GroupingParams::single_group()).is_empty());
+        assert!(group_offers(&[], &GroupingParams::strict()).is_empty());
+    }
+
+    #[test]
+    fn group_offers_mirrors_indices() {
+        let offers = vec![fo(0, 2), fo(0, 2), fo(8, 9)];
+        let by_offers = group_offers(&offers, &GroupingParams::with_tolerances(1, 1));
+        assert_eq!(by_offers.len(), 2);
+        assert_eq!(by_offers[0].len(), 2);
+        assert_eq!(by_offers[1][0], offers[2]);
+    }
+}

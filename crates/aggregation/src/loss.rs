@@ -1,0 +1,169 @@
+//! Flexibility-loss evaluation: the quantity Scenario 1 minimises.
+//!
+//! "For all the aggregation techniques, it is essential to quantify and then
+//! to minimize flexibility losses, and therefore a flexibility measure is
+//! needed" (paper, Scenario 1). A loss report compares a measure over the
+//! original portfolio with the same measure over the aggregated portfolio.
+
+use flexoffers_measures::{all_measures, Measure, MeasureError};
+use flexoffers_model::FlexOffer;
+
+use crate::start_align::Aggregate;
+
+/// A before/after comparison of one measure across aggregation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LossReport {
+    /// The measure's Table 1 column name.
+    pub measure: String,
+    /// Set-level value over the original flex-offers.
+    pub before: f64,
+    /// Set-level value over the aggregated flex-offers.
+    pub after: f64,
+}
+
+impl LossReport {
+    /// Absolute flexibility lost (positive) or gained (negative —
+    /// aggregation can *overestimate*, e.g. energy flexibility sums while
+    /// cross-member coupling is dropped).
+    pub fn absolute_loss(&self) -> f64 {
+        self.before - self.after
+    }
+
+    /// Loss as a fraction of the pre-aggregation value; 0 when `before` is
+    /// zero.
+    pub fn relative_loss(&self) -> f64 {
+        if self.before == 0.0 {
+            0.0
+        } else {
+            self.absolute_loss() / self.before
+        }
+    }
+}
+
+/// Evaluates one measure before and after aggregation.
+pub fn flexibility_loss(
+    measure: &dyn Measure,
+    before: &[FlexOffer],
+    aggregates: &[Aggregate],
+) -> Result<LossReport, MeasureError> {
+    let after_offers: Vec<FlexOffer> = aggregates
+        .iter()
+        .map(|a| a.flexoffer().clone())
+        .collect();
+    Ok(LossReport {
+        measure: measure.short_name().to_owned(),
+        before: measure.of_set(before)?,
+        after: measure.of_set(&after_offers)?,
+    })
+}
+
+/// Loss reports for all eight measures; measures that do not apply to the
+/// (possibly mixed) aggregates report their error instead.
+pub fn loss_table(
+    before: &[FlexOffer],
+    aggregates: &[Aggregate],
+) -> Vec<Result<LossReport, MeasureError>> {
+    all_measures()
+        .iter()
+        .map(|m| flexibility_loss(m.as_ref(), before, aggregates))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupingParams;
+    use crate::start_align::{aggregate, aggregate_portfolio};
+    use flexoffers_measures::TimeFlexibility;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, slices: Vec<(i64, i64)>) -> FlexOffer {
+        FlexOffer::new(
+            tes,
+            tls,
+            slices
+                .into_iter()
+                .map(|(a, b)| Slice::new(a, b).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn time_flexibility_loss_under_min_rule() {
+        let offers = vec![fo(0, 1, vec![(1, 2)]), fo(0, 5, vec![(1, 2)])];
+        let aggs = vec![aggregate(&offers).unwrap()];
+        let report = flexibility_loss(&TimeFlexibility, &offers, &aggs).unwrap();
+        // Before: 1 + 5 = 6; after: min = 1. Loss 5, relative 5/6.
+        assert_eq!(report.before, 6.0);
+        assert_eq!(report.after, 1.0);
+        assert_eq!(report.absolute_loss(), 5.0);
+        assert!((report.relative_loss() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_offers_lose_no_time_flexibility() {
+        let offers = vec![fo(0, 3, vec![(1, 2)]); 4];
+        let aggs = vec![aggregate(&offers).unwrap()];
+        let report = flexibility_loss(&TimeFlexibility, &offers, &aggs).unwrap();
+        // Before: 4 * 3; after: one aggregate with tf 3.
+        assert_eq!(report.before, 12.0);
+        assert_eq!(report.after, 3.0);
+        // The *sum* semantics sees a loss because 4 independent windows
+        // became one shared window — which is real: the members can no
+        // longer shift independently.
+        assert_eq!(report.absolute_loss(), 9.0);
+    }
+
+    #[test]
+    fn finer_grouping_loses_less() {
+        let offers = vec![
+            fo(0, 0, vec![(1, 2)]),
+            fo(0, 8, vec![(1, 2)]),
+            fo(9, 9, vec![(1, 2)]),
+            fo(9, 17, vec![(1, 2)]),
+        ];
+        let coarse = aggregate_portfolio(&offers, &GroupingParams::single_group());
+        let fine = aggregate_portfolio(&offers, &GroupingParams::strict());
+        let coarse_loss = flexibility_loss(&TimeFlexibility, &offers, &coarse)
+            .unwrap()
+            .absolute_loss();
+        let fine_loss = flexibility_loss(&TimeFlexibility, &offers, &fine)
+            .unwrap()
+            .absolute_loss();
+        assert!(fine_loss <= coarse_loss);
+        // Strict grouping keeps every offer separate here: zero loss.
+        assert_eq!(fine_loss, 0.0);
+    }
+
+    #[test]
+    fn loss_table_covers_all_measures() {
+        let offers = vec![fo(0, 2, vec![(1, 3)]), fo(1, 3, vec![(0, 2)])];
+        let aggs = vec![aggregate(&offers).unwrap()];
+        let table = loss_table(&offers, &aggs);
+        assert_eq!(table.len(), 8);
+        for entry in &table {
+            let report = entry.as_ref().expect("pure consumption applies everywhere");
+            assert!(report.before.is_finite() && report.after.is_finite());
+        }
+    }
+
+    #[test]
+    fn area_measures_error_on_mixed_aggregates_under_rejecting_policy() {
+        use flexoffers_measures::AbsoluteAreaFlexibility;
+        let offers = vec![fo(0, 2, vec![(2, 4)]), fo(0, 2, vec![(-4, -2)])];
+        let aggs = vec![aggregate(&offers).unwrap()];
+        let strict = AbsoluteAreaFlexibility::rejecting_mixed();
+        assert!(flexibility_loss(&strict, &offers, &aggs).is_err());
+    }
+
+    #[test]
+    fn zero_before_gives_zero_relative_loss() {
+        let r = LossReport {
+            measure: "Time".to_owned(),
+            before: 0.0,
+            after: 0.0,
+        };
+        assert_eq!(r.relative_loss(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Measure-aware aggregation — the paper's future work, implemented.
+//!
+//! Section 6: "The proposed flexibility measures will be added to the
+//! constraints and/or objective functions of these aggregation algorithms,
+//! performing aggregation jointly with flexibility optimization." This
+//! module does exactly that: a greedy agglomerative grouper whose merge
+//! criterion is *measured flexibility loss* rather than fixed tolerances.
+//!
+//! Starting from singleton groups (sorted by earliest start), adjacent
+//! groups merge while the chosen measure's value over the would-be
+//! aggregate retains at least `1 - max_relative_loss` of the groups'
+//! summed value. The result adapts to the portfolio: tight clusters of
+//! similar flex-offers collapse aggressively, outliers stay separate —
+//! without hand-tuned tolerances.
+
+use flexoffers_measures::{Measure, MeasureError};
+use flexoffers_model::FlexOffer;
+
+use crate::error::AggregationError;
+use crate::start_align::{aggregate, Aggregate};
+
+/// Configuration for measure-aware aggregation.
+pub struct MeasureAwareGrouping<'a> {
+    /// The measure whose loss is constrained (e.g. product flexibility for
+    /// Scenario 1, absolute area for size-aware valuation).
+    pub measure: &'a dyn Measure,
+    /// Maximum tolerated relative loss per merge, in `[0, 1]`: a merge is
+    /// accepted only while `measure(aggregate) >= (1 - budget) *
+    /// (measure(group_a) + measure(group_b))`.
+    pub max_relative_loss: f64,
+    /// Optional cap on members per aggregate.
+    pub max_group_size: Option<usize>,
+}
+
+impl<'a> MeasureAwareGrouping<'a> {
+    /// A grouper bounding the given measure's per-merge relative loss.
+    pub fn new(measure: &'a dyn Measure, max_relative_loss: f64) -> Self {
+        Self {
+            measure,
+            max_relative_loss,
+            max_group_size: None,
+        }
+    }
+
+    /// Aggregates a portfolio under the loss budget.
+    ///
+    /// Greedy left-to-right over offers sorted by `(tes, tf)`: each offer
+    /// joins the current group if the re-aggregated group keeps enough of
+    /// the measured flexibility, otherwise it seeds a new group. Runs in
+    /// `O(n)` aggregations plus `O(n)` measure evaluations.
+    pub fn aggregate_portfolio(
+        &self,
+        offers: &[FlexOffer],
+    ) -> Result<Vec<Aggregate>, MeasureAwareError> {
+        let mut order: Vec<usize> = (0..offers.len()).collect();
+        order.sort_by_key(|&i| (offers[i].earliest_start(), offers[i].time_flexibility()));
+
+        let mut groups: Vec<Vec<FlexOffer>> = Vec::new();
+        let mut group_values: Vec<f64> = Vec::new(); // summed member values
+        for i in order {
+            let offer = &offers[i];
+            let offer_value = self
+                .measure
+                .of(offer)
+                .map_err(MeasureAwareError::Measure)?;
+            let accepted = if let (Some(group), Some(&value)) =
+                (groups.last(), group_values.last())
+            {
+                if self
+                    .max_group_size
+                    .is_some_and(|cap| group.len() >= cap)
+                {
+                    false
+                } else {
+                    let mut candidate = group.clone();
+                    candidate.push(offer.clone());
+                    let merged = aggregate(&candidate).map_err(MeasureAwareError::Aggregation)?;
+                    let kept = self
+                        .measure
+                        .of(merged.flexoffer())
+                        .map_err(MeasureAwareError::Measure)?;
+                    kept >= (1.0 - self.max_relative_loss) * (value + offer_value)
+                }
+            } else {
+                false
+            };
+            if accepted {
+                groups.last_mut().expect("accepted implies group").push(offer.clone());
+                *group_values.last_mut().expect("accepted implies value") += offer_value;
+            } else {
+                groups.push(vec![offer.clone()]);
+                group_values.push(offer_value);
+            }
+        }
+        groups
+            .iter()
+            .map(|g| aggregate(g).map_err(MeasureAwareError::Aggregation))
+            .collect()
+    }
+}
+
+/// Errors from measure-aware aggregation.
+#[derive(Debug)]
+pub enum MeasureAwareError {
+    /// The loss measure was undefined on some offer or aggregate (e.g. an
+    /// area measure meeting a mixed group).
+    Measure(MeasureError),
+    /// Aggregation itself failed.
+    Aggregation(AggregationError),
+}
+
+impl std::fmt::Display for MeasureAwareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureAwareError::Measure(e) => write!(f, "loss measure failed: {e}"),
+            MeasureAwareError::Aggregation(e) => write!(f, "aggregation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureAwareError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_measures::{ProductFlexibility, TimeFlexibility, VectorFlexibility};
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, lo: i64, hi: i64) -> FlexOffer {
+        FlexOffer::new(tes, tls, vec![Slice::new(lo, hi).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn zero_budget_merges_only_lossless_pairs() {
+        // Identical offers: vector flexibility of the aggregate (min tf,
+        // sum ef) loses tf relative to the member sum, so a zero budget
+        // keeps them apart; a generous budget merges them.
+        let offers = vec![fo(0, 2, 0, 3), fo(0, 2, 0, 3), fo(0, 2, 0, 3)];
+        let strict = MeasureAwareGrouping::new(&VectorFlexibility::default(), 0.0)
+            .aggregate_portfolio(&offers)
+            .unwrap();
+        assert_eq!(strict.len(), 3);
+        let loose = MeasureAwareGrouping::new(&VectorFlexibility::default(), 0.5)
+            .aggregate_portfolio(&offers)
+            .unwrap();
+        assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn energy_dominant_measure_merges_freely() {
+        // Product flexibility: merging equal-tf offers keeps tf and sums
+        // ef, so product(agg) = tf * sum(ef) = sum(product) — lossless.
+        let offers = vec![fo(0, 3, 0, 2), fo(0, 3, 1, 4), fo(0, 3, 0, 5)];
+        let merged = MeasureAwareGrouping::new(&ProductFlexibility, 0.0)
+            .aggregate_portfolio(&offers)
+            .unwrap();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].len(), 3);
+    }
+
+    #[test]
+    fn outliers_stay_separate() {
+        // One rigid outlier would destroy the flexible group's time
+        // flexibility under the min-rule.
+        let offers = vec![fo(0, 6, 0, 2), fo(0, 6, 0, 2), fo(0, 0, 0, 2)];
+        let groups = MeasureAwareGrouping::new(&ProductFlexibility, 0.1)
+            .aggregate_portfolio(&offers)
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+        // The rigid offer is alone.
+        assert!(groups.iter().any(|g| g.len() == 1
+            && g.members()[0].time_flexibility() == 0));
+    }
+
+    #[test]
+    fn budget_interpolates_between_extremes() {
+        let offers: Vec<FlexOffer> = (0..8).map(|i| fo(i % 4, i % 4 + 2 + i % 3, 0, 3)).collect();
+        let mut last = usize::MAX;
+        for budget in [0.0, 0.25, 0.5, 1.0] {
+            let groups = MeasureAwareGrouping::new(&TimeFlexibility, budget)
+                .aggregate_portfolio(&offers)
+                .unwrap();
+            assert!(groups.len() <= last, "coarser budget, fewer groups");
+            last = groups.len();
+        }
+        assert_eq!(last, 1, "full budget collapses everything");
+    }
+
+    #[test]
+    fn group_size_cap_respected() {
+        let offers = vec![fo(0, 3, 0, 2); 7];
+        let grouper = MeasureAwareGrouping {
+            measure: &ProductFlexibility,
+            max_relative_loss: 1.0,
+            max_group_size: Some(3),
+        };
+        let groups = grouper.aggregate_portfolio(&offers).unwrap();
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() <= 3));
+    }
+
+    #[test]
+    fn empty_portfolio_is_fine() {
+        let groups = MeasureAwareGrouping::new(&TimeFlexibility, 0.2)
+            .aggregate_portfolio(&[])
+            .unwrap();
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn loss_budget_actually_bounds_the_loss_per_merge_step() {
+        // Verify the invariant on the final grouping: each group's measure
+        // retains at least (1-budget)^(k-1) of the member sum for a group
+        // of k members (each merge step could shed up to `budget`).
+        let offers: Vec<FlexOffer> = (0..10).map(|i| fo(i % 3, i % 3 + 3, 0, 2 + i % 2)).collect();
+        let budget = 0.3;
+        let measure = VectorFlexibility::default();
+        let groups = MeasureAwareGrouping::new(&measure, budget)
+            .aggregate_portfolio(&offers)
+            .unwrap();
+        for g in &groups {
+            let member_sum: f64 = g.members().iter().map(|m| measure.of(m).unwrap()).sum();
+            let kept = measure.of(g.flexoffer()).unwrap();
+            let floor = (1.0 - budget).powi(g.len() as i32 - 1) * member_sum;
+            assert!(
+                kept + 1e-9 >= floor,
+                "group of {} kept {kept} of {member_sum} (floor {floor})",
+                g.len()
+            );
+        }
+    }
+}

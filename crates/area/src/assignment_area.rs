@@ -1,0 +1,89 @@
+//! The area of a single assignment (Definition 9).
+
+use flexoffers_model::Assignment;
+
+use crate::cell::Cell;
+
+/// The set of cells between the assignment's energy values and the time axis
+/// (Definition 9), in ascending `(t, e)` order.
+///
+/// A value `v > 0` at slot `t` covers cells `(t, 0) .. (t, v-1)`; a value
+/// `v < 0` covers `(t, -1) .. (t, v)` — the paper's Example 7 covers the
+/// positive case, and the negative case follows from "between the energy
+/// values and the X-axis" applied below the axis (used by Example 15's mixed
+/// flex-offer).
+pub fn assignment_area(a: &Assignment) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(assignment_area_size(a) as usize);
+    for (i, &v) in a.values().iter().enumerate() {
+        let t = a.start() + i as i64;
+        if v > 0 {
+            cells.extend((0..v).map(|e| Cell::new(t, e)));
+        } else if v < 0 {
+            cells.extend((v..0).map(|e| Cell::new(t, e)));
+        }
+    }
+    cells
+}
+
+/// The number of cells in [`assignment_area`]: `sum(|v(i)|)`.
+pub fn assignment_area_size(a: &Assignment) -> u64 {
+    a.values().iter().map(|v| v.unsigned_abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_7() {
+        // {f3a} from t=1: <2, 1, 3> covers
+        // {(1,0),(1,1),(2,0),(3,0),(3,1),(3,2)}.
+        let a = Assignment::new(1, vec![2, 1, 3]);
+        let cells = assignment_area(&a);
+        assert_eq!(
+            cells,
+            vec![
+                Cell::new(1, 0),
+                Cell::new(1, 1),
+                Cell::new(2, 0),
+                Cell::new(3, 0),
+                Cell::new(3, 1),
+                Cell::new(3, 2),
+            ]
+        );
+        assert_eq!(assignment_area_size(&a), 6);
+    }
+
+    #[test]
+    fn zero_values_cover_nothing() {
+        let a = Assignment::new(0, vec![0, 0, 0]);
+        assert!(assignment_area(&a).is_empty());
+        assert_eq!(assignment_area_size(&a), 0);
+    }
+
+    #[test]
+    fn negative_values_cover_below_axis() {
+        let a = Assignment::new(2, vec![-2]);
+        assert_eq!(
+            assignment_area(&a),
+            vec![Cell::new(2, -2), Cell::new(2, -1)]
+        );
+        assert_eq!(assignment_area_size(&a), 2);
+    }
+
+    #[test]
+    fn mixed_assignment() {
+        let a = Assignment::new(0, vec![1, -1]);
+        assert_eq!(
+            assignment_area(&a),
+            vec![Cell::new(0, 0), Cell::new(1, -1)]
+        );
+    }
+
+    #[test]
+    fn size_matches_cell_count_always() {
+        let a = Assignment::new(-3, vec![4, 0, -5, 2]);
+        assert_eq!(assignment_area(&a).len() as u64, assignment_area_size(&a));
+        assert_eq!(assignment_area_size(&a), 11);
+    }
+}

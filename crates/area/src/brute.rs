@@ -1,0 +1,81 @@
+//! Brute-force union area by enumerating `L(f)` — the literal reading of
+//! Definition 10, used to validate the closed form.
+
+use std::collections::HashSet;
+
+use flexoffers_model::FlexOffer;
+
+use crate::assignment_area::assignment_area;
+use crate::cell::Cell;
+use crate::error::AreaError;
+
+/// Computes `|union over fa in L(f) of area(fa)|` by enumerating every valid
+/// assignment, refusing when `L(f)` exceeds `limit` assignments.
+pub fn union_area_brute(fo: &FlexOffer, limit: u128) -> Result<u64, AreaError> {
+    match fo.constrained_assignment_count() {
+        Some(n) if n <= limit => {}
+        _ => return Err(AreaError::SpaceTooLarge { limit }),
+    }
+    let mut cells: HashSet<Cell> = HashSet::new();
+    for a in fo.assignments() {
+        cells.extend(assignment_area(&a));
+    }
+    Ok(cells.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union::union_area;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, slices: Vec<(i64, i64)>) -> FlexOffer {
+        FlexOffer::new(
+            tes,
+            tls,
+            slices
+                .into_iter()
+                .map(|(a, b)| Slice::new(a, b).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn brute_matches_closed_form_on_paper_figures() {
+        for f in [
+            fo(0, 4, vec![(2, 2)]),
+            fo(0, 4, vec![(1, 1), (2, 2)]),
+            fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]),
+            fo(1, 6, vec![(1, 3), (2, 4), (0, 5), (0, 3)]),
+        ] {
+            assert_eq!(
+                union_area_brute(&f, 1 << 20).unwrap(),
+                union_area(&f).size(),
+                "mismatch for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_respects_totals() {
+        let f = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            0,
+            4,
+        )
+        .unwrap();
+        assert_eq!(union_area_brute(&f, 1 << 20).unwrap(), 8);
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let f = fo(0, 100, vec![(0, 50), (0, 50)]);
+        assert!(matches!(
+            union_area_brute(&f, 10),
+            Err(AreaError::SpaceTooLarge { limit: 10 })
+        ));
+    }
+}

@@ -1,0 +1,60 @@
+//! Grid cells of `G = N0 x Z` (paper, Section 3.2, absolute area-based
+//! flexibility).
+
+use serde::{Deserialize, Serialize};
+
+/// A unit cell of the time/energy grid, identified by its lower-left corner
+/// `(t, e)` — e.g. cell `(0, 0)` has corners `(0,0)`, `(0,1)`, `(1,0)`,
+/// `(1,1)` (the paper's convention).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cell {
+    /// Time slot of the cell's left edge.
+    pub t: i64,
+    /// Energy coordinate of the cell's bottom edge.
+    pub e: i64,
+}
+
+impl Cell {
+    /// Creates a cell from its lower-left corner.
+    pub fn new(t: i64, e: i64) -> Self {
+        Self { t, e }
+    }
+
+    /// `true` if the cell lies above the time axis (consumption side).
+    pub fn is_above_axis(&self) -> bool {
+        self.e >= 0
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.t, self.e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let c = Cell::new(3, -2);
+        assert_eq!(c.t, 3);
+        assert_eq!(c.e, -2);
+        assert_eq!(c.to_string(), "(3, -2)");
+    }
+
+    #[test]
+    fn axis_sides() {
+        assert!(Cell::new(0, 0).is_above_axis());
+        assert!(Cell::new(0, 5).is_above_axis());
+        assert!(!Cell::new(0, -1).is_above_axis());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Cell::new(1, 0), Cell::new(0, 5), Cell::new(0, -1)];
+        v.sort();
+        assert_eq!(v, vec![Cell::new(0, -1), Cell::new(0, 5), Cell::new(1, 0)]);
+    }
+}

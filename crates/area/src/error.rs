@@ -1,0 +1,41 @@
+//! Error types for area computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by area computations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AreaError {
+    /// Brute-force enumeration was refused because `L(f)` exceeds the limit
+    /// (or its size overflows `u128`).
+    SpaceTooLarge {
+        /// The configured assignment-count limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for AreaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AreaError::SpaceTooLarge { limit } => write!(
+                f,
+                "assignment space exceeds the brute-force limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for AreaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AreaError::SpaceTooLarge { limit: 5 }
+            .to_string()
+            .contains('5'));
+    }
+}

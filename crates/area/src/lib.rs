@@ -1,0 +1,48 @@
+//! Grid-cell area semantics for flex-offers.
+//!
+//! The paper's *area-based* flexibility measures (Definitions 9–11) place
+//! assignments on a two-dimensional grid `G = N0 x Z` — discretised time on
+//! the x-axis, discretised energy on the y-axis, cells identified by their
+//! lower-left corner — and measure the cells "between the assignment's energy
+//! values and the x-axis" (Definition 9). The flexibility area of a
+//! flex-offer is the union of the areas of *all* its valid assignments
+//! (Definition 10).
+//!
+//! This crate computes:
+//!
+//! * the area of a single assignment ([`assignment_area()`]);
+//! * the union area of all assignments, in closed form in
+//!   `O(s + tf)` time ([`union::union_area`]) and by brute-force enumeration
+//!   for cross-checking ([`brute::union_area_brute`]);
+//! * ASCII renderings of flex-offers, assignments and union areas that
+//!   regenerate the paper's Figures 1–7 ([`render`]).
+//!
+//! # Closed form
+//!
+//! An assignment's area in one column is *anchored at the time axis*: value
+//! `v > 0` covers exactly the cells `0..v`, and `v < 0` covers `v..0`. The
+//! per-column union over all assignments is therefore decided by the extreme
+//! achievable values alone. Slice `i`'s achievable band under the total
+//! constraints is computed by
+//! [`FlexOffer::achievable_band`](flexoffers_model::FlexOffer::achievable_band),
+//! and a column's union extent is the maximum positive band end (above the
+//! axis) plus the maximum negative band end (below) over every `(start,
+//! slice)` pair that lands on the column. Property tests verify the closed
+//! form against brute-force enumeration.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assignment_area;
+pub mod brute;
+pub mod cell;
+pub mod error;
+pub mod render;
+pub mod union;
+
+pub use assignment_area::{assignment_area, assignment_area_size};
+pub use brute::union_area_brute;
+pub use cell::Cell;
+pub use error::AreaError;
+pub use render::{render_assignment, render_flexoffer, render_union};
+pub use union::{union_area, union_area_naive, ColumnExtent, UnionArea};

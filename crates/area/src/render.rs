@@ -1,0 +1,228 @@
+//! ASCII renderings of flex-offers, assignments and union areas on the
+//! time/energy grid — the tooling that regenerates the paper's Figures 1–7.
+//!
+//! Legend:
+//!
+//! * `#` — cells covered by *every* admissible choice (the inflexible part
+//!   of a profile, or an assignment's area);
+//! * `:` — cells covered by *some* admissible choice (the flexible band);
+//! * `.` — uncovered grid cells;
+//! * `=====` — the time axis separating consumption (above) from
+//!   production (below).
+
+use std::collections::HashMap;
+
+use flexoffers_model::{Assignment, FlexOffer};
+
+use crate::union::union_area;
+
+/// Character grid over cell coordinates, rendered with energy labels on the
+/// left, the time axis between energies 0 and -1, and slot labels at the
+/// bottom. Cells are addressed like [`Cell`](crate::Cell): by their
+/// lower-left corner.
+struct Canvas {
+    t_lo: i64,
+    t_hi: i64, // exclusive
+    e_lo: i64,
+    e_hi: i64, // exclusive
+    cells: HashMap<(i64, i64), char>,
+}
+
+impl Canvas {
+    fn new(t_lo: i64, t_hi: i64, e_lo: i64, e_hi: i64) -> Self {
+        Self {
+            // Always show at least one row and column.
+            t_lo,
+            t_hi: t_hi.max(t_lo + 1),
+            e_lo: e_lo.min(0),
+            e_hi: e_hi.max(1),
+            cells: HashMap::new(),
+        }
+    }
+
+    /// Sets `ch` on cells between value `v` and the axis in column `t`
+    /// (Definition 9's covering rule), without overwriting solid `#` cells.
+    fn fill_to_axis(&mut self, t: i64, v: i64, ch: char) {
+        let range = if v > 0 { 0..v } else { v..0 };
+        for e in range {
+            let entry = self.cells.entry((t, e)).or_insert(ch);
+            if *entry != '#' {
+                *entry = ch;
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for e in (self.e_lo..self.e_hi).rev() {
+            out.push_str(&format!("{e:>4} |"));
+            for t in self.t_lo..self.t_hi {
+                let ch = self.cells.get(&(t, e)).copied().unwrap_or('.');
+                out.push(' ');
+                out.push(ch);
+                out.push(' ');
+            }
+            out.push('\n');
+            if e == 0 {
+                // The time axis sits between cell rows 0 and -1.
+                out.push_str("     +");
+                out.push_str(&"===".repeat((self.t_hi - self.t_lo) as usize));
+                out.push('\n');
+            }
+        }
+        // The loop prints the axis after row 0; grids floating entirely
+        // above the axis still need a floor.
+        if self.e_lo > 0 {
+            out.push_str("     +");
+            out.push_str(&"===".repeat((self.t_hi - self.t_lo) as usize));
+            out.push('\n');
+        }
+        out.push_str("      ");
+        for t in self.t_lo..self.t_hi {
+            out.push_str(&format!("{t:^3}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Renders a flex-offer's profile anchored at its earliest start time, with
+/// `#` for energy every admissible slice value covers and `:` for the
+/// flexible band, plus the start window annotation — the layout of the
+/// paper's Figure 1.
+pub fn render_flexoffer(fo: &FlexOffer) -> String {
+    // Cells covering value v occupy rows 0..v (or v..0), so the exclusive
+    // upper row bound is the largest slice maximum itself.
+    let e_hi = fo.slices().iter().map(|s| s.max()).max().unwrap_or(0).max(0);
+    let e_lo = fo.slices().iter().map(|s| s.min()).min().unwrap_or(0).min(0);
+    let mut canvas = Canvas::new(fo.earliest_start(), fo.latest_end(), e_lo, e_hi);
+    for (i, s) in fo.slices().iter().enumerate() {
+        let t = fo.earliest_start() + i as i64;
+        // Flexible band first, solid core on top.
+        canvas.fill_to_axis(t, s.min(), ':');
+        canvas.fill_to_axis(t, s.max(), ':');
+        let solid = if s.min() > 0 {
+            s.min()
+        } else if s.max() < 0 {
+            s.max()
+        } else {
+            0
+        };
+        if solid != 0 {
+            canvas.fill_to_axis(t, solid, '#');
+        }
+    }
+    let mut out = format!("flex-offer {fo}\n");
+    out.push_str(&canvas.render());
+    out.push_str(&format!(
+        "      start window: [{}, {}], profile shown at earliest start\n",
+        fo.earliest_start(),
+        fo.latest_start()
+    ));
+    out
+}
+
+/// Renders one assignment's area (`#` cells), the layout of Figure 4.
+pub fn render_assignment(a: &Assignment) -> String {
+    let e_hi = a.values().iter().copied().max().unwrap_or(0).max(0);
+    let e_lo = a.values().iter().copied().min().unwrap_or(0).min(0);
+    let mut canvas = Canvas::new(a.start(), a.start() + a.len() as i64, e_lo, e_hi);
+    for (i, &v) in a.values().iter().enumerate() {
+        canvas.fill_to_axis(a.start() + i as i64, v, '#');
+    }
+    let mut out = format!("assignment {a}\n");
+    out.push_str(&canvas.render());
+    out
+}
+
+/// Renders the union area of all valid assignments (`:` cells), the layout
+/// of Figures 5–7.
+pub fn render_union(fo: &FlexOffer) -> String {
+    let u = union_area(fo);
+    let e_hi = u.max_above() as i64;
+    let e_lo = -(u.max_below() as i64);
+    let mut canvas = Canvas::new(fo.earliest_start(), fo.latest_end(), e_lo, e_hi);
+    for col in u.columns() {
+        canvas.fill_to_axis(col.slot, col.above as i64, ':');
+        canvas.fill_to_axis(col.slot, -(col.below as i64), ':');
+    }
+    let mut out = format!("union area of {fo}: {} cells\n", u.size());
+    out.push_str(&canvas.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, slices: Vec<(i64, i64)>) -> FlexOffer {
+        FlexOffer::new(
+            tes,
+            tls,
+            slices
+                .into_iter()
+                .map(|(a, b)| Slice::new(a, b).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_tiny_consumption_profile() {
+        let f = fo(0, 1, vec![(1, 2)]);
+        let text = render_flexoffer(&f);
+        // 2 energy rows + axis + labels + header + footer.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("flex-offer"));
+        // Row e=1 holds the flexible ':' cell; row e=0 the solid '#'.
+        assert!(lines[1].contains(':'), "line: {}", lines[1]);
+        assert!(lines[2].contains('#'), "line: {}", lines[2]);
+        assert!(text.contains("start window: [0, 1]"));
+    }
+
+    #[test]
+    fn assignment_render_matches_example_7_shape() {
+        let a = Assignment::new(1, vec![2, 1, 3]);
+        let text = render_assignment(&a);
+        let hash_count = text.chars().filter(|c| *c == '#').count();
+        assert_eq!(hash_count, 6, "six covered cells in Example 7:\n{text}");
+    }
+
+    /// Counts grid characters, skipping the header line (which may itself
+    /// contain ':' from the flex-offer notation).
+    fn grid_chars(text: &str, ch: char) -> usize {
+        text.lines()
+            .skip(1)
+            .flat_map(str::chars)
+            .filter(|c| *c == ch)
+            .count()
+    }
+
+    #[test]
+    fn union_render_counts_cells() {
+        let f5 = fo(0, 4, vec![(1, 1), (2, 2)]);
+        let text = render_union(&f5);
+        assert!(text.contains("11 cells"), "{text}");
+        assert_eq!(grid_chars(&text, ':'), 11);
+    }
+
+    #[test]
+    fn mixed_union_renders_axis_between_sides() {
+        let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        let text = render_union(&f6);
+        assert!(text.contains("24 cells"));
+        // Axis line present, production cells below it.
+        assert!(text.contains("==="));
+        assert_eq!(grid_chars(&text, ':'), 24);
+    }
+
+    #[test]
+    fn negative_profile_renders_below_axis() {
+        let f = fo(0, 0, vec![(-2, -1)]);
+        let text = render_flexoffer(&f);
+        assert!(text.contains('#'));
+        assert!(text.contains(':'));
+        assert!(text.contains("==="));
+    }
+}

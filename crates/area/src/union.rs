@@ -1,0 +1,270 @@
+//! The union area of all assignments (Definition 10), in closed form.
+
+use flexoffers_model::FlexOffer;
+
+use crate::cell::Cell;
+
+/// The union extent of one grid column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnExtent {
+    /// The column's time slot.
+    pub slot: i64,
+    /// Cells covered above the axis: energies `0 .. above`.
+    pub above: u64,
+    /// Cells covered below the axis: energies `-below .. 0`.
+    pub below: u64,
+}
+
+impl ColumnExtent {
+    /// Cells covered in this column.
+    pub fn size(&self) -> u64 {
+        self.above + self.below
+    }
+}
+
+/// The area jointly covered by all valid assignments of a flex-offer
+/// (Definition 10's union), stored per column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnionArea {
+    columns: Vec<ColumnExtent>,
+}
+
+impl UnionArea {
+    /// Per-column extents, ascending by slot, spanning the occupancy window.
+    pub fn columns(&self) -> &[ColumnExtent] {
+        &self.columns
+    }
+
+    /// Total number of covered cells `|union of area(fa)|`.
+    pub fn size(&self) -> u64 {
+        self.columns.iter().map(ColumnExtent::size).sum()
+    }
+
+    /// The covered cells, ascending in `(t, e)` order.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::with_capacity(self.size() as usize);
+        for col in &self.columns {
+            for e in -(col.below as i64)..col.above as i64 {
+                out.push(Cell::new(col.slot, e));
+            }
+        }
+        out
+    }
+
+    /// Largest extent above the axis over all columns.
+    pub fn max_above(&self) -> u64 {
+        self.columns.iter().map(|c| c.above).max().unwrap_or(0)
+    }
+
+    /// Largest extent below the axis over all columns.
+    pub fn max_below(&self) -> u64 {
+        self.columns.iter().map(|c| c.below).max().unwrap_or(0)
+    }
+}
+
+/// Computes the union area in `O(s + tf)` using monotonic-deque sliding
+/// maxima over the achievable slice bands.
+///
+/// Column `c` is reachable by slice `i` started at `t` iff `c = t + i` with
+/// `tes <= t <= tls`, i.e. `i` ranges over the window
+/// `[c - tls, c - tes] ∩ [0, s)`. As `c` advances by one the window shifts
+/// by one, so the per-column maxima of the bands' positive and negative ends
+/// are classic sliding-window maxima.
+pub fn union_area(fo: &FlexOffer) -> UnionArea {
+    let s = fo.slice_count();
+    let bands: Vec<(i64, i64)> = (0..s).map(|i| fo.achievable_band(i)).collect();
+    // Per-slice contribution to the two sides of the axis.
+    let above: Vec<i64> = bands.iter().map(|(_, hi)| (*hi).max(0)).collect();
+    let below: Vec<i64> = bands.iter().map(|(lo, _)| (-*lo).max(0)).collect();
+
+    let tes = fo.earliest_start();
+    let tls = fo.latest_start();
+    let mut columns = Vec::with_capacity((fo.latest_end() - tes) as usize);
+    // Monotonic deques of slice indices with decreasing key values.
+    let mut dq_above: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut dq_below: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for c in fo.occupancy_window() {
+        // Window of slice indices for this column.
+        let enter = c - tes; // largest index entering at this column
+        let leave = c - tls; // smallest index still in the window
+        if enter >= 0 && (enter as usize) < s {
+            let i = enter as usize;
+            while dq_above.back().is_some_and(|&j| above[j] <= above[i]) {
+                dq_above.pop_back();
+            }
+            dq_above.push_back(i);
+            while dq_below.back().is_some_and(|&j| below[j] <= below[i]) {
+                dq_below.pop_back();
+            }
+            dq_below.push_back(i);
+        }
+        while dq_above.front().is_some_and(|&j| (j as i64) < leave) {
+            dq_above.pop_front();
+        }
+        while dq_below.front().is_some_and(|&j| (j as i64) < leave) {
+            dq_below.pop_front();
+        }
+        let col_above = dq_above.front().map_or(0, |&j| above[j]) as u64;
+        let col_below = dq_below.front().map_or(0, |&j| below[j]) as u64;
+        columns.push(ColumnExtent {
+            slot: c,
+            above: col_above,
+            below: col_below,
+        });
+    }
+    UnionArea { columns }
+}
+
+/// Reference implementation of [`union_area`]: direct double loop over
+/// columns and slice indices, `O((s + tf) * s)`. Retained for cross-checking
+/// and for the ablation benchmark comparing the two.
+pub fn union_area_naive(fo: &FlexOffer) -> UnionArea {
+    let s = fo.slice_count() as i64;
+    let bands: Vec<(i64, i64)> = (0..fo.slice_count())
+        .map(|i| fo.achievable_band(i))
+        .collect();
+    let tes = fo.earliest_start();
+    let tls = fo.latest_start();
+    let mut columns = Vec::new();
+    for c in fo.occupancy_window() {
+        let lo_i = (c - tls).max(0);
+        let hi_i = (c - tes).min(s - 1);
+        let mut above = 0i64;
+        let mut below = 0i64;
+        for i in lo_i..=hi_i {
+            let (lo, hi) = bands[i as usize];
+            above = above.max(hi.max(0));
+            below = below.max((-lo).max(0));
+        }
+        columns.push(ColumnExtent {
+            slot: c,
+            above: above as u64,
+            below: below as u64,
+        });
+    }
+    UnionArea { columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, slices: Vec<(i64, i64)>) -> FlexOffer {
+        FlexOffer::new(
+            tes,
+            tls,
+            slices
+                .into_iter()
+                .map(|(a, b)| Slice::new(a, b).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_figure_5_union() {
+        // f4 = ([0,4], <[2,2]>): five assignments, two cells each,
+        // union covers 10 cells.
+        let f4 = fo(0, 4, vec![(2, 2)]);
+        let u = union_area(&f4);
+        assert_eq!(u.size(), 10);
+        assert_eq!(u.columns().len(), 5);
+        assert!(u.columns().iter().all(|c| c.above == 2 && c.below == 0));
+    }
+
+    #[test]
+    fn paper_figure_6_union() {
+        // f5 = ([0,4], <[1,1],[2,2]>): union has 1 + 2*5 = 11 cells (the
+        // paper's Example 9 prose says "10-2" but its final value 8 matches
+        // 11 - cmin(3); see EXPERIMENTS.md).
+        let f5 = fo(0, 4, vec![(1, 1), (2, 2)]);
+        let u = union_area(&f5);
+        assert_eq!(u.size(), 11);
+        let cols = u.columns();
+        assert_eq!(cols[0], ColumnExtent { slot: 0, above: 1, below: 0 });
+        for col in &cols[1..] {
+            assert_eq!(col.above, 2);
+            assert_eq!(col.below, 0);
+        }
+    }
+
+    #[test]
+    fn paper_figure_7_union_is_24() {
+        // f6 = ([0,2], <[-1,2],[-4,-1],[-3,1]>): Example 15's joint area is
+        // 24 cells.
+        let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        let u = union_area(&f6);
+        assert_eq!(u.size(), 24);
+        let per_column: Vec<u64> = u.columns().iter().map(ColumnExtent::size).collect();
+        assert_eq!(per_column, vec![3, 6, 6, 5, 4]);
+    }
+
+    #[test]
+    fn naive_matches_deque_on_paper_figures() {
+        for f in [
+            fo(0, 4, vec![(2, 2)]),
+            fo(0, 4, vec![(1, 1), (2, 2)]),
+            fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]),
+            fo(1, 6, vec![(1, 3), (2, 4), (0, 5), (0, 3)]),
+        ] {
+            assert_eq!(union_area(&f), union_area_naive(&f));
+        }
+    }
+
+    #[test]
+    fn totals_shrink_the_union() {
+        // Two [0,5] slices with totals forced to [9,10]: each slice must
+        // give at least 4, so nothing below energy 4 is *optional*, but the
+        // area still spans 0..hi per column; the achievable band caps hi.
+        let loose = fo(0, 0, vec![(0, 5), (0, 5)]);
+        let tight = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            9,
+            10,
+        )
+        .unwrap();
+        assert_eq!(union_area(&loose).size(), 10);
+        // Bands stay [4,5] -> above extent 5 per column; union unchanged
+        // in size here because areas are axis-anchored.
+        assert_eq!(union_area(&tight).size(), 10);
+
+        // But a cmax cap visibly shrinks it.
+        let capped = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            0,
+            4,
+        )
+        .unwrap();
+        // Each slice can reach at most 4.
+        assert_eq!(union_area(&capped).size(), 8);
+    }
+
+    #[test]
+    fn cells_enumeration_matches_size() {
+        let f = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        let u = union_area(&f);
+        let cells = u.cells();
+        assert_eq!(cells.len() as u64, u.size());
+        // All cells within the occupancy window.
+        assert!(cells.iter().all(|c| (0..5).contains(&c.t)));
+    }
+
+    #[test]
+    fn max_extents() {
+        let f = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        let u = union_area(&f);
+        assert_eq!(u.max_above(), 2);
+        assert_eq!(u.max_below(), 4);
+    }
+
+    #[test]
+    fn zero_flexoffer_has_zero_area() {
+        let f = fo(0, 3, vec![(0, 0), (0, 0)]);
+        assert_eq!(union_area(&f).size(), 0);
+    }
+}

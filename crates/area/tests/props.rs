@@ -1,0 +1,94 @@
+//! Property tests: the closed-form union area equals the brute-force union
+//! over the enumerated assignment set, and per-assignment areas are
+//! consistent with Definition 9.
+
+use flexoffers_area::{
+    assignment_area, assignment_area_size, union_area, union_area_brute, union_area_naive,
+};
+use flexoffers_model::{FlexOffer, Slice};
+use proptest::prelude::*;
+
+fn arb_flexoffer() -> impl Strategy<Value = FlexOffer> {
+    (
+        0i64..3,
+        0i64..4,
+        prop::collection::vec((-4i64..4, 0i64..4), 1..4),
+        0.0f64..1.0,
+        0.0f64..1.0,
+    )
+        .prop_map(|(tes, window, raw, cmin_pos, cmax_pos)| {
+            let slices: Vec<Slice> = raw
+                .into_iter()
+                .map(|(min, w)| Slice::new(min, min + w).unwrap())
+                .collect();
+            let pmin: i64 = slices.iter().map(Slice::min).sum();
+            let pmax: i64 = slices.iter().map(Slice::max).sum();
+            let cmin = pmin + ((pmax - pmin) as f64 * cmin_pos) as i64;
+            let cmax = cmin + ((pmax - cmin) as f64 * cmax_pos) as i64;
+            FlexOffer::with_totals(tes, tes + window, slices, cmin, cmax).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn closed_form_equals_brute_force(fo in arb_flexoffer()) {
+        let closed = union_area(&fo).size();
+        let brute = union_area_brute(&fo, 1 << 22).expect("space bounded by strategy");
+        prop_assert_eq!(closed, brute, "flex-offer {}", fo);
+    }
+
+    #[test]
+    fn deque_equals_naive(fo in arb_flexoffer()) {
+        prop_assert_eq!(union_area(&fo), union_area_naive(&fo));
+    }
+
+    #[test]
+    fn union_dominates_every_assignment_area(fo in arb_flexoffer()) {
+        let u = union_area(&fo).size();
+        for a in fo.assignments() {
+            prop_assert!(assignment_area_size(&a) <= u);
+        }
+    }
+
+    #[test]
+    fn assignment_area_cells_are_distinct_and_sized(fo in arb_flexoffer()) {
+        for a in fo.assignments().take(64) {
+            let cells = assignment_area(&a);
+            let mut dedup = cells.clone();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), cells.len());
+            prop_assert_eq!(cells.len() as u64, assignment_area_size(&a));
+            // Definition 9: every cell sits between the value and the axis.
+            for c in &cells {
+                let v = a.value_at(c.t);
+                if c.e >= 0 {
+                    prop_assert!(c.e < v);
+                } else {
+                    prop_assert!(c.e >= v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_columns_cover_occupancy_window_exactly(fo in arb_flexoffer()) {
+        let u = union_area(&fo);
+        let slots: Vec<i64> = u.columns().iter().map(|c| c.slot).collect();
+        let expected: Vec<i64> = fo.occupancy_window().collect();
+        prop_assert_eq!(slots, expected);
+    }
+
+    #[test]
+    fn widening_the_start_window_never_shrinks_the_union(fo in arb_flexoffer()) {
+        let wider = FlexOffer::with_totals(
+            fo.earliest_start(),
+            fo.latest_start() + 1,
+            fo.slices().to_vec(),
+            fo.total_min(),
+            fo.total_max(),
+        ).unwrap();
+        prop_assert!(union_area(&wider).size() >= union_area(&fo).size());
+    }
+}

@@ -1,0 +1,96 @@
+//! E1's machinery under the stopwatch: aggregation throughput across
+//! district sizes, and the greedy-vs-flow disaggregation ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flexoffers_aggregation::{aggregate, aggregate_portfolio, GroupingParams};
+use flexoffers_model::{FlexOffer, Slice};
+use flexoffers_workloads::district;
+
+fn bench_aggregate_portfolio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_portfolio");
+    for &households in &[10usize, 50, 200] {
+        let portfolio = district(42, households);
+        let params = GroupingParams::with_tolerances(2, 2);
+        group.bench_with_input(
+            BenchmarkId::new("group_and_aggregate", portfolio.len()),
+            &portfolio,
+            |b, p| b.iter(|| black_box(aggregate_portfolio(p.as_slice(), &params).len())),
+        );
+    }
+    group.finish();
+}
+
+/// A group whose members have binding total constraints, so greedy
+/// disaggregation does real feasibility work.
+fn constrained_group(n: usize) -> Vec<FlexOffer> {
+    (0..n)
+        .map(|i| {
+            FlexOffer::with_totals(
+                (i % 3) as i64,
+                (i % 3) as i64 + 4,
+                vec![Slice::new(0, 6).expect("ordered"); 4],
+                8,
+                16,
+            )
+            .expect("well-formed")
+        })
+        .collect()
+}
+
+fn bench_disaggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disaggregation");
+    for &members in &[4usize, 16, 64] {
+        let agg = aggregate(&constrained_group(members)).expect("non-empty");
+        // A realizable assignment: the baseline-style midpoint fit.
+        let assignment = {
+            let fo = agg.flexoffer();
+            let mut values: Vec<i64> = fo.slices().iter().map(|s| s.midpoint()).collect();
+            let mut total: i64 = values.iter().sum();
+            let mut i = 0;
+            while total < fo.total_min() {
+                if values[i] < fo.slices()[i].max() {
+                    values[i] += 1;
+                    total += 1;
+                }
+                i = (i + 1) % values.len();
+            }
+            while total > fo.total_max() {
+                if values[i] > fo.slices()[i].min() {
+                    values[i] -= 1;
+                    total -= 1;
+                }
+                i = (i + 1) % values.len();
+            }
+            flexoffers_model::Assignment::new(fo.earliest_start(), values)
+        };
+        assert!(agg.flexoffer().is_valid_assignment(&assignment));
+        group.bench_with_input(
+            BenchmarkId::new("greedy", members),
+            &(&agg, &assignment),
+            |b, (agg, a)| b.iter(|| black_box(agg.disaggregate_greedy(a).is_ok())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flow_exact", members),
+            &(&agg, &assignment),
+            |b, (agg, a)| b.iter(|| black_box(agg.disaggregate_flow(a).is_ok())),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_aggregate_portfolio, bench_disaggregation
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! P2: union-area computation — sliding-window deque vs naive double loop
+//! vs brute-force enumeration (the ablation DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flexoffers_area::{union_area, union_area_brute, union_area_naive};
+use flexoffers_bench::fixtures::{figure1, scaling_flexoffer};
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_area");
+    for &(slices, tf) in &[(8usize, 8i64), (64, 64), (256, 512)] {
+        let fo = scaling_flexoffer(slices, 8, tf);
+        let id = format!("s{slices}_tf{tf}");
+        group.bench_with_input(BenchmarkId::new("deque", &id), &fo, |b, fo| {
+            b.iter(|| black_box(union_area(black_box(fo)).size()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &id), &fo, |b, fo| {
+            b.iter(|| black_box(union_area_naive(black_box(fo)).size()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    // Brute force only fits small spaces: Figure 1's flex-offer has a
+    // 4-digit assignment count under its default totals.
+    let mut group = c.benchmark_group("union_area_brute");
+    let fo = figure1();
+    group.bench_function("figure1", |b| {
+        b.iter(|| black_box(union_area_brute(black_box(&fo), 1 << 20).expect("bounded")))
+    });
+    group.bench_function("figure1_closed_form", |b| {
+        b.iter(|| black_box(union_area(black_box(&fo)).size()))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_closed_forms, bench_brute_force
+}
+criterion_main!(benches);

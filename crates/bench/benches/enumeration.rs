@@ -1,0 +1,84 @@
+//! P3: assignment-space operations — enumeration, closed-form counting,
+//! DP counting, and exact uniform sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+use flexoffers_bench::fixtures::scaling_flexoffer;
+use flexoffers_model::FlexOffer;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    // Keep |L(f)| around a few thousand per case.
+    for &(slices, width, tf) in &[(2usize, 7i64, 10i64), (4, 3, 10), (6, 2, 4)] {
+        let fo = scaling_flexoffer(slices, width, tf);
+        let count = fo.unconstrained_assignment_count().expect("small");
+        group.bench_with_input(
+            BenchmarkId::new("iterate_all", format!("s{slices}_w{width}_tf{tf}_n{count}")),
+            &fo,
+            |b, fo| b.iter(|| black_box(fo.assignments().count())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting");
+    for &slices in &[8usize, 64, 256] {
+        let fo = scaling_flexoffer(slices, 8, 16);
+        let tight = FlexOffer::with_totals(
+            0,
+            16,
+            fo.slices().to_vec(),
+            fo.profile_max() / 3,
+            fo.profile_max() / 2,
+        )
+        .expect("well-formed");
+        group.bench_with_input(BenchmarkId::new("closed_form", slices), &fo, |b, fo| {
+            b.iter(|| black_box(fo.unconstrained_assignment_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("log2", slices), &fo, |b, fo| {
+            b.iter(|| black_box(fo.log2_assignment_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_constrained", slices), &tight, |b, fo| {
+            b.iter(|| black_box(fo.constrained_assignment_count_f64()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    for &slices in &[4usize, 16, 64] {
+        let fo = FlexOffer::with_totals(
+            0,
+            16,
+            scaling_flexoffer(slices, 8, 16).slices().to_vec(),
+            slices as i64 * 2,
+            slices as i64 * 6,
+        )
+        .expect("well-formed");
+        group.bench_with_input(BenchmarkId::new("uniform_valid", slices), &fo, |b, fo| {
+            let mut rng = StdRng::seed_from_u64(42);
+            b.iter(|| black_box(fo.sample_assignment(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_enumeration, bench_counting, bench_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! P1: computation cost of every measure as flex-offer dimensions scale.
+//!
+//! The paper's measures differ wildly in asymptotics: tf/ef/product/vector
+//! are O(1) over the model, the time-series measure is O(s + tf), counting
+//! is O(1) (closed form) or O(s * width^2) (constrained DP), and the area
+//! measures are O(s + tf) via the sliding-window closed form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flexoffers_bench::fixtures::scaling_flexoffer;
+use flexoffers_measures::all_measures;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measures");
+    for &slices in &[4usize, 32, 128] {
+        let fo = scaling_flexoffer(slices, 8, 16);
+        for measure in all_measures() {
+            group.bench_with_input(
+                BenchmarkId::new(measure.short_name().replace(' ', "_"), slices),
+                &fo,
+                |b, fo| b.iter(|| black_box(measure.of(black_box(fo)).expect("consumption"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_time_flex_scaling(c: &mut Criterion) {
+    // Only the window-aware measures should care about tf.
+    let mut group = c.benchmark_group("measures_tf_scaling");
+    for &tf in &[4i64, 64, 1024] {
+        let fo = scaling_flexoffer(16, 8, tf);
+        for name in ["Vector", "Time-series", "Abs. Area"] {
+            let measure = all_measures()
+                .into_iter()
+                .find(|m| m.short_name() == name)
+                .expect("known measure");
+            group.bench_with_input(
+                BenchmarkId::new(name.replace(' ', "_").replace('.', ""), tf),
+                &fo,
+                |b, fo| b.iter(|| black_box(measure.of(black_box(fo)).expect("consumption"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_measures, bench_time_flex_scaling
+}
+criterion_main!(benches);

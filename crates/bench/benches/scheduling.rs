@@ -1,0 +1,100 @@
+//! E2's machinery under the stopwatch: scheduler cost across portfolio
+//! sizes, and the aggregate-then-schedule pipeline that motivates
+//! Scenario 1 (scheduling aggregates is much cheaper than scheduling
+//! members).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flexoffers_aggregation::{aggregate_portfolio, GroupingParams};
+use flexoffers_scheduling::{
+    EarliestStartScheduler, GreedyScheduler, HillClimbScheduler, Scheduler, SchedulingProblem,
+};
+use flexoffers_workloads::res::{res_production_trace, ResTraceConfig};
+use flexoffers_workloads::PopulationBuilder;
+
+fn problem(households: usize) -> SchedulingProblem {
+    let portfolio = PopulationBuilder::new(7)
+        .electric_vehicles(households / 2)
+        .dishwashers(households)
+        .heat_pumps(households / 3)
+        .build();
+    let res = res_production_trace(&ResTraceConfig {
+        days: 2,
+        ..ResTraceConfig::default()
+    });
+    SchedulingProblem::new(portfolio.into_offers(), res)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    for &households in &[10usize, 40] {
+        let p = problem(households);
+        let n = p.offers().len();
+        group.bench_with_input(BenchmarkId::new("baseline", n), &p, |b, p| {
+            b.iter(|| black_box(EarliestStartScheduler.schedule(p).expect("feasible")))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &p, |b, p| {
+            b.iter(|| black_box(GreedyScheduler::new().schedule(p).expect("feasible")))
+        });
+        group.bench_with_input(BenchmarkId::new("hillclimb_256", n), &p, |b, p| {
+            b.iter(|| {
+                black_box(
+                    HillClimbScheduler::new(42, 256)
+                        .schedule(p)
+                        .expect("feasible"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate_then_schedule(c: &mut Criterion) {
+    // Scenario 1's complexity claim: scheduling the aggregates is cheaper
+    // than scheduling the members.
+    let mut group = c.benchmark_group("aggregate_then_schedule");
+    let p = problem(40);
+    group.bench_function("schedule_members_greedy", |b| {
+        b.iter(|| black_box(GreedyScheduler::new().schedule(&p).expect("feasible")))
+    });
+    group.bench_function("aggregate_and_schedule_greedy", |b| {
+        b.iter(|| {
+            let aggregates =
+                aggregate_portfolio(p.offers(), &GroupingParams::with_tolerances(2, 2));
+            let reduced = SchedulingProblem::new(
+                aggregates.iter().map(|a| a.flexoffer().clone()).collect(),
+                p.target().clone(),
+            );
+            black_box(GreedyScheduler::new().schedule(&reduced).expect("feasible"))
+        })
+    });
+    group.bench_function("full_pipeline_with_disaggregation", |b| {
+        b.iter(|| {
+            black_box(
+                flexoffers_scheduling::schedule_via_aggregation(
+                    &p,
+                    &GroupingParams::with_tolerances(2, 2),
+                    &GreedyScheduler::new(),
+                )
+                .expect("pipeline feasible"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_schedulers, bench_aggregate_then_schedule
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Experiment E1 — flexibility loss under aggregation (Scenario 1 and the
+//! paper's future work: "evaluation of flex-offer aggregation techniques").
+//!
+//! A district portfolio is grouped with a sweep of earliest-start and
+//! time-flexibility tolerances, aggregated, and every measure is evaluated
+//! before and after. Grouping-tolerance points run in parallel (crossbeam
+//! scoped threads). Pass `--json` for machine-readable rows.
+//!
+//! Run with `cargo run --release -p flexoffers-bench --bin exp_aggregation_loss`.
+
+use flexoffers_aggregation::{aggregate_portfolio, loss_table, GroupingParams, LossReport};
+use flexoffers_measures::MeasureError;
+use flexoffers_workloads::district;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonRow {
+    est_tolerance: i64,
+    tf_tolerance: i64,
+    aggregates: usize,
+    measure: String,
+    before: f64,
+    after: f64,
+    relative_loss: f64,
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let portfolio = district(42, 250);
+    let offers = portfolio.as_slice();
+    println!(
+        "E1: flexibility loss under aggregation — {} flex-offers (seed 42, 250 households)",
+        offers.len()
+    );
+
+    let sweep: Vec<(i64, i64)> = [0i64, 1, 2, 4, 8]
+        .iter()
+        .flat_map(|&est| [0i64, 2, 8].iter().map(move |&tft| (est, tft)))
+        .collect();
+
+    // Each sweep point is independent; fan out with scoped threads.
+    type SweepPoint = (i64, i64, usize, Vec<Result<LossReport, MeasureError>>);
+    let results: Vec<SweepPoint> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = sweep
+                .iter()
+                .map(|&(est, tft)| {
+                    scope.spawn(move |_| {
+                        let params = GroupingParams::with_tolerances(est, tft);
+                        let aggregates = aggregate_portfolio(offers, &params);
+                        let table = loss_table(offers, &aggregates);
+                        (est, tft, aggregates.len(), table)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+    let mut json_rows = Vec::new();
+    for (est, tft, n_aggregates, table) in &results {
+        println!(
+            "\nest_tolerance = {est}, tf_tolerance = {tft}: {} offers -> {} aggregates",
+            offers.len(),
+            n_aggregates
+        );
+        println!(
+            "  {:<12} {:>16} {:>16} {:>10}",
+            "measure", "before", "after", "loss"
+        );
+        for entry in table {
+            match entry {
+                Ok(r) => {
+                    println!(
+                        "  {:<12} {:>16.4e} {:>16.4e} {:>9.1}%",
+                        r.measure,
+                        r.before,
+                        r.after,
+                        r.relative_loss() * 100.0
+                    );
+                    json_rows.push(JsonRow {
+                        est_tolerance: *est,
+                        tf_tolerance: *tft,
+                        aggregates: *n_aggregates,
+                        measure: r.measure.clone(),
+                        before: r.before,
+                        after: r.after,
+                        relative_loss: r.relative_loss(),
+                    });
+                }
+                Err(e) => println!("  (unavailable: {e})"),
+            }
+        }
+    }
+
+    println!(
+        "\nReading guide: time-derived measures (Time, Product, Vector) lose\n\
+         monotonically as tolerances coarsen — the min-rule destroys start\n\
+         windows. Energy flexibility is preserved exactly (totals sum). The\n\
+         Assignments measure *explodes* after aggregation (its exponential\n\
+         energy skew, Section 4), and Abs. Area can report *negative* loss:\n\
+         aggregation overestimates joint flexibility, the effect the\n\
+         disaggregation flow check quantifies."
+    );
+
+    // Part 2: measure-aware aggregation (the paper's future work) against
+    // fixed tolerances, compared at the compression each achieves.
+    println!("\nmeasure-aware aggregation (vector-flexibility loss budget per merge):");
+    println!(
+        "{:>8} {:>12} {:>16} {:>16} {:>10}",
+        "budget", "aggregates", "vector before", "vector after", "loss"
+    );
+    let vector = flexoffers_measures::VectorFlexibility::default();
+    for budget in [0.0, 0.05, 0.1, 0.2, 0.4] {
+        let grouper =
+            flexoffers_aggregation::MeasureAwareGrouping::new(&vector, budget);
+        let aggregates = grouper
+            .aggregate_portfolio(offers)
+            .expect("consumption+production portfolios measure everywhere");
+        let report = flexoffers_aggregation::flexibility_loss(&vector, offers, &aggregates)
+            .expect("vector measure total");
+        println!(
+            "{:>8.2} {:>12} {:>16.1} {:>16.1} {:>9.1}%",
+            budget,
+            aggregates.len(),
+            report.before,
+            report.after,
+            report.relative_loss() * 100.0
+        );
+    }
+    println!(
+        "Fixed tolerances must be tuned per portfolio; the measure-aware\n\
+         grouper trades compression against measured loss directly, giving a\n\
+         principled dial (paper, Section 6 future work)."
+    );
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&json_rows).expect("serializable"));
+    }
+}

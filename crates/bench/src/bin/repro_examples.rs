@@ -1,0 +1,289 @@
+//! Reproduces every worked example (Examples 1–15) of Valsomatzis et al.
+//! (EDBT 2015), printing paper-vs-computed and exiting non-zero on any
+//! deviation that is not a documented erratum.
+//!
+//! Run with `cargo run -p flexoffers-bench --bin repro_examples`.
+
+use flexoffers_area::{assignment_area, union_area};
+use flexoffers_bench::fixtures;
+use flexoffers_bench::report::Report;
+use flexoffers_measures::{
+    AbsoluteAreaFlexibility, AssignmentFlexibility, EnergyFlexibility, Measure, Norm,
+    ProductFlexibility, RelativeAreaFlexibility, TimeFlexibility, TimeSeriesFlexibility,
+    VectorFlexibility,
+};
+use flexoffers_model::{FlexOffer, Slice};
+
+fn fo(tes: i64, tls: i64, slices: &[(i64, i64)]) -> FlexOffer {
+    FlexOffer::new(
+        tes,
+        tls,
+        slices
+            .iter()
+            .map(|&(a, b)| Slice::new(a, b).expect("ordered"))
+            .collect(),
+    )
+    .expect("well-formed")
+}
+
+fn main() {
+    let mut report = Report::new();
+    let f = fixtures::figure1();
+
+    // Examples 1-3: the primitive flexibilities and their product.
+    report.exact(
+        "Example 1: tf(f) = tls - tes",
+        5.0,
+        TimeFlexibility.of(&f).expect("total"),
+        "Figure 1's f",
+    );
+    report.exact(
+        "Example 2: ef(f) = cmax - cmin",
+        12.0,
+        EnergyFlexibility.of(&f).expect("total"),
+        "cmax = 15, cmin = 3",
+    );
+    report.exact(
+        "Example 3: product_flexibility(f)",
+        60.0,
+        ProductFlexibility.of(&f).expect("total"),
+        "5 * 12",
+    );
+
+    // Example 4: the paper prints <5, 10> although its own Example 2 puts
+    // ef(f) = 12; Definitions 3-4 give <5, 12>.
+    report.erratum(
+        "Example 4: vector_flexibility(f), L1",
+        "15 (from <5,10>)",
+        17.0,
+        VectorFlexibility::new(Norm::L1).of(&f).expect("total"),
+        "paper's <5,10> contradicts its Example 2 (ef = 12); definitions give <5,12>",
+    );
+    report.erratum(
+        "Example 4: vector_flexibility(f), L2",
+        "11.180",
+        13.0,
+        VectorFlexibility::new(Norm::L2).of(&f).expect("total"),
+        "sqrt(25 + 144) = 13 with ef = 12",
+    );
+    // The paper's own arithmetic on its printed components is reproduced
+    // exactly by the norm implementation.
+    report.exact(
+        "Example 4 arithmetic: ||<5,10>||_1",
+        15.0,
+        Norm::L1.of_vec2(5.0, 10.0),
+        "",
+    );
+    report.exact(
+        "Example 4 arithmetic: ||<5,10>||_2",
+        11.180339887498949,
+        Norm::L2.of_vec2(5.0, 10.0),
+        "",
+    );
+
+    // Example 5: time-series flexibility of f1.
+    let f1 = fixtures::f1();
+    report.exact(
+        "Example 5: |L(f1)|",
+        4.0,
+        f1.assignments().count() as f64,
+        "f1 has 4 assignments",
+    );
+    report.exact(
+        "Example 5: series_flexibility(f1), L1",
+        1.0,
+        TimeSeriesFlexibility::new(Norm::L1).of(&f1).expect("total"),
+        "difference <0,1>",
+    );
+    report.exact(
+        "Example 5: series_flexibility(f1), L2",
+        1.0,
+        TimeSeriesFlexibility::new(Norm::L2).of(&f1).expect("total"),
+        "",
+    );
+
+    // Example 6: assignment count of f2.
+    report.exact(
+        "Example 6: assignment_flexibility(f2)",
+        9.0,
+        AssignmentFlexibility::new().of(&fixtures::f2()).expect("total"),
+        "3 starts x 3 values",
+    );
+
+    // Example 7: the area of assignment <2,1,3>.
+    let area = assignment_area(&fixtures::f3_assignment());
+    report.exact(
+        "Example 7: |area(f3a)|",
+        6.0,
+        area.len() as f64,
+        "{(1,0),(1,1),(2,0),(3,0),(3,1),(3,2)}",
+    );
+    let expected_cells = [(1, 0), (1, 1), (2, 0), (3, 0), (3, 1), (3, 2)];
+    let cells_match = area
+        .iter()
+        .map(|c| (c.t, c.e))
+        .eq(expected_cells.iter().copied());
+    report.exact(
+        "Example 7: exact cell set",
+        1.0,
+        cells_match as i64 as f64,
+        "1 = sets equal",
+    );
+
+    // Examples 8-9: absolute area flexibility.
+    let f4 = fixtures::f4();
+    let f5 = fixtures::f5();
+    report.exact(
+        "Example 8: absolute_area_flexibility(f4)",
+        8.0,
+        AbsoluteAreaFlexibility::new().of(&f4).expect("consumption"),
+        "union 10 - cmin 2",
+    );
+    report.exact(
+        "Example 8: |union area(f4)|",
+        10.0,
+        union_area(&f4).size() as f64,
+        "",
+    );
+    report.erratum(
+        "Example 9: absolute_area_flexibility(f5)",
+        "\"10-2\" = 8",
+        8.0,
+        AbsoluteAreaFlexibility::new().of(&f5).expect("consumption"),
+        "prose says 10-2; Definition 10 gives union 11 - cmin 3 = same final 8",
+    );
+    report.exact(
+        "Example 9: |union area(f5)|",
+        11.0,
+        union_area(&f5).size() as f64,
+        "1 + 2*5 cells (the paper's figure)",
+    );
+
+    // Example 10: relative area flexibility.
+    report.exact(
+        "Example 10: relative_area_flexibility(f4)",
+        4.0,
+        RelativeAreaFlexibility::new().of(&f4).expect("consumption"),
+        "2*8 / (2+2)",
+    );
+    report.exact(
+        "Example 10: relative_area_flexibility(f5)",
+        16.0 / 6.0,
+        RelativeAreaFlexibility::new().of(&f5).expect("consumption"),
+        "2*8 / (3+3)",
+    );
+
+    // Example 11: the product measure pathologies.
+    report.exact(
+        "Example 11: product_flexibility(fx), ef = 0",
+        0.0,
+        ProductFlexibility.of(&fixtures::example11_fx()).expect("total"),
+        "6 * 0",
+    );
+    report.exact(
+        "Example 11: product_flexibility([1,5] offer)",
+        8.0,
+        ProductFlexibility.of(&fixtures::small_fx()).expect("total"),
+        "",
+    );
+    report.exact(
+        "Example 11: product_flexibility([101,105] offer)",
+        8.0,
+        ProductFlexibility.of(&fixtures::large_fy()).expect("total"),
+        "size blindness: equal to the small offer",
+    );
+
+    // Example 12: vector flexibility is size-blind too.
+    report.exact(
+        "Example 12: ||vector(fx)||_1 = ||vector(fy)||_1",
+        6.0,
+        VectorFlexibility::new(Norm::L1).of(&fixtures::small_fx()).expect("total"),
+        "",
+    );
+    report.exact(
+        "Example 12: ||vector(fy)||_2",
+        4.47213595499958,
+        VectorFlexibility::new(Norm::L2).of(&fixtures::large_fy()).expect("total"),
+        "sqrt(4 + 16)",
+    );
+
+    // Example 13: the time-series measure cannot see the larger window.
+    report.exact(
+        "Example 13: series_flexibility(f1'), L1",
+        1.0,
+        TimeSeriesFlexibility::new(Norm::L1).of(&fixtures::f1_prime()).expect("total"),
+        "ten-fold time flexibility, same value",
+    );
+    report.exact(
+        "Example 13: series_flexibility(f1'), L2",
+        1.0,
+        TimeSeriesFlexibility::new(Norm::L2).of(&fixtures::f1_prime()).expect("total"),
+        "",
+    );
+
+    // Example 14: assignment counts of f2 and f6 variants.
+    let f6 = fixtures::f6();
+    report.exact(
+        "Example 14: assignments(f2) with tf = 0",
+        3.0,
+        AssignmentFlexibility::new()
+            .of(&fo(0, 0, &[(0, 2)]))
+            .expect("total"),
+        "",
+    );
+    report.exact(
+        "Example 14: assignments(f2) with ef = 0",
+        3.0,
+        AssignmentFlexibility::new()
+            .of(&fo(0, 2, &[(1, 1)]))
+            .expect("total"),
+        "",
+    );
+    report.exact(
+        "Example 14: assignments(f6)",
+        240.0,
+        AssignmentFlexibility::new().of(&f6).expect("total"),
+        "3 * 4 * 4 * 5",
+    );
+    report.exact(
+        "Example 14: assignments(f6) with tf = 0",
+        80.0,
+        AssignmentFlexibility::new()
+            .of(&fo(0, 0, &[(-1, 2), (-4, -1), (-3, 1)]))
+            .expect("total"),
+        "",
+    );
+    report.exact(
+        "Example 14: assignments(f6) with ef = 0",
+        3.0,
+        AssignmentFlexibility::new()
+            .of(&fo(0, 2, &[(-1, -1), (-4, -4), (-3, -3)]))
+            .expect("total"),
+        "",
+    );
+
+    // Example 15: the mixed flex-offer under the area measures.
+    report.exact(
+        "Example 15: |union area(f6)|",
+        24.0,
+        union_area(&f6).size() as f64,
+        "paper labels f6 as \"f4\"; slice 2 printed as [-1,-4], must be [-4,-1]",
+    );
+    report.exact(
+        "Example 15: absolute_area_flexibility(f6)",
+        32.0,
+        AbsoluteAreaFlexibility::new().of(&f6).expect("literal policy"),
+        "24 - (-8), Definition 10 applied literally",
+    );
+    report.exact(
+        "Example 15: relative_area_flexibility(f6)",
+        6.4,
+        RelativeAreaFlexibility::new().of(&f6).expect("literal policy"),
+        "2*32 / (8+2)",
+    );
+
+    print!("{}", report.render());
+    if report.mismatches() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Shared fixtures and reporting helpers for the benchmark suite and the
+//! paper-reproduction binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fixtures;
+pub mod report;

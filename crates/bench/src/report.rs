@@ -1,0 +1,163 @@
+//! Paper-vs-computed reporting for the reproduction binaries.
+//!
+//! Every repro binary prints one [`Row`] per reproduced quantity and exits
+//! non-zero if any row deviates from the paper *without* being a documented
+//! erratum — the binaries double as regression checks.
+
+/// Outcome of one reproduced quantity.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Status {
+    /// Computed value equals the paper's.
+    Match,
+    /// Computed value differs, and EXPERIMENTS.md documents why the paper's
+    /// printed value is inconsistent with its own definitions.
+    DocumentedErratum,
+    /// Computed value differs unexpectedly — a reproduction failure.
+    Mismatch,
+}
+
+/// One reproduced quantity.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Paper artefact, e.g. `"Example 3: product_flexibility(f)"`.
+    pub label: String,
+    /// The value the paper prints.
+    pub paper: String,
+    /// The value this implementation computes.
+    pub computed: String,
+    /// Comparison outcome.
+    pub status: Status,
+    /// Optional note (erratum explanation, definition reference).
+    pub note: String,
+}
+
+/// Collects rows and renders the final report.
+#[derive(Debug, Default)]
+pub struct Report {
+    rows: Vec<Row>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an exact numeric reproduction.
+    pub fn exact(&mut self, label: &str, paper: f64, computed: f64, note: &str) {
+        let status = if (paper - computed).abs() < 1e-9 {
+            Status::Match
+        } else {
+            Status::Mismatch
+        };
+        self.rows.push(Row {
+            label: label.to_owned(),
+            paper: trim_float(paper),
+            computed: trim_float(computed),
+            status,
+            note: note.to_owned(),
+        });
+    }
+
+    /// Records a quantity where the paper's printed value is a documented
+    /// erratum; the reproduction must match `expected` (the value the
+    /// paper's own definitions yield).
+    pub fn erratum(&mut self, label: &str, paper: &str, expected: f64, computed: f64, note: &str) {
+        let status = if (expected - computed).abs() < 1e-9 {
+            Status::DocumentedErratum
+        } else {
+            Status::Mismatch
+        };
+        self.rows.push(Row {
+            label: label.to_owned(),
+            paper: paper.to_owned(),
+            computed: trim_float(computed),
+            status,
+            note: note.to_owned(),
+        });
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of unexpected mismatches.
+    pub fn mismatches(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.status == Status::Mismatch)
+            .count()
+    }
+
+    /// Renders the report as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<52} {:>12} {:>12}  {:<8} note\n",
+            "quantity", "paper", "computed", "status"
+        ));
+        for row in &self.rows {
+            let status = match row.status {
+                Status::Match => "ok",
+                Status::DocumentedErratum => "erratum",
+                Status::Mismatch => "MISMATCH",
+            };
+            out.push_str(&format!(
+                "{:<52} {:>12} {:>12}  {:<8} {}\n",
+                row.label, row.paper, row.computed, status, row.note
+            ));
+        }
+        let errata = self
+            .rows
+            .iter()
+            .filter(|r| r.status == Status::DocumentedErratum)
+            .count();
+        out.push_str(&format!(
+            "\n{} quantities reproduced, {} documented errata, {} mismatches\n",
+            self.rows.len(),
+            errata,
+            self.mismatches()
+        ));
+        out
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_and_mismatch() {
+        let mut r = Report::new();
+        r.exact("a", 5.0, 5.0, "");
+        r.exact("b", 5.0, 6.0, "");
+        assert_eq!(r.rows()[0].status, Status::Match);
+        assert_eq!(r.rows()[1].status, Status::Mismatch);
+        assert_eq!(r.mismatches(), 1);
+        assert!(r.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn erratum_counts_separately() {
+        let mut r = Report::new();
+        r.erratum("c", "<5, 10>", 12.0, 12.0, "Example 4 inconsistency");
+        assert_eq!(r.mismatches(), 0);
+        assert!(r.render().contains("erratum"));
+        assert!(r.render().contains("1 documented errata"));
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(4.0), "4");
+        assert_eq!(trim_float(16.0 / 6.0), "2.667");
+    }
+}

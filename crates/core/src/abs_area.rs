@@ -1,0 +1,203 @@
+//! Absolute area-based flexibility (Definitions 9–10).
+
+use flexoffers_area::union_area;
+use flexoffers_model::{FlexOffer, SignClass};
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// How the measure treats mixed flex-offers, for which the paper deems it
+/// "not feasible" (Section 4) yet still evaluates Definition 10 literally in
+/// Example 15.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MixedPolicy {
+    /// Apply Definition 10 verbatim (subtract `cmin`), reproducing
+    /// Example 15's value of 32 for `f6` — with the caveat that the result
+    /// overstates flexibility, which is exactly the paper's argument for
+    /// "No" in Table 1's mixed row.
+    #[default]
+    DefinitionLiteral,
+    /// Refuse with [`MeasureError::MixedNotSupported`].
+    Reject,
+}
+
+/// Absolute area-based flexibility: the size of the area jointly covered by
+/// all assignments, minus the inflexible base (Definition 10, Examples 8–9).
+///
+/// The base is the energy every assignment must exchange regardless of the
+/// chosen instantiation: `cmin` for consumption flex-offers and — per
+/// Section 4 — `|cmax|` for production flex-offers, whose *smaller*
+/// magnitude bound is the maximum constraint. Together with
+/// [`RelativeAreaFlexibility`](crate::RelativeAreaFlexibility) it is the
+/// only proposed measure that sees the actual *size* of the amounts
+/// (Table 1's "captures size" row).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbsoluteAreaFlexibility {
+    /// Mixed flex-offer handling.
+    pub mixed_policy: MixedPolicy,
+}
+
+impl AbsoluteAreaFlexibility {
+    /// Definition-literal policy (Example 15 reproduces).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rejecting policy: `of` fails on mixed flex-offers, enforcing
+    /// Section 4's applicability rule at the type level.
+    pub fn rejecting_mixed() -> Self {
+        Self {
+            mixed_policy: MixedPolicy::Reject,
+        }
+    }
+
+    /// The inflexible base subtracted from the union area: energy that is
+    /// committed no matter which assignment is chosen.
+    pub fn inflexible_base(&self, fo: &FlexOffer) -> Result<i64, MeasureError> {
+        match fo.sign() {
+            SignClass::Positive | SignClass::Zero => Ok(fo.total_min()),
+            SignClass::Negative => Ok(-fo.total_max()),
+            SignClass::Mixed => match self.mixed_policy {
+                MixedPolicy::DefinitionLiteral => Ok(fo.total_min()),
+                MixedPolicy::Reject => Err(MeasureError::MixedNotSupported {
+                    measure: "Abs. Area",
+                }),
+            },
+        }
+    }
+}
+
+impl Measure for AbsoluteAreaFlexibility {
+    fn name(&self) -> &'static str {
+        "absolute area-based flexibility"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Abs. Area"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        let base = self.inflexible_base(fo)?;
+        Ok(union_area(fo).size() as f64 - base as f64)
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        Characteristics {
+            captures_time: true,
+            captures_energy: true,
+            captures_time_energy: true,
+            captures_size: true,
+            positive: true,
+            negative: true,
+            mixed: false,
+            single_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, slices: Vec<(i64, i64)>) -> FlexOffer {
+        FlexOffer::new(
+            tes,
+            tls,
+            slices
+                .into_iter()
+                .map(|(a, b)| Slice::new(a, b).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_8() {
+        // f4 = ([0,4], <[2,2]>), cmin = cmax = 2: 10 cells - 2 = 8.
+        let f4 = fo(0, 4, vec![(2, 2)]);
+        assert_eq!(AbsoluteAreaFlexibility::new().of(&f4).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn example_9() {
+        // f5 = ([0,4], <[1,1],[2,2]>), cmin = cmax = 3: union 11 - 3 = 8.
+        // (The paper's prose says "10-2=8"; the subtraction must use
+        // cmin = 3 per Definition 10, and the union has 11 cells — the final
+        // value 8 is what Definition 10 yields. See EXPERIMENTS.md.)
+        let f5 = fo(0, 4, vec![(1, 1), (2, 2)]);
+        assert_eq!(AbsoluteAreaFlexibility::new().of(&f5).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn example_15_mixed_literal() {
+        // f6: union 24, cmin = -8 -> 24 - (-8) = 32.
+        let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert_eq!(AbsoluteAreaFlexibility::new().of(&f6).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn rejecting_policy_refuses_mixed() {
+        let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert_eq!(
+            AbsoluteAreaFlexibility::rejecting_mixed().of(&f6),
+            Err(MeasureError::MixedNotSupported { measure: "Abs. Area" })
+        );
+    }
+
+    #[test]
+    fn production_uses_cmax_per_section_4() {
+        // Mirror of f4: five single-slice production assignments of -2.
+        let prod = fo(0, 4, vec![(-2, -2)]);
+        // Union 10 cells below the axis; base |cmax| = 2 -> 8, symmetric
+        // with Example 8.
+        assert_eq!(AbsoluteAreaFlexibility::new().of(&prod).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn mirror_symmetry_consumption_production() {
+        let cons = fo(0, 3, vec![(1, 3), (0, 2)]);
+        let prod = fo(0, 3, vec![(-3, -1), (-2, 0)]);
+        let m = AbsoluteAreaFlexibility::new();
+        assert_eq!(m.of(&cons).unwrap(), m.of(&prod).unwrap());
+    }
+
+    #[test]
+    fn captures_size_unlike_the_others() {
+        // Examples 11-12's pair now *differ*.
+        let fx = fo(1, 3, vec![(1, 5)]);
+        let fy = fo(1, 3, vec![(101, 105)]);
+        let m = AbsoluteAreaFlexibility::new();
+        assert_eq!(m.of(&fx).unwrap(), 15.0 - 1.0);
+        assert_eq!(m.of(&fy).unwrap(), 315.0 - 101.0);
+    }
+
+    #[test]
+    fn inflexible_consumption_measures_zero() {
+        let f = fo(0, 0, vec![(2, 2), (1, 1)]);
+        assert_eq!(AbsoluteAreaFlexibility::new().of(&f).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mixed_literal_is_mirror_asymmetric() {
+        // Another face of the mixed unsoundness: subtracting cmin is not
+        // symmetric under production/consumption mirroring, so the same
+        // physical flexibility measures differently depending on sign
+        // orientation. (Non-mixed flex-offers are symmetric because the
+        // base switches to |cmax| for production, per Section 4.)
+        let f = fo(0, 0, vec![(1, 1), (-3, -3)]);
+        let mirrored = fo(0, 0, vec![(-1, -1), (3, 3)]);
+        let m = AbsoluteAreaFlexibility::new();
+        assert_eq!(m.of(&f).unwrap(), 4.0 + 2.0); // |u|=4, cmin=-2
+        assert_eq!(m.of(&mirrored).unwrap(), 4.0 - 2.0); // |u|=4, cmin=2
+    }
+
+    #[test]
+    fn mixed_literal_overstates_inflexible_offer() {
+        // The pathology behind Table 1's "No": an inflexible balanced mixed
+        // flex-offer still gets a positive "flexibility".
+        let f = fo(0, 0, vec![(1, 1), (-1, -1)]);
+        assert_eq!(AbsoluteAreaFlexibility::new().of(&f).unwrap(), 2.0);
+    }
+}

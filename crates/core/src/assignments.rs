@@ -1,0 +1,195 @@
+//! Assignment flexibility (Definition 8).
+
+use flexoffers_model::FlexOffer;
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// How the assignment count is reported.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CountScale {
+    /// The raw count `(tf+1) * prod(width+1)` — Definition 8 verbatim.
+    /// Reported via `f64`, so astronomically large spaces lose precision
+    /// (and can reach infinity); use [`CountScale::Log2`] for those.
+    #[default]
+    Linear,
+    /// Base-2 logarithm of the count. Monotone in the raw count, defined for
+    /// any flex-offer, and comparable across huge spaces. An inflexible
+    /// flex-offer (one assignment) measures 0.
+    Log2,
+}
+
+/// Assignment flexibility: the number of possible assignments
+/// `(tls - tes + 1) * prod(amax_i - amin_i + 1)` (Definition 8, Example 6).
+///
+/// Definition 8 deliberately ignores the total energy constraints (the
+/// paper's Section 4 notes this), so the count is over the unconstrained
+/// product space; `constrained` switches to the exact `|L(f)|` for analyses
+/// that want the pruned space. Section 4 also observes the measure's skew:
+/// energy flexibility enters *exponentially* (per slice) while time enters
+/// linearly — Example 14's `f6` jumps from 3 to 240 assignments through its
+/// slice ranges alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AssignmentFlexibility {
+    /// Report the raw count or its logarithm.
+    pub scale: CountScale,
+    /// Count only assignments satisfying the total energy constraints
+    /// (exact `|L(f)|`) instead of Definition 8's product space.
+    pub constrained: bool,
+}
+
+impl AssignmentFlexibility {
+    /// Definition 8 verbatim: linear scale, unconstrained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Log2-scaled unconstrained count.
+    pub fn log_scaled() -> Self {
+        Self {
+            scale: CountScale::Log2,
+            constrained: false,
+        }
+    }
+
+    /// Linear-scaled exact `|L(f)|`.
+    pub fn exact() -> Self {
+        Self {
+            scale: CountScale::Linear,
+            constrained: true,
+        }
+    }
+}
+
+impl Measure for AssignmentFlexibility {
+    fn name(&self) -> &'static str {
+        "assignment flexibility"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Assignments"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        let linear = match (self.constrained, self.scale) {
+            (false, CountScale::Linear) => match fo.unconstrained_assignment_count() {
+                Some(n) => n as f64,
+                None => fo.log2_assignment_count().exp2(),
+            },
+            (false, CountScale::Log2) => return Ok(fo.log2_assignment_count()),
+            (true, _) => match fo.constrained_assignment_count() {
+                Some(n) => n as f64,
+                None => fo.constrained_assignment_count_f64(),
+            },
+        };
+        match self.scale {
+            CountScale::Linear => Ok(linear),
+            CountScale::Log2 => Ok(linear.log2()),
+        }
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        Characteristics {
+            captures_time: true,
+            captures_energy: true,
+            captures_time_energy: true,
+            captures_size: false,
+            positive: true,
+            negative: true,
+            mixed: true,
+            single_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, slices: Vec<(i64, i64)>) -> FlexOffer {
+        FlexOffer::new(
+            tes,
+            tls,
+            slices
+                .into_iter()
+                .map(|(a, b)| Slice::new(a, b).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_6() {
+        // f2 = ([0,2], <[0,2]>) has 9 assignments.
+        let f2 = fo(0, 2, vec![(0, 2)]);
+        assert_eq!(AssignmentFlexibility::new().of(&f2).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn example_14() {
+        // f6: 240 assignments; tf=0 -> 80; ef=0 -> 3.
+        let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert_eq!(AssignmentFlexibility::new().of(&f6).unwrap(), 240.0);
+        let tf0 = fo(0, 0, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert_eq!(AssignmentFlexibility::new().of(&tf0).unwrap(), 80.0);
+        let ef0 = fo(0, 2, vec![(-1, -1), (-4, -4), (-3, -3)]);
+        assert_eq!(AssignmentFlexibility::new().of(&ef0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn exponential_energy_vs_linear_time_skew() {
+        // Section 4: growing each slice range multiplies the count, growing
+        // the window only adds.
+        let base = fo(0, 2, vec![(0, 1), (0, 1)]);
+        let wider_time = fo(0, 5, vec![(0, 1), (0, 1)]);
+        let wider_energy = fo(0, 2, vec![(0, 3), (0, 3)]);
+        let m = AssignmentFlexibility::new();
+        assert_eq!(m.of(&base).unwrap(), 12.0);
+        assert_eq!(m.of(&wider_time).unwrap(), 24.0); // 2x
+        assert_eq!(m.of(&wider_energy).unwrap(), 48.0); // 4x
+    }
+
+    #[test]
+    fn log_scale_handles_huge_spaces() {
+        let huge = FlexOffer::new(0, 0, vec![Slice::new(0, 128).unwrap(); 40]).unwrap();
+        let log = AssignmentFlexibility::log_scaled().of(&huge).unwrap();
+        assert!((log - 40.0 * 129f64.log2()).abs() < 1e-9);
+        // Linear falls back to exp2 of the log (may be +inf for absurd
+        // sizes, but stays monotone).
+        let lin = AssignmentFlexibility::new().of(&huge).unwrap();
+        assert!(lin > 1e80);
+    }
+
+    #[test]
+    fn constrained_variant_counts_l_f() {
+        let f = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 2).unwrap(), Slice::new(0, 2).unwrap()],
+            2,
+            2,
+        )
+        .unwrap();
+        assert_eq!(AssignmentFlexibility::new().of(&f).unwrap(), 9.0);
+        assert_eq!(AssignmentFlexibility::exact().of(&f).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn inflexible_offer_has_one_assignment_and_log_zero() {
+        let f = fo(4, 4, vec![(3, 3)]);
+        assert_eq!(AssignmentFlexibility::new().of(&f).unwrap(), 1.0);
+        assert_eq!(AssignmentFlexibility::log_scaled().of(&f).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn size_blind() {
+        let fx = fo(1, 3, vec![(1, 5)]);
+        let fy = fo(1, 3, vec![(101, 105)]);
+        assert_eq!(
+            AssignmentFlexibility::new().of(&fx).unwrap(),
+            AssignmentFlexibility::new().of(&fy).unwrap()
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! The qualitative characteristics of flexibility measures — the paper's
+//! Table 1 — as data.
+
+use serde::{Deserialize, Serialize};
+
+/// The eight yes/no characteristics Table 1 records per measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Characteristics {
+    /// Responds to time flexibility even when energy flexibility is zero.
+    pub captures_time: bool,
+    /// Responds to energy flexibility even when time flexibility is zero.
+    pub captures_energy: bool,
+    /// Responds to each of time and energy flexibility when the other is
+    /// positive (the "combined effect").
+    pub captures_time_energy: bool,
+    /// Distinguishes flex-offers that differ only in the magnitude of their
+    /// amounts (the paper's Examples 11–12 pair).
+    pub captures_size: bool,
+    /// Meaningful for pure-consumption (positive) flex-offers.
+    pub positive: bool,
+    /// Meaningful for pure-production (negative) flex-offers.
+    pub negative: bool,
+    /// Meaningful for mixed flex-offers.
+    pub mixed: bool,
+    /// Reduces to a single numeric value.
+    pub single_value: bool,
+}
+
+impl Characteristics {
+    /// The eight characteristics as `(label, value)` pairs, in Table 1's row
+    /// order.
+    pub fn rows(&self) -> [(&'static str, bool); 8] {
+        [
+            ("Captures time", self.captures_time),
+            ("Captures energy", self.captures_energy),
+            ("Captures time & energy", self.captures_time_energy),
+            ("Captures size", self.captures_size),
+            ("Captures positive flex-offers", self.positive),
+            ("Captures negative flex-offers", self.negative),
+            ("Captures Mixed flex-offers", self.mixed),
+            ("Single Value", self.single_value),
+        ]
+    }
+}
+
+/// Table 1 of the paper, transcribed: characteristics of the eight measures
+/// in the paper's column order.
+pub fn paper_table1() -> Vec<(&'static str, Characteristics)> {
+    let c = |ct, ce, cte, cs, mixed| Characteristics {
+        captures_time: ct,
+        captures_energy: ce,
+        captures_time_energy: cte,
+        captures_size: cs,
+        positive: true,
+        negative: true,
+        mixed,
+        single_value: true,
+    };
+    vec![
+        ("Time", c(true, false, false, false, true)),
+        ("Energy", c(false, true, false, false, true)),
+        ("Product", c(false, false, true, false, true)),
+        ("Vector", c(true, true, true, false, true)),
+        ("Time-series", c(false, true, false, false, true)),
+        ("Assignments", c(true, true, true, false, true)),
+        ("Abs. Area", c(true, true, true, true, false)),
+        ("Rel. Area", c(true, true, true, true, false)),
+    ]
+}
+
+/// Renders a characteristics matrix in the layout of the paper's Table 1:
+/// characteristics as rows, measures as columns, `Yes`/`No` cells.
+pub fn render_table(columns: &[(&str, Characteristics)]) -> String {
+    const LABEL_WIDTH: usize = 30;
+    let col_width = columns
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4)
+        + 2;
+    let mut out = String::new();
+    out.push_str(&format!("{:<LABEL_WIDTH$}", "Characteristics"));
+    for (name, _) in columns {
+        out.push_str(&format!("{name:>col_width$}"));
+    }
+    out.push('\n');
+    for row_idx in 0..8 {
+        let label = columns
+            .first()
+            .map(|(_, c)| c.rows()[row_idx].0)
+            .unwrap_or("");
+        out.push_str(&format!("{label:<LABEL_WIDTH$}"));
+        for (_, c) in columns {
+            let cell = if c.rows()[row_idx].1 { "Yes" } else { "No" };
+            out.push_str(&format!("{cell:>col_width$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eight_measures() {
+        let t = paper_table1();
+        assert_eq!(t.len(), 8);
+        let names: Vec<&str> = t.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Time",
+                "Energy",
+                "Product",
+                "Vector",
+                "Time-series",
+                "Assignments",
+                "Abs. Area",
+                "Rel. Area"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_measure_is_single_valued_and_covers_positive_negative() {
+        for (_, c) in paper_table1() {
+            assert!(c.single_value);
+            assert!(c.positive);
+            assert!(c.negative);
+        }
+    }
+
+    #[test]
+    fn only_area_measures_capture_size_and_reject_mixed() {
+        for (name, c) in paper_table1() {
+            let is_area = name.contains("Area");
+            assert_eq!(c.captures_size, is_area, "{name}");
+            assert_eq!(c.mixed, !is_area, "{name}");
+        }
+    }
+
+    #[test]
+    fn product_captures_neither_dimension_alone() {
+        let t = paper_table1();
+        let product = t.iter().find(|(n, _)| *n == "Product").unwrap().1;
+        assert!(!product.captures_time);
+        assert!(!product.captures_energy);
+        assert!(product.captures_time_energy);
+    }
+
+    #[test]
+    fn render_layout() {
+        let text = render_table(&paper_table1());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 9); // header + 8 characteristic rows
+        assert!(lines[0].contains("Time-series"));
+        assert!(lines[1].starts_with("Captures time"));
+        assert!(text.contains("Yes") && text.contains("No"));
+    }
+
+    #[test]
+    fn rows_expose_all_flags() {
+        let c = paper_table1()[0].1;
+        assert_eq!(c.rows().len(), 8);
+        assert_eq!(c.rows()[0], ("Captures time", true));
+    }
+}

@@ -1,0 +1,88 @@
+//! Energy flexibility (paper, Section 3.1).
+
+use flexoffers_model::FlexOffer;
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// Energy flexibility `ef(f) = cmax - cmin`, in energy units (Example 2).
+///
+/// The amount-side primitive flexibility, derived from the *total* energy
+/// constraints — individual slice ranges enter only through the bounds they
+/// impose on `cmin`/`cmax`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnergyFlexibility;
+
+impl Measure for EnergyFlexibility {
+    fn name(&self) -> &'static str {
+        "energy flexibility"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Energy"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        Ok(fo.energy_flexibility() as f64)
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        Characteristics {
+            captures_time: false,
+            captures_energy: true,
+            captures_time_energy: false,
+            captures_size: false,
+            positive: true,
+            negative: true,
+            mixed: true,
+            single_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    #[test]
+    fn example_2() {
+        // Figure 1's f: ef = 15 - 3 = 12.
+        let f = FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(EnergyFlexibility.of(&f).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn tight_totals_mean_zero() {
+        let f = FlexOffer::with_totals(0, 9, vec![Slice::new(0, 4).unwrap()], 2, 2).unwrap();
+        assert_eq!(EnergyFlexibility.of(&f).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn translation_invariant() {
+        // Examples 11-12's pair: same ef despite 100x larger amounts.
+        let fx = FlexOffer::new(1, 3, vec![Slice::new(1, 5).unwrap()]).unwrap();
+        let fy = FlexOffer::new(1, 3, vec![Slice::new(101, 105).unwrap()]).unwrap();
+        assert_eq!(
+            EnergyFlexibility.of(&fx).unwrap(),
+            EnergyFlexibility.of(&fy).unwrap()
+        );
+    }
+
+    #[test]
+    fn production_flexibility_is_positive_too() {
+        let f = FlexOffer::new(0, 0, vec![Slice::new(-5, -1).unwrap()]).unwrap();
+        assert_eq!(EnergyFlexibility.of(&f).unwrap(), 4.0);
+    }
+}

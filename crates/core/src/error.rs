@@ -1,0 +1,71 @@
+//! Error types for flexibility measurement.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when a measure is applied outside its domain of
+/// applicability (the paper's Section 4 catalogues these limits per
+/// measure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeasureError {
+    /// The measure rejects mixed flex-offers (the paper: absolute and
+    /// relative area-based flexibility "is not feasible" for flex-offers
+    /// representing both production and consumption).
+    MixedNotSupported {
+        /// The rejecting measure's short name.
+        measure: &'static str,
+    },
+    /// Relative area-based flexibility is undefined when
+    /// `|cmin| + |cmax| = 0` (Definition 11's side condition).
+    UndefinedDenominator,
+    /// A set-level aggregation needing at least one element got none (e.g.
+    /// the average used for relative area flexibility over a set).
+    EmptySet {
+        /// The aggregating measure's short name.
+        measure: &'static str,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::MixedNotSupported { measure } => {
+                write!(f, "{measure} flexibility is not defined for mixed flex-offers")
+            }
+            MeasureError::UndefinedDenominator => write!(
+                f,
+                "relative area-based flexibility requires |cmin| + |cmax| != 0"
+            ),
+            MeasureError::EmptySet { measure } => {
+                write!(f, "{measure} flexibility of an empty set is undefined")
+            }
+        }
+    }
+}
+
+impl Error for MeasureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MeasureError::MixedNotSupported { measure: "Abs. Area" }
+            .to_string()
+            .contains("mixed"));
+        assert!(MeasureError::UndefinedDenominator
+            .to_string()
+            .contains("cmin"));
+        assert!(MeasureError::EmptySet { measure: "Rel. Area" }
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&MeasureError::UndefinedDenominator);
+    }
+}

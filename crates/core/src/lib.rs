@@ -1,0 +1,89 @@
+//! The eight flexibility measures of Valsomatzis et al. (EDBT 2015) —
+//! *Measuring and Comparing Energy Flexibilities* — the primary contribution
+//! the paper proposes for valuing flex-offers, evaluating aggregation
+//! techniques and comparing flexibility offerings.
+//!
+//! | Measure | Definition | Type |
+//! |---|---|---|
+//! | [`TimeFlexibility`] | Sec. 3.1 | `tls - tes` |
+//! | [`EnergyFlexibility`] | Sec. 3.1 | `cmax - cmin` |
+//! | [`ProductFlexibility`] | Def. 3 | `tf * ef` |
+//! | [`VectorFlexibility`] | Def. 4 | norm of `<tf, ef>` |
+//! | [`TimeSeriesFlexibility`] | Def. 5–7 | norm of `f_max - f_min` |
+//! | [`AssignmentFlexibility`] | Def. 8 | number of assignments |
+//! | [`AbsoluteAreaFlexibility`] | Def. 9–10 | union area − inflexible base |
+//! | [`RelativeAreaFlexibility`] | Def. 11 | size-normalised absolute area |
+//!
+//! Every measure implements the [`Measure`] trait, which also lifts it to
+//! *sets* of flex-offers (Section 4 of the paper: sums for most measures,
+//! the average for relative area). [`WeightedMeasure`] combines measures, as
+//! the paper's discussion of "weighting" suggests for scenarios no single
+//! measure covers.
+//!
+//! The paper's Table 1 — which measure captures time, energy, their
+//! combination, size, and which sign classes — ships twice here: transcribed
+//! ([`characteristics::paper_table1`]) and *empirically derived* from probe
+//! families ([`probe::empirical_characteristics`]), so the qualitative
+//! claims can be regenerated and checked rather than trusted.
+//!
+//! # Example
+//!
+//! ```
+//! use flexoffers_measures::{all_measures, Measure, ProductFlexibility};
+//! use flexoffers_model::{FlexOffer, Slice};
+//!
+//! // The paper's Figure 1 flex-offer.
+//! let f = FlexOffer::new(1, 6, vec![
+//!     Slice::new(1, 3).unwrap(),
+//!     Slice::new(2, 4).unwrap(),
+//!     Slice::new(0, 5).unwrap(),
+//!     Slice::new(0, 3).unwrap(),
+//! ]).unwrap();
+//!
+//! // Example 3: product flexibility = tf * ef = 5 * 12 = 60.
+//! assert_eq!(ProductFlexibility.of(&f).unwrap(), 60.0);
+//!
+//! for m in all_measures() {
+//!     println!("{}: {:?}", m.short_name(), m.of(&f));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod abs_area;
+pub mod assignments;
+pub mod characteristics;
+pub mod energy;
+pub mod error;
+pub mod measure;
+pub mod normalize;
+pub mod probe;
+pub mod product;
+pub mod registry;
+pub mod rel_area;
+pub mod scenarios;
+pub mod series;
+pub mod set;
+pub mod time;
+pub mod vector;
+pub mod weighted;
+
+pub use abs_area::{AbsoluteAreaFlexibility, MixedPolicy};
+pub use assignments::{AssignmentFlexibility, CountScale};
+pub use characteristics::Characteristics;
+pub use energy::EnergyFlexibility;
+pub use error::MeasureError;
+pub use measure::{all_measures, Measure};
+pub use normalize::NormalizedMeasure;
+pub use product::ProductFlexibility;
+pub use registry::{available_names, measure_by_name};
+pub use scenarios::{qualified_measures, Scenario};
+pub use rel_area::RelativeAreaFlexibility;
+pub use series::TimeSeriesFlexibility;
+pub use set::SetAggregation;
+pub use time::TimeFlexibility;
+pub use vector::VectorFlexibility;
+pub use weighted::WeightedMeasure;
+
+pub use flexoffers_timeseries::Norm;

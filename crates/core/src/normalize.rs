@@ -1,0 +1,168 @@
+//! Normalisation of measures onto a common scale.
+//!
+//! Section 4's closing suggestion — weighting measures to combine their
+//! strengths — only makes sense if the parts are commensurable: raw product
+//! flexibility is in time×energy units, assignment flexibility is a count
+//! that grows exponentially, area flexibility is in cells. A
+//! [`NormalizedMeasure`] affinely rescales a measure using a reference
+//! portfolio, mapping the reference's observed range onto `[0, 1]`, after
+//! which [`WeightedMeasure`](crate::WeightedMeasure) weights express
+//! genuine relative importance.
+
+use flexoffers_model::FlexOffer;
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// A measure rescaled as `(m(f) - offset) / scale`.
+pub struct NormalizedMeasure {
+    inner: Box<dyn Measure>,
+    offset: f64,
+    scale: f64,
+}
+
+impl NormalizedMeasure {
+    /// Fits the affine map so the reference portfolio's minimum and maximum
+    /// measured values land on 0 and 1. A reference whose values are all
+    /// equal (or empty) yields the identity scale with only the offset
+    /// applied.
+    pub fn fit(inner: Box<dyn Measure>, reference: &[FlexOffer]) -> Result<Self, MeasureError> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for fo in reference {
+            let v = inner.of(fo)?;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !lo.is_finite() || hi <= lo {
+            return Ok(Self {
+                inner,
+                offset: if lo.is_finite() { lo } else { 0.0 },
+                scale: 1.0,
+            });
+        }
+        Ok(Self {
+            inner,
+            offset: lo,
+            scale: hi - lo,
+        })
+    }
+
+    /// Explicit affine parameters (`scale` must be non-zero).
+    pub fn with_affine(inner: Box<dyn Measure>, offset: f64, scale: f64) -> Self {
+        assert!(scale != 0.0, "scale must be non-zero");
+        Self {
+            inner,
+            offset,
+            scale,
+        }
+    }
+
+    /// The wrapped measure.
+    pub fn inner(&self) -> &dyn Measure {
+        self.inner.as_ref()
+    }
+
+    /// The fitted `(offset, scale)` pair.
+    pub fn affine(&self) -> (f64, f64) {
+        (self.offset, self.scale)
+    }
+}
+
+impl Measure for NormalizedMeasure {
+    fn name(&self) -> &'static str {
+        "normalized measure"
+    }
+
+    fn short_name(&self) -> &'static str {
+        self.inner.short_name()
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        Ok((self.inner.of(fo)? - self.offset) / self.scale)
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        // Affine maps preserve everything Table 1 talks about.
+        self.inner.declared_characteristics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::ProductFlexibility;
+    use crate::time::TimeFlexibility;
+    use crate::weighted::WeightedMeasure;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, hi: i64) -> FlexOffer {
+        FlexOffer::new(tes, tls, vec![Slice::new(0, hi).unwrap()]).unwrap()
+    }
+
+    fn reference() -> Vec<FlexOffer> {
+        vec![fo(0, 0, 2), fo(0, 4, 4), fo(0, 8, 8)]
+    }
+
+    #[test]
+    fn fit_maps_reference_extremes_to_unit_interval() {
+        let m =
+            NormalizedMeasure::fit(Box::new(ProductFlexibility), &reference()).unwrap();
+        // Reference products: 0, 16, 64.
+        assert_eq!(m.of(&fo(0, 0, 2)).unwrap(), 0.0);
+        assert_eq!(m.of(&fo(0, 8, 8)).unwrap(), 1.0);
+        let mid = m.of(&fo(0, 4, 4)).unwrap();
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn degenerate_reference_keeps_identity_scale() {
+        let same = vec![fo(0, 3, 2), fo(1, 4, 2)];
+        let m = NormalizedMeasure::fit(Box::new(TimeFlexibility), &same).unwrap();
+        assert_eq!(m.affine(), (3.0, 1.0));
+        assert_eq!(m.of(&same[0]).unwrap(), 0.0);
+        let empty = NormalizedMeasure::fit(Box::new(TimeFlexibility), &[]).unwrap();
+        assert_eq!(empty.affine(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn characteristics_pass_through() {
+        let m = NormalizedMeasure::fit(Box::new(ProductFlexibility), &reference()).unwrap();
+        assert_eq!(
+            m.declared_characteristics(),
+            ProductFlexibility.declared_characteristics()
+        );
+        assert_eq!(m.short_name(), "Product");
+    }
+
+    #[test]
+    fn weighted_combination_of_normalized_parts_is_balanced() {
+        // With normalisation, a 50/50 weighting really is 50/50 even though
+        // raw product values dwarf raw time values.
+        let refs = reference();
+        let combo = WeightedMeasure::new(vec![
+            (
+                0.5,
+                Box::new(NormalizedMeasure::fit(Box::new(TimeFlexibility), &refs).unwrap())
+                    as Box<dyn Measure>,
+            ),
+            (
+                0.5,
+                Box::new(
+                    NormalizedMeasure::fit(Box::new(ProductFlexibility), &refs).unwrap(),
+                ),
+            ),
+        ]);
+        // The reference maximum scores 1.0 under both parts.
+        assert!((combo.of(&fo(0, 8, 8)).unwrap() - 1.0).abs() < 1e-12);
+        // The reference minimum scores 0.0.
+        assert_eq!(combo.of(&fo(0, 0, 2)).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be non-zero")]
+    fn zero_scale_rejected() {
+        NormalizedMeasure::with_affine(Box::new(TimeFlexibility), 0.0, 0.0);
+    }
+}

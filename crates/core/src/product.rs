@@ -1,0 +1,93 @@
+//! Product flexibility (Definition 3).
+
+use flexoffers_model::FlexOffer;
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// Product flexibility `tf(f) * ef(f)` (Definition 3, Example 3).
+///
+/// The paper's adaptation of the original "total flexibility" of Šikšnys et
+/// al. to total-energy constraints. Its known blind spot (Example 11): the
+/// product collapses to zero as soon as *either* dimension has zero
+/// flexibility, even though the flex-offer is still flexible in the other —
+/// hence Table 1's "captures time: No / captures energy: No / captures time
+/// & energy: Yes".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProductFlexibility;
+
+impl Measure for ProductFlexibility {
+    fn name(&self) -> &'static str {
+        "product flexibility"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Product"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        Ok(fo.time_flexibility() as f64 * fo.energy_flexibility() as f64)
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        Characteristics {
+            captures_time: false,
+            captures_energy: false,
+            captures_time_energy: true,
+            captures_size: false,
+            positive: true,
+            negative: true,
+            mixed: true,
+            single_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    #[test]
+    fn example_3() {
+        // Figure 1's f: 5 * 12 = 60.
+        let f = FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ProductFlexibility.of(&f).unwrap(), 60.0);
+    }
+
+    #[test]
+    fn example_11_zero_collapse() {
+        // fx = ([2,8], <[5,5]>): tf = 6, ef = 0 -> product 0.
+        let fx = FlexOffer::new(2, 8, vec![Slice::fixed(5)]).unwrap();
+        assert_eq!(ProductFlexibility.of(&fx).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn example_11_size_blindness() {
+        // fx = ([1,3], <[1,5]>) and fy = ([1,3], <[101,105]>) both get 8.
+        let fx = FlexOffer::new(1, 3, vec![Slice::new(1, 5).unwrap()]).unwrap();
+        let fy = FlexOffer::new(1, 3, vec![Slice::new(101, 105).unwrap()]).unwrap();
+        assert_eq!(ProductFlexibility.of(&fx).unwrap(), 8.0);
+        assert_eq!(ProductFlexibility.of(&fy).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn set_comparison_sums_products() {
+        // Section 4: "To compare two or more sets of flex-offers, we should
+        // sum the product flexibilities of the flex-offers in each set."
+        let fx = FlexOffer::new(1, 3, vec![Slice::new(1, 5).unwrap()]).unwrap();
+        let set = vec![fx.clone(), fx];
+        assert_eq!(ProductFlexibility.of_set(&set).unwrap(), 16.0);
+    }
+}

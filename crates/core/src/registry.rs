@@ -1,0 +1,130 @@
+//! Resolving measures by name — the entry point for CLIs, config files and
+//! experiment definitions that select measures at runtime.
+
+use flexoffers_timeseries::Norm;
+
+use crate::abs_area::AbsoluteAreaFlexibility;
+use crate::assignments::AssignmentFlexibility;
+use crate::energy::EnergyFlexibility;
+use crate::measure::Measure;
+use crate::product::ProductFlexibility;
+use crate::rel_area::RelativeAreaFlexibility;
+use crate::series::TimeSeriesFlexibility;
+use crate::time::TimeFlexibility;
+use crate::vector::VectorFlexibility;
+
+/// Instantiates a measure from its name. Accepted names (case-insensitive):
+///
+/// | name | measure |
+/// |---|---|
+/// | `time` | time flexibility |
+/// | `energy` | energy flexibility |
+/// | `product` | product flexibility |
+/// | `vector`, `vector-l1`, `vector-l2`, `vector-linf` | vector flexibility under the norm |
+/// | `series`, `time-series`, `series-l1`, `series-l2`, `series-linf` | time-series flexibility |
+/// | `assignments`, `assignments-log2`, `assignments-exact` | Definition 8 / log-scaled / exact `|L(f)|` |
+/// | `abs-area`, `abs-area-strict` | absolute area (literal / mixed-rejecting) |
+/// | `rel-area`, `rel-area-strict` | relative area (literal / mixed-rejecting) |
+pub fn measure_by_name(name: &str) -> Option<Box<dyn Measure>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "time" => Box::new(TimeFlexibility),
+        "energy" => Box::new(EnergyFlexibility),
+        "product" => Box::new(ProductFlexibility),
+        "vector" | "vector-l1" => Box::new(VectorFlexibility::new(Norm::L1)),
+        "vector-l2" => Box::new(VectorFlexibility::new(Norm::L2)),
+        "vector-linf" => Box::new(VectorFlexibility::new(Norm::LInf)),
+        "series" | "time-series" | "series-l1" => {
+            Box::new(TimeSeriesFlexibility::new(Norm::L1))
+        }
+        "series-l2" => Box::new(TimeSeriesFlexibility::new(Norm::L2)),
+        "series-linf" => Box::new(TimeSeriesFlexibility::new(Norm::LInf)),
+        "assignments" => Box::new(AssignmentFlexibility::new()),
+        "assignments-log2" => Box::new(AssignmentFlexibility::log_scaled()),
+        "assignments-exact" => Box::new(AssignmentFlexibility::exact()),
+        "abs-area" => Box::new(AbsoluteAreaFlexibility::new()),
+        "abs-area-strict" => Box::new(AbsoluteAreaFlexibility::rejecting_mixed()),
+        "rel-area" => Box::new(RelativeAreaFlexibility::new()),
+        "rel-area-strict" => Box::new(RelativeAreaFlexibility::rejecting_mixed()),
+        _ => return None,
+    })
+}
+
+/// All names [`measure_by_name`] accepts, canonical spellings first.
+pub fn available_names() -> &'static [&'static str] {
+    &[
+        "time",
+        "energy",
+        "product",
+        "vector",
+        "vector-l2",
+        "vector-linf",
+        "series",
+        "series-l2",
+        "series-linf",
+        "assignments",
+        "assignments-log2",
+        "assignments-exact",
+        "abs-area",
+        "abs-area-strict",
+        "rel-area",
+        "rel-area-strict",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::{FlexOffer, Slice};
+
+    fn figure1() -> FlexOffer {
+        FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_advertised_name_resolves_and_evaluates() {
+        let f = figure1();
+        for name in available_names() {
+            let m = measure_by_name(name)
+                .unwrap_or_else(|| panic!("advertised name {name} did not resolve"));
+            m.of(&f)
+                .unwrap_or_else(|e| panic!("{name} failed on Figure 1: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_names_yield_none() {
+        assert!(measure_by_name("entropy").is_none());
+        assert!(measure_by_name("").is_none());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(measure_by_name("PRODUCT").is_some());
+        assert!(measure_by_name("Abs-Area").is_some());
+    }
+
+    #[test]
+    fn norm_variants_differ() {
+        let f = figure1();
+        let l1 = measure_by_name("vector-l1").unwrap().of(&f).unwrap();
+        let l2 = measure_by_name("vector-l2").unwrap().of(&f).unwrap();
+        assert!(l1 > l2);
+    }
+
+    #[test]
+    fn strict_variants_reject_mixed() {
+        let mixed = FlexOffer::new(0, 1, vec![Slice::new(-1, 1).unwrap()]).unwrap();
+        assert!(measure_by_name("abs-area").unwrap().of(&mixed).is_ok());
+        assert!(measure_by_name("abs-area-strict").unwrap().of(&mixed).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Relative area-based flexibility (Definition 11).
+
+use flexoffers_model::FlexOffer;
+
+use crate::abs_area::{AbsoluteAreaFlexibility, MixedPolicy};
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// Relative area-based flexibility:
+/// `2 * absolute_area_flexibility / (|cmin| + |cmax|)` (Definition 11,
+/// Example 10) — the absolute area normalised by the average total-energy
+/// magnitude, for comparing flex-offers of different sizes.
+///
+/// Undefined when `|cmin| + |cmax| = 0` (Definition 11's side condition).
+/// Over a set it aggregates by *average*, per Section 4.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelativeAreaFlexibility {
+    /// Mixed flex-offer handling, shared with the absolute measure.
+    pub mixed_policy: MixedPolicy,
+}
+
+impl RelativeAreaFlexibility {
+    /// Definition-literal policy (Example 15 reproduces).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rejecting policy: `of` fails on mixed flex-offers.
+    pub fn rejecting_mixed() -> Self {
+        Self {
+            mixed_policy: MixedPolicy::Reject,
+        }
+    }
+}
+
+impl Measure for RelativeAreaFlexibility {
+    fn name(&self) -> &'static str {
+        "relative area-based flexibility"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Rel. Area"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        let denominator = fo.total_min().unsigned_abs() + fo.total_max().unsigned_abs();
+        if denominator == 0 {
+            return Err(MeasureError::UndefinedDenominator);
+        }
+        let abs = AbsoluteAreaFlexibility {
+            mixed_policy: self.mixed_policy,
+        }
+        .of(fo)?;
+        Ok(2.0 * abs / denominator as f64)
+    }
+
+    /// Section 4: "the sum of relative flexibilities is not meaningful,
+    /// instead the average relative flexibility could be used."
+    fn of_set(&self, fos: &[FlexOffer]) -> Result<f64, MeasureError> {
+        if fos.is_empty() {
+            return Err(MeasureError::EmptySet {
+                measure: "Rel. Area",
+            });
+        }
+        let mut total = 0.0;
+        for fo in fos {
+            total += self.of(fo)?;
+        }
+        Ok(total / fos.len() as f64)
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        Characteristics {
+            captures_time: true,
+            captures_energy: true,
+            captures_time_energy: true,
+            captures_size: true,
+            positive: true,
+            negative: true,
+            mixed: false,
+            single_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn fo(tes: i64, tls: i64, slices: Vec<(i64, i64)>) -> FlexOffer {
+        FlexOffer::new(
+            tes,
+            tls,
+            slices
+                .into_iter()
+                .map(|(a, b)| Slice::new(a, b).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_10_f4() {
+        // f4: 2*8 / (|2| + |2|) = 4.
+        let f4 = fo(0, 4, vec![(2, 2)]);
+        assert_eq!(RelativeAreaFlexibility::new().of(&f4).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn example_10_f5() {
+        // f5: 2*8 / (|3| + |3|) = 16/6.
+        let f5 = fo(0, 4, vec![(1, 1), (2, 2)]);
+        let v = RelativeAreaFlexibility::new().of(&f5).unwrap();
+        assert!((v - 16.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_15_mixed() {
+        // f6: 2*32 / (|-8| + |2|) = 6.4.
+        let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert!((RelativeAreaFlexibility::new().of(&f6).unwrap() - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_denominator() {
+        // cmin = cmax = 0: Definition 11's side condition fails.
+        let f = fo(0, 1, vec![(0, 0)]);
+        assert_eq!(
+            RelativeAreaFlexibility::new().of(&f),
+            Err(MeasureError::UndefinedDenominator)
+        );
+        // A balanced mixed flex-offer hits the same condition.
+        let balanced = fo(0, 0, vec![(1, 1), (-1, -1)]);
+        assert_eq!(
+            RelativeAreaFlexibility::new().of(&balanced),
+            Err(MeasureError::UndefinedDenominator)
+        );
+    }
+
+    #[test]
+    fn size_normalisation() {
+        // The 100x-shifted pair of Examples 11-12 now orders by *relative*
+        // flexibility: fx is relatively far more flexible.
+        let fx = fo(1, 3, vec![(1, 5)]);
+        let fy = fo(1, 3, vec![(101, 105)]);
+        let m = RelativeAreaFlexibility::new();
+        let vx = m.of(&fx).unwrap();
+        let vy = m.of(&fy).unwrap();
+        assert!((vx - 2.0 * 14.0 / 6.0).abs() < 1e-12);
+        assert!((vy - 2.0 * 214.0 / 206.0).abs() < 1e-12);
+        assert!(vx > vy);
+    }
+
+    #[test]
+    fn set_semantics_averages() {
+        let f4 = fo(0, 4, vec![(2, 2)]);
+        let f5 = fo(0, 4, vec![(1, 1), (2, 2)]);
+        let m = RelativeAreaFlexibility::new();
+        let avg = m.of_set(&[f4.clone(), f5.clone()]).unwrap();
+        let expected = (m.of(&f4).unwrap() + m.of(&f5).unwrap()) / 2.0;
+        assert!((avg - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert_eq!(
+            RelativeAreaFlexibility::new().of_set(&[]),
+            Err(MeasureError::EmptySet { measure: "Rel. Area" })
+        );
+    }
+
+    #[test]
+    fn rejecting_policy_propagates() {
+        let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert!(RelativeAreaFlexibility::rejecting_mixed().of(&f6).is_err());
+    }
+}

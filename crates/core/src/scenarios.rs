@@ -1,0 +1,184 @@
+//! Which measure for which job — Section 4's "Application Scenarios"
+//! paragraph as checkable data.
+//!
+//! The paper closes its discussion by matching measures to its two
+//! motivating scenarios (plus their balancing variants). This module
+//! encodes both the *criterion* each scenario imposes on a measure's
+//! characteristics and the paper's own recommendation lists, and the tests
+//! check the two against each other — the same declared-vs-derived
+//! discipline `repro_table1` applies to Table 1.
+
+use crate::characteristics::Characteristics;
+
+/// The application scenarios of Sections 1 and 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Scenario 1: aggregation whose goal is cheaper scheduling with
+    /// minimal flexibility loss. Needs measures that capture the *combined*
+    /// effect of time and energy.
+    AggregationForScheduling,
+    /// Scenario 1 where aggregation "handles the balancing task as well":
+    /// aggregates mix production and consumption, so the measure must also
+    /// be meaningful for mixed flex-offers.
+    AggregationWithBalancing,
+    /// Scenario 2: an aggregator trades flex-offers as commodities; even
+    /// single-dimension measures qualify because some appliances offer only
+    /// time or only energy flexibility.
+    MarketTrading,
+    /// Scenario 2 where the aggregator additionally pursues local balance
+    /// under a capacity limit: mixed support is required, and size
+    /// awareness is only available through weighted combinations.
+    MarketLocalBalance,
+}
+
+impl Scenario {
+    /// The characteristic criterion the scenario imposes.
+    pub fn admits(self, c: &Characteristics) -> bool {
+        match self {
+            Scenario::AggregationForScheduling => c.captures_time_energy,
+            Scenario::AggregationWithBalancing => c.captures_time_energy && c.mixed,
+            Scenario::MarketTrading => {
+                c.captures_time || c.captures_energy || c.captures_time_energy
+            }
+            Scenario::MarketLocalBalance => c.mixed,
+        }
+    }
+
+    /// The measures Section 4 names for the scenario (short names, in the
+    /// paper's order of mention).
+    pub fn paper_recommended(self) -> &'static [&'static str] {
+        match self {
+            // "measures that capture flexibility induced by both time and
+            // energy, e.g., product flexibility and assignments
+            // flexibility, are qualified".
+            Scenario::AggregationForScheduling => &["Product", "Assignments"],
+            // "measures that capture flexibility of mixed flex-offers such
+            // as vector and assignments flexibility, are qualified".
+            Scenario::AggregationWithBalancing => &["Vector", "Assignments"],
+            // "the time-series measure, the time and energy flexibility
+            // measures, and the product flexibility measure are
+            // appropriate".
+            Scenario::MarketTrading => &["Time-series", "Time", "Energy", "Product"],
+            // "measures that capture flexibility of mixed flex-offers ...
+            // are more appropriate"; area measures excluded.
+            Scenario::MarketLocalBalance => &["Vector", "Assignments"],
+        }
+    }
+
+    /// The measures Section 4 explicitly rules out for the scenario.
+    pub fn paper_excluded(self) -> &'static [&'static str] {
+        match self {
+            // "Measures that capture only time or energy flexibility, such
+            // as time-series flexibility, are not appropriate".
+            Scenario::AggregationForScheduling => &["Time-series"],
+            // "measures that are not suitable for mixed flex-offers, i.e.,
+            // absolute and relative area-based flexibility, are
+            // inappropriate".
+            Scenario::AggregationWithBalancing => &["Abs. Area", "Rel. Area"],
+            Scenario::MarketTrading => &[],
+            // "only absolute and relative area-based flexibilities take
+            // into account the size ... but they cannot be applied on mixed
+            // flex-offers".
+            Scenario::MarketLocalBalance => &["Abs. Area", "Rel. Area"],
+        }
+    }
+
+    /// All four scenarios.
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::AggregationForScheduling,
+            Scenario::AggregationWithBalancing,
+            Scenario::MarketTrading,
+            Scenario::MarketLocalBalance,
+        ]
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            Scenario::AggregationForScheduling => "aggregation for scheduling (Scenario 1)",
+            Scenario::AggregationWithBalancing => "aggregation with balancing (Scenario 1+)",
+            Scenario::MarketTrading => "market trading (Scenario 2)",
+            Scenario::MarketLocalBalance => "market with local balance (Scenario 2+)",
+        };
+        f.write_str(label)
+    }
+}
+
+/// The measures whose declared characteristics satisfy a scenario's
+/// criterion.
+pub fn qualified_measures(scenario: Scenario) -> Vec<&'static str> {
+    crate::characteristics::paper_table1()
+        .into_iter()
+        .filter(|(_, c)| scenario.admits(c))
+        .map(|(name, _)| name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::paper_table1;
+
+    fn characteristics_of(name: &str) -> Characteristics {
+        paper_table1()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("unknown measure {name}"))
+            .1
+    }
+
+    #[test]
+    fn every_paper_recommendation_satisfies_the_derived_criterion() {
+        for scenario in Scenario::all() {
+            for name in scenario.paper_recommended() {
+                assert!(
+                    scenario.admits(&characteristics_of(name)),
+                    "{scenario}: paper recommends {name} but the criterion rejects it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_paper_exclusion_fails_the_derived_criterion() {
+        for scenario in Scenario::all() {
+            for name in scenario.paper_excluded() {
+                assert!(
+                    !scenario.admits(&characteristics_of(name)),
+                    "{scenario}: paper excludes {name} but the criterion admits it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario1_qualified_set() {
+        assert_eq!(
+            qualified_measures(Scenario::AggregationForScheduling),
+            vec!["Product", "Vector", "Assignments", "Abs. Area", "Rel. Area"]
+        );
+    }
+
+    #[test]
+    fn balancing_variants_drop_the_area_measures() {
+        let with_balance = qualified_measures(Scenario::AggregationWithBalancing);
+        assert_eq!(with_balance, vec!["Product", "Vector", "Assignments"]);
+        assert!(qualified_measures(Scenario::MarketLocalBalance)
+            .iter()
+            .all(|n| !n.contains("Area")));
+    }
+
+    #[test]
+    fn market_trading_admits_everything() {
+        // Even single-dimension measures are tradeable commodities' yard
+        // sticks; all eight capture at least one dimension.
+        assert_eq!(qualified_measures(Scenario::MarketTrading).len(), 8);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert!(Scenario::MarketTrading.to_string().contains("Scenario 2"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Time-series flexibility (Definitions 5–7).
+
+use flexoffers_model::FlexOffer;
+use flexoffers_timeseries::Norm;
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// Time-series flexibility: the norm of the difference between the maximum
+/// and minimum assignments, `||f_max - f_min||` (Definition 7, Example 5).
+///
+/// The extremes are the paper's Definitions 5–6: the minimum assignment sits
+/// at the earliest start with every slice at its range minimum, the maximum
+/// at the latest start with every slice at its maximum. The difference is
+/// taken as series subtraction over the union of their domains.
+///
+/// Section 4's verdict (citing Lee & Verleysen): point-wise norms ignore the
+/// *temporal* structure, so a ten-fold larger start window leaves the value
+/// unchanged (Example 13) — the measure effectively captures only energy
+/// flexibility.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeSeriesFlexibility {
+    /// Norm applied to the difference series.
+    pub norm: Norm,
+}
+
+impl TimeSeriesFlexibility {
+    /// Time-series flexibility under the given norm.
+    pub fn new(norm: Norm) -> Self {
+        Self { norm }
+    }
+
+    /// The difference series `f_max - f_min` the norm is applied to.
+    pub fn difference(fo: &FlexOffer) -> flexoffers_timeseries::Series<i64> {
+        &fo.max_assignment().as_series() - &fo.min_assignment().as_series()
+    }
+}
+
+impl Default for TimeSeriesFlexibility {
+    /// Manhattan norm, the first of the paper's two proposals.
+    fn default() -> Self {
+        Self { norm: Norm::L1 }
+    }
+}
+
+impl Measure for TimeSeriesFlexibility {
+    fn name(&self) -> &'static str {
+        "time-series flexibility"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Time-series"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        Ok(self.norm.of(&Self::difference(fo)))
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        Characteristics {
+            captures_time: false,
+            captures_energy: true,
+            captures_time_energy: false,
+            captures_size: false,
+            positive: true,
+            negative: true,
+            mixed: true,
+            single_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+    use flexoffers_timeseries::Series;
+
+    #[test]
+    fn example_5() {
+        // f1 = ([0,1], <[0,1]>): difference <0,1>, L1 = L2 = 1.
+        let f1 = FlexOffer::new(0, 1, vec![Slice::new(0, 1).unwrap()]).unwrap();
+        let d = TimeSeriesFlexibility::difference(&f1);
+        assert_eq!(d, Series::new(0, vec![0, 1]));
+        assert_eq!(TimeSeriesFlexibility::new(Norm::L1).of(&f1).unwrap(), 1.0);
+        assert_eq!(TimeSeriesFlexibility::new(Norm::L2).of(&f1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn example_13_time_blindness() {
+        // f1' = ([0,10], <[0,1]>): ten-fold time flexibility, same norms.
+        let f1p = FlexOffer::new(0, 10, vec![Slice::new(0, 1).unwrap()]).unwrap();
+        assert_eq!(TimeSeriesFlexibility::new(Norm::L1).of(&f1p).unwrap(), 1.0);
+        assert_eq!(TimeSeriesFlexibility::new(Norm::L2).of(&f1p).unwrap(), 1.0);
+        // The difference series is <0,...,0,1> with the 1 at slot 10.
+        let d = TimeSeriesFlexibility::difference(&f1p);
+        assert_eq!(d.at(10), 1);
+        assert_eq!(d.iter_nonzero().count(), 1);
+    }
+
+    #[test]
+    fn overlapping_extremes_cancel() {
+        // With tf = 0 the extremes share a domain; only range widths remain.
+        let f = FlexOffer::new(3, 3, vec![Slice::new(2, 5).unwrap(), Slice::new(-1, 1).unwrap()])
+            .unwrap();
+        let d = TimeSeriesFlexibility::difference(&f);
+        assert_eq!(d, Series::new(3, vec![3, 2]));
+        assert_eq!(TimeSeriesFlexibility::default().of(&f).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn applies_to_production_and_mixed() {
+        let prod = FlexOffer::new(0, 0, vec![Slice::new(-5, -2).unwrap()]).unwrap();
+        assert_eq!(TimeSeriesFlexibility::default().of(&prod).unwrap(), 3.0);
+        let mixed = FlexOffer::new(0, 0, vec![Slice::new(-1, 2).unwrap()]).unwrap();
+        assert_eq!(TimeSeriesFlexibility::default().of(&mixed).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn inflexible_offer_measures_zero() {
+        let f = FlexOffer::new(2, 2, vec![Slice::fixed(4), Slice::fixed(-1)]).unwrap();
+        assert_eq!(TimeSeriesFlexibility::default().of(&f).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mirror_asymmetry_under_partial_overlap() {
+        // A finding about Definition 7: the minimum assignment anchors at
+        // the *earliest* start and the maximum at the *latest*, so mirroring
+        // a flex-offer (production <-> consumption) swaps which value vector
+        // sits at which anchor. When the extremes partially overlap
+        // (0 < tf < s), the overlapped slots mix different slices and the
+        // norm changes with the sign orientation.
+        let f = FlexOffer::new(
+            0,
+            1,
+            vec![Slice::fixed(-4), Slice::new(-1, 0).unwrap()],
+        )
+        .unwrap();
+        let mirrored = FlexOffer::new(
+            0,
+            1,
+            vec![Slice::fixed(4), Slice::new(0, 1).unwrap()],
+        )
+        .unwrap();
+        let m = TimeSeriesFlexibility::default();
+        assert_eq!(m.of(&f).unwrap(), 7.0);
+        assert_eq!(m.of(&mirrored).unwrap(), 9.0);
+
+        // With disjoint extremes (tf >= s) the multiset of contributions is
+        // preserved and symmetry returns.
+        let g = FlexOffer::new(0, 2, vec![Slice::fixed(-4), Slice::new(-1, 0).unwrap()]).unwrap();
+        let g_mirror =
+            FlexOffer::new(0, 2, vec![Slice::fixed(4), Slice::new(0, 1).unwrap()]).unwrap();
+        assert_eq!(m.of(&g).unwrap(), m.of(&g_mirror).unwrap());
+    }
+}

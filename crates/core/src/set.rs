@@ -1,0 +1,130 @@
+//! Set-level measurement helpers (paper, Section 4).
+//!
+//! Both scenarios compare *sets* of flex-offers — e.g. a portfolio before
+//! and after aggregation. [`Measure::of_set`]
+//! provides each measure's canonical set semantics; this module adds
+//! explicit aggregation control and a convenience report across all eight
+//! measures.
+
+use flexoffers_model::FlexOffer;
+
+use crate::error::MeasureError;
+use crate::measure::{all_measures, Measure};
+
+/// How individual values combine into a set value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetAggregation {
+    /// Sum of member values (the paper's rule for most measures).
+    Sum,
+    /// Average of member values (the paper's rule for relative area).
+    Average,
+}
+
+impl SetAggregation {
+    /// Applies the aggregation to a measure over a set, overriding the
+    /// measure's own `of_set` rule.
+    pub fn apply(
+        self,
+        measure: &dyn Measure,
+        fos: &[FlexOffer],
+    ) -> Result<f64, MeasureError> {
+        match self {
+            SetAggregation::Sum => {
+                let mut total = 0.0;
+                for fo in fos {
+                    total += measure.of(fo)?;
+                }
+                Ok(total)
+            }
+            SetAggregation::Average => {
+                if fos.is_empty() {
+                    return Err(MeasureError::EmptySet {
+                        measure: measure.short_name(),
+                    });
+                }
+                let mut total = 0.0;
+                for fo in fos {
+                    total += measure.of(fo)?;
+                }
+                Ok(total / fos.len() as f64)
+            }
+        }
+    }
+}
+
+/// One measure's value over a set, or the error explaining why it does not
+/// apply.
+#[derive(Debug)]
+pub struct SetMeasurement {
+    /// The measure's Table 1 column name.
+    pub measure: &'static str,
+    /// The set-level value under the measure's canonical set semantics.
+    pub value: Result<f64, MeasureError>,
+}
+
+/// Evaluates all eight measures over a set with their canonical set
+/// semantics — the comparison table Scenario 1 and 2 analyses start from.
+pub fn measure_set(fos: &[FlexOffer]) -> Vec<SetMeasurement> {
+    all_measures()
+        .iter()
+        .map(|m| SetMeasurement {
+            measure: m.short_name(),
+            value: m.of_set(fos),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel_area::RelativeAreaFlexibility;
+    use crate::time::TimeFlexibility;
+    use flexoffers_model::Slice;
+
+    fn offers() -> Vec<FlexOffer> {
+        vec![
+            FlexOffer::new(0, 2, vec![Slice::new(1, 3).unwrap()]).unwrap(),
+            FlexOffer::new(1, 5, vec![Slice::new(0, 2).unwrap()]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn explicit_sum_and_average() {
+        let fos = offers();
+        let sum = SetAggregation::Sum.apply(&TimeFlexibility, &fos).unwrap();
+        let avg = SetAggregation::Average.apply(&TimeFlexibility, &fos).unwrap();
+        assert_eq!(sum, 6.0);
+        assert_eq!(avg, 3.0);
+    }
+
+    #[test]
+    fn average_of_empty_errors() {
+        assert!(matches!(
+            SetAggregation::Average.apply(&TimeFlexibility, &[]),
+            Err(MeasureError::EmptySet { .. })
+        ));
+        assert_eq!(SetAggregation::Sum.apply(&TimeFlexibility, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn measure_set_covers_all_eight() {
+        let report = measure_set(&offers());
+        assert_eq!(report.len(), 8);
+        for entry in &report {
+            assert!(
+                entry.value.is_ok(),
+                "{} failed on a plain consumption set",
+                entry.measure
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_relative_area_set_rule_is_average() {
+        let fos = offers();
+        let m = RelativeAreaFlexibility::new();
+        let canonical = m.of_set(&fos).unwrap();
+        let avg = SetAggregation::Average.apply(&m, &fos).unwrap();
+        assert!((canonical - avg).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Time flexibility (paper, Section 3.1).
+
+use flexoffers_model::FlexOffer;
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// Time flexibility `tf(f) = tls - tes`, in time units (Example 1).
+///
+/// One of the two primitive flexibilities; blind to everything about the
+/// amounts. Suited to Scenario 2's appliances "characterized only by time
+/// ... flexibility" (Section 4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimeFlexibility;
+
+impl Measure for TimeFlexibility {
+    fn name(&self) -> &'static str {
+        "time flexibility"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Time"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        Ok(fo.time_flexibility() as f64)
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        Characteristics {
+            captures_time: true,
+            captures_energy: false,
+            captures_time_energy: false,
+            captures_size: false,
+            positive: true,
+            negative: true,
+            mixed: true,
+            single_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    #[test]
+    fn example_1() {
+        // Figure 1's f: tf = 6 - 1 = 5.
+        let f = FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(TimeFlexibility.of(&f).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn zero_window_means_zero() {
+        let f = FlexOffer::new(4, 4, vec![Slice::new(0, 9).unwrap()]).unwrap();
+        assert_eq!(TimeFlexibility.of(&f).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ignores_amounts_entirely() {
+        let small = FlexOffer::new(0, 3, vec![Slice::new(1, 5).unwrap()]).unwrap();
+        let large = FlexOffer::new(0, 3, vec![Slice::new(101, 105).unwrap()]).unwrap();
+        assert_eq!(
+            TimeFlexibility.of(&small).unwrap(),
+            TimeFlexibility.of(&large).unwrap()
+        );
+    }
+
+    #[test]
+    fn set_semantics_sums() {
+        let f = FlexOffer::new(0, 2, vec![Slice::fixed(1)]).unwrap();
+        let g = FlexOffer::new(0, 5, vec![Slice::fixed(1)]).unwrap();
+        assert_eq!(TimeFlexibility.of_set(&[f, g]).unwrap(), 7.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Vector flexibility (Definition 4).
+
+use flexoffers_model::FlexOffer;
+use flexoffers_timeseries::Norm;
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// Vector flexibility: the length of the vector `<tf(f), ef(f)>` under a
+/// chosen norm (Definition 4, Example 4).
+///
+/// Unlike [`ProductFlexibility`](crate::ProductFlexibility) it stays
+/// non-zero when only one dimension is flexible, which is why Section 4
+/// recommends it where zero-time or zero-energy flex-offers occur (e.g.
+/// production units that cannot shift in time). Like the product it is blind
+/// to amount magnitudes (Example 12).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VectorFlexibility {
+    /// Norm applied to the 2-vector; the paper proposes Manhattan and
+    /// Euclidean.
+    pub norm: Norm,
+}
+
+impl VectorFlexibility {
+    /// Vector flexibility under the given norm.
+    pub fn new(norm: Norm) -> Self {
+        Self { norm }
+    }
+
+    /// The raw components `(tf, ef)` before the norm is applied.
+    pub fn components(fo: &FlexOffer) -> (f64, f64) {
+        (fo.time_flexibility() as f64, fo.energy_flexibility() as f64)
+    }
+}
+
+impl Default for VectorFlexibility {
+    /// Manhattan norm, the first of the paper's two proposals.
+    fn default() -> Self {
+        Self { norm: Norm::L1 }
+    }
+}
+
+impl Measure for VectorFlexibility {
+    fn name(&self) -> &'static str {
+        "vector flexibility"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Vector"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        let (t, e) = Self::components(fo);
+        Ok(self.norm.of_vec2(t, e))
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        Characteristics {
+            captures_time: true,
+            captures_energy: true,
+            captures_time_energy: true,
+            captures_size: false,
+            positive: true,
+            negative: true,
+            mixed: true,
+            single_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn figure1() -> FlexOffer {
+        FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_components_follow_definitions() {
+        // Example 4 prints <5, 10>, but Definition 4's components are
+        // tf = 5 (Example 1) and ef = 12 (Example 2); we follow the
+        // definitions — see the errata notes in EXPERIMENTS.md.
+        assert_eq!(VectorFlexibility::components(&figure1()), (5.0, 12.0));
+    }
+
+    #[test]
+    fn figure1_norms() {
+        let f = figure1();
+        assert_eq!(VectorFlexibility::new(Norm::L1).of(&f).unwrap(), 17.0);
+        let l2 = VectorFlexibility::new(Norm::L2).of(&f).unwrap();
+        assert!((l2 - (25.0f64 + 144.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_4_arithmetic_with_papers_components() {
+        // The paper's own arithmetic on <5, 10>: L1 = 15, L2 = 11.180.
+        assert_eq!(Norm::L1.of_vec2(5.0, 10.0), 15.0);
+        assert!((Norm::L2.of_vec2(5.0, 10.0) - 11.180339887498949).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survives_zero_in_one_dimension() {
+        // Example 11's fx = ([2,8], <[5,5]>): product collapses, vector
+        // reports the remaining time flexibility.
+        let fx = FlexOffer::new(2, 8, vec![Slice::fixed(5)]).unwrap();
+        assert_eq!(VectorFlexibility::default().of(&fx).unwrap(), 6.0);
+        assert_eq!(VectorFlexibility::new(Norm::L2).of(&fx).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn example_12_size_blindness() {
+        let fx = FlexOffer::new(1, 3, vec![Slice::new(1, 5).unwrap()]).unwrap();
+        let fy = FlexOffer::new(1, 3, vec![Slice::new(101, 105).unwrap()]).unwrap();
+        // L1: |2| + |4| = 6; L2: sqrt(4 + 16) = 4.472; equal for both.
+        assert_eq!(
+            VectorFlexibility::new(Norm::L1).of(&fx).unwrap(),
+            VectorFlexibility::new(Norm::L1).of(&fy).unwrap()
+        );
+        let l2 = VectorFlexibility::new(Norm::L2).of(&fx).unwrap();
+        assert!((l2 - 4.47213595499958).abs() < 1e-9);
+        assert_eq!(l2, VectorFlexibility::new(Norm::L2).of(&fy).unwrap());
+    }
+
+    #[test]
+    fn sign_independent() {
+        // "it is independent of the sign of the energy values".
+        let cons = FlexOffer::new(0, 2, vec![Slice::new(1, 4).unwrap()]).unwrap();
+        let prod = FlexOffer::new(0, 2, vec![Slice::new(-4, -1).unwrap()]).unwrap();
+        assert_eq!(
+            VectorFlexibility::default().of(&cons).unwrap(),
+            VectorFlexibility::default().of(&prod).unwrap()
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Weighted combinations of measures.
+//!
+//! Section 4 closes with: "Weighting is one way of combining different
+//! flexibility measures and balancing their influences to fulfill specific
+//! characteristics mentioned in Table 1" — e.g. pairing a size-aware area
+//! measure with a mixed-capable vector measure for an aggregator that both
+//! balances and trades.
+
+use flexoffers_model::FlexOffer;
+
+use crate::characteristics::Characteristics;
+use crate::error::MeasureError;
+use crate::measure::Measure;
+
+/// A linear combination `sum(w_i * m_i(f))` of measures.
+///
+/// The declared characteristics are the *disjunction* of the parts'
+/// capture/sign rows — a combination responds to whatever any part responds
+/// to — except the sign-class rows, which take the *conjunction*: the
+/// combination is only applicable where every part is.
+pub struct WeightedMeasure {
+    parts: Vec<(f64, Box<dyn Measure>)>,
+}
+
+impl WeightedMeasure {
+    /// Creates a combination from `(weight, measure)` parts.
+    pub fn new(parts: Vec<(f64, Box<dyn Measure>)>) -> Self {
+        Self { parts }
+    }
+
+    /// The parts as `(weight, measure)` pairs.
+    pub fn parts(&self) -> impl Iterator<Item = (f64, &dyn Measure)> {
+        self.parts.iter().map(|(w, m)| (*w, m.as_ref()))
+    }
+}
+
+impl Measure for WeightedMeasure {
+    fn name(&self) -> &'static str {
+        "weighted combination"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "Weighted"
+    }
+
+    fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
+        let mut total = 0.0;
+        for (w, m) in &self.parts {
+            total += w * m.of(fo)?;
+        }
+        Ok(total)
+    }
+
+    fn declared_characteristics(&self) -> Characteristics {
+        let mut out = Characteristics {
+            captures_time: false,
+            captures_energy: false,
+            captures_time_energy: false,
+            captures_size: false,
+            positive: true,
+            negative: true,
+            mixed: true,
+            single_value: true,
+        };
+        for (_, m) in &self.parts {
+            let c = m.declared_characteristics();
+            out.captures_time |= c.captures_time;
+            out.captures_energy |= c.captures_energy;
+            out.captures_time_energy |= c.captures_time_energy;
+            out.captures_size |= c.captures_size;
+            out.positive &= c.positive;
+            out.negative &= c.negative;
+            out.mixed &= c.mixed;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abs_area::AbsoluteAreaFlexibility;
+    use crate::energy::EnergyFlexibility;
+    use crate::time::TimeFlexibility;
+    use crate::vector::VectorFlexibility;
+    use flexoffers_model::Slice;
+
+    fn fo() -> FlexOffer {
+        FlexOffer::new(1, 3, vec![Slice::new(1, 5).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn linear_combination_value() {
+        let m = WeightedMeasure::new(vec![
+            (2.0, Box::new(TimeFlexibility)),
+            (0.5, Box::new(EnergyFlexibility)),
+        ]);
+        // tf = 2, ef = 4 -> 2*2 + 0.5*4 = 6.
+        assert_eq!(m.of(&fo()).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn characteristics_union_of_captures() {
+        let m = WeightedMeasure::new(vec![
+            (1.0, Box::new(TimeFlexibility)),
+            (1.0, Box::new(EnergyFlexibility)),
+        ]);
+        let c = m.declared_characteristics();
+        assert!(c.captures_time && c.captures_energy);
+        assert!(!c.captures_size);
+        assert!(c.mixed);
+    }
+
+    #[test]
+    fn mixed_support_is_conjunction() {
+        // Adding an area part restricts the combination to non-mixed.
+        let m = WeightedMeasure::new(vec![
+            (1.0, Box::new(VectorFlexibility::default())),
+            (1.0, Box::new(AbsoluteAreaFlexibility::rejecting_mixed())),
+        ]);
+        let c = m.declared_characteristics();
+        assert!(!c.mixed);
+        assert!(c.captures_size);
+        // And evaluation on a mixed flex-offer propagates the part's error.
+        let mixed = FlexOffer::new(0, 0, vec![Slice::new(-1, 1).unwrap()]).unwrap();
+        assert!(m.of(&mixed).is_err());
+    }
+
+    #[test]
+    fn empty_combination_is_zero() {
+        let m = WeightedMeasure::new(vec![]);
+        assert_eq!(m.of(&fo()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn set_semantics_inherited_sum() {
+        let m = WeightedMeasure::new(vec![(1.0, Box::new(TimeFlexibility))]);
+        let set = vec![fo(), fo()];
+        assert_eq!(m.of_set(&set).unwrap(), 4.0);
+    }
+}

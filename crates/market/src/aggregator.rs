@@ -1,0 +1,275 @@
+//! The aggregator: Scenario 2's protagonist.
+
+use flexoffers_aggregation::{aggregate_portfolio, Aggregate, GroupingParams};
+use flexoffers_model::{Assignment, FlexOffer, Portfolio};
+use flexoffers_timeseries::ops::sum_series;
+use flexoffers_timeseries::{Norm, Series};
+
+use crate::planner::cheapest_assignment;
+use crate::settle::{MarketOutcome, Order};
+use crate::spot::SpotMarket;
+
+/// An aggregator that bundles a portfolio, trades the bundles that clear the
+/// market's minimum lot size, and answers for the imbalance its planning
+/// causes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Aggregator {
+    /// Grouping tolerances used to form aggregates.
+    pub grouping: GroupingParams,
+    /// Minimum tradeable lot: an aggregate is admitted only if the larger of
+    /// `|cmin|`, `|cmax|` reaches this volume. Individual household offers
+    /// fail this — the paper's point about why aggregation must happen
+    /// before the market.
+    pub min_lot: i64,
+    /// Plan on the aggregate's *apparent* flexibility without checking that
+    /// members can realize the plan. The aggregate's slice sums and total
+    /// sums drop cross-member coupling, so naive plans routinely demand
+    /// deliveries no member combination can produce, and the difference
+    /// settles as imbalance — the market face of the aggregation
+    /// overestimation documented in `flexoffers-aggregation`. Off by
+    /// default: a competent aggregator re-plans member-by-member when the
+    /// aggregate plan fails the realizability check.
+    pub naive_planning: bool,
+}
+
+impl Aggregator {
+    /// An aggregator with the given grouping tolerances and lot rule, using
+    /// safe (realizability-checked) planning.
+    pub fn new(grouping: GroupingParams, min_lot: i64) -> Self {
+        Self {
+            grouping,
+            min_lot,
+            naive_planning: false,
+        }
+    }
+
+    /// An aggregator that trusts the aggregate's apparent flexibility and
+    /// pays the resulting imbalance — used by the overestimation experiment.
+    pub fn naive(grouping: GroupingParams, min_lot: i64) -> Self {
+        Self {
+            grouping,
+            min_lot,
+            naive_planning: true,
+        }
+    }
+
+    /// `true` if the aggregate clears the minimum-lot rule.
+    pub fn admits(&self, fo: &FlexOffer) -> bool {
+        fo.total_min().abs().max(fo.total_max().abs()) >= self.min_lot
+    }
+
+    /// Runs the full pipeline: group, aggregate, admit, plan, settle.
+    pub fn run(&self, portfolio: &Portfolio, market: &SpotMarket) -> MarketOutcome {
+        let aggregates = aggregate_portfolio(portfolio.as_slice(), &self.grouping);
+
+        let mut orders = Vec::new();
+        let mut rejected_lots = 0;
+        let mut procurement_cost = 0.0;
+        let mut imbalance_cost = 0.0;
+        let mut rejected_cost = 0.0;
+
+        for agg in &aggregates {
+            if self.admits(agg.flexoffer()) {
+                let order = self.plan_order(agg, market);
+                procurement_cost += order.cost;
+                imbalance_cost += market.imbalance_cost(order.imbalance);
+                orders.push(order);
+            } else {
+                rejected_lots += 1;
+                // Untradeable small fry buy their baseline load at the
+                // penalty rate (no spot access).
+                let load = baseline_load(agg.members());
+                let volume: f64 = load.iter().map(|(_, v)| v.abs() as f64).sum();
+                rejected_cost += market.imbalance_cost(volume);
+            }
+        }
+
+        MarketOutcome {
+            orders,
+            rejected_lots,
+            procurement_cost,
+            imbalance_cost,
+            rejected_cost,
+            baseline_cost: market.cost_of(&baseline_load(portfolio.as_slice())),
+        }
+    }
+
+    /// Plans one aggregate's order: cheapest valid assignment of the
+    /// aggregate, then a realizability check.
+    ///
+    /// * Realizable plan: traded as is, no imbalance.
+    /// * Unrealizable plan, safe mode: the aggregator re-plans each member's
+    ///   own cheapest dispatch and trades the (realizable) sum.
+    /// * Unrealizable plan, naive mode: the plan is still what was bought;
+    ///   the members deliver their closest joint alternative (their own
+    ///   cheapest dispatch) and the difference settles as imbalance.
+    fn plan_order(&self, agg: &Aggregate, market: &SpotMarket) -> Order {
+        let plan = cheapest_assignment(agg.flexoffer(), market);
+        if agg.disaggregate(&plan).is_ok() {
+            return Order {
+                cost: market.cost_of(&plan.as_series()),
+                load: plan.as_series(),
+                members: agg.len(),
+                imbalance: 0.0,
+            };
+        }
+        let realized: Vec<Series<i64>> = agg
+            .members()
+            .iter()
+            .map(|m| cheapest_assignment(m, market).as_series())
+            .collect();
+        let realized_load = sum_series(realized.iter());
+        if self.naive_planning {
+            Order {
+                cost: market.cost_of(&plan.as_series()),
+                imbalance: Norm::L1.of(&(&realized_load - &plan.as_series())),
+                load: plan.as_series(),
+                members: agg.len(),
+            }
+        } else {
+            Order {
+                cost: market.cost_of(&realized_load),
+                load: realized_load,
+                members: agg.len(),
+                imbalance: 0.0,
+            }
+        }
+    }
+}
+
+/// The no-flexibility delivery of a set of offers: earliest start, midpoint
+/// amounts fitted to totals.
+fn baseline_load(offers: &[FlexOffer]) -> Series<i64> {
+    let series: Vec<Series<i64>> = offers
+        .iter()
+        .map(|fo| {
+            let mids: Vec<i64> = fo.slices().iter().map(|s| s.midpoint()).collect();
+            let assignment = Assignment::new(fo.earliest_start(), fit(fo, mids));
+            assignment.as_series()
+        })
+        .collect();
+    sum_series(series.iter())
+}
+
+/// Minimal total-constraint repair (mirrors the scheduling baseline).
+fn fit(fo: &FlexOffer, mut values: Vec<i64>) -> Vec<i64> {
+    let mut total: i64 = values.iter().sum();
+    for (v, s) in values.iter_mut().zip(fo.slices()) {
+        if total <= fo.total_max() {
+            break;
+        }
+        let drop = (*v - s.min()).min(total - fo.total_max());
+        *v -= drop;
+        total -= drop;
+    }
+    for (v, s) in values.iter_mut().zip(fo.slices()) {
+        if total >= fo.total_min() {
+            break;
+        }
+        let add = (s.max() - *v).min(fo.total_min() - total);
+        *v += add;
+        total += add;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+    use flexoffers_workloads::price::{price_trace, PriceTraceConfig};
+    use flexoffers_workloads::PopulationBuilder;
+
+    fn market() -> SpotMarket {
+        let prices = price_trace(&PriceTraceConfig {
+            days: 2,
+            ..PriceTraceConfig::default()
+        });
+        SpotMarket::new(prices, 2.0).unwrap()
+    }
+
+    #[test]
+    fn small_offers_fail_the_lot_rule_until_aggregated() {
+        let fo = FlexOffer::new(0, 3, vec![Slice::new(0, 2).unwrap()]).unwrap();
+        let aggregator = Aggregator::new(GroupingParams::single_group(), 10);
+        assert!(!aggregator.admits(&fo));
+        // Ten of them aggregated clear the lot.
+        let agg = flexoffers_aggregation::aggregate(&vec![fo; 10]).unwrap();
+        assert!(aggregator.admits(agg.flexoffer()));
+    }
+
+    #[test]
+    fn flexible_portfolio_saves_money() {
+        let portfolio = PopulationBuilder::new(11)
+            .electric_vehicles(12)
+            .dishwashers(15)
+            .heat_pumps(8)
+            .build();
+        let aggregator = Aggregator::new(GroupingParams::with_tolerances(2, 2), 10);
+        let outcome = aggregator.run(&portfolio, &market());
+        assert!(
+            outcome.savings() > 0.0,
+            "shifting into cheap hours must beat the baseline: {outcome:?}"
+        );
+        assert!(!outcome.orders.is_empty());
+    }
+
+    #[test]
+    fn coarse_aggregation_can_strand_lots() {
+        // With a strict grouping and a large lot size, isolated offers are
+        // rejected and pay penalty rates.
+        let portfolio = PopulationBuilder::new(3).refrigerators(5).build();
+        let aggregator = Aggregator::new(GroupingParams::strict(), 1_000);
+        let outcome = aggregator.run(&portfolio, &market());
+        assert!(outcome.rejected_lots > 0);
+        assert!(outcome.rejected_cost > 0.0);
+        assert!(outcome.orders.is_empty());
+    }
+
+    #[test]
+    fn realizable_plans_settle_without_imbalance() {
+        // Default-totals members: every aggregate assignment disaggregates.
+        let offers = vec![
+            FlexOffer::new(0, 2, vec![Slice::new(0, 5).unwrap()]).unwrap(),
+            FlexOffer::new(0, 2, vec![Slice::new(2, 6).unwrap()]).unwrap(),
+        ];
+        let portfolio = Portfolio::from_offers(offers);
+        let aggregator = Aggregator::new(GroupingParams::single_group(), 1);
+        let outcome = aggregator.run(&portfolio, &market());
+        assert_eq!(outcome.imbalance_cost, 0.0);
+        assert!(outcome.orders.iter().all(|o| o.imbalance == 0.0));
+    }
+
+    #[test]
+    fn naive_planning_pays_for_overestimated_flexibility() {
+        // EVs and heat pumps have binding total constraints, so the
+        // aggregate's cheapest plan is typically unrealizable: the naive
+        // aggregator books imbalance, the safe one does not, and safe never
+        // costs more in total.
+        let portfolio = PopulationBuilder::new(11)
+            .electric_vehicles(12)
+            .heat_pumps(8)
+            .build();
+        let m = market();
+        let grouping = GroupingParams::with_tolerances(2, 2);
+        let safe = Aggregator::new(grouping, 10).run(&portfolio, &m);
+        let naive = Aggregator::naive(grouping, 10).run(&portfolio, &m);
+        assert_eq!(safe.imbalance_cost, 0.0);
+        assert!(naive.imbalance_cost > 0.0);
+        assert!(safe.total_cost() <= naive.total_cost());
+    }
+
+    #[test]
+    fn baseline_load_respects_totals() {
+        let fo = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 6).unwrap(), Slice::new(0, 6).unwrap()],
+            10,
+            12,
+        )
+        .unwrap();
+        let load = baseline_load(std::slice::from_ref(&fo));
+        assert!(load.sum() >= 10 && load.sum() <= 12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for the market simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by market construction.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MarketError {
+    /// The imbalance multiplier must be at least 1 (imbalance can never be
+    /// cheaper than the spot price, or arbitrage breaks the settlement).
+    InvalidImbalanceMultiplier {
+        /// The offending multiplier.
+        multiplier: f64,
+    },
+    /// Spot prices must be strictly positive.
+    NonPositivePrice {
+        /// Slot of the offending price.
+        slot: i64,
+        /// The offending price.
+        price: f64,
+    },
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::InvalidImbalanceMultiplier { multiplier } => {
+                write!(f, "imbalance multiplier must be >= 1, got {multiplier}")
+            }
+            MarketError::NonPositivePrice { slot, price } => {
+                write!(f, "spot price at slot {slot} must be positive, got {price}")
+            }
+        }
+    }
+}
+
+impl Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MarketError::InvalidImbalanceMultiplier { multiplier: 0.5 }
+            .to_string()
+            .contains("0.5"));
+        assert!(MarketError::NonPositivePrice { slot: 3, price: 0.0 }
+            .to_string()
+            .contains("slot 3"));
+    }
+}

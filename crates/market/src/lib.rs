@@ -1,0 +1,36 @@
+//! The Scenario 2 balancing market of Valsomatzis et al. (EDBT 2015).
+//!
+//! "Consider an energy market where flex-offers are traded. It is infeasible
+//! to trade flex-offers from individual prosumers directly in the market due
+//! to their small energy amounts" — so an aggregator bundles them, trades
+//! the aggregates on a spot market, and a Balance Responsible Party settles
+//! deviations at penalty prices.
+//!
+//! The simulation here implements exactly that pipeline:
+//!
+//! * [`spot::SpotMarket`] — hourly prices plus an imbalance penalty rate;
+//! * [`planner::cheapest_assignment`] — cost-minimal dispatch of a
+//!   flex-offer against prices (flexibility turned into money);
+//! * [`aggregator::Aggregator`] — grouping, the minimum-lot admission rule,
+//!   planning, and settlement, including the imbalance that arises when an
+//!   aggregate's planned assignment turns out to be *unrealizable* by its
+//!   members (see the aggregation crate's overestimation finding);
+//! * [`value`] — the value-of-flexibility accounting and the per-measure
+//!   correlation analysis used by experiment E3.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregator;
+pub mod error;
+pub mod planner;
+pub mod settle;
+pub mod spot;
+pub mod value;
+
+pub use aggregator::Aggregator;
+pub use error::MarketError;
+pub use planner::cheapest_assignment;
+pub use settle::{MarketOutcome, Order};
+pub use spot::SpotMarket;
+pub use value::{measure_savings_correlation, pearson, MeasureCorrelation};

@@ -1,0 +1,190 @@
+//! Cost-minimal dispatch of a flex-offer against spot prices — the
+//! mechanism that turns flexibility into market value.
+
+use flexoffers_model::{Assignment, Energy, FlexOffer};
+
+use crate::spot::SpotMarket;
+
+/// The valid assignment of `fo` with minimal procurement cost.
+///
+/// For each candidate start, amounts begin at every slice minimum (buying
+/// less is always cheaper at positive prices; for production, producing more
+/// earns more) and the mandatory energy up to `cmin` is bought at the
+/// cheapest hours first — exact for linear prices because each marginal unit
+/// costs exactly the slot price.
+pub fn cheapest_assignment(fo: &FlexOffer, market: &SpotMarket) -> Assignment {
+    let mut best: Option<(Assignment, f64)> = None;
+    for t in fo.earliest_start()..=fo.latest_start() {
+        let mut values: Vec<Energy> = fo.slices().iter().map(|s| s.min()).collect();
+        let mut total: Energy = values.iter().sum();
+
+        // Mandatory units to reach cmin, cheapest slots first.
+        let mut slot_order: Vec<usize> = (0..fo.slice_count()).collect();
+        slot_order.sort_by(|&a, &b| {
+            market
+                .price_at(t + a as i64)
+                .partial_cmp(&market.price_at(t + b as i64))
+                .expect("prices are finite")
+        });
+        for &j in &slot_order {
+            if total >= fo.total_min() {
+                break;
+            }
+            let headroom = fo.slices()[j].max() - values[j];
+            let add = headroom.min(fo.total_min() - total);
+            values[j] += add;
+            total += add;
+        }
+        debug_assert!(total >= fo.total_min(), "cmax >= cmin makes this reachable");
+
+        let cost: f64 = values
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| v as f64 * market.price_at(t + j as i64))
+            .sum();
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((Assignment::new(t, values), cost));
+        }
+    }
+    let (assignment, _) = best.expect("start window is never empty");
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+    use flexoffers_timeseries::Series;
+
+    fn market(prices: Vec<f64>) -> SpotMarket {
+        SpotMarket::new(Series::new(0, prices), 2.0).unwrap()
+    }
+
+    #[test]
+    fn shifts_into_the_cheap_hours() {
+        // Price valley at slots 2-3.
+        let m = market(vec![9.0, 9.0, 1.0, 1.0, 9.0, 9.0]);
+        let fo = FlexOffer::with_totals(
+            0,
+            4,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            6,
+            10,
+        )
+        .unwrap();
+        let a = cheapest_assignment(&fo, &m);
+        assert!(fo.is_valid_assignment(&a));
+        assert_eq!(a.start(), 2);
+        // Buys exactly the mandatory minimum, all at the cheap slots.
+        assert_eq!(a.total(), 6);
+        assert_eq!(m.cost_of(&a.as_series()), 6.0);
+    }
+
+    #[test]
+    fn buys_no_more_than_cmin_at_positive_prices() {
+        let m = market(vec![5.0; 6]);
+        let fo = FlexOffer::with_totals(
+            0,
+            2,
+            vec![Slice::new(0, 9).unwrap()],
+            3,
+            9,
+        )
+        .unwrap();
+        let a = cheapest_assignment(&fo, &m);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn mandatory_energy_lands_on_cheapest_slices() {
+        let m = market(vec![1.0, 10.0, 2.0]);
+        let fo = FlexOffer::with_totals(
+            0,
+            0,
+            vec![
+                Slice::new(0, 4).unwrap(),
+                Slice::new(0, 4).unwrap(),
+                Slice::new(0, 4).unwrap(),
+            ],
+            6,
+            12,
+        )
+        .unwrap();
+        let a = cheapest_assignment(&fo, &m);
+        assert_eq!(a.values(), &[4, 0, 2]);
+    }
+
+    #[test]
+    fn production_sells_at_maximum() {
+        // Default totals: cmin = sum(amin); the planner keeps amounts at
+        // their minima, i.e. full production revenue.
+        let m = market(vec![3.0, 7.0]);
+        let fo = FlexOffer::new(0, 1, vec![Slice::new(-5, 0).unwrap()]).unwrap();
+        let a = cheapest_assignment(&fo, &m);
+        // Sell 5 units at the *expensive* hour: cost -35 beats -15.
+        assert_eq!(a.start(), 1);
+        assert_eq!(m.cost_of(&a.as_series()), -35.0);
+    }
+
+    #[test]
+    fn respects_totals_even_when_expensive() {
+        let m = market(vec![100.0]);
+        let fo = FlexOffer::with_totals(0, 0, vec![Slice::new(0, 5).unwrap()], 5, 5).unwrap();
+        let a = cheapest_assignment(&fo, &m);
+        assert_eq!(a.total(), 5);
+        assert!(fo.is_valid_assignment(&a));
+    }
+
+    #[test]
+    fn off_horizon_starts_are_priced_conservatively() {
+        // Only slot 0 is quoted; later starts pay the maximum price, so the
+        // planner keeps the load on the quoted slot.
+        let m = market(vec![2.0]);
+        let fo = FlexOffer::with_totals(0, 5, vec![Slice::new(0, 3).unwrap()], 2, 3).unwrap();
+        let a = cheapest_assignment(&fo, &m);
+        assert_eq!(a.start(), 0);
+    }
+
+    #[test]
+    fn cheapest_is_never_beaten_by_enumeration() {
+        // Exhaustive check on a small space: the greedy construction is
+        // exact for linear prices.
+        let m = market(vec![3.0, 1.0, 2.0, 5.0]);
+        let fo = FlexOffer::with_totals(
+            0,
+            2,
+            vec![Slice::new(0, 2).unwrap(), Slice::new(0, 2).unwrap()],
+            2,
+            4,
+        )
+        .unwrap();
+        let planned = cheapest_assignment(&fo, &m);
+        let planned_cost = m.cost_of(&planned.as_series());
+        for a in fo.assignments() {
+            assert!(
+                planned_cost <= m.cost_of(&a.as_series()) + 1e-9,
+                "{a} beats the plan"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_offer_dispatch_is_valid_and_exploits_both_directions() {
+        // A V2G-style offer: discharge at the peak, charge in the valley.
+        let m = market(vec![1.0, 10.0]);
+        let fo = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(-4, 4).unwrap(), Slice::new(-4, 4).unwrap()],
+            0,
+            4,
+        )
+        .unwrap();
+        let a = cheapest_assignment(&fo, &m);
+        assert!(fo.is_valid_assignment(&a));
+        // Sell (negative) at the expensive slot, buy back at the cheap one.
+        assert!(a.values()[1] < 0, "should discharge at the peak: {a}");
+        let cost = m.cost_of(&a.as_series());
+        assert!(cost < 0.0, "the spread should earn revenue: {cost}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Settlement accounting types.
+
+use flexoffers_timeseries::Series;
+
+/// One admitted trade: an aggregate's planned load on the spot market.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Order {
+    /// The planned (purchased/sold) load series.
+    pub load: Series<i64>,
+    /// Spot procurement cost of the plan (negative = revenue).
+    pub cost: f64,
+    /// Number of member flex-offers behind the order.
+    pub members: usize,
+    /// Imbalance volume settled at the penalty rate because the plan turned
+    /// out unrealizable by the members (0 for realizable plans).
+    pub imbalance: f64,
+}
+
+/// The aggregator's end-to-end result for one portfolio and market.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarketOutcome {
+    /// Admitted orders, one per sufficiently large aggregate.
+    pub orders: Vec<Order>,
+    /// Number of aggregates refused by the minimum-lot rule.
+    pub rejected_lots: usize,
+    /// Spot cost of all admitted plans.
+    pub procurement_cost: f64,
+    /// Penalty paid on unrealizable-plan imbalances.
+    pub imbalance_cost: f64,
+    /// Penalty-rate cost of the energy of rejected (untradeable) lots.
+    pub rejected_cost: f64,
+    /// Cost of the whole portfolio under the no-flexibility baseline
+    /// (earliest start, midpoint amounts, spot prices).
+    pub baseline_cost: f64,
+}
+
+impl MarketOutcome {
+    /// Everything the flexible pipeline pays.
+    pub fn total_cost(&self) -> f64 {
+        self.procurement_cost + self.imbalance_cost + self.rejected_cost
+    }
+
+    /// The value the flexibility created: baseline minus flexible total.
+    pub fn savings(&self) -> f64 {
+        self.baseline_cost - self.total_cost()
+    }
+
+    /// Savings as a fraction of the baseline (0 when the baseline is 0).
+    pub fn relative_savings(&self) -> f64 {
+        if self.baseline_cost == 0.0 {
+            0.0
+        } else {
+            self.savings() / self.baseline_cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_accounting() {
+        let outcome = MarketOutcome {
+            orders: vec![],
+            rejected_lots: 1,
+            procurement_cost: 100.0,
+            imbalance_cost: 10.0,
+            rejected_cost: 15.0,
+            baseline_cost: 150.0,
+        };
+        assert_eq!(outcome.total_cost(), 125.0);
+        assert_eq!(outcome.savings(), 25.0);
+        assert!((outcome.relative_savings() - 25.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_relative_savings() {
+        let outcome = MarketOutcome {
+            orders: vec![],
+            rejected_lots: 0,
+            procurement_cost: 0.0,
+            imbalance_cost: 0.0,
+            rejected_cost: 0.0,
+            baseline_cost: 0.0,
+        };
+        assert_eq!(outcome.relative_savings(), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The spot market: hourly prices and imbalance settlement rates.
+
+use flexoffers_timeseries::Series;
+
+use crate::error::MarketError;
+
+/// A day-ahead spot market with an imbalance penalty regime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpotMarket {
+    prices: Series<f64>,
+    imbalance_multiplier: f64,
+}
+
+impl SpotMarket {
+    /// Creates a market from strictly positive prices and an imbalance
+    /// multiplier `>= 1` (deviations settle at `multiplier *` the highest
+    /// spot price).
+    pub fn new(prices: Series<f64>, imbalance_multiplier: f64) -> Result<Self, MarketError> {
+        // NaN must be rejected too, hence the negated comparison.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(imbalance_multiplier >= 1.0) {
+            return Err(MarketError::InvalidImbalanceMultiplier {
+                multiplier: imbalance_multiplier,
+            });
+        }
+        if let Some((slot, price)) = prices.iter().find(|(_, p)| *p <= 0.0) {
+            return Err(MarketError::NonPositivePrice { slot, price });
+        }
+        Ok(Self {
+            prices,
+            imbalance_multiplier,
+        })
+    }
+
+    /// The hourly price series.
+    pub fn prices(&self) -> &Series<f64> {
+        &self.prices
+    }
+
+    /// Price at `slot`; slots outside the quoted horizon cost the maximum
+    /// quoted price (conservative: no free energy off-horizon).
+    pub fn price_at(&self, slot: i64) -> f64 {
+        self.prices.get(slot).unwrap_or_else(|| self.max_price())
+    }
+
+    /// The highest quoted price.
+    pub fn max_price(&self) -> f64 {
+        self.prices
+            .iter()
+            .map(|(_, p)| p)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// The penalty rate applied to imbalance volume.
+    pub fn penalty_price(&self) -> f64 {
+        self.max_price() * self.imbalance_multiplier
+    }
+
+    /// Procurement cost of a load series: `sum(load(t) * price(t))`.
+    /// Production (negative load) earns revenue (negative cost).
+    pub fn cost_of(&self, load: &Series<i64>) -> f64 {
+        load.iter()
+            .map(|(t, v)| v as f64 * self.price_at(t))
+            .sum()
+    }
+
+    /// Settlement cost of an imbalance volume (always non-negative).
+    pub fn imbalance_cost(&self, volume: f64) -> f64 {
+        volume.abs() * self.penalty_price()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> SpotMarket {
+        SpotMarket::new(Series::new(0, vec![2.0, 5.0, 3.0]), 2.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(SpotMarket::new(Series::new(0, vec![1.0]), 0.9).is_err());
+        assert!(SpotMarket::new(Series::new(0, vec![0.0]), 2.0).is_err());
+        assert!(SpotMarket::new(Series::new(0, vec![1.0]), 1.0).is_ok());
+    }
+
+    #[test]
+    fn cost_of_load() {
+        let m = market();
+        let load = Series::new(0, vec![1, 2, 0]);
+        assert_eq!(m.cost_of(&load), 2.0 + 10.0);
+    }
+
+    #[test]
+    fn production_earns_revenue() {
+        let m = market();
+        let load = Series::new(1, vec![-2]);
+        assert_eq!(m.cost_of(&load), -10.0);
+    }
+
+    #[test]
+    fn off_horizon_slots_cost_the_max() {
+        let m = market();
+        assert_eq!(m.price_at(99), 5.0);
+        let load = Series::new(99, vec![1]);
+        assert_eq!(m.cost_of(&load), 5.0);
+    }
+
+    #[test]
+    fn penalty_regime() {
+        let m = market();
+        assert_eq!(m.penalty_price(), 10.0);
+        assert_eq!(m.imbalance_cost(3.0), 30.0);
+        assert_eq!(m.imbalance_cost(-3.0), 30.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Valuing flexibility: which of the paper's measures predicts market
+//! savings?
+//!
+//! Scenario 2 wants aggregated flex-offers "to retain as much flexibility as
+//! possible in order to obtain a better value in the energy market". The E3
+//! experiment quantifies that: across many portfolios, correlate each
+//! measure's set-level value with the realized market savings. A measure
+//! worth pricing on should correlate strongly.
+
+use flexoffers_measures::all_measures;
+use flexoffers_model::Portfolio;
+
+use crate::aggregator::Aggregator;
+use crate::settle::MarketOutcome;
+use crate::spot::SpotMarket;
+
+/// Pearson correlation of two equally long samples; `None` when either side
+/// is degenerate (fewer than two points or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// One measure's correlation with market savings across portfolios.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasureCorrelation {
+    /// The measure's Table 1 column name.
+    pub measure: String,
+    /// Pearson correlation with savings; `None` if the measure failed on
+    /// some portfolio (e.g. area measures on mixed offers) or the sample is
+    /// degenerate.
+    pub correlation: Option<f64>,
+    /// Portfolios the measure evaluated successfully on.
+    pub evaluated: usize,
+}
+
+/// Runs the aggregator on every portfolio and correlates each measure's
+/// portfolio-level value with the realized savings. Returns the outcomes
+/// alongside the per-measure correlations.
+pub fn measure_savings_correlation(
+    portfolios: &[Portfolio],
+    aggregator: &Aggregator,
+    market: &SpotMarket,
+) -> (Vec<MarketOutcome>, Vec<MeasureCorrelation>) {
+    let outcomes: Vec<MarketOutcome> = portfolios
+        .iter()
+        .map(|p| aggregator.run(p, market))
+        .collect();
+    let savings: Vec<f64> = outcomes.iter().map(MarketOutcome::savings).collect();
+
+    let correlations = all_measures()
+        .iter()
+        .map(|m| {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for (portfolio, s) in portfolios.iter().zip(&savings) {
+                if let Ok(v) = m.of_set(portfolio.as_slice()) {
+                    xs.push(v);
+                    ys.push(*s);
+                }
+            }
+            MeasureCorrelation {
+                measure: m.short_name().to_owned(),
+                correlation: pearson(&xs, &ys),
+                evaluated: xs.len(),
+            }
+        })
+        .collect();
+    (outcomes, correlations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_aggregation::GroupingParams;
+    use flexoffers_timeseries::Series;
+    use flexoffers_workloads::price::{price_trace, PriceTraceConfig};
+    use flexoffers_workloads::PopulationBuilder;
+
+    #[test]
+    fn pearson_of_perfect_line() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+    }
+
+    #[test]
+    fn correlation_report_covers_all_measures() {
+        let market = SpotMarket::new(
+            price_trace(&PriceTraceConfig {
+                days: 2,
+                ..PriceTraceConfig::default()
+            }),
+            2.0,
+        )
+        .unwrap();
+        let portfolios: Vec<Portfolio> = (0..4)
+            .map(|seed| {
+                PopulationBuilder::new(seed)
+                    .electric_vehicles(3 + seed as usize)
+                    .dishwashers(4)
+                    .build()
+            })
+            .collect();
+        let aggregator = Aggregator::new(GroupingParams::with_tolerances(2, 2), 5);
+        let (outcomes, report) = measure_savings_correlation(&portfolios, &aggregator, &market);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(report.len(), 8);
+        for entry in &report {
+            assert_eq!(entry.evaluated, 4, "{} skipped portfolios", entry.measure);
+        }
+    }
+
+    #[test]
+    fn more_flexibility_more_savings_for_matched_portfolios() {
+        // Two portfolios identical except for time flexibility: the more
+        // flexible one saves at least as much.
+        use flexoffers_model::{FlexOffer, Slice};
+        let rigid: Portfolio = (0..6)
+            .map(|_| {
+                FlexOffer::with_totals(8, 8, vec![Slice::new(0, 6).unwrap(); 2], 6, 12).unwrap()
+            })
+            .collect();
+        let flexible: Portfolio = (0..6)
+            .map(|_| {
+                FlexOffer::with_totals(8, 20, vec![Slice::new(0, 6).unwrap(); 2], 6, 12).unwrap()
+            })
+            .collect();
+        let market = SpotMarket::new(
+            price_trace(&PriceTraceConfig {
+                days: 2,
+                noise: 0.0,
+                ..PriceTraceConfig::default()
+            }),
+            2.0,
+        )
+        .unwrap();
+        let aggregator = Aggregator::new(GroupingParams::single_group(), 1);
+        let rigid_out = aggregator.run(&rigid, &market);
+        let flexible_out = aggregator.run(&flexible, &market);
+        assert!(flexible_out.savings() >= rigid_out.savings());
+        let _ = Series::<i64>::empty(); // keep import used in cfg(test)
+    }
+}

@@ -1,0 +1,154 @@
+//! Flex-offer assignments (Definition 2): concrete instantiations.
+
+use serde::{Deserialize, Serialize};
+
+use flexoffers_timeseries::Series;
+
+use crate::{Energy, TimeSlot};
+
+/// An assignment `fa` of a flex-offer: a start time plus one energy value
+/// per slice, i.e. the time series `<v(1), ..., v(s)>` anchored at
+/// `tstart` (Definition 2).
+///
+/// An `Assignment` is a plain value — validity is always relative to a
+/// particular [`FlexOffer`](crate::FlexOffer), checked with
+/// [`FlexOffer::check_assignment`](crate::FlexOffer::check_assignment).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    start: TimeSlot,
+    values: Vec<Energy>,
+}
+
+impl Assignment {
+    /// Creates an assignment starting at `start` with the given slice values.
+    pub fn new(start: TimeSlot, values: Vec<Energy>) -> Self {
+        Self { start, values }
+    }
+
+    /// The declared start time `tstart` (the slot of the first slice value).
+    pub fn start(&self) -> TimeSlot {
+        self.start
+    }
+
+    /// The per-slice energy values.
+    pub fn values(&self) -> &[Energy] {
+        &self.values
+    }
+
+    /// Number of slice values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the assignment carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total assigned energy `sum(v(i))`.
+    pub fn total(&self) -> Energy {
+        self.values.iter().sum()
+    }
+
+    /// The slot of the first *non-zero* value.
+    ///
+    /// Definition 2 notes that "the first non-zero energy value of the
+    /// assignment ... defines the actual starting time"; for an assignment
+    /// with leading zero values this differs from the declared start. An
+    /// all-zero assignment has no effective start.
+    pub fn effective_start(&self) -> Option<TimeSlot> {
+        self.values
+            .iter()
+            .position(|v| *v != 0)
+            .map(|i| self.start + i as i64)
+    }
+
+    /// The assignment as a time series (zero outside its slices).
+    pub fn as_series(&self) -> Series<i64> {
+        Series::new(self.start, self.values.clone())
+    }
+
+    /// The value at absolute slot `t` (zero outside the profile).
+    pub fn value_at(&self, t: TimeSlot) -> Energy {
+        if t < self.start {
+            return 0;
+        }
+        self.values.get((t - self.start) as usize).copied().unwrap_or(0)
+    }
+
+    /// A copy shifted `dt` slots.
+    pub fn shifted(&self, dt: TimeSlot) -> Self {
+        Self {
+            start: self.start + dt,
+            values: self.values.clone(),
+        }
+    }
+
+    /// Consumes the assignment, returning its parts.
+    pub fn into_parts(self) -> (TimeSlot, Vec<Energy>) {
+        (self.start, self.values)
+    }
+}
+
+impl std::fmt::Display for Assignment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{} <", self.start)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let a = Assignment::new(2, vec![2, 3, 1, 2]);
+        assert_eq!(a.start(), 2);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.value_at(2), 2);
+        assert_eq!(a.value_at(5), 2);
+        assert_eq!(a.value_at(1), 0);
+        assert_eq!(a.value_at(6), 0);
+    }
+
+    #[test]
+    fn effective_start_skips_leading_zeros() {
+        let a = Assignment::new(3, vec![0, 0, 5, 1]);
+        assert_eq!(a.effective_start(), Some(5));
+        let b = Assignment::new(3, vec![4]);
+        assert_eq!(b.effective_start(), Some(3));
+        let z = Assignment::new(3, vec![0, 0]);
+        assert_eq!(z.effective_start(), None);
+    }
+
+    #[test]
+    fn as_series_matches_values() {
+        let a = Assignment::new(1, vec![-1, 2]);
+        let s = a.as_series();
+        assert_eq!(s.start(), 1);
+        assert_eq!(s.values(), &[-1, 2]);
+        assert_eq!(s.sum(), a.total());
+    }
+
+    #[test]
+    fn shifted_preserves_values() {
+        let a = Assignment::new(1, vec![7]);
+        let b = a.shifted(4);
+        assert_eq!(b.start(), 5);
+        assert_eq!(b.values(), a.values());
+    }
+
+    #[test]
+    fn display_format() {
+        let a = Assignment::new(2, vec![2, 3]);
+        assert_eq!(a.to_string(), "@2 <2, 3>");
+    }
+}

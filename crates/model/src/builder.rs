@@ -1,0 +1,161 @@
+//! Fluent construction of flex-offers.
+
+use crate::error::ModelError;
+use crate::flexoffer::FlexOffer;
+use crate::slice::Slice;
+use crate::{Energy, TimeSlot};
+
+/// A fluent builder for [`FlexOffer`].
+///
+/// ```
+/// use flexoffers_model::FlexOfferBuilder;
+///
+/// // The paper's EV use case at 1-slot granularity: plug-in 23:00 (slot 23),
+/// // latest start 3:00 (slot 27), 3 hours of charging at up to 10 units per
+/// // hour, owner satisfied with 60 % of a full charge.
+/// let ev = FlexOfferBuilder::new()
+///     .start_window(23, 27)
+///     .repeated_slice(0, 10, 3)
+///     .total_bounds(18, 30)
+///     .build()
+///     .unwrap();
+/// assert_eq!(ev.time_flexibility(), 4);
+/// assert_eq!(ev.energy_flexibility(), 12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FlexOfferBuilder {
+    earliest_start: TimeSlot,
+    latest_start: TimeSlot,
+    slices: Vec<Result<Slice, ModelError>>,
+    totals: Option<(Energy, Energy)>,
+}
+
+impl FlexOfferBuilder {
+    /// Starts an empty builder (start window `[0, 0]`, no slices).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the start-time window `[tes, tls]`.
+    pub fn start_window(mut self, earliest: TimeSlot, latest: TimeSlot) -> Self {
+        self.earliest_start = earliest;
+        self.latest_start = latest;
+        self
+    }
+
+    /// Appends one slice with energy range `[min, max]`.
+    pub fn slice(mut self, min: Energy, max: Energy) -> Self {
+        self.slices.push(Slice::new(min, max));
+        self
+    }
+
+    /// Appends one slice admitting exactly `v`.
+    pub fn fixed_slice(mut self, v: Energy) -> Self {
+        self.slices.push(Ok(Slice::fixed(v)));
+        self
+    }
+
+    /// Appends `count` identical slices with range `[min, max]`.
+    pub fn repeated_slice(mut self, min: Energy, max: Energy, count: usize) -> Self {
+        for _ in 0..count {
+            self.slices.push(Slice::new(min, max));
+        }
+        self
+    }
+
+    /// Appends already-constructed slices.
+    pub fn slices(mut self, slices: impl IntoIterator<Item = Slice>) -> Self {
+        self.slices.extend(slices.into_iter().map(Ok));
+        self
+    }
+
+    /// Sets explicit total energy constraints `[cmin, cmax]`; without this
+    /// call the totals default to the profile sums.
+    pub fn total_bounds(mut self, min: Energy, max: Energy) -> Self {
+        self.totals = Some((min, max));
+        self
+    }
+
+    /// Validates and builds the flex-offer.
+    pub fn build(self) -> Result<FlexOffer, ModelError> {
+        let slices = self
+            .slices
+            .into_iter()
+            .collect::<Result<Vec<_>, ModelError>>()?;
+        match self.totals {
+            None => FlexOffer::new(self.earliest_start, self.latest_start, slices),
+            Some((min, max)) => {
+                FlexOffer::with_totals(self.earliest_start, self.latest_start, slices, min, max)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_figure1() {
+        let f = FlexOfferBuilder::new()
+            .start_window(1, 6)
+            .slice(1, 3)
+            .slice(2, 4)
+            .slice(0, 5)
+            .slice(0, 3)
+            .build()
+            .unwrap();
+        assert_eq!(f.time_flexibility(), 5);
+        assert_eq!(f.energy_flexibility(), 12);
+    }
+
+    #[test]
+    fn deferred_slice_error_surfaces_at_build() {
+        let r = FlexOfferBuilder::new().start_window(0, 1).slice(5, 2).build();
+        assert_eq!(r, Err(ModelError::InvalidSliceRange { min: 5, max: 2 }));
+    }
+
+    #[test]
+    fn repeated_and_fixed_slices() {
+        let f = FlexOfferBuilder::new()
+            .start_window(0, 0)
+            .repeated_slice(0, 2, 2)
+            .fixed_slice(7)
+            .build()
+            .unwrap();
+        assert_eq!(f.slice_count(), 3);
+        assert_eq!(f.profile_max(), 11);
+        assert!(f.slices()[2].is_fixed());
+    }
+
+    #[test]
+    fn explicit_totals_applied() {
+        let f = FlexOfferBuilder::new()
+            .start_window(0, 2)
+            .repeated_slice(0, 10, 2)
+            .total_bounds(5, 15)
+            .build()
+            .unwrap();
+        assert_eq!(f.total_min(), 5);
+        assert_eq!(f.total_max(), 15);
+        assert!(!f.has_default_totals());
+    }
+
+    #[test]
+    fn no_slices_is_an_error() {
+        assert_eq!(
+            FlexOfferBuilder::new().build(),
+            Err(ModelError::EmptyProfile)
+        );
+    }
+
+    #[test]
+    fn slices_from_iterator() {
+        let f = FlexOfferBuilder::new()
+            .start_window(0, 0)
+            .slices(vec![Slice::fixed(1), Slice::fixed(2)])
+            .build()
+            .unwrap();
+        assert_eq!(f.profile_min(), 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! Counting assignments without enumerating them.
+//!
+//! Definition 8's *assignment flexibility* is the size of the unconstrained
+//! product space `(tls - tes + 1) * prod(amax_i - amin_i + 1)`. The paper
+//! notes (Section 4) that this deliberately ignores the total constraints;
+//! the dynamic-programming count here additionally computes the exact size
+//! of `L(f)`, which quantifies how much the totals prune.
+
+use crate::flexoffer::FlexOffer;
+
+impl FlexOffer {
+    /// Definition 8's count: `(tf + 1) * prod(width_i + 1)`, ignoring total
+    /// constraints. `None` if the product overflows `u128` (the measure grows
+    /// exponentially in the slice count — see the paper's Section 4
+    /// discussion and Example 14).
+    pub fn unconstrained_assignment_count(&self) -> Option<u128> {
+        let mut product: u128 = (self.time_flexibility() as u128).checked_add(1)?;
+        for s in self.slices() {
+            product = product.checked_mul(s.cardinality() as u128)?;
+        }
+        Some(product)
+    }
+
+    /// Base-2 logarithm of Definition 8's count; finite for any flex-offer,
+    /// usable when the exact count overflows.
+    pub fn log2_assignment_count(&self) -> f64 {
+        let mut log = ((self.time_flexibility() + 1) as f64).log2();
+        for s in self.slices() {
+            log += (s.cardinality() as f64).log2();
+        }
+        log
+    }
+
+    /// Exact number of *valid* assignments `|L(f)|`, i.e. value tuples whose
+    /// total lies in `[cmin, cmax]`, times the `(tf + 1)` start choices.
+    /// `None` if an intermediate count overflows `u128`.
+    ///
+    /// Runs a subset-sum style DP over per-slice offsets in
+    /// `O(s * total_width^2)` time and `O(total_width)` space, where
+    /// `total_width = sum(width_i)`.
+    pub fn constrained_assignment_count(&self) -> Option<u128> {
+        let counts = self.offset_sum_counts_u128()?;
+        let lo = (self.total_min() - self.profile_min()) as usize;
+        let hi = ((self.total_max() - self.profile_min()) as usize).min(counts.len() - 1);
+        let mut tuples: u128 = 0;
+        for &count in &counts[lo..=hi] {
+            tuples = tuples.checked_add(count)?;
+        }
+        tuples.checked_mul(self.time_flexibility() as u128 + 1)
+    }
+
+    /// Like [`FlexOffer::constrained_assignment_count`] but computed in
+    /// `f64`: exact for counts below 2^53, a close approximation beyond.
+    pub fn constrained_assignment_count_f64(&self) -> f64 {
+        let counts = self.offset_sum_counts_f64();
+        let lo = (self.total_min() - self.profile_min()) as usize;
+        let hi = ((self.total_max() - self.profile_min()) as usize).min(counts.len() - 1);
+        let tuples: f64 = counts[lo..=hi].iter().sum();
+        tuples * (self.time_flexibility() as f64 + 1.0)
+    }
+
+    /// Number of value tuples per offset total: entry `t` counts the tuples
+    /// with `sum(v_i - amin_i) = t`. `None` on `u128` overflow.
+    pub(crate) fn offset_sum_counts_u128(&self) -> Option<Vec<u128>> {
+        let total_width: usize = self.slices().iter().map(|s| s.width() as usize).sum();
+        let mut counts = vec![0u128; total_width + 1];
+        counts[0] = 1;
+        let mut reach = 0usize; // highest offset reachable so far
+        for s in self.slices() {
+            let w = s.width() as usize;
+            if w == 0 {
+                continue;
+            }
+            let mut next = vec![0u128; total_width + 1];
+            for (t, &count) in counts.iter().enumerate().take(reach + 1) {
+                if count == 0 {
+                    continue;
+                }
+                for x in 0..=w {
+                    let idx = t + x;
+                    next[idx] = next[idx].checked_add(count)?;
+                }
+            }
+            counts = next;
+            reach += w;
+        }
+        Some(counts)
+    }
+
+    /// `f64` variant of [`FlexOffer::offset_sum_counts_u128`]; never fails.
+    pub(crate) fn offset_sum_counts_f64(&self) -> Vec<f64> {
+        let total_width: usize = self.slices().iter().map(|s| s.width() as usize).sum();
+        let mut counts = vec![0f64; total_width + 1];
+        counts[0] = 1.0;
+        let mut reach = 0usize;
+        for s in self.slices() {
+            let w = s.width() as usize;
+            if w == 0 {
+                continue;
+            }
+            let mut next = vec![0f64; total_width + 1];
+            for t in 0..=reach {
+                if counts[t] == 0.0 {
+                    continue;
+                }
+                for x in 0..=w {
+                    next[t + x] += counts[t];
+                }
+            }
+            counts = next;
+            reach += w;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::Slice;
+
+    fn fo(tes: i64, tls: i64, slices: Vec<(i64, i64)>) -> FlexOffer {
+        FlexOffer::new(
+            tes,
+            tls,
+            slices
+                .into_iter()
+                .map(|(a, b)| Slice::new(a, b).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_6_count() {
+        // f2 = ([0,2], <[0,2]>): 3 starts x 3 values = 9.
+        let f = fo(0, 2, vec![(0, 2)]);
+        assert_eq!(f.unconstrained_assignment_count(), Some(9));
+        assert_eq!(f.constrained_assignment_count(), Some(9));
+    }
+
+    #[test]
+    fn example_14_counts() {
+        // f6 has 240 assignments; 80 with tf = 0; 3 with ef = 0.
+        let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert_eq!(f6.unconstrained_assignment_count(), Some(240));
+        let tf0 = fo(0, 0, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert_eq!(tf0.unconstrained_assignment_count(), Some(80));
+        let ef0 = fo(0, 2, vec![(-1, -1), (-4, -4), (-3, -3)]);
+        assert_eq!(ef0.unconstrained_assignment_count(), Some(3));
+    }
+
+    #[test]
+    fn example_14_f2_variants() {
+        // f2 with tf = 0 has 3 assignments; with ef = 0 it has 3 starts.
+        let tf0 = fo(0, 0, vec![(0, 2)]);
+        assert_eq!(tf0.unconstrained_assignment_count(), Some(3));
+        let ef0 = fo(0, 2, vec![(1, 1)]);
+        assert_eq!(ef0.unconstrained_assignment_count(), Some(3));
+    }
+
+    #[test]
+    fn constrained_count_matches_enumeration() {
+        let f = FlexOffer::with_totals(
+            0,
+            1,
+            vec![Slice::new(0, 3).unwrap(), Slice::new(-1, 2).unwrap()],
+            1,
+            3,
+        )
+        .unwrap();
+        let enumerated = f.assignments().count() as u128;
+        assert_eq!(f.constrained_assignment_count(), Some(enumerated));
+        let approx = f.constrained_assignment_count_f64();
+        assert_eq!(approx, enumerated as f64);
+    }
+
+    #[test]
+    fn log2_is_consistent_with_exact() {
+        let f = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
+        assert!((f.log2_assignment_count() - 240f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_space_overflows_to_none_but_log_survives() {
+        // 129^40 value tuples: far beyond u128.
+        let slices = vec![Slice::new(0, 128).unwrap(); 40];
+        let f = FlexOffer::new(0, 0, slices).unwrap();
+        assert_eq!(f.unconstrained_assignment_count(), None);
+        let log = f.log2_assignment_count();
+        assert!((log - 40.0 * 129f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_handles_all_fixed_slices() {
+        let f = fo(2, 5, vec![(3, 3), (1, 1)]);
+        assert_eq!(f.constrained_assignment_count(), Some(4));
+        assert_eq!(f.unconstrained_assignment_count(), Some(4));
+    }
+
+    #[test]
+    fn totals_prune_exactly() {
+        // Two [0,2] slices, total forced to 2: tuples (0,2),(1,1),(2,0).
+        let f = FlexOffer::with_totals(
+            0,
+            4,
+            vec![Slice::new(0, 2).unwrap(), Slice::new(0, 2).unwrap()],
+            2,
+            2,
+        )
+        .unwrap();
+        assert_eq!(f.constrained_assignment_count(), Some(3 * 5));
+        assert_eq!(f.unconstrained_assignment_count(), Some(9 * 5));
+    }
+}

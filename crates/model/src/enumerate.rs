@@ -1,0 +1,213 @@
+//! Exhaustive enumeration of the assignment set `L(f)`.
+//!
+//! The assignment space is a product space — `(tf + 1)` start times times the
+//! per-slice value ranges — filtered by the total energy constraints. The
+//! iterator walks it in odometer order: starts ascending, values in
+//! lexicographic order with the *last* slice varying fastest.
+//!
+//! The space grows exponentially in the slice count (the paper's Section 4
+//! discusses exactly this skew of the *assignments* measure), so callers
+//! should bound it via [`FlexOffer::collect_assignments`] or check
+//! [`count`](crate::count) first.
+
+use crate::assignment::Assignment;
+use crate::error::ModelError;
+use crate::flexoffer::FlexOffer;
+use crate::{Energy, TimeSlot};
+
+/// Iterator over assignments of a flex-offer; see
+/// [`FlexOffer::assignments`] and [`FlexOffer::assignments_unconstrained`].
+#[derive(Debug)]
+pub struct Assignments<'a> {
+    fo: &'a FlexOffer,
+    respect_totals: bool,
+    /// Next start time to emit; `> latest_start` once exhausted.
+    start: TimeSlot,
+    /// Current value odometer; `None` before the first step of a start.
+    values: Option<Vec<Energy>>,
+    done: bool,
+}
+
+impl<'a> Assignments<'a> {
+    fn new(fo: &'a FlexOffer, respect_totals: bool) -> Self {
+        Self {
+            fo,
+            respect_totals,
+            start: fo.earliest_start(),
+            values: None,
+            done: false,
+        }
+    }
+
+    /// Advances the odometer to the next value tuple, or returns `false`
+    /// when the tuple space for the current start is exhausted.
+    fn step_values(&mut self) -> bool {
+        match &mut self.values {
+            None => {
+                self.values = Some(self.fo.slices().iter().map(|s| s.min()).collect());
+                true
+            }
+            Some(values) => {
+                let slices = self.fo.slices();
+                for i in (0..values.len()).rev() {
+                    if values[i] < slices[i].max() {
+                        values[i] += 1;
+                        for (j, v) in values.iter_mut().enumerate().skip(i + 1) {
+                            *v = slices[j].min();
+                        }
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+impl Iterator for Assignments<'_> {
+    type Item = Assignment;
+
+    fn next(&mut self) -> Option<Assignment> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.step_values() {
+                let values = self.values.as_ref().expect("odometer was just set");
+                if self.respect_totals {
+                    let total: Energy = values.iter().sum();
+                    if total < self.fo.total_min() || total > self.fo.total_max() {
+                        continue;
+                    }
+                }
+                return Some(Assignment::new(self.start, values.clone()));
+            }
+            // Value space exhausted for this start; move to the next start.
+            if self.start >= self.fo.latest_start() {
+                self.done = true;
+                return None;
+            }
+            self.start += 1;
+            self.values = None;
+        }
+    }
+}
+
+impl FlexOffer {
+    /// Iterates over all *valid* assignments `L(f)` (Definition 2), i.e.
+    /// respecting slice ranges, the start window and the total constraints.
+    pub fn assignments(&self) -> Assignments<'_> {
+        Assignments::new(self, true)
+    }
+
+    /// Iterates over the product space of starts and slice values *ignoring*
+    /// the total energy constraints — the space Definition 8 counts.
+    pub fn assignments_unconstrained(&self) -> Assignments<'_> {
+        Assignments::new(self, false)
+    }
+
+    /// Collects all valid assignments, refusing if more than `limit` exist.
+    pub fn collect_assignments(&self, limit: usize) -> Result<Vec<Assignment>, ModelError> {
+        let mut out = Vec::new();
+        for a in self.assignments() {
+            if out.len() >= limit {
+                return Err(ModelError::TooManyAssignments {
+                    limit: limit as u128,
+                });
+            }
+            out.push(a);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::Slice;
+
+    #[test]
+    fn figure3_has_nine_assignments() {
+        // f2 = ([0,2], <[0,2]>) — Example 6.
+        let f = FlexOffer::new(0, 2, vec![Slice::new(0, 2).unwrap()]).unwrap();
+        let all: Vec<_> = f.assignments().collect();
+        assert_eq!(all.len(), 9);
+        // Distinct and all valid.
+        for a in &all {
+            assert!(f.is_valid_assignment(a));
+        }
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 9);
+    }
+
+    #[test]
+    fn figure2_has_four_assignments() {
+        // f1 = ([0,1], <[0,1]>) — Example 5 says 4 assignments.
+        let f = FlexOffer::new(0, 1, vec![Slice::new(0, 1).unwrap()]).unwrap();
+        assert_eq!(f.assignments().count(), 4);
+    }
+
+    #[test]
+    fn odometer_order_is_lexicographic() {
+        let f = FlexOffer::new(0, 0, vec![Slice::new(0, 1).unwrap(), Slice::new(0, 1).unwrap()])
+            .unwrap();
+        let vals: Vec<Vec<i64>> = f.assignments().map(|a| a.values().to_vec()).collect();
+        assert_eq!(
+            vals,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn totals_filter_prunes() {
+        let f = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 2).unwrap(), Slice::new(0, 2).unwrap()],
+            2,
+            2,
+        )
+        .unwrap();
+        let all: Vec<_> = f.assignments().collect();
+        // Pairs summing to 2: (0,2), (1,1), (2,0).
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|a| a.total() == 2));
+        // Unconstrained space is the full 3x3 product.
+        assert_eq!(f.assignments_unconstrained().count(), 9);
+    }
+
+    #[test]
+    fn figure7_constrained_equals_unconstrained() {
+        // f6's default totals make every tuple valid: 240 total (Example 14).
+        let f = FlexOffer::new(
+            0,
+            2,
+            vec![
+                Slice::new(-1, 2).unwrap(),
+                Slice::new(-4, -1).unwrap(),
+                Slice::new(-3, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(f.assignments().count(), 240);
+        assert_eq!(f.assignments_unconstrained().count(), 240);
+    }
+
+    #[test]
+    fn collect_respects_limit() {
+        let f = FlexOffer::new(0, 2, vec![Slice::new(0, 2).unwrap()]).unwrap();
+        assert_eq!(f.collect_assignments(9).unwrap().len(), 9);
+        assert!(matches!(
+            f.collect_assignments(8),
+            Err(ModelError::TooManyAssignments { limit: 8 })
+        ));
+    }
+
+    #[test]
+    fn single_assignment_space() {
+        let f = FlexOffer::new(3, 3, vec![Slice::fixed(5)]).unwrap();
+        let all: Vec<_> = f.assignments().collect();
+        assert_eq!(all, vec![Assignment::new(3, vec![5])]);
+    }
+}

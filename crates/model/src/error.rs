@@ -1,0 +1,236 @@
+//! Error types for flex-offer construction and assignment validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Energy, TimeSlot};
+
+/// Errors raised when constructing model types with invalid parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A flex-offer must have at least one slice (Definition 1 requires a
+    /// sequence of `s >= 1` consecutive slices).
+    EmptyProfile,
+    /// Flex-offer start times live in ℕ₀ (paper, Section 2).
+    NegativeEarliestStart {
+        /// The offending earliest start time.
+        earliest_start: TimeSlot,
+    },
+    /// The start window must satisfy `tes <= tls`.
+    StartWindowInverted {
+        /// Earliest start time.
+        earliest_start: TimeSlot,
+        /// Latest start time.
+        latest_start: TimeSlot,
+    },
+    /// A slice energy range must satisfy `amin <= amax`.
+    InvalidSliceRange {
+        /// Range minimum.
+        min: Energy,
+        /// Range maximum.
+        max: Energy,
+    },
+    /// Total energy constraints must satisfy `cmin <= cmax`.
+    TotalBoundsInverted {
+        /// Total minimum constraint.
+        total_min: Energy,
+        /// Total maximum constraint.
+        total_max: Energy,
+    },
+    /// Total energy constraints must lie within the profile sums:
+    /// `sum(amin) <= cmin` and `cmax <= sum(amax)` (Definition 1's side
+    /// condition).
+    TotalBoundsOutsideProfile {
+        /// Total minimum constraint.
+        total_min: Energy,
+        /// Total maximum constraint.
+        total_max: Energy,
+        /// Sum of slice minima.
+        profile_min: Energy,
+        /// Sum of slice maxima.
+        profile_max: Energy,
+    },
+    /// An operation that materialises assignments was asked to exceed its
+    /// limit (or the count overflows `u128`).
+    TooManyAssignments {
+        /// The configured limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyProfile => {
+                write!(f, "a flex-offer requires at least one slice")
+            }
+            ModelError::NegativeEarliestStart { earliest_start } => {
+                write!(
+                    f,
+                    "earliest start time must be non-negative, got {earliest_start}"
+                )
+            }
+            ModelError::StartWindowInverted {
+                earliest_start,
+                latest_start,
+            } => write!(
+                f,
+                "start window inverted: earliest {earliest_start} > latest {latest_start}"
+            ),
+            ModelError::InvalidSliceRange { min, max } => {
+                write!(f, "slice energy range inverted: min {min} > max {max}")
+            }
+            ModelError::TotalBoundsInverted {
+                total_min,
+                total_max,
+            } => write!(
+                f,
+                "total energy constraints inverted: cmin {total_min} > cmax {total_max}"
+            ),
+            ModelError::TotalBoundsOutsideProfile {
+                total_min,
+                total_max,
+                profile_min,
+                profile_max,
+            } => write!(
+                f,
+                "total energy constraints [{total_min}, {total_max}] must lie within \
+                 the profile sums [{profile_min}, {profile_max}]"
+            ),
+            ModelError::TooManyAssignments { limit } => {
+                write!(f, "assignment space exceeds the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// A reason an [`Assignment`](crate::Assignment) fails to satisfy a
+/// [`FlexOffer`](crate::FlexOffer) (Definition 2's three conditions plus the
+/// structural length check).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AssignmentViolation {
+    /// The assignment has a different number of values than the flex-offer
+    /// has slices.
+    LengthMismatch {
+        /// Number of slices in the flex-offer.
+        expected: usize,
+        /// Number of values in the assignment.
+        actual: usize,
+    },
+    /// The start time precedes the earliest start time.
+    StartTooEarly {
+        /// The assignment's start.
+        start: TimeSlot,
+        /// The flex-offer's earliest start.
+        earliest_start: TimeSlot,
+    },
+    /// The start time exceeds the latest start time.
+    StartTooLate {
+        /// The assignment's start.
+        start: TimeSlot,
+        /// The flex-offer's latest start.
+        latest_start: TimeSlot,
+    },
+    /// A value falls outside its slice's energy range.
+    SliceOutOfRange {
+        /// Zero-based slice index.
+        index: usize,
+        /// The offending value.
+        value: Energy,
+        /// Slice range minimum.
+        min: Energy,
+        /// Slice range maximum.
+        max: Energy,
+    },
+    /// The sum of values falls outside the total energy constraints.
+    TotalOutOfRange {
+        /// The assignment's total energy.
+        total: Energy,
+        /// Total minimum constraint.
+        total_min: Energy,
+        /// Total maximum constraint.
+        total_max: Energy,
+    },
+}
+
+impl fmt::Display for AssignmentViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignmentViolation::LengthMismatch { expected, actual } => write!(
+                f,
+                "assignment has {actual} values but the flex-offer has {expected} slices"
+            ),
+            AssignmentViolation::StartTooEarly {
+                start,
+                earliest_start,
+            } => write!(
+                f,
+                "start {start} precedes the earliest start time {earliest_start}"
+            ),
+            AssignmentViolation::StartTooLate { start, latest_start } => write!(
+                f,
+                "start {start} exceeds the latest start time {latest_start}"
+            ),
+            AssignmentViolation::SliceOutOfRange {
+                index,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "value {value} at slice {index} is outside the energy range [{min}, {max}]"
+            ),
+            AssignmentViolation::TotalOutOfRange {
+                total,
+                total_min,
+                total_max,
+            } => write!(
+                f,
+                "total energy {total} is outside the constraints [{total_min}, {total_max}]"
+            ),
+        }
+    }
+}
+
+impl Error for AssignmentViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_error_messages_mention_values() {
+        let e = ModelError::StartWindowInverted {
+            earliest_start: 5,
+            latest_start: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('5') && msg.contains('2'));
+    }
+
+    #[test]
+    fn violation_messages_mention_values() {
+        let v = AssignmentViolation::SliceOutOfRange {
+            index: 3,
+            value: 9,
+            min: 0,
+            max: 5,
+        };
+        let msg = v.to_string();
+        assert!(msg.contains("slice 3") && msg.contains('9'));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&ModelError::EmptyProfile);
+        assert_error(&AssignmentViolation::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        });
+    }
+}

@@ -1,0 +1,419 @@
+//! The [`FlexOffer`] type (Definition 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::Assignment;
+use crate::error::ModelError;
+use crate::sign::SignClass;
+use crate::slice::Slice;
+use crate::{Energy, TimeSlot};
+
+/// A flex-offer `f = ([tes, tls], <s(1), ..., s(s)>)` with total energy
+/// constraints `cmin <= cmax` (Definition 1).
+///
+/// Invariants, enforced at construction and on deserialization:
+///
+/// * at least one slice;
+/// * `0 <= tes <= tls` (time lives in ℕ₀, Section 2);
+/// * every slice satisfies `amin <= amax`;
+/// * `sum(amin) <= cmin <= cmax <= sum(amax)`.
+///
+/// When no total constraints are given they default to the loosest admissible
+/// pair, `cmin = sum(amin)` and `cmax = sum(amax)`, which makes the model
+/// coincide with the original flex-offer definition of Šikšnys et al.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "RawFlexOffer", into = "RawFlexOffer")]
+pub struct FlexOffer {
+    earliest_start: TimeSlot,
+    latest_start: TimeSlot,
+    slices: Vec<Slice>,
+    total_min: Energy,
+    total_max: Energy,
+}
+
+/// Serialized form of [`FlexOffer`]; deserialization re-validates all
+/// invariants.
+#[derive(Serialize, Deserialize)]
+struct RawFlexOffer {
+    earliest_start: TimeSlot,
+    latest_start: TimeSlot,
+    slices: Vec<Slice>,
+    total_min: Energy,
+    total_max: Energy,
+}
+
+impl TryFrom<RawFlexOffer> for FlexOffer {
+    type Error = ModelError;
+
+    fn try_from(raw: RawFlexOffer) -> Result<Self, ModelError> {
+        FlexOffer::with_totals(
+            raw.earliest_start,
+            raw.latest_start,
+            raw.slices,
+            raw.total_min,
+            raw.total_max,
+        )
+    }
+}
+
+impl From<FlexOffer> for RawFlexOffer {
+    fn from(fo: FlexOffer) -> Self {
+        RawFlexOffer {
+            earliest_start: fo.earliest_start,
+            latest_start: fo.latest_start,
+            slices: fo.slices,
+            total_min: fo.total_min,
+            total_max: fo.total_max,
+        }
+    }
+}
+
+impl FlexOffer {
+    /// Creates a flex-offer with default (loosest) total energy constraints.
+    pub fn new(
+        earliest_start: TimeSlot,
+        latest_start: TimeSlot,
+        slices: Vec<Slice>,
+    ) -> Result<Self, ModelError> {
+        let profile_min: Energy = slices.iter().map(Slice::min).sum();
+        let profile_max: Energy = slices.iter().map(Slice::max).sum();
+        Self::with_totals(
+            earliest_start,
+            latest_start,
+            slices,
+            profile_min,
+            profile_max,
+        )
+    }
+
+    /// Creates a flex-offer with explicit total energy constraints
+    /// `[total_min, total_max]` (the paper's `cmin`, `cmax`).
+    pub fn with_totals(
+        earliest_start: TimeSlot,
+        latest_start: TimeSlot,
+        slices: Vec<Slice>,
+        total_min: Energy,
+        total_max: Energy,
+    ) -> Result<Self, ModelError> {
+        if slices.is_empty() {
+            return Err(ModelError::EmptyProfile);
+        }
+        if earliest_start < 0 {
+            return Err(ModelError::NegativeEarliestStart { earliest_start });
+        }
+        if earliest_start > latest_start {
+            return Err(ModelError::StartWindowInverted {
+                earliest_start,
+                latest_start,
+            });
+        }
+        if total_min > total_max {
+            return Err(ModelError::TotalBoundsInverted {
+                total_min,
+                total_max,
+            });
+        }
+        let profile_min: Energy = slices.iter().map(Slice::min).sum();
+        let profile_max: Energy = slices.iter().map(Slice::max).sum();
+        if total_min < profile_min || total_max > profile_max {
+            return Err(ModelError::TotalBoundsOutsideProfile {
+                total_min,
+                total_max,
+                profile_min,
+                profile_max,
+            });
+        }
+        Ok(Self {
+            earliest_start,
+            latest_start,
+            slices,
+            total_min,
+            total_max,
+        })
+    }
+
+    /// The earliest start time `tes`.
+    pub fn earliest_start(&self) -> TimeSlot {
+        self.earliest_start
+    }
+
+    /// The latest start time `tls`.
+    pub fn latest_start(&self) -> TimeSlot {
+        self.latest_start
+    }
+
+    /// The energy profile: the sequence of slices.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// The profile duration `s` in time units.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The total minimum energy constraint `cmin`.
+    pub fn total_min(&self) -> Energy {
+        self.total_min
+    }
+
+    /// The total maximum energy constraint `cmax`.
+    pub fn total_max(&self) -> Energy {
+        self.total_max
+    }
+
+    /// Sum of slice minima (the lower bound Definition 1 puts on `cmin`).
+    pub fn profile_min(&self) -> Energy {
+        self.slices.iter().map(Slice::min).sum()
+    }
+
+    /// Sum of slice maxima (the upper bound Definition 1 puts on `cmax`).
+    pub fn profile_max(&self) -> Energy {
+        self.slices.iter().map(Slice::max).sum()
+    }
+
+    /// `true` if the total constraints are the loosest admissible pair
+    /// (`cmin = sum(amin)`, `cmax = sum(amax)`).
+    pub fn has_default_totals(&self) -> bool {
+        self.total_min == self.profile_min() && self.total_max == self.profile_max()
+    }
+
+    /// Time flexibility `tf(f) = tls - tes` (paper, Section 3.1; Example 1).
+    pub fn time_flexibility(&self) -> i64 {
+        self.latest_start - self.earliest_start
+    }
+
+    /// Energy flexibility `ef(f) = cmax - cmin` (paper, Section 3.1;
+    /// Example 2).
+    pub fn energy_flexibility(&self) -> Energy {
+        self.total_max - self.total_min
+    }
+
+    /// The sign class: consumption, production, mixed, or zero.
+    pub fn sign(&self) -> SignClass {
+        SignClass::of(self)
+    }
+
+    /// One past the last slot any assignment of this flex-offer can occupy
+    /// (`tls + s`).
+    pub fn latest_end(&self) -> TimeSlot {
+        self.latest_start + self.slices.len() as i64
+    }
+
+    /// The slots an assignment could possibly occupy: `tes .. tls + s`.
+    pub fn occupancy_window(&self) -> std::ops::Range<TimeSlot> {
+        self.earliest_start..self.latest_end()
+    }
+
+    /// The *minimum assignment* (Definition 5): starts at the earliest start
+    /// time with every slice at its range minimum.
+    ///
+    /// Note: Definitions 5–6 ignore the total energy constraints, so when
+    /// `cmin > sum(amin)` this extreme is not itself a valid assignment; the
+    /// paper uses it regardless to define the time-series measure
+    /// (Definition 7), and so do we.
+    pub fn min_assignment(&self) -> Assignment {
+        Assignment::new(
+            self.earliest_start,
+            self.slices.iter().map(Slice::min).collect(),
+        )
+    }
+
+    /// The *maximum assignment* (Definition 6): starts at the latest start
+    /// time with every slice at its range maximum. See the note on
+    /// [`FlexOffer::min_assignment`].
+    pub fn max_assignment(&self) -> Assignment {
+        Assignment::new(
+            self.latest_start,
+            self.slices.iter().map(Slice::max).collect(),
+        )
+    }
+
+    /// The band of amounts slice `i` can take across *valid* assignments,
+    /// i.e. accounting for the total energy constraints.
+    ///
+    /// A value `v` is achievable for slice `i` iff the remaining slices can
+    /// absorb it: `v + sum_other(amin) <= cmax` and
+    /// `v + sum_other(amax) >= cmin`. Because the other slices range over
+    /// integer intervals, every integer between the band's endpoints is
+    /// achievable (adjust one slice at a time — an integer intermediate-value
+    /// argument). The band is never empty thanks to Definition 1's side
+    /// condition `sum(amin) <= cmin <= cmax <= sum(amax)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn achievable_band(&self, i: usize) -> (Energy, Energy) {
+        let s = &self.slices[i];
+        let others_min = self.profile_min() - s.min();
+        let others_max = self.profile_max() - s.max();
+        let hi = s.max().min(self.total_max - others_min);
+        let lo = s.min().max(self.total_min - others_max);
+        debug_assert!(lo <= hi, "achievable band empty for slice {i}");
+        (lo, hi)
+    }
+
+    /// A copy with the start window shifted by `dt` (used by aggregation and
+    /// scheduling); fails if the shift drives `tes` negative.
+    pub fn shifted(&self, dt: TimeSlot) -> Result<Self, ModelError> {
+        Self::with_totals(
+            self.earliest_start + dt,
+            self.latest_start + dt,
+            self.slices.clone(),
+            self.total_min,
+            self.total_max,
+        )
+    }
+}
+
+impl std::fmt::Display for FlexOffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "([{}, {}], <", self.earliest_start, self.latest_start)?;
+        for (i, s) in self.slices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ">, cmin={}, cmax={})", self.total_min, self.total_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 flex-offer.
+    pub(crate) fn figure1() -> FlexOffer {
+        FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_flexibilities_match_examples_1_and_2() {
+        let f = figure1();
+        assert_eq!(f.time_flexibility(), 5);
+        assert_eq!(f.total_min(), 3);
+        assert_eq!(f.total_max(), 15);
+        assert_eq!(f.energy_flexibility(), 12);
+        assert_eq!(f.slice_count(), 4);
+        assert!(f.has_default_totals());
+    }
+
+    #[test]
+    fn empty_profile_rejected() {
+        assert_eq!(FlexOffer::new(0, 0, vec![]), Err(ModelError::EmptyProfile));
+    }
+
+    #[test]
+    fn negative_start_rejected() {
+        let r = FlexOffer::new(-1, 2, vec![Slice::fixed(1)]);
+        assert_eq!(
+            r,
+            Err(ModelError::NegativeEarliestStart { earliest_start: -1 })
+        );
+    }
+
+    #[test]
+    fn inverted_window_rejected() {
+        let r = FlexOffer::new(5, 2, vec![Slice::fixed(1)]);
+        assert!(matches!(r, Err(ModelError::StartWindowInverted { .. })));
+    }
+
+    #[test]
+    fn totals_must_nest_in_profile() {
+        let slices = vec![Slice::new(0, 2).unwrap()];
+        assert!(matches!(
+            FlexOffer::with_totals(0, 0, slices.clone(), -1, 2),
+            Err(ModelError::TotalBoundsOutsideProfile { .. })
+        ));
+        assert!(matches!(
+            FlexOffer::with_totals(0, 0, slices.clone(), 0, 3),
+            Err(ModelError::TotalBoundsOutsideProfile { .. })
+        ));
+        assert!(matches!(
+            FlexOffer::with_totals(0, 0, slices, 2, 1),
+            Err(ModelError::TotalBoundsInverted { .. })
+        ));
+    }
+
+    #[test]
+    fn min_max_assignments_per_definitions_5_and_6() {
+        let f = figure1();
+        let min = f.min_assignment();
+        assert_eq!(min.start(), 1);
+        assert_eq!(min.values(), &[1, 2, 0, 0]);
+        let max = f.max_assignment();
+        assert_eq!(max.start(), 6);
+        assert_eq!(max.values(), &[3, 4, 5, 3]);
+    }
+
+    #[test]
+    fn achievable_band_unconstrained_equals_slice_range() {
+        let f = figure1();
+        for (i, s) in f.slices().iter().enumerate() {
+            assert_eq!(f.achievable_band(i), (s.min(), s.max()));
+        }
+    }
+
+    #[test]
+    fn achievable_band_tightens_under_totals() {
+        // Two slices [0,5] each, total forced to exactly 5: each slice can
+        // still take any value 0..=5 (the other absorbs the rest).
+        let f = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            5,
+            5,
+        )
+        .unwrap();
+        assert_eq!(f.achievable_band(0), (0, 5));
+        // Total forced to 9: each slice must contribute at least 4.
+        let g = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            9,
+            9,
+        )
+        .unwrap();
+        assert_eq!(g.achievable_band(0), (4, 5));
+        assert_eq!(g.achievable_band(1), (4, 5));
+    }
+
+    #[test]
+    fn occupancy_window_spans_all_starts() {
+        let f = figure1();
+        assert_eq!(f.occupancy_window(), 1..10);
+        assert_eq!(f.latest_end(), 10);
+    }
+
+    #[test]
+    fn shifted_moves_window() {
+        let f = figure1();
+        let g = f.shifted(3).unwrap();
+        assert_eq!(g.earliest_start(), 4);
+        assert_eq!(g.latest_start(), 9);
+        assert_eq!(g.slices(), f.slices());
+        assert!(f.shifted(-2).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let f = figure1();
+        assert_eq!(
+            f.to_string(),
+            "([1, 6], <[1, 3], [2, 4], [0, 5], [0, 3]>, cmin=3, cmax=15)"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Granularity refinement.
+//!
+//! The paper fixes slice duration at one time unit and observes (Section 2)
+//! that "we can achieve any desired finer granularity/precision of time and
+//! energy by simply multiplying their values with the desirable
+//! coefficient". This module is that remark as code: [`refine`] rewrites a
+//! flex-offer from 1-unit slices to `factor`-times finer slices.
+//!
+//! Refinement *adds* expressiveness — the finer model admits start times
+//! between the original ones and uneven intra-slot energy splits — so it is
+//! not invertible; what it preserves exactly is every original assignment
+//! (mapped via [`refine_assignment`]), the total energy constraints, the
+//! profile sums, and the sign class.
+
+use crate::assignment::Assignment;
+use crate::error::ModelError;
+use crate::flexoffer::FlexOffer;
+use crate::slice::Slice;
+use crate::Energy;
+
+/// Splits `total` into `k` integer parts whose cumulative sums track the
+/// even split (the same rule as series upsampling, so totals are exact).
+fn even_split(total: Energy, k: usize) -> Vec<Energy> {
+    let mut parts = Vec::with_capacity(k);
+    let mut emitted: Energy = 0;
+    for j in 1..=k {
+        let target = (total as f64 * j as f64 / k as f64).round() as Energy;
+        parts.push(target - emitted);
+        emitted = target;
+    }
+    parts
+}
+
+/// Rewrites `fo` at a `factor`-times finer time granularity.
+///
+/// Each original slice `[a, b]` becomes `factor` slices: the minima split
+/// `a` evenly and each sub-slot's width splits `b - a` evenly (splitting
+/// minima and widths separately keeps `amin <= amax` in every sub-slot,
+/// which splitting `a` and `b` independently would not). The start window
+/// and profile scale by `factor`; `cmin`/`cmax` are unchanged.
+pub fn refine(fo: &FlexOffer, factor: usize) -> Result<FlexOffer, ModelError> {
+    if factor == 0 {
+        return Err(ModelError::EmptyProfile);
+    }
+    let k = factor as i64;
+    let mut slices = Vec::with_capacity(fo.slice_count() * factor);
+    for s in fo.slices() {
+        let mins = even_split(s.min(), factor);
+        let widths = even_split(s.width(), factor);
+        for (lo, w) in mins.into_iter().zip(widths) {
+            slices.push(Slice::new(lo, lo + w)?);
+        }
+    }
+    FlexOffer::with_totals(
+        fo.earliest_start() * k,
+        fo.latest_start() * k,
+        slices,
+        fo.total_min(),
+        fo.total_max(),
+    )
+}
+
+/// Maps an assignment of `fo` into [`refine`]'s model: the start scales by
+/// `factor`, each value starts from its sub-slots' minima, and the value's
+/// offset above the slice minimum fills the sub-slots' widths left to
+/// right. Valid whenever the original assignment is valid for `fo`, because
+/// sub-slot minima sum to the slice minimum and sub-slot widths sum to the
+/// slice width.
+pub fn refine_assignment(fo: &FlexOffer, a: &Assignment, factor: usize) -> Assignment {
+    let mut values = Vec::with_capacity(a.len() * factor);
+    for (slice, &v) in fo.slices().iter().zip(a.values()) {
+        let mins = even_split(slice.min(), factor);
+        let widths = even_split(slice.width(), factor);
+        let mut offset = v - slice.min();
+        for (lo, w) in mins.into_iter().zip(widths) {
+            let take = offset.clamp(0, w);
+            values.push(lo + take);
+            offset -= take;
+        }
+        debug_assert_eq!(offset, 0, "offset fits because v <= slice.max()");
+    }
+    Assignment::new(a.start() * factor as i64, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> FlexOffer {
+        FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn even_split_is_exact_and_balanced() {
+        assert_eq!(even_split(7, 3), vec![2, 3, 2]);
+        assert_eq!(even_split(-5, 2), vec![-3, -2]);
+        assert_eq!(even_split(0, 4), vec![0, 0, 0, 0]);
+        for total in -20..=20 {
+            for k in 1..=5 {
+                let parts = even_split(total, k);
+                assert_eq!(parts.iter().sum::<i64>(), total);
+                let spread =
+                    parts.iter().max().unwrap() - parts.iter().min().unwrap();
+                assert!(spread <= 1, "{total}/{k} -> {parts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_preserves_totals_profile_sums_and_sign() {
+        let f = figure1();
+        for factor in [1usize, 2, 4] {
+            let r = refine(&f, factor).unwrap();
+            assert_eq!(r.slice_count(), f.slice_count() * factor);
+            assert_eq!(r.total_min(), f.total_min());
+            assert_eq!(r.total_max(), f.total_max());
+            assert_eq!(r.profile_min(), f.profile_min());
+            assert_eq!(r.profile_max(), f.profile_max());
+            assert_eq!(r.sign(), f.sign());
+            assert_eq!(r.time_flexibility(), f.time_flexibility() * factor as i64);
+            assert_eq!(r.energy_flexibility(), f.energy_flexibility());
+        }
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let f = figure1();
+        assert_eq!(refine(&f, 1).unwrap(), f);
+    }
+
+    #[test]
+    fn factor_zero_rejected() {
+        assert!(refine(&figure1(), 0).is_err());
+    }
+
+    #[test]
+    fn refined_assignments_stay_valid() {
+        let f = figure1();
+        for factor in [2usize, 3] {
+            let r = refine(&f, factor).unwrap();
+            for a in f.assignments().take(200) {
+                let ra = refine_assignment(&f, &a, factor);
+                assert!(
+                    r.is_valid_assignment(&ra),
+                    "refined {a} -> {ra} invalid at factor {factor}"
+                );
+                assert_eq!(ra.total(), a.total(), "refinement preserves energy");
+            }
+        }
+    }
+
+    #[test]
+    fn production_profiles_refine_too() {
+        let f = FlexOffer::new(
+            0,
+            2,
+            vec![Slice::new(-5, -1).unwrap(), Slice::new(-3, 0).unwrap()],
+        )
+        .unwrap();
+        let r = refine(&f, 2).unwrap();
+        assert_eq!(r.sign(), crate::SignClass::Negative);
+        assert_eq!(r.profile_min(), -8);
+        for a in f.assignments().take(50) {
+            assert!(r.is_valid_assignment(&refine_assignment(&f, &a, 2)));
+        }
+    }
+
+    #[test]
+    fn refinement_strictly_adds_assignments() {
+        let f = FlexOffer::new(0, 1, vec![Slice::new(0, 2).unwrap()]).unwrap();
+        let r = refine(&f, 2).unwrap();
+        let original = f.constrained_assignment_count().unwrap();
+        let refined = r.constrained_assignment_count().unwrap();
+        assert!(refined > original, "{refined} <= {original}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The flex-offer data model.
+//!
+//! A **flex-offer** (Definition 1 of Valsomatzis et al., EDBT 2015, after
+//! Šikšnys et al., SSDBM 2012) captures a prosumer's energy flexibility in
+//! *time* — a start window `[tes, tls]` — and in *amount* — a sequence of
+//! unit-duration slices, each an energy range `[amin, amax]`, bounded by
+//! total energy constraints `cmin <= cmax`.
+//!
+//! An **assignment** (Definition 2) instantiates a flex-offer: it fixes a
+//! start time inside the window and one energy value per slice such that the
+//! per-slice ranges and the total constraints hold.
+//!
+//! This crate provides:
+//!
+//! * [`FlexOffer`], [`Slice`], [`Assignment`] — the model types, with
+//!   invariants enforced at construction ([`FlexOfferBuilder`] for fluent
+//!   construction);
+//! * validation of assignments against a flex-offer ([`validate`]);
+//! * exhaustive enumeration of the assignment set `L(f)` ([`enumerate`]);
+//! * closed-form and dynamic-programming assignment counting ([`count`]);
+//! * uniform random sampling of valid assignments ([`sample`]);
+//! * [`Portfolio`] — an owned set of flex-offers with summary queries.
+//!
+//! # Example: the paper's Figure 1 flex-offer
+//!
+//! ```
+//! use flexoffers_model::{FlexOffer, Slice, Assignment};
+//!
+//! let f = FlexOffer::new(
+//!     1,
+//!     6,
+//!     vec![
+//!         Slice::new(1, 3).unwrap(),
+//!         Slice::new(2, 4).unwrap(),
+//!         Slice::new(0, 5).unwrap(),
+//!         Slice::new(0, 3).unwrap(),
+//!     ],
+//! )
+//! .unwrap();
+//! assert_eq!(f.time_flexibility(), 5); // Example 1
+//! assert_eq!(f.energy_flexibility(), 12); // Example 2
+//!
+//! // fa1 = <2, 3, 1, 2> starting at slot 2 is a valid assignment.
+//! let fa1 = Assignment::new(2, vec![2, 3, 1, 2]);
+//! assert!(f.is_valid_assignment(&fa1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assignment;
+pub mod builder;
+pub mod count;
+pub mod enumerate;
+pub mod error;
+pub mod flexoffer;
+pub mod granularity;
+pub mod portfolio;
+pub mod sample;
+pub mod sign;
+pub mod slice;
+pub mod validate;
+
+pub use assignment::Assignment;
+pub use builder::FlexOfferBuilder;
+pub use enumerate::Assignments;
+pub use error::{AssignmentViolation, ModelError};
+pub use flexoffer::FlexOffer;
+pub use portfolio::Portfolio;
+pub use sign::SignClass;
+pub use slice::Slice;
+
+/// An energy amount in abstract integer units (the paper's domain ℤ,
+/// Section 2). Callers pick the physical granularity, e.g. 1 unit = 100 Wh.
+pub type Energy = i64;
+
+/// A time slot index (the paper's domain ℕ₀ for flex-offer starts; signed
+/// here so series arithmetic stays total — constructors enforce
+/// non-negativity where the paper requires it).
+pub type TimeSlot = i64;

@@ -1,0 +1,259 @@
+//! Portfolios: owned sets of flex-offers.
+//!
+//! Both of the paper's scenarios operate on *sets* of flex-offers — an
+//! aggregator's input in Scenario 1, tradeable commodities in Scenario 2 —
+//! and every measure is lifted to sets (Section 4). `Portfolio` is the
+//! workspace-wide carrier for such sets.
+
+use serde::{Deserialize, Serialize};
+
+use flexoffers_timeseries::Series;
+
+use crate::assignment::Assignment;
+use crate::flexoffer::FlexOffer;
+use crate::sign::SignClass;
+use crate::{Energy, TimeSlot};
+
+/// An owned, ordered collection of flex-offers.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Portfolio {
+    offers: Vec<FlexOffer>,
+}
+
+/// Per-[`SignClass`] counts for a portfolio.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SignSummary {
+    /// Number of pure-consumption flex-offers.
+    pub positive: usize,
+    /// Number of pure-production flex-offers.
+    pub negative: usize,
+    /// Number of mixed flex-offers.
+    pub mixed: usize,
+    /// Number of zero (no-exchange) flex-offers.
+    pub zero: usize,
+}
+
+impl Portfolio {
+    /// Creates an empty portfolio.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a portfolio from existing flex-offers.
+    pub fn from_offers(offers: Vec<FlexOffer>) -> Self {
+        Self { offers }
+    }
+
+    /// Appends a flex-offer.
+    pub fn push(&mut self, fo: FlexOffer) {
+        self.offers.push(fo);
+    }
+
+    /// Number of flex-offers.
+    pub fn len(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// `true` if the portfolio holds no flex-offers.
+    pub fn is_empty(&self) -> bool {
+        self.offers.is_empty()
+    }
+
+    /// The flex-offers as a slice.
+    pub fn as_slice(&self) -> &[FlexOffer] {
+        &self.offers
+    }
+
+    /// Iterates over the flex-offers.
+    pub fn iter(&self) -> std::slice::Iter<'_, FlexOffer> {
+        self.offers.iter()
+    }
+
+    /// Consumes the portfolio, returning the flex-offers.
+    pub fn into_offers(self) -> Vec<FlexOffer> {
+        self.offers
+    }
+
+    /// Sum of total minimum constraints across offers.
+    pub fn total_min(&self) -> Energy {
+        self.offers.iter().map(FlexOffer::total_min).sum()
+    }
+
+    /// Sum of total maximum constraints across offers.
+    pub fn total_max(&self) -> Energy {
+        self.offers.iter().map(FlexOffer::total_max).sum()
+    }
+
+    /// Counts offers per sign class.
+    pub fn sign_summary(&self) -> SignSummary {
+        let mut out = SignSummary::default();
+        for fo in &self.offers {
+            match fo.sign() {
+                SignClass::Positive => out.positive += 1,
+                SignClass::Negative => out.negative += 1,
+                SignClass::Mixed => out.mixed += 1,
+                SignClass::Zero => out.zero += 1,
+            }
+        }
+        out
+    }
+
+    /// A new portfolio keeping only offers of the given sign class.
+    pub fn filter_sign(&self, sign: SignClass) -> Portfolio {
+        Portfolio {
+            offers: self
+                .offers
+                .iter()
+                .filter(|fo| fo.sign() == sign)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The slot range any assignment of any offer can occupy, or `None` for
+    /// an empty portfolio.
+    pub fn horizon(&self) -> Option<std::ops::Range<TimeSlot>> {
+        let lo = self.offers.iter().map(FlexOffer::earliest_start).min()?;
+        let hi = self.offers.iter().map(FlexOffer::latest_end).max()?;
+        Some(lo..hi)
+    }
+
+    /// The summed load series of one assignment per offer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignments.len() != self.len()`; callers pair them
+    /// positionally.
+    pub fn load(&self, assignments: &[Assignment]) -> Series<i64> {
+        assert_eq!(
+            assignments.len(),
+            self.offers.len(),
+            "one assignment per flex-offer required"
+        );
+        let mut load = Series::empty();
+        for a in assignments {
+            load = &load + &a.as_series();
+        }
+        load
+    }
+
+    /// Checks every assignment against its flex-offer (positionally);
+    /// `true` only if all are valid.
+    pub fn all_valid(&self, assignments: &[Assignment]) -> bool {
+        assignments.len() == self.offers.len()
+            && self
+                .offers
+                .iter()
+                .zip(assignments)
+                .all(|(fo, a)| fo.is_valid_assignment(a))
+    }
+}
+
+impl FromIterator<FlexOffer> for Portfolio {
+    fn from_iter<I: IntoIterator<Item = FlexOffer>>(iter: I) -> Self {
+        Self {
+            offers: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Portfolio {
+    type Item = FlexOffer;
+    type IntoIter = std::vec::IntoIter<FlexOffer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.offers.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Portfolio {
+    type Item = &'a FlexOffer;
+    type IntoIter = std::slice::Iter<'a, FlexOffer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.offers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::Slice;
+
+    fn consumption() -> FlexOffer {
+        FlexOffer::new(0, 2, vec![Slice::new(1, 3).unwrap()]).unwrap()
+    }
+
+    fn production() -> FlexOffer {
+        FlexOffer::new(1, 4, vec![Slice::new(-3, -1).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn summary_counts_classes() {
+        let p: Portfolio = vec![
+            consumption(),
+            production(),
+            consumption(),
+            FlexOffer::new(0, 0, vec![Slice::new(-1, 1).unwrap()]).unwrap(),
+            FlexOffer::new(0, 0, vec![Slice::fixed(0)]).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let s = p.sign_summary();
+        assert_eq!(s.positive, 2);
+        assert_eq!(s.negative, 1);
+        assert_eq!(s.mixed, 1);
+        assert_eq!(s.zero, 1);
+    }
+
+    #[test]
+    fn filter_by_sign() {
+        let p = Portfolio::from_offers(vec![consumption(), production()]);
+        assert_eq!(p.filter_sign(SignClass::Positive).len(), 1);
+        assert_eq!(p.filter_sign(SignClass::Negative).len(), 1);
+        assert!(p.filter_sign(SignClass::Mixed).is_empty());
+    }
+
+    #[test]
+    fn horizon_spans_all_offers() {
+        let p = Portfolio::from_offers(vec![consumption(), production()]);
+        assert_eq!(p.horizon(), Some(0..5));
+        assert_eq!(Portfolio::new().horizon(), None);
+    }
+
+    #[test]
+    fn totals_sum() {
+        let p = Portfolio::from_offers(vec![consumption(), production()]);
+        assert_eq!(p.total_min(), 1 - 3);
+        assert_eq!(p.total_max(), 3 - 1);
+    }
+
+    #[test]
+    fn load_sums_assignments() {
+        let p = Portfolio::from_offers(vec![consumption(), production()]);
+        let assignments = vec![
+            Assignment::new(1, vec![2]),
+            Assignment::new(1, vec![-1]),
+        ];
+        assert!(p.all_valid(&assignments));
+        let load = p.load(&assignments);
+        assert_eq!(load.at(1), 1);
+        assert_eq!(load.sum(), 1);
+    }
+
+    #[test]
+    fn all_valid_rejects_wrong_length_and_invalid() {
+        let p = Portfolio::from_offers(vec![consumption()]);
+        assert!(!p.all_valid(&[]));
+        assert!(!p.all_valid(&[Assignment::new(9, vec![2])]));
+    }
+
+    #[test]
+    fn iteration_both_ways() {
+        let p = Portfolio::from_offers(vec![consumption(), production()]);
+        assert_eq!(p.iter().count(), 2);
+        assert_eq!((&p).into_iter().count(), 2);
+        assert_eq!(p.clone().into_iter().count(), 2);
+        assert_eq!(p.into_offers().len(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Uniform random sampling of valid assignments.
+//!
+//! Schedulers and property tests need "a random element of `L(f)`" without
+//! enumerating the (potentially astronomical) assignment space. Sampling is
+//! done exactly with the same dynamic program that counts assignments: the
+//! start time is uniform over the window (every start admits the same value
+//! tuples), and values are drawn slice by slice with probabilities
+//! proportional to the number of completions, so every valid tuple is
+//! equally likely (up to `f64` rounding of the DP weights, which is exact
+//! below 2^53 completions).
+
+use rand::Rng;
+
+use crate::assignment::Assignment;
+use crate::flexoffer::FlexOffer;
+use crate::Energy;
+
+impl FlexOffer {
+    /// Draws a uniformly random valid assignment.
+    pub fn sample_assignment<R: Rng + ?Sized>(&self, rng: &mut R) -> Assignment {
+        let start = rng.gen_range(self.earliest_start()..=self.latest_start());
+
+        // suffix_counts[i][t]: number of ways slices i.. reach offset-sum t.
+        let suffix_counts = self.suffix_offset_counts();
+
+        let offset_lo = self.total_min() - self.profile_min();
+        let offset_hi = self.total_max() - self.profile_min();
+
+        let mut values: Vec<Energy> = Vec::with_capacity(self.slice_count());
+        // Remaining admissible window for the offset-sum of the still-unset
+        // slices: starts as [offset_lo, offset_hi], shrinks as values commit.
+        let mut lo = offset_lo;
+        let mut hi = offset_hi;
+        for (i, slice) in self.slices().iter().enumerate() {
+            let tail = &suffix_counts[i + 1];
+            let tail_max = tail.len() as i64 - 1;
+            // Weight of choosing offset x for this slice: number of tail
+            // completions with offset-sum inside [lo - x, hi - x].
+            let weight = |x: i64| -> f64 {
+                let a = (lo - x).max(0);
+                let b = (hi - x).min(tail_max);
+                if a > b {
+                    0.0
+                } else {
+                    tail[a as usize..=b as usize].iter().sum()
+                }
+            };
+            let total_weight: f64 = (0..=slice.width()).map(weight).sum();
+            debug_assert!(total_weight > 0.0, "no valid completion for slice {i}");
+            let mut pick = rng.gen_range(0.0..total_weight);
+            let mut chosen = slice.width(); // fallback to the last candidate
+            for x in 0..=slice.width() {
+                let w = weight(x);
+                if pick < w {
+                    chosen = x;
+                    break;
+                }
+                pick -= w;
+            }
+            values.push(slice.min() + chosen);
+            lo -= chosen;
+            hi -= chosen;
+        }
+        Assignment::new(start, values)
+    }
+
+    /// Draws `n` independent uniformly random valid assignments.
+    pub fn sample_assignments<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Assignment> {
+        (0..n).map(|_| self.sample_assignment(rng)).collect()
+    }
+
+    /// `suffix_counts[i][t]` = number of ways slices `i..s` can sum to
+    /// offset `t` (offsets measured from each slice's minimum). Row `s` is
+    /// the base case `[1]`.
+    fn suffix_offset_counts(&self) -> Vec<Vec<f64>> {
+        let s = self.slice_count();
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); s + 1];
+        rows[s] = vec![1.0];
+        for i in (0..s).rev() {
+            let w = self.slices()[i].width() as usize;
+            let tail = &rows[i + 1];
+            let mut row = vec![0.0; tail.len() + w];
+            for (t, &c) in tail.iter().enumerate() {
+                if c == 0.0 {
+                    continue;
+                }
+                for x in 0..=w {
+                    row[t + x] += c;
+                }
+            }
+            rows[i] = row;
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::Slice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn samples_are_always_valid() {
+        let f = FlexOffer::with_totals(
+            0,
+            3,
+            vec![
+                Slice::new(0, 3).unwrap(),
+                Slice::new(-2, 2).unwrap(),
+                Slice::new(1, 4).unwrap(),
+            ],
+            2,
+            5,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for a in f.sample_assignments(500, &mut rng) {
+            assert!(f.is_valid_assignment(&a), "invalid sample {a}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // f = ([0,1], <[0,2],[0,2]>) with total in [2,2]: valid tuples are
+        // (0,2),(1,1),(2,0) over 2 starts = 6 assignments.
+        let f = FlexOffer::with_totals(
+            0,
+            1,
+            vec![Slice::new(0, 2).unwrap(), Slice::new(0, 2).unwrap()],
+            2,
+            2,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 6000;
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        for a in f.sample_assignments(n, &mut rng) {
+            *freq.entry(a.to_string()).or_default() += 1;
+        }
+        assert_eq!(freq.len(), 6);
+        let expected = n as f64 / 6.0;
+        for (k, v) in &freq {
+            let dev = (*v as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "assignment {k} occurred {v} times");
+        }
+    }
+
+    #[test]
+    fn tight_totals_force_unique_tuple() {
+        let f = FlexOffer::with_totals(
+            2,
+            2,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            10,
+            10,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = f.sample_assignment(&mut rng);
+        assert_eq!(a, Assignment::new(2, vec![5, 5]));
+    }
+
+    #[test]
+    fn single_point_space() {
+        let f = FlexOffer::new(4, 4, vec![Slice::fixed(-3)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(f.sample_assignment(&mut rng), Assignment::new(4, vec![-3]));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f = FlexOffer::new(
+            0,
+            5,
+            vec![Slice::new(0, 4).unwrap(), Slice::new(-1, 3).unwrap()],
+        )
+        .unwrap();
+        let a: Vec<_> = f.sample_assignments(10, &mut StdRng::seed_from_u64(9));
+        let b: Vec<_> = f.sample_assignments(10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Sign classification of flex-offers: consumption, production, or both.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flexoffer::FlexOffer;
+
+/// The sign class of a flex-offer (paper, Section 2).
+///
+/// * *Positive* flex-offers represent energy **consumption** (e.g. a
+///   dishwasher): every admissible amount is non-negative and some amount is
+///   strictly positive.
+/// * *Negative* flex-offers represent energy **production** (e.g. a solar
+///   panel): every admissible amount is non-positive and some amount is
+///   strictly negative.
+/// * *Mixed* flex-offers can both consume and produce (e.g. vehicle-to-grid).
+/// * *Zero* flex-offers admit no energy exchange at all (every slice is
+///   `[0, 0]`); the paper does not name this degenerate class, but it arises
+///   naturally and several measures treat it like an inflexible object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignClass {
+    /// Pure consumption.
+    Positive,
+    /// Pure production.
+    Negative,
+    /// Both consumption and production are admissible.
+    Mixed,
+    /// No energy exchange is admissible.
+    Zero,
+}
+
+impl SignClass {
+    /// Classifies a flex-offer by inspecting its slice ranges.
+    pub fn of(fo: &FlexOffer) -> SignClass {
+        let mut any_pos = false;
+        let mut any_neg = false;
+        for s in fo.slices() {
+            if s.max() > 0 {
+                any_pos = true;
+            }
+            if s.min() < 0 {
+                any_neg = true;
+            }
+        }
+        match (any_pos, any_neg) {
+            (false, false) => SignClass::Zero,
+            (true, false) => SignClass::Positive,
+            (false, true) => SignClass::Negative,
+            (true, true) => SignClass::Mixed,
+        }
+    }
+
+    /// `true` for [`SignClass::Positive`].
+    pub fn is_positive(self) -> bool {
+        self == SignClass::Positive
+    }
+
+    /// `true` for [`SignClass::Negative`].
+    pub fn is_negative(self) -> bool {
+        self == SignClass::Negative
+    }
+
+    /// `true` for [`SignClass::Mixed`].
+    pub fn is_mixed(self) -> bool {
+        self == SignClass::Mixed
+    }
+}
+
+impl std::fmt::Display for SignClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            SignClass::Positive => "positive",
+            SignClass::Negative => "negative",
+            SignClass::Mixed => "mixed",
+            SignClass::Zero => "zero",
+        };
+        f.write_str(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::Slice;
+
+    fn fo(slices: Vec<Slice>) -> FlexOffer {
+        FlexOffer::new(0, 0, slices).unwrap()
+    }
+
+    #[test]
+    fn consumption_is_positive() {
+        let f = fo(vec![Slice::new(0, 3).unwrap(), Slice::new(1, 2).unwrap()]);
+        assert_eq!(SignClass::of(&f), SignClass::Positive);
+        assert!(SignClass::of(&f).is_positive());
+    }
+
+    #[test]
+    fn production_is_negative() {
+        let f = fo(vec![Slice::new(-3, 0).unwrap(), Slice::new(-2, -1).unwrap()]);
+        assert_eq!(SignClass::of(&f), SignClass::Negative);
+    }
+
+    #[test]
+    fn crossing_range_is_mixed() {
+        let f = fo(vec![Slice::new(-1, 2).unwrap()]);
+        assert_eq!(SignClass::of(&f), SignClass::Mixed);
+    }
+
+    #[test]
+    fn separate_pos_and_neg_slices_are_mixed() {
+        let f = fo(vec![Slice::fixed(1), Slice::fixed(-1)]);
+        assert_eq!(SignClass::of(&f), SignClass::Mixed);
+    }
+
+    #[test]
+    fn all_zero_is_zero() {
+        let f = fo(vec![Slice::fixed(0), Slice::fixed(0)]);
+        assert_eq!(SignClass::of(&f), SignClass::Zero);
+    }
+
+    #[test]
+    fn paper_figure_7_is_mixed() {
+        // f6 = ([0,2], <[-1,2], [-4,-1], [-3,1]>)
+        let f = FlexOffer::new(
+            0,
+            2,
+            vec![
+                Slice::new(-1, 2).unwrap(),
+                Slice::new(-4, -1).unwrap(),
+                Slice::new(-3, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(SignClass::of(&f), SignClass::Mixed);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(SignClass::Positive.to_string(), "positive");
+        assert_eq!(SignClass::Mixed.to_string(), "mixed");
+    }
+}

@@ -1,0 +1,157 @@
+//! Flex-offer slices: unit-duration energy ranges.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::Energy;
+
+/// One slice of a flex-offer's energy profile: an inclusive energy range
+/// `[amin, amax]` over one time unit (Definition 1).
+///
+/// Positive amounts denote consumption, negative amounts production
+/// (Section 2 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "RawSlice", into = "RawSlice")]
+pub struct Slice {
+    min: Energy,
+    max: Energy,
+}
+
+/// Serialized form of [`Slice`]; deserialization re-validates the invariant.
+#[derive(Serialize, Deserialize)]
+struct RawSlice {
+    min: Energy,
+    max: Energy,
+}
+
+impl TryFrom<RawSlice> for Slice {
+    type Error = ModelError;
+
+    fn try_from(raw: RawSlice) -> Result<Self, ModelError> {
+        Slice::new(raw.min, raw.max)
+    }
+}
+
+impl From<Slice> for RawSlice {
+    fn from(s: Slice) -> Self {
+        RawSlice {
+            min: s.min,
+            max: s.max,
+        }
+    }
+}
+
+impl Slice {
+    /// Creates a slice with range `[min, max]`; fails if `min > max`.
+    pub fn new(min: Energy, max: Energy) -> Result<Self, ModelError> {
+        if min > max {
+            return Err(ModelError::InvalidSliceRange { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Creates a slice with a single admissible amount (`[v, v]`).
+    pub fn fixed(v: Energy) -> Self {
+        Self { min: v, max: v }
+    }
+
+    /// The range minimum `amin`.
+    pub fn min(&self) -> Energy {
+        self.min
+    }
+
+    /// The range maximum `amax`.
+    pub fn max(&self) -> Energy {
+        self.max
+    }
+
+    /// The range width `amax - amin` — the slice's own amount flexibility.
+    pub fn width(&self) -> Energy {
+        self.max - self.min
+    }
+
+    /// Number of admissible integer amounts (`width + 1`).
+    pub fn cardinality(&self) -> u64 {
+        (self.max - self.min) as u64 + 1
+    }
+
+    /// `true` if `v` lies inside the range.
+    pub fn contains(&self, v: Energy) -> bool {
+        self.min <= v && v <= self.max
+    }
+
+    /// `true` if the range admits exactly one amount.
+    pub fn is_fixed(&self) -> bool {
+        self.min == self.max
+    }
+
+    /// Clamps `v` into the range.
+    pub fn clamp(&self, v: Energy) -> Energy {
+        v.clamp(self.min, self.max)
+    }
+
+    /// The midpoint of the range, rounded toward the minimum.
+    pub fn midpoint(&self) -> Energy {
+        self.min + (self.max - self.min) / 2
+    }
+}
+
+impl std::fmt::Display for Slice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_slice() {
+        let s = Slice::new(-2, 5).unwrap();
+        assert_eq!(s.min(), -2);
+        assert_eq!(s.max(), 5);
+        assert_eq!(s.width(), 7);
+        assert_eq!(s.cardinality(), 8);
+        assert!(!s.is_fixed());
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        assert_eq!(
+            Slice::new(3, 1),
+            Err(ModelError::InvalidSliceRange { min: 3, max: 1 })
+        );
+    }
+
+    #[test]
+    fn fixed_slice() {
+        let s = Slice::fixed(4);
+        assert!(s.is_fixed());
+        assert_eq!(s.width(), 0);
+        assert_eq!(s.cardinality(), 1);
+        assert_eq!(s.midpoint(), 4);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let s = Slice::new(0, 5).unwrap();
+        assert!(s.contains(0) && s.contains(5) && s.contains(3));
+        assert!(!s.contains(-1) && !s.contains(6));
+        assert_eq!(s.clamp(-3), 0);
+        assert_eq!(s.clamp(9), 5);
+        assert_eq!(s.clamp(2), 2);
+    }
+
+    #[test]
+    fn midpoint_rounds_toward_min() {
+        assert_eq!(Slice::new(0, 5).unwrap().midpoint(), 2);
+        assert_eq!(Slice::new(-5, 0).unwrap().midpoint(), -3);
+        assert_eq!(Slice::new(2, 4).unwrap().midpoint(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Slice::new(1, 3).unwrap().to_string(), "[1, 3]");
+    }
+}

@@ -1,0 +1,186 @@
+//! Assignment validation against a flex-offer (Definition 2's conditions).
+
+use crate::assignment::Assignment;
+use crate::error::AssignmentViolation;
+use crate::flexoffer::FlexOffer;
+
+impl FlexOffer {
+    /// Checks Definition 2's conditions, returning the *first* violation:
+    ///
+    /// 1. structural: one value per slice;
+    /// 2. `tes <= tstart <= tls`;
+    /// 3. `amin(i) <= v(i) <= amax(i)` for every slice `i`;
+    /// 4. `cmin <= sum(v(i)) <= cmax`.
+    pub fn check_assignment(&self, a: &Assignment) -> Result<(), AssignmentViolation> {
+        match self.assignment_violations(a).into_iter().next() {
+            None => Ok(()),
+            Some(v) => Err(v),
+        }
+    }
+
+    /// `true` iff `a` is a valid assignment of this flex-offer, i.e. a member
+    /// of `L(f)`.
+    pub fn is_valid_assignment(&self, a: &Assignment) -> bool {
+        self.assignment_violations(a).is_empty()
+    }
+
+    /// All violations of Definition 2's conditions (empty for a valid
+    /// assignment). Useful for diagnostics: a scheduler bug report wants all
+    /// broken slices, not just the first.
+    pub fn assignment_violations(&self, a: &Assignment) -> Vec<AssignmentViolation> {
+        let mut out = Vec::new();
+        if a.len() != self.slice_count() {
+            out.push(AssignmentViolation::LengthMismatch {
+                expected: self.slice_count(),
+                actual: a.len(),
+            });
+            // Per-slice checks below would misalign; stop at the structural
+            // violation.
+            return out;
+        }
+        if a.start() < self.earliest_start() {
+            out.push(AssignmentViolation::StartTooEarly {
+                start: a.start(),
+                earliest_start: self.earliest_start(),
+            });
+        }
+        if a.start() > self.latest_start() {
+            out.push(AssignmentViolation::StartTooLate {
+                start: a.start(),
+                latest_start: self.latest_start(),
+            });
+        }
+        for (index, (slice, value)) in self.slices().iter().zip(a.values()).enumerate() {
+            if !slice.contains(*value) {
+                out.push(AssignmentViolation::SliceOutOfRange {
+                    index,
+                    value: *value,
+                    min: slice.min(),
+                    max: slice.max(),
+                });
+            }
+        }
+        let total = a.total();
+        if total < self.total_min() || total > self.total_max() {
+            out.push(AssignmentViolation::TotalOutOfRange {
+                total,
+                total_min: self.total_min(),
+                total_max: self.total_max(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::Slice;
+
+    fn figure1() -> FlexOffer {
+        FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_figure1_assignment_is_valid() {
+        let f = figure1();
+        // fa1 with {fa1} from t=2: <2, 3, 1, 2> (paper, Section 2).
+        let a = Assignment::new(2, vec![2, 3, 1, 2]);
+        assert!(f.is_valid_assignment(&a));
+        assert_eq!(f.check_assignment(&a), Ok(()));
+    }
+
+    #[test]
+    fn length_mismatch_short_circuits() {
+        let f = figure1();
+        let a = Assignment::new(2, vec![2, 3]);
+        let v = f.assignment_violations(&a);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], AssignmentViolation::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn start_window_enforced() {
+        let f = figure1();
+        assert!(matches!(
+            f.check_assignment(&Assignment::new(0, vec![2, 3, 1, 2])),
+            Err(AssignmentViolation::StartTooEarly { .. })
+        ));
+        assert!(matches!(
+            f.check_assignment(&Assignment::new(7, vec![2, 3, 1, 2])),
+            Err(AssignmentViolation::StartTooLate { .. })
+        ));
+    }
+
+    #[test]
+    fn slice_ranges_enforced() {
+        let f = figure1();
+        let a = Assignment::new(2, vec![0, 3, 1, 2]); // slice 0 requires >= 1
+        assert!(matches!(
+            f.check_assignment(&a),
+            Err(AssignmentViolation::SliceOutOfRange { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn totals_enforced() {
+        let f = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            3,
+            7,
+        )
+        .unwrap();
+        // Slice-wise fine, total 10 > cmax 7.
+        let a = Assignment::new(0, vec![5, 5]);
+        assert!(matches!(
+            f.check_assignment(&a),
+            Err(AssignmentViolation::TotalOutOfRange { total: 10, .. })
+        ));
+        // Total 2 < cmin 3.
+        let b = Assignment::new(0, vec![1, 1]);
+        assert!(!f.is_valid_assignment(&b));
+        // Total inside.
+        let c = Assignment::new(0, vec![2, 3]);
+        assert!(f.is_valid_assignment(&c));
+    }
+
+    #[test]
+    fn multiple_violations_reported() {
+        let f = figure1();
+        let a = Assignment::new(0, vec![0, 5, 6, 4]);
+        let v = f.assignment_violations(&a);
+        // Start too early + all four slices out of range; the total (15)
+        // still satisfies cmax = 15, so no total violation.
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn min_assignment_valid_iff_default_totals() {
+        let f = figure1();
+        assert!(f.is_valid_assignment(&f.min_assignment()));
+        assert!(f.is_valid_assignment(&f.max_assignment()));
+        let g = FlexOffer::with_totals(
+            0,
+            1,
+            vec![Slice::new(0, 5).unwrap()],
+            2,
+            4,
+        )
+        .unwrap();
+        // Definition 5/6 extremes ignore totals; here they are invalid.
+        assert!(!g.is_valid_assignment(&g.min_assignment()));
+        assert!(!g.is_valid_assignment(&g.max_assignment()));
+    }
+}

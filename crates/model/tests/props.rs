@@ -1,0 +1,125 @@
+//! Property-based tests for the flex-offer model invariants.
+
+use flexoffers_model::{Assignment, FlexOffer, Slice};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small random flex-offer: bounded dimensions so enumeration stays cheap.
+fn arb_flexoffer() -> impl Strategy<Value = FlexOffer> {
+    (
+        0i64..4,                                        // tes
+        0i64..4,                                        // extra window
+        prop::collection::vec((-4i64..4, 0i64..4), 1..4), // (min, extra width)
+        0.0f64..1.0,                                    // cmin position in [pmin, pmax]
+        0.0f64..1.0,                                    // cmax position in [cmin, pmax]
+    )
+        .prop_map(|(tes, window, raw_slices, cmin_pos, cmax_pos)| {
+            let slices: Vec<Slice> = raw_slices
+                .into_iter()
+                .map(|(min, w)| Slice::new(min, min + w).unwrap())
+                .collect();
+            let pmin: i64 = slices.iter().map(Slice::min).sum();
+            let pmax: i64 = slices.iter().map(Slice::max).sum();
+            let cmin = pmin + ((pmax - pmin) as f64 * cmin_pos) as i64;
+            let cmax = cmin + ((pmax - cmin) as f64 * cmax_pos) as i64;
+            FlexOffer::with_totals(tes, tes + window, slices, cmin, cmax).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn enumeration_yields_only_valid_assignments(fo in arb_flexoffer()) {
+        for a in fo.assignments() {
+            prop_assert!(fo.is_valid_assignment(&a));
+        }
+    }
+
+    #[test]
+    fn enumeration_count_matches_dp_count(fo in arb_flexoffer()) {
+        let enumerated = fo.assignments().count() as u128;
+        prop_assert_eq!(fo.constrained_assignment_count(), Some(enumerated));
+        prop_assert_eq!(fo.constrained_assignment_count_f64(), enumerated as f64);
+    }
+
+    #[test]
+    fn unconstrained_count_matches_definition_8(fo in arb_flexoffer()) {
+        let expected = (fo.time_flexibility() as u128 + 1)
+            * fo.slices().iter().map(|s| s.cardinality() as u128).product::<u128>();
+        prop_assert_eq!(fo.unconstrained_assignment_count(), Some(expected));
+        prop_assert_eq!(fo.assignments_unconstrained().count() as u128, expected);
+    }
+
+    #[test]
+    fn default_totals_make_every_tuple_valid(fo in arb_flexoffer()) {
+        if fo.has_default_totals() {
+            prop_assert_eq!(
+                fo.assignments().count(),
+                fo.assignments_unconstrained().count()
+            );
+        }
+    }
+
+    #[test]
+    fn achievable_band_is_tight(fo in arb_flexoffer()) {
+        // Every enumerated value per slice lies in the band, and the band's
+        // endpoints are actually achieved.
+        let s = fo.slice_count();
+        let mut seen_min = vec![i64::MAX; s];
+        let mut seen_max = vec![i64::MIN; s];
+        for a in fo.assignments() {
+            for (i, v) in a.values().iter().enumerate() {
+                seen_min[i] = seen_min[i].min(*v);
+                seen_max[i] = seen_max[i].max(*v);
+            }
+        }
+        for i in 0..s {
+            let (lo, hi) = fo.achievable_band(i);
+            prop_assert_eq!(seen_min[i], lo, "slice {} lower bound", i);
+            prop_assert_eq!(seen_max[i], hi, "slice {} upper bound", i);
+        }
+    }
+
+    #[test]
+    fn sampled_assignments_are_valid(fo in arb_flexoffer(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for a in fo.sample_assignments(16, &mut rng) {
+            prop_assert!(fo.is_valid_assignment(&a));
+        }
+    }
+
+    #[test]
+    fn validator_agrees_with_enumeration_membership(fo in arb_flexoffer()) {
+        // Everything the enumerator produces validates; a mutation outside
+        // the slice range fails.
+        let first = fo.assignments().next().expect("space never empty");
+        prop_assert!(fo.is_valid_assignment(&first));
+        let mut broken = first.values().to_vec();
+        broken[0] = fo.slices()[0].max() + 1;
+        prop_assert!(!fo.is_valid_assignment(&Assignment::new(first.start(), broken)));
+    }
+
+    #[test]
+    fn serde_round_trip(fo in arb_flexoffer()) {
+        let json = serde_json::to_string(&fo).unwrap();
+        let back: FlexOffer = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(fo, back);
+    }
+
+    #[test]
+    fn time_and_energy_flexibility_are_nonnegative(fo in arb_flexoffer()) {
+        prop_assert!(fo.time_flexibility() >= 0);
+        prop_assert!(fo.energy_flexibility() >= 0);
+    }
+
+    #[test]
+    fn min_max_assignment_bound_every_assignment_total(fo in arb_flexoffer()) {
+        let lo = fo.min_assignment().total();
+        let hi = fo.max_assignment().total();
+        for a in fo.assignments() {
+            prop_assert!(a.total() >= lo && a.total() <= hi);
+        }
+    }
+}

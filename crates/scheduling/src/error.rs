@@ -1,0 +1,40 @@
+//! Error types for scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by schedulers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedulingError {
+    /// Exhaustive search refused: the joint assignment space exceeds the
+    /// configured limit.
+    SearchSpaceTooLarge {
+        /// The configured limit on joint assignments.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for SchedulingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingError::SearchSpaceTooLarge { limit } => {
+                write!(f, "joint assignment space exceeds the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SchedulingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SchedulingError::SearchSpaceTooLarge { limit: 10 }
+            .to_string()
+            .contains("10"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Greedy residual-tracking scheduler.
+
+use flexoffers_model::{Assignment, Energy, FlexOffer};
+use flexoffers_timeseries::Series;
+
+use crate::error::SchedulingError;
+use crate::imbalance::Schedule;
+use crate::problem::{Scheduler, SchedulingProblem};
+
+/// The order flex-offers are fitted in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderHeuristic {
+    /// As given in the problem.
+    InputOrder,
+    /// Least time-flexible first — rigid offers get first pick of the
+    /// residual, flexible ones fill what remains (the classic dispatch
+    /// heuristic).
+    #[default]
+    LeastFlexibleFirst,
+    /// Largest expected |energy| first.
+    LargestEnergyFirst,
+}
+
+/// One-pass greedy scheduler: offers are fitted one at a time against the
+/// *residual* target (target minus load committed so far); each offer gets
+/// the start time and water-filled amounts minimising the squared-error
+/// delta it causes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GreedyScheduler {
+    /// Fit order.
+    pub order: OrderHeuristic,
+}
+
+impl GreedyScheduler {
+    /// Greedy with the default least-flexible-first order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The best valid assignment of `fo` against a residual target, plus the
+/// squared-error delta it causes. Exposed for reuse by the hill-climber.
+pub fn best_fit_assignment(fo: &FlexOffer, residual: &Series<i64>) -> (Assignment, f64) {
+    let mut best: Option<(Assignment, f64)> = None;
+    for t in fo.earliest_start()..=fo.latest_start() {
+        let desired: Vec<Energy> = (0..fo.slice_count())
+            .map(|j| residual.at(t + j as i64))
+            .collect();
+        let values = water_fill(fo, &desired);
+        // Delta of global squared error caused by placing these amounts:
+        // sum((r - v)^2 - r^2) over the offer's columns. Comparable across
+        // start times because untouched columns contribute zero.
+        let delta: f64 = desired
+            .iter()
+            .zip(&values)
+            .map(|(&r, &v)| {
+                let after = (r - v) as f64;
+                let before = r as f64;
+                after * after - before * before
+            })
+            .sum();
+        if best.as_ref().is_none_or(|(_, d)| delta < *d) {
+            best = Some((Assignment::new(t, values), delta));
+        }
+    }
+    best.expect("start window is never empty")
+}
+
+/// Per-slice clamp toward `desired`, then total-constraint repair choosing
+/// the cheapest unit adjustments (the marginal cost of moving a slice away
+/// from its desired amount grows with the distance already moved, so the
+/// repair always shifts the slice currently *closest* to its desired value
+/// in the helpful direction — exact for the convex squared-error objective).
+fn water_fill(fo: &FlexOffer, desired: &[Energy]) -> Vec<Energy> {
+    let mut values: Vec<Energy> = fo
+        .slices()
+        .iter()
+        .zip(desired)
+        .map(|(s, &d)| s.clamp(d))
+        .collect();
+    let mut total: Energy = values.iter().sum();
+    while total > fo.total_max() {
+        // Decrement the slice whose value exceeds its desired amount the
+        // most (marginal gain 2(v-d)-1 is the largest); fall back to any
+        // decrementable slice.
+        let j = (0..values.len())
+            .filter(|&j| values[j] > fo.slices()[j].min())
+            .max_by_key(|&j| values[j] - desired[j])
+            .expect("cmin <= sum(amin) guarantees repair can proceed");
+        values[j] -= 1;
+        total -= 1;
+    }
+    while total < fo.total_min() {
+        let j = (0..values.len())
+            .filter(|&j| values[j] < fo.slices()[j].max())
+            .max_by_key(|&j| desired[j] - values[j])
+            .expect("cmax >= sum(amax) guarantees repair can proceed");
+        values[j] += 1;
+        total += 1;
+    }
+    values
+}
+
+impl GreedyScheduler {
+    fn ordered_indices(&self, offers: &[FlexOffer]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..offers.len()).collect();
+        match self.order {
+            OrderHeuristic::InputOrder => {}
+            OrderHeuristic::LeastFlexibleFirst => {
+                idx.sort_by_key(|&i| {
+                    (
+                        offers[i].time_flexibility(),
+                        offers[i].energy_flexibility(),
+                    )
+                });
+            }
+            OrderHeuristic::LargestEnergyFirst => {
+                idx.sort_by_key(|&i| {
+                    -(offers[i].total_min().abs() + offers[i].total_max().abs())
+                });
+            }
+        }
+        idx
+    }
+}
+
+impl Scheduler for GreedyScheduler {
+    fn name(&self) -> &'static str {
+        "greedy residual tracking"
+    }
+
+    fn schedule(&self, problem: &SchedulingProblem) -> Result<Schedule, SchedulingError> {
+        let offers = problem.offers();
+        let mut residual = problem.target().clone();
+        let mut assignments: Vec<Option<Assignment>> = vec![None; offers.len()];
+        for i in self.ordered_indices(offers) {
+            let (assignment, _) = best_fit_assignment(&offers[i], &residual);
+            residual = &residual - &assignment.as_series();
+            assignments[i] = Some(assignment);
+        }
+        Ok(Schedule::new(
+            assignments
+                .into_iter()
+                .map(|a| a.expect("every offer fitted"))
+                .collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+    use flexoffers_timeseries::Series;
+
+    #[test]
+    fn tracks_a_trackable_target_exactly() {
+        // One offer can match the target perfectly by shifting to slot 2.
+        let fo = FlexOffer::new(0, 3, vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()])
+            .unwrap();
+        let target = Series::new(2, vec![3, 4]);
+        let p = SchedulingProblem::new(vec![fo], target.clone());
+        let s = GreedyScheduler::new().schedule(&p).unwrap();
+        assert!(p.is_feasible(&s));
+        assert_eq!(s.imbalance(&target).l1, 0.0);
+        assert_eq!(s.assignments()[0].start(), 2);
+    }
+
+    #[test]
+    fn beats_or_matches_baseline() {
+        use crate::baseline::EarliestStartScheduler;
+        let offers = vec![
+            FlexOffer::new(0, 4, vec![Slice::new(0, 3).unwrap()]).unwrap(),
+            FlexOffer::new(0, 4, vec![Slice::new(1, 4).unwrap(), Slice::new(0, 2).unwrap()])
+                .unwrap(),
+            FlexOffer::new(2, 6, vec![Slice::new(0, 2).unwrap()]).unwrap(),
+        ];
+        let target = Series::new(3, vec![4, 4, 2]);
+        let p = SchedulingProblem::new(offers, target.clone());
+        let greedy = GreedyScheduler::new().schedule(&p).unwrap();
+        let base = EarliestStartScheduler.schedule(&p).unwrap();
+        assert!(p.is_feasible(&greedy));
+        assert!(greedy.imbalance(&target).l2 <= base.imbalance(&target).l2);
+    }
+
+    #[test]
+    fn water_fill_respects_totals_and_tracks_desired() {
+        let fo = FlexOffer::with_totals(
+            0,
+            0,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+            4,
+            6,
+        )
+        .unwrap();
+        // Desired total 10 must shrink to 6, taken from the most
+        // over-desired slices evenly.
+        let v = water_fill(&fo, &[5, 5]);
+        assert_eq!(v.iter().sum::<i64>(), 6);
+        assert!(fo.is_valid_assignment(&Assignment::new(0, v)));
+        // Desired total 0 must rise to 4.
+        let v = water_fill(&fo, &[0, 0]);
+        assert_eq!(v.iter().sum::<i64>(), 4);
+    }
+
+    #[test]
+    fn production_offers_track_negative_targets() {
+        let fo = FlexOffer::new(0, 2, vec![Slice::new(-4, 0).unwrap()]).unwrap();
+        let target = Series::new(1, vec![-3]);
+        let p = SchedulingProblem::new(vec![fo], target.clone());
+        let s = GreedyScheduler::new().schedule(&p).unwrap();
+        assert!(p.is_feasible(&s));
+        assert_eq!(s.imbalance(&target).l1, 0.0);
+    }
+
+    #[test]
+    fn order_heuristics_cover_all_offers() {
+        let offers = vec![
+            FlexOffer::new(0, 9, vec![Slice::new(0, 1).unwrap()]).unwrap(),
+            FlexOffer::new(0, 0, vec![Slice::new(5, 9).unwrap()]).unwrap(),
+        ];
+        for order in [
+            OrderHeuristic::InputOrder,
+            OrderHeuristic::LeastFlexibleFirst,
+            OrderHeuristic::LargestEnergyFirst,
+        ] {
+            let p = SchedulingProblem::new(offers.clone(), Series::new(0, vec![5]));
+            let s = GreedyScheduler { order }.schedule(&p).unwrap();
+            assert!(p.is_feasible(&s));
+        }
+    }
+
+    #[test]
+    fn best_fit_prefers_aligned_start() {
+        let fo = FlexOffer::new(0, 5, vec![Slice::new(2, 2).unwrap()]).unwrap();
+        let residual = Series::new(4, vec![2]);
+        let (a, delta) = best_fit_assignment(&fo, &residual);
+        assert_eq!(a.start(), 4);
+        assert!(delta < 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Flex-offer scheduling toward a target supply profile.
+//!
+//! Scenario 1's endgame: flex-offers "must be scheduled at some point in
+//! time to be able to satisfy the prosumers' energy needs" — ideally so that
+//! demand follows renewable production. The *flex-offer scheduling problem*
+//! (Tušar et al., 2012, the paper's reference \[13\]) assigns each flex-offer
+//! a start time and energy values so that the summed load tracks a target
+//! profile.
+//!
+//! This crate provides the problem type, imbalance metrics, and four
+//! schedulers spanning the quality/cost spectrum:
+//!
+//! * [`baseline::EarliestStartScheduler`] — no use of flexibility at all:
+//!   earliest start, midpoint amounts. The "inflexible world" baseline every
+//!   experiment compares against.
+//! * [`greedy::GreedyScheduler`] — one pass, each flex-offer locally fitted
+//!   (best start, water-filled amounts) against the residual target.
+//! * [`hillclimb::HillClimbScheduler`] — seeded stochastic improvement over
+//!   greedy via per-offer ruin-and-recreate.
+//! * [`exhaustive::ExhaustiveScheduler`] — provably optimal on small
+//!   instances (guarded), the yardstick for the heuristics in tests.
+//!
+//! The experiments built on top (EXPERIMENTS.md, E2) schedule portfolios of
+//! varying retained flexibility and correlate the paper's eight measures
+//! with realized imbalance reduction.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod annealing;
+pub mod baseline;
+pub mod error;
+pub mod exhaustive;
+pub mod greedy;
+pub mod hillclimb;
+pub mod imbalance;
+pub mod pipeline;
+pub mod problem;
+
+pub use annealing::AnnealingScheduler;
+pub use baseline::EarliestStartScheduler;
+pub use error::SchedulingError;
+pub use exhaustive::ExhaustiveScheduler;
+pub use greedy::GreedyScheduler;
+pub use hillclimb::HillClimbScheduler;
+pub use imbalance::{Imbalance, Schedule};
+pub use pipeline::{schedule_via_aggregation, PipelineOutcome};
+pub use problem::{Scheduler, SchedulingProblem};

@@ -1,0 +1,92 @@
+//! The scheduling problem type and the [`Scheduler`] interface.
+
+use serde::{Deserialize, Serialize};
+
+use flexoffers_model::{FlexOffer, Portfolio};
+use flexoffers_timeseries::Series;
+
+use crate::error::SchedulingError;
+use crate::imbalance::Schedule;
+
+/// A flex-offer scheduling problem: choose one valid assignment per offer so
+/// the summed load tracks `target` (e.g. forecast renewable production, or a
+/// flat profile for peak shaving).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchedulingProblem {
+    offers: Vec<FlexOffer>,
+    target: Series<i64>,
+}
+
+impl SchedulingProblem {
+    /// Creates a problem over the given offers and target profile.
+    pub fn new(offers: Vec<FlexOffer>, target: Series<i64>) -> Self {
+        Self { offers, target }
+    }
+
+    /// Creates a problem from a portfolio.
+    pub fn from_portfolio(portfolio: &Portfolio, target: Series<i64>) -> Self {
+        Self::new(portfolio.as_slice().to_vec(), target)
+    }
+
+    /// The flex-offers to schedule.
+    pub fn offers(&self) -> &[FlexOffer] {
+        &self.offers
+    }
+
+    /// The target load profile.
+    pub fn target(&self) -> &Series<i64> {
+        &self.target
+    }
+
+    /// `true` if `schedule` pairs every offer with a valid assignment.
+    pub fn is_feasible(&self, schedule: &Schedule) -> bool {
+        schedule.assignments().len() == self.offers.len()
+            && self
+                .offers
+                .iter()
+                .zip(schedule.assignments())
+                .all(|(fo, a)| fo.is_valid_assignment(a))
+    }
+}
+
+/// A scheduling algorithm.
+pub trait Scheduler {
+    /// Human-readable scheduler name, used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Produces a feasible schedule for `problem`.
+    fn schedule(&self, problem: &SchedulingProblem) -> Result<Schedule, SchedulingError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::{Assignment, Slice};
+
+    fn problem() -> SchedulingProblem {
+        SchedulingProblem::new(
+            vec![FlexOffer::new(0, 2, vec![Slice::new(0, 2).unwrap()]).unwrap()],
+            Series::new(0, vec![1, 1, 1]),
+        )
+    }
+
+    #[test]
+    fn feasibility_checks_validity_and_arity() {
+        let p = problem();
+        let good = Schedule::new(vec![Assignment::new(1, vec![2])]);
+        assert!(p.is_feasible(&good));
+        let invalid = Schedule::new(vec![Assignment::new(5, vec![2])]);
+        assert!(!p.is_feasible(&invalid));
+        let wrong_arity = Schedule::new(vec![]);
+        assert!(!p.is_feasible(&wrong_arity));
+    }
+
+    #[test]
+    fn from_portfolio_copies_offers() {
+        let portfolio = Portfolio::from_offers(vec![
+            FlexOffer::new(0, 1, vec![Slice::fixed(1)]).unwrap(),
+        ]);
+        let p = SchedulingProblem::from_portfolio(&portfolio, Series::empty());
+        assert_eq!(p.offers().len(), 1);
+    }
+}

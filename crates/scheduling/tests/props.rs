@@ -1,0 +1,90 @@
+//! Property tests: every scheduler is feasible; quality ordering holds.
+
+use flexoffers_model::{FlexOffer, Slice};
+use flexoffers_scheduling::{
+    EarliestStartScheduler, ExhaustiveScheduler, GreedyScheduler, HillClimbScheduler, Scheduler,
+    SchedulingProblem,
+};
+use flexoffers_timeseries::Series;
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = SchedulingProblem> {
+    (
+        prop::collection::vec(
+            (0i64..3, 0i64..3, prop::collection::vec((-2i64..3, 0i64..3), 1..3)),
+            1..4,
+        ),
+        prop::collection::vec(-4i64..8, 1..8),
+        0i64..3,
+    )
+        .prop_map(|(raw_offers, target_values, target_start)| {
+            let offers: Vec<FlexOffer> = raw_offers
+                .into_iter()
+                .map(|(tes, w, slices)| {
+                    FlexOffer::new(
+                        tes,
+                        tes + w,
+                        slices
+                            .into_iter()
+                            .map(|(min, sw)| Slice::new(min, min + sw).unwrap())
+                            .collect(),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            SchedulingProblem::new(offers, Series::new(target_start, target_values))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schedulers_produce_feasible_schedules(p in arb_problem()) {
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(EarliestStartScheduler),
+            Box::new(GreedyScheduler::new()),
+            Box::new(HillClimbScheduler::new(11, 64)),
+        ];
+        for s in schedulers {
+            let schedule = s.schedule(&p).unwrap();
+            prop_assert!(p.is_feasible(&schedule), "{} infeasible", s.name());
+        }
+    }
+
+    #[test]
+    fn quality_ordering_optimum_le_hillclimb_le_greedy(p in arb_problem()) {
+        let target = p.target();
+        let greedy = GreedyScheduler::new().schedule(&p).unwrap().imbalance(target).l2;
+        let climbed = HillClimbScheduler::new(5, 128).schedule(&p).unwrap().imbalance(target).l2;
+        prop_assert!(climbed <= greedy + 1e-9, "hill-climb regressed: {climbed} > {greedy}");
+        if let Ok(opt) = ExhaustiveScheduler::new(20_000).schedule(&p) {
+            let opt_cost = opt.imbalance(target).l2;
+            prop_assert!(opt_cost <= climbed + 1e-9);
+            prop_assert!(opt_cost <= greedy + 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_improves_on_baseline(p in arb_problem()) {
+        let target = p.target();
+        let base = EarliestStartScheduler.schedule(&p).unwrap().imbalance(target).l2;
+        let greedy = GreedyScheduler::new().schedule(&p).unwrap().imbalance(target).l2;
+        // Greedy optimises each offer individually against the residual; it
+        // can only beat or match a scheduler that ignores the target...
+        // except when fit order interacts badly. Allow equality plus a
+        // small tolerance on pathological cases but require it is never
+        // *much* worse.
+        prop_assert!(greedy <= base * 1.5 + 1e-9, "greedy {greedy} vs baseline {base}");
+    }
+
+    #[test]
+    fn schedule_load_is_sum_of_assignments(p in arb_problem()) {
+        let s = GreedyScheduler::new().schedule(&p).unwrap();
+        let mut expected = Series::empty();
+        for a in s.assignments() {
+            expected = &expected + &a.as_series();
+        }
+        prop_assert_eq!(s.load(), expected);
+    }
+}

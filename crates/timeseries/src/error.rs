@@ -1,0 +1,68 @@
+//! Error types for series operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by series operations.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum TimeSeriesError {
+    /// A resampling or windowing factor of zero was supplied.
+    InvalidFactor {
+        /// The offending factor.
+        factor: usize,
+    },
+    /// A p-norm order below 1 (or non-finite) was supplied.
+    InvalidNormOrder {
+        /// The offending order.
+        p: f64,
+    },
+    /// An exponential-smoothing factor outside `(0, 1]` was supplied.
+    InvalidSmoothing {
+        /// The offending smoothing factor.
+        alpha: f64,
+    },
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::InvalidFactor { factor } => {
+                write!(f, "resampling factor must be positive, got {factor}")
+            }
+            TimeSeriesError::InvalidNormOrder { p } => {
+                write!(f, "p-norm order must be finite and >= 1, got {p}")
+            }
+            TimeSeriesError::InvalidSmoothing { alpha } => {
+                write!(f, "smoothing factor must lie in (0, 1], got {alpha}")
+            }
+        }
+    }
+}
+
+impl Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TimeSeriesError::InvalidFactor { factor: 0 }.to_string(),
+            "resampling factor must be positive, got 0"
+        );
+        assert!(TimeSeriesError::InvalidNormOrder { p: 0.5 }
+            .to_string()
+            .contains("0.5"));
+        assert!(TimeSeriesError::InvalidSmoothing { alpha: 2.0 }
+            .to_string()
+            .contains("(0, 1]"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&TimeSeriesError::InvalidFactor { factor: 0 });
+    }
+}

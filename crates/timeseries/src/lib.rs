@@ -1,0 +1,55 @@
+//! Discrete time-series substrate for the `flexoffers` workspace.
+//!
+//! Flex-offer *assignments* (Valsomatzis et al., EDBT 2015, Definition 2) are
+//! time series, and the paper's *time-series flexibility measure*
+//! (Definition 7) is the norm of a difference between two time series. This
+//! crate provides the series algebra those definitions need:
+//!
+//! * [`Series`] — a total function from discrete time slots (`i64`) to values,
+//!   stored as a start offset plus a dense value vector and implicitly zero
+//!   everywhere else;
+//! * arithmetic over the union domain ([`ops`]);
+//! * the Manhattan, Euclidean, maximum and generalised p-norms ([`Norm`]);
+//! * descriptive statistics ([`stats`]), resampling ([`resample`]) and
+//!   rolling windows ([`window`]).
+//!
+//! Time has the domain of the integers here rather than the paper's natural
+//! numbers: series arithmetic (differences, shifts) is total this way, and the
+//! flex-offer model layer re-imposes non-negative starts where the paper
+//! requires them.
+//!
+//! # Example
+//!
+//! ```
+//! use flexoffers_timeseries::{Series, Norm};
+//!
+//! // The paper's Example 5: f_max - f_min = <0, 1> starting at slot 0.
+//! let f_min = Series::new(0, vec![0i64]);
+//! let f_max = Series::new(1, vec![1i64]);
+//! let diff = &f_max - &f_min;
+//! assert_eq!(Norm::L1.of(&diff), 1.0);
+//! assert_eq!(Norm::L2.of(&diff), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod norm;
+pub mod ops;
+pub mod resample;
+pub mod series;
+pub mod stats;
+pub mod value;
+pub mod window;
+
+pub use error::TimeSeriesError;
+pub use norm::Norm;
+pub use resample::Aggregation;
+pub use series::Series;
+pub use value::SeriesValue;
+
+/// A time slot index. Slots are dimensionless; callers choose the granularity
+/// (the paper, Section 2: any precision is reached by scaling with a
+/// coefficient).
+pub type Slot = i64;

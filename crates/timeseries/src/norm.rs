@@ -1,0 +1,177 @@
+//! Series norms: Manhattan, Euclidean, maximum, and generalised p-norms.
+//!
+//! The paper applies the L1 (Manhattan) and L2 (Euclidean) norms to the
+//! difference between a flex-offer's maximum and minimum assignments
+//! (Definition 7, Example 5) and discusses — citing Lee & Verleysen \[7\] —
+//! that such norms ignore the temporal structure of a series. The norms
+//! here reproduce exactly that behaviour; the measures crate exposes the
+//! consequence as the time-series measure's "captures time: No"
+//! characteristic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeSeriesError;
+use crate::series::Series;
+use crate::value::SeriesValue;
+
+/// A vector norm applied to a series' values.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Norm {
+    /// Manhattan norm: sum of absolute values.
+    L1,
+    /// Euclidean norm: square root of the sum of squares.
+    L2,
+    /// Maximum norm: largest absolute value.
+    LInf,
+    /// Generalised p-norm for `p >= 1`; construct via [`Norm::lp`].
+    Lp(f64),
+}
+
+impl Norm {
+    /// Creates a generalised p-norm, rejecting `p < 1` (not a norm: the
+    /// triangle inequality fails) and non-finite `p`.
+    pub fn lp(p: f64) -> Result<Self, TimeSeriesError> {
+        if !p.is_finite() || p < 1.0 {
+            return Err(TimeSeriesError::InvalidNormOrder { p });
+        }
+        Ok(Norm::Lp(p))
+    }
+
+    /// Applies the norm to the series' values.
+    pub fn of<T: SeriesValue>(self, series: &Series<T>) -> f64 {
+        match self {
+            Norm::L1 => series.iter().map(|(_, v)| v.to_f64().abs()).sum(),
+            Norm::L2 => series
+                .iter()
+                .map(|(_, v)| {
+                    let x = v.to_f64();
+                    x * x
+                })
+                .sum::<f64>()
+                .sqrt(),
+            Norm::LInf => series
+                .iter()
+                .map(|(_, v)| v.to_f64().abs())
+                .fold(0.0, f64::max),
+            Norm::Lp(p) => series
+                .iter()
+                .map(|(_, v)| v.to_f64().abs().powf(p))
+                .sum::<f64>()
+                .powf(1.0 / p),
+        }
+    }
+
+    /// The norm of the difference `a - b`, i.e. the induced distance.
+    pub fn distance<T: SeriesValue>(self, a: &Series<T>, b: &Series<T>) -> f64 {
+        self.of(&(a - b))
+    }
+
+    /// Applies the norm to a plain 2-vector; used by the paper's *vector
+    /// flexibility* measure (Definition 4, Example 4).
+    pub fn of_vec2(self, x: f64, y: f64) -> f64 {
+        match self {
+            Norm::L1 => x.abs() + y.abs(),
+            Norm::L2 => x.hypot(y),
+            Norm::LInf => x.abs().max(y.abs()),
+            Norm::Lp(p) => (x.abs().powf(p) + y.abs().powf(p)).powf(1.0 / p),
+        }
+    }
+
+    /// A short, stable label ("L1", "L2", ...), used in reports and benches.
+    pub fn label(self) -> String {
+        match self {
+            Norm::L1 => "L1".to_owned(),
+            Norm::L2 => "L2".to_owned(),
+            Norm::LInf => "Linf".to_owned(),
+            Norm::Lp(p) => format!("L{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(values: Vec<i64>) -> Series<i64> {
+        Series::new(0, values)
+    }
+
+    #[test]
+    fn l1_is_sum_of_abs() {
+        assert_eq!(Norm::L1.of(&s(vec![1, -2, 3])), 6.0);
+    }
+
+    #[test]
+    fn l2_is_euclidean() {
+        assert_eq!(Norm::L2.of(&s(vec![3, 4])), 5.0);
+    }
+
+    #[test]
+    fn linf_is_max_abs() {
+        assert_eq!(Norm::LInf.of(&s(vec![1, -7, 3])), 7.0);
+    }
+
+    #[test]
+    fn lp_interpolates() {
+        let series = s(vec![3, 4]);
+        let p3 = Norm::lp(3.0).unwrap().of(&series);
+        assert!((p3 - (27.0f64 + 64.0).powf(1.0 / 3.0)).abs() < 1e-12);
+        // p-norms decrease with p for a fixed vector.
+        assert!(Norm::L1.of(&series) >= p3);
+        assert!(p3 >= Norm::LInf.of(&series));
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        assert!(Norm::lp(0.5).is_err());
+        assert!(Norm::lp(f64::NAN).is_err());
+        assert!(Norm::lp(f64::INFINITY).is_err());
+        assert!(Norm::lp(1.0).is_ok());
+    }
+
+    #[test]
+    fn empty_series_has_zero_norm() {
+        let e: Series<i64> = Series::empty();
+        for n in [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)] {
+            assert_eq!(n.of(&e), 0.0);
+        }
+    }
+
+    #[test]
+    fn distance_is_norm_of_difference() {
+        let a = s(vec![1, 2]);
+        let b = s(vec![0, 4]);
+        assert_eq!(Norm::L1.distance(&a, &b), 3.0);
+        assert_eq!(Norm::L1.distance(&b, &a), 3.0);
+    }
+
+    #[test]
+    fn paper_example_5_norms() {
+        // series_flexibility(f1): difference <0,1> has L1 = L2 = 1.
+        let d = Series::new(0, vec![0i64, 1]);
+        assert_eq!(Norm::L1.of(&d), 1.0);
+        assert_eq!(Norm::L2.of(&d), 1.0);
+    }
+
+    #[test]
+    fn paper_example_13_time_blindness() {
+        // f1' = ([0,10], <[0,1]>) yields a difference with a single 1 ten
+        // slots out; the norms cannot tell it from Example 5's series.
+        let d_far = Series::new(10, vec![1i64]).with_domain(0..11);
+        assert_eq!(Norm::L1.of(&d_far), 1.0);
+        assert_eq!(Norm::L2.of(&d_far), 1.0);
+    }
+
+    #[test]
+    fn vec2_norms_match_paper_example_4_arithmetic() {
+        // <5, 10>: L1 = 15, L2 = 11.180...
+        assert_eq!(Norm::L1.of_vec2(5.0, 10.0), 15.0);
+        assert!((Norm::L2.of_vec2(5.0, 10.0) - 11.180339887498949).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_labels() {
+        assert_eq!(Norm::L1.label(), "L1");
+        assert_eq!(Norm::Lp(3.0).label(), "L3");
+    }
+}

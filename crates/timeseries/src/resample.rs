@@ -1,0 +1,210 @@
+//! Changing series granularity.
+//!
+//! The paper fixes slice duration at one time unit and notes (Section 2) that
+//! any finer or coarser granularity is reached by scaling with a coefficient.
+//! Resampling implements the coarsening direction: collapsing `factor`
+//! consecutive slots into one.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeSeriesError;
+use crate::series::Series;
+use crate::value::SeriesValue;
+
+/// How values are combined when collapsing a bucket of consecutive slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Sum of the bucket (appropriate for energy amounts).
+    Sum,
+    /// Mean of the bucket; integer series round half away from zero.
+    Mean,
+    /// Maximum of the bucket.
+    Max,
+    /// Minimum of the bucket.
+    Min,
+}
+
+impl Aggregation {
+    fn apply<T: SeriesValue>(self, values: &[T]) -> T {
+        match self {
+            Aggregation::Sum => values.iter().fold(T::ZERO, |acc, v| acc + *v),
+            Aggregation::Mean => {
+                let sum: f64 = values.iter().map(|v| v.to_f64()).sum();
+                T::from_f64(sum / values.len() as f64)
+            }
+            Aggregation::Max => values
+                .iter()
+                .copied()
+                .fold(None::<T>, |acc, v| match acc {
+                    None => Some(v),
+                    Some(a) => Some(if v > a { v } else { a }),
+                })
+                .unwrap_or(T::ZERO),
+            Aggregation::Min => values
+                .iter()
+                .copied()
+                .fold(None::<T>, |acc, v| match acc {
+                    None => Some(v),
+                    Some(a) => Some(if v < a { v } else { a }),
+                })
+                .unwrap_or(T::ZERO),
+        }
+    }
+}
+
+/// Collapses every `factor` consecutive slots into one.
+///
+/// Bucket `b` of the result covers input slots `b*factor .. (b+1)*factor`;
+/// buckets are aligned to multiples of `factor` in absolute slot numbering,
+/// so two series resampled with the same factor stay aligned. Slots the
+/// input does not store contribute zeros, mirroring the series-as-function
+/// semantics.
+pub fn downsample<T: SeriesValue>(
+    series: &Series<T>,
+    factor: usize,
+    agg: Aggregation,
+) -> Result<Series<T>, TimeSeriesError> {
+    if factor == 0 {
+        return Err(TimeSeriesError::InvalidFactor { factor });
+    }
+    if series.is_empty() {
+        return Ok(Series::empty());
+    }
+    let f = factor as i64;
+    let first_bucket = series.start().div_euclid(f);
+    let last_bucket = (series.end() - 1).div_euclid(f);
+    let mut out = Vec::with_capacity((last_bucket - first_bucket + 1) as usize);
+    let mut bucket = Vec::with_capacity(factor);
+    for b in first_bucket..=last_bucket {
+        bucket.clear();
+        for slot in b * f..(b + 1) * f {
+            bucket.push(series.at(slot));
+        }
+        out.push(agg.apply(&bucket));
+    }
+    Ok(Series::new(first_bucket, out))
+}
+
+/// Expands every slot into `factor` slots.
+///
+/// With [`Aggregation::Sum`] semantics in mind, `spread` divides each value
+/// evenly across the new slots (integer series place the remainder on the
+/// earliest slots so the total is preserved exactly); any other aggregation
+/// repeats the value.
+pub fn upsample<T: SeriesValue>(
+    series: &Series<T>,
+    factor: usize,
+    spread: bool,
+) -> Result<Series<T>, TimeSeriesError> {
+    if factor == 0 {
+        return Err(TimeSeriesError::InvalidFactor { factor });
+    }
+    if series.is_empty() {
+        return Ok(Series::empty());
+    }
+    let f = factor as i64;
+    let mut out = Vec::with_capacity(series.len() * factor);
+    for (_, v) in series.iter() {
+        if spread {
+            // Integer-exact split: distribute v into `factor` parts whose
+            // prefix sums match the real-valued even split.
+            let total = v.to_f64();
+            let mut emitted = 0.0;
+            for k in 0..factor {
+                let target = total * (k as f64 + 1.0) / factor as f64;
+                let part = T::from_f64(target - emitted);
+                emitted += part.to_f64();
+                out.push(part);
+            }
+        } else {
+            out.extend(std::iter::repeat_n(v, factor));
+        }
+    }
+    Ok(Series::new(series.start() * f, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_sum_preserves_total() {
+        let s = Series::new(0, vec![1i64, 2, 3, 4, 5, 6]);
+        let d = downsample(&s, 2, Aggregation::Sum).unwrap();
+        assert_eq!(d.values(), &[3, 7, 11]);
+        assert_eq!(d.sum(), s.sum());
+    }
+
+    #[test]
+    fn downsample_aligns_to_absolute_buckets() {
+        // start = 1, factor = 2: first bucket covers slots 0..2 with an
+        // implicit zero at slot 0.
+        let s = Series::new(1, vec![10i64, 20, 30]);
+        let d = downsample(&s, 2, Aggregation::Sum).unwrap();
+        assert_eq!(d.start(), 0);
+        assert_eq!(d.values(), &[10, 50]);
+    }
+
+    #[test]
+    fn downsample_mean_max_min() {
+        let s = Series::new(0, vec![1i64, 3, -5, 7]);
+        assert_eq!(
+            downsample(&s, 2, Aggregation::Mean).unwrap().values(),
+            &[2, 1]
+        );
+        assert_eq!(
+            downsample(&s, 2, Aggregation::Max).unwrap().values(),
+            &[3, 7]
+        );
+        assert_eq!(
+            downsample(&s, 2, Aggregation::Min).unwrap().values(),
+            &[1, -5]
+        );
+    }
+
+    #[test]
+    fn downsample_negative_start() {
+        let s = Series::new(-3, vec![1i64, 1, 1]);
+        let d = downsample(&s, 2, Aggregation::Sum).unwrap();
+        assert_eq!(d.start(), -2);
+        assert_eq!(d.values(), &[1, 2]);
+    }
+
+    #[test]
+    fn zero_factor_rejected() {
+        let s = Series::new(0, vec![1i64]);
+        assert!(downsample(&s, 0, Aggregation::Sum).is_err());
+        assert!(upsample(&s, 0, true).is_err());
+    }
+
+    #[test]
+    fn upsample_spread_preserves_total_exactly() {
+        let s = Series::new(1, vec![7i64, -5]);
+        let u = upsample(&s, 3, true).unwrap();
+        assert_eq!(u.start(), 3);
+        assert_eq!(u.sum(), s.sum());
+        assert_eq!(u.values(), &[2, 3, 2, -2, -1, -2]);
+    }
+
+    #[test]
+    fn upsample_repeat() {
+        let s = Series::new(0, vec![4i64]);
+        let u = upsample(&s, 3, false).unwrap();
+        assert_eq!(u.values(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn down_then_up_identity_for_constant() {
+        let s = Series::constant(0, 4, 6i64);
+        let d = downsample(&s, 2, Aggregation::Sum).unwrap();
+        let u = upsample(&d, 2, true).unwrap();
+        assert_eq!(u, s);
+    }
+
+    #[test]
+    fn empty_series_resample() {
+        let e: Series<i64> = Series::empty();
+        assert!(downsample(&e, 4, Aggregation::Sum).unwrap().is_empty());
+        assert!(upsample(&e, 4, true).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Descriptive statistics over series.
+
+use crate::series::Series;
+use crate::value::SeriesValue;
+use crate::Slot;
+
+/// Summary statistics of a series' stored values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of stored values.
+    pub len: usize,
+    /// Sum of values.
+    pub sum: f64,
+    /// Arithmetic mean (0 for an empty series).
+    pub mean: f64,
+    /// Population variance (0 for an empty series).
+    pub variance: f64,
+    /// Minimum value, if any.
+    pub min: Option<f64>,
+    /// Maximum value, if any.
+    pub max: Option<f64>,
+    /// Largest absolute value (0 for an empty series).
+    pub peak: f64,
+}
+
+impl Summary {
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Computes [`Summary`] statistics for `series`.
+pub fn summarize<T: SeriesValue>(series: &Series<T>) -> Summary {
+    let len = series.len();
+    if len == 0 {
+        return Summary {
+            len: 0,
+            sum: 0.0,
+            mean: 0.0,
+            variance: 0.0,
+            min: None,
+            max: None,
+            peak: 0.0,
+        };
+    }
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut peak = 0.0f64;
+    for (_, v) in series.iter() {
+        let x = v.to_f64();
+        sum += x;
+        min = min.min(x);
+        max = max.max(x);
+        peak = peak.max(x.abs());
+    }
+    let mean = sum / len as f64;
+    let variance = series
+        .iter()
+        .map(|(_, v)| {
+            let d = v.to_f64() - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / len as f64;
+    Summary {
+        len,
+        sum,
+        mean,
+        variance,
+        min: Some(min),
+        max: Some(max),
+        peak,
+    }
+}
+
+/// The slot holding the maximum value (first on ties), or `None` if empty.
+pub fn argmax<T: SeriesValue>(series: &Series<T>) -> Option<Slot> {
+    let mut best: Option<(Slot, T)> = None;
+    for (slot, v) in series.iter() {
+        match best {
+            None => best = Some((slot, v)),
+            Some((_, bv)) if v > bv => best = Some((slot, v)),
+            _ => {}
+        }
+    }
+    best.map(|(slot, _)| slot)
+}
+
+/// The slot holding the minimum value (first on ties), or `None` if empty.
+pub fn argmin<T: SeriesValue>(series: &Series<T>) -> Option<Slot> {
+    let mut best: Option<(Slot, T)> = None;
+    for (slot, v) in series.iter() {
+        match best {
+            None => best = Some((slot, v)),
+            Some((_, bv)) if v < bv => best = Some((slot, v)),
+            _ => {}
+        }
+    }
+    best.map(|(slot, _)| slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Series::new(0, vec![1i64, 2, 3, -6]);
+        let sm = summarize(&s);
+        assert_eq!(sm.len, 4);
+        assert_eq!(sm.sum, 0.0);
+        assert_eq!(sm.mean, 0.0);
+        assert_eq!(sm.min, Some(-6.0));
+        assert_eq!(sm.max, Some(3.0));
+        assert_eq!(sm.peak, 6.0);
+        assert_eq!(sm.variance, (1.0 + 4.0 + 9.0 + 36.0) / 4.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s: Series<i64> = Series::empty();
+        let sm = summarize(&s);
+        assert_eq!(sm.len, 0);
+        assert_eq!(sm.min, None);
+        assert_eq!(sm.max, None);
+        assert_eq!(sm.peak, 0.0);
+        assert_eq!(sm.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_variance() {
+        let s = Series::constant(5, 10, 4i64);
+        let sm = summarize(&s);
+        assert_eq!(sm.variance, 0.0);
+        assert_eq!(sm.mean, 4.0);
+    }
+
+    #[test]
+    fn argmax_argmin_first_on_ties() {
+        let s = Series::new(0, vec![1i64, 3, 3, 0, 0]);
+        assert_eq!(argmax(&s), Some(1));
+        assert_eq!(argmin(&s), Some(3));
+        let e: Series<i64> = Series::empty();
+        assert_eq!(argmax(&e), None);
+        assert_eq!(argmin(&e), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! The scalar value types a [`Series`](crate::Series) can carry.
+
+use std::fmt::Debug;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Scalar type usable as the codomain of a [`Series`](crate::Series).
+///
+/// The workspace uses two instantiations: `i64` for energy amounts (the
+/// paper's domain ℤ, Section 2) and `f64` for prices and other continuous
+/// quantities in the market simulation.
+pub trait SeriesValue:
+    Copy
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + Default
+    + 'static
+{
+    /// The additive identity; the implicit value of a series outside its
+    /// stored domain.
+    const ZERO: Self;
+
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion to `f64`, used by norms and statistics.
+    fn to_f64(self) -> f64;
+
+    /// Conversion from `f64`. Integer values round half away from zero;
+    /// used by mean-style aggregations that are intrinsically fractional.
+    fn from_f64(v: f64) -> Self;
+
+    /// Absolute value.
+    fn abs_val(self) -> Self;
+
+    /// `true` if this is exactly [`SeriesValue::ZERO`].
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+impl SeriesValue for i64 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn from_f64(v: f64) -> Self {
+        v.round() as i64
+    }
+
+    fn abs_val(self) -> Self {
+        self.abs()
+    }
+}
+
+impl SeriesValue for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn abs_val(self) -> Self {
+        self.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_constants() {
+        assert_eq!(<i64 as SeriesValue>::ZERO, 0);
+        assert_eq!(<i64 as SeriesValue>::ONE, 1);
+        assert!(0i64.is_zero());
+        assert!(!3i64.is_zero());
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        assert_eq!(i64::from_f64(2.5), 3);
+        assert_eq!(i64::from_f64(-2.5), -3);
+        assert_eq!(i64::from_f64(2.4), 2);
+        assert_eq!(5i64.to_f64(), 5.0);
+    }
+
+    #[test]
+    fn f64_identity() {
+        assert_eq!(f64::from_f64(2.5), 2.5);
+        assert_eq!(2.5f64.to_f64(), 2.5);
+        assert_eq!((-2.5f64).abs_val(), 2.5);
+    }
+
+    #[test]
+    fn abs_val_i64() {
+        assert_eq!((-7i64).abs_val(), 7);
+        assert_eq!(7i64.abs_val(), 7);
+        assert_eq!(0i64.abs_val(), 0);
+    }
+}

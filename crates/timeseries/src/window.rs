@@ -1,0 +1,138 @@
+//! Rolling-window transforms, used by the workload generators (price
+//! smoothing, wind autocorrelation) and by schedulers inspecting local load.
+
+use crate::error::TimeSeriesError;
+use crate::resample::Aggregation;
+use crate::series::Series;
+use crate::value::SeriesValue;
+
+/// Applies `agg` over a sliding window of `width` slots.
+///
+/// The output value at slot `t` aggregates input slots `t .. t+width` (a
+/// *forward-looking* window, matching how a scheduler asks "how much load
+/// lands in the next `width` slots starting here"). The output domain is the
+/// input domain shrunk so every window fits entirely inside it; an input
+/// shorter than `width` yields the empty series.
+pub fn rolling<T: SeriesValue>(
+    series: &Series<T>,
+    width: usize,
+    agg: Aggregation,
+) -> Result<Series<T>, TimeSeriesError> {
+    if width == 0 {
+        return Err(TimeSeriesError::InvalidFactor { factor: width });
+    }
+    if series.len() < width {
+        return Ok(Series::empty());
+    }
+    let n_out = series.len() - width + 1;
+    let values = series.values();
+    let out = (0..n_out)
+        .map(|i| window_agg(&values[i..i + width], agg))
+        .collect();
+    Ok(Series::new(series.start(), out))
+}
+
+fn window_agg<T: SeriesValue>(window: &[T], agg: Aggregation) -> T {
+    match agg {
+        Aggregation::Sum => window.iter().fold(T::ZERO, |acc, v| acc + *v),
+        Aggregation::Mean => {
+            let sum: f64 = window.iter().map(|v| v.to_f64()).sum();
+            T::from_f64(sum / window.len() as f64)
+        }
+        Aggregation::Max => window
+            .iter()
+            .copied()
+            .reduce(|a, b| if b > a { b } else { a })
+            .unwrap_or(T::ZERO),
+        Aggregation::Min => window
+            .iter()
+            .copied()
+            .reduce(|a, b| if b < a { b } else { a })
+            .unwrap_or(T::ZERO),
+    }
+}
+
+/// Exponential moving average with smoothing factor `alpha` in `(0, 1]`.
+///
+/// Used by the synthetic wind model to give production traces realistic
+/// short-term autocorrelation.
+pub fn ema(series: &Series<f64>, alpha: f64) -> Result<Series<f64>, TimeSeriesError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(TimeSeriesError::InvalidSmoothing { alpha });
+    }
+    if series.is_empty() {
+        return Ok(Series::empty());
+    }
+    let mut out = Vec::with_capacity(series.len());
+    let mut prev = series.values()[0];
+    for &v in series.values() {
+        prev = alpha * v + (1.0 - alpha) * prev;
+        out.push(prev);
+    }
+    Ok(Series::new(series.start(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_sum() {
+        let s = Series::new(2, vec![1i64, 2, 3, 4]);
+        let r = rolling(&s, 2, Aggregation::Sum).unwrap();
+        assert_eq!(r.start(), 2);
+        assert_eq!(r.values(), &[3, 5, 7]);
+    }
+
+    #[test]
+    fn rolling_width_one_is_identity() {
+        let s = Series::new(0, vec![5i64, -1]);
+        assert_eq!(rolling(&s, 1, Aggregation::Sum).unwrap(), s);
+    }
+
+    #[test]
+    fn rolling_wider_than_series_is_empty() {
+        let s = Series::new(0, vec![1i64]);
+        assert!(rolling(&s, 2, Aggregation::Sum).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rolling_zero_width_rejected() {
+        let s = Series::new(0, vec![1i64]);
+        assert!(rolling(&s, 0, Aggregation::Sum).is_err());
+    }
+
+    #[test]
+    fn rolling_max_min_mean() {
+        let s = Series::new(0, vec![1i64, 5, 2]);
+        assert_eq!(rolling(&s, 2, Aggregation::Max).unwrap().values(), &[5, 5]);
+        assert_eq!(rolling(&s, 2, Aggregation::Min).unwrap().values(), &[1, 2]);
+        assert_eq!(rolling(&s, 2, Aggregation::Mean).unwrap().values(), &[3, 4]);
+    }
+
+    #[test]
+    fn ema_smooths_toward_signal() {
+        let s = Series::new(0, vec![0.0, 10.0, 10.0, 10.0]);
+        let e = ema(&s, 0.5).unwrap();
+        assert_eq!(e.values()[0], 0.0);
+        assert!(e.values()[1] > 0.0 && e.values()[1] < 10.0);
+        // Monotone approach to the plateau value.
+        assert!(e.values()[2] > e.values()[1]);
+        assert!(e.values()[3] > e.values()[2]);
+        assert!(e.values()[3] < 10.0);
+    }
+
+    #[test]
+    fn ema_alpha_one_is_identity() {
+        let s = Series::new(0, vec![3.0, -1.0, 4.0]);
+        assert_eq!(ema(&s, 1.0).unwrap(), s);
+    }
+
+    #[test]
+    fn ema_invalid_alpha() {
+        let s = Series::new(0, vec![1.0]);
+        assert!(ema(&s, 0.0).is_err());
+        assert!(ema(&s, 1.5).is_err());
+        assert!(ema(&s, f64::NAN).is_err());
+    }
+}

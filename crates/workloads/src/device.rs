@@ -1,0 +1,70 @@
+//! The device-model interface.
+
+use rand::RngCore;
+
+use flexoffers_model::FlexOffer;
+
+/// The device classes the generators cover (the appliances the paper's
+/// Scenario 1 lists, plus the production units of Section 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Electric vehicle charger (the paper's use case).
+    ElectricVehicle,
+    /// Dishwasher.
+    Dishwasher,
+    /// Heat pump.
+    HeatPump,
+    /// Smart refrigerator.
+    Refrigerator,
+    /// Solar panel (production).
+    SolarPanel,
+    /// Wind turbine (production).
+    WindTurbine,
+    /// Vehicle-to-grid battery (mixed).
+    VehicleToGrid,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            DeviceKind::ElectricVehicle => "electric vehicle",
+            DeviceKind::Dishwasher => "dishwasher",
+            DeviceKind::HeatPump => "heat pump",
+            DeviceKind::Refrigerator => "refrigerator",
+            DeviceKind::SolarPanel => "solar panel",
+            DeviceKind::WindTurbine => "wind turbine",
+            DeviceKind::VehicleToGrid => "vehicle-to-grid",
+        };
+        f.write_str(label)
+    }
+}
+
+/// A parameterised generator of flex-offers for one device class.
+///
+/// Implementations must be deterministic given the RNG stream and must
+/// always produce well-formed flex-offers (generation is infallible; bad
+/// *parameters* are rejected at model construction, not at generation).
+pub trait DeviceModel {
+    /// The device class this model generates.
+    fn kind(&self) -> DeviceKind;
+
+    /// Generates one flex-offer for `day` (profile anchored at
+    /// `day * SLOTS_PER_DAY`).
+    fn generate(&self, day: i64, rng: &mut dyn RngCore) -> FlexOffer;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(DeviceKind::ElectricVehicle.to_string(), "electric vehicle");
+        assert_eq!(DeviceKind::VehicleToGrid.to_string(), "vehicle-to-grid");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &dyn DeviceModel) {}
+    }
+}

@@ -1,0 +1,102 @@
+//! Dishwasher workloads: a fixed program shape with a wide overnight start
+//! window — high time flexibility, low energy flexibility.
+
+use rand::{Rng, RngCore};
+
+use flexoffers_model::{FlexOffer, Slice};
+
+use crate::device::{DeviceKind, DeviceModel};
+use crate::SLOTS_PER_DAY;
+
+/// A dishwasher: loaded in the evening, must be done by breakfast; the
+/// program's per-phase consumption is nearly fixed (heating, washing,
+/// drying), so nearly all its flexibility is temporal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dishwasher {
+    /// Earliest start hour of day (inclusive), e.g. 19.
+    pub ready_from: i64,
+    /// Latest ready hour (inclusive).
+    pub ready_to: i64,
+    /// Completion deadline hour next day.
+    pub deadline: i64,
+    /// Per-phase wiggle room in energy units (0 = fully rigid program).
+    pub phase_slack: i64,
+}
+
+impl Default for Dishwasher {
+    fn default() -> Self {
+        Self {
+            ready_from: 19,
+            ready_to: 23,
+            deadline: 7,
+            phase_slack: 1,
+        }
+    }
+}
+
+/// The three-phase program shape: heat, wash, dry (energy units).
+const PROGRAM: [i64; 3] = [4, 2, 3];
+
+impl DeviceModel for Dishwasher {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Dishwasher
+    }
+
+    fn generate(&self, day: i64, rng: &mut dyn RngCore) -> FlexOffer {
+        let origin = day * SLOTS_PER_DAY;
+        let ready = origin + rng.gen_range(self.ready_from..=self.ready_to);
+        let deadline = origin + SLOTS_PER_DAY + self.deadline;
+        let latest = (deadline - PROGRAM.len() as i64).max(ready);
+        let slices = PROGRAM
+            .iter()
+            .map(|&base| {
+                Slice::new((base - self.phase_slack).max(0), base + self.phase_slack)
+                    .expect("slack keeps ranges ordered")
+            })
+            .collect();
+        FlexOffer::new(ready, latest, slices)
+            .expect("dishwasher parameters produce well-formed flex-offers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn time_dominant_flexibility() {
+        let model = Dishwasher::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for day in 0..10 {
+            let f = model.generate(day, &mut rng);
+            assert!(f.time_flexibility() >= 5, "overnight window is wide");
+            assert!(f.energy_flexibility() <= 6, "program is nearly rigid");
+            assert_eq!(f.slice_count(), 3);
+            assert_eq!(f.sign(), flexoffers_model::SignClass::Positive);
+        }
+    }
+
+    #[test]
+    fn rigid_program_when_slack_is_zero() {
+        let model = Dishwasher {
+            phase_slack: 0,
+            ..Dishwasher::default()
+        };
+        let f = model.generate(0, &mut StdRng::seed_from_u64(1));
+        assert_eq!(f.energy_flexibility(), 0);
+        // Example 11's shape: pure time flexibility, product measure zero.
+        assert!(f.time_flexibility() > 0);
+    }
+
+    #[test]
+    fn finishes_by_deadline() {
+        let model = Dishwasher::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        for day in 0..10 {
+            let f = model.generate(day, &mut rng);
+            assert!(f.latest_end() <= (day + 1) * SLOTS_PER_DAY + model.deadline);
+        }
+    }
+}

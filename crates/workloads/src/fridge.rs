@@ -1,0 +1,76 @@
+//! Smart-refrigerator workloads: short cooling bursts, little of either
+//! flexibility — the small fry that makes aggregation necessary.
+
+use rand::{Rng, RngCore};
+
+use flexoffers_model::{FlexOffer, Slice};
+
+use crate::device::{DeviceKind, DeviceModel};
+use crate::SLOTS_PER_DAY;
+
+/// A smart refrigerator: one or two slots of compressor duty that can shift
+/// by an hour or two within its thermal band.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Refrigerator {
+    /// Maximum start shift in slots.
+    pub max_shift: i64,
+    /// Compressor draw per slot (energy units).
+    pub draw: i64,
+}
+
+impl Default for Refrigerator {
+    fn default() -> Self {
+        Self {
+            max_shift: 2,
+            draw: 1,
+        }
+    }
+}
+
+impl DeviceModel for Refrigerator {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Refrigerator
+    }
+
+    fn generate(&self, day: i64, rng: &mut dyn RngCore) -> FlexOffer {
+        let origin = day * SLOTS_PER_DAY;
+        let earliest = origin + rng.gen_range(0..SLOTS_PER_DAY - 4);
+        let shift = rng.gen_range(0..=self.max_shift);
+        let bursts = rng.gen_range(1..=2usize);
+        let slices = vec![
+            Slice::new(self.draw, self.draw + 1).expect("draw range ordered");
+            bursts
+        ];
+        FlexOffer::new(earliest, earliest + shift, slices)
+            .expect("refrigerator parameters produce well-formed flex-offers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_in_both_dimensions() {
+        let model = Refrigerator::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let f = model.generate(0, &mut rng);
+            assert!(f.time_flexibility() <= model.max_shift);
+            assert!(f.energy_flexibility() <= 2);
+            assert!(f.total_max() <= 4, "fridges are tiny loads");
+            assert_eq!(f.sign(), flexoffers_model::SignClass::Positive);
+        }
+    }
+
+    #[test]
+    fn stays_within_the_day_window() {
+        let model = Refrigerator::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let f = model.generate(2, &mut rng);
+        assert!(f.earliest_start() >= 2 * SLOTS_PER_DAY);
+        assert!(f.latest_end() <= 3 * SLOTS_PER_DAY);
+    }
+}

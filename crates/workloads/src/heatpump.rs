@@ -1,0 +1,105 @@
+//! Heat-pump workloads: long profiles with per-slot modulation and a
+//! comfort band on the daily total.
+
+use rand::{Rng, RngCore};
+
+use flexoffers_model::{FlexOffer, Slice};
+
+use crate::device::{DeviceKind, DeviceModel};
+use crate::SLOTS_PER_DAY;
+
+/// A heat pump: runs for several hours, each hour modulated between a
+/// minimum and maximum compressor level; thermal inertia gives a couple of
+/// hours of start flexibility and a comfort band on the total.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeatPump {
+    /// Earliest start hour of day.
+    pub window_from: i64,
+    /// Latest start hour of day.
+    pub window_to: i64,
+    /// Run length range in slots.
+    pub run_min: usize,
+    /// Maximum run length in slots.
+    pub run_max: usize,
+    /// Per-slot modulation range (energy units).
+    pub level_min: i64,
+    /// Per-slot maximum level.
+    pub level_max: i64,
+    /// Comfort band: required fraction of the maximum total, lower end.
+    pub comfort_fraction: f64,
+}
+
+impl Default for HeatPump {
+    fn default() -> Self {
+        Self {
+            window_from: 0,
+            window_to: 4,
+            run_min: 4,
+            run_max: 8,
+            level_min: 1,
+            level_max: 4,
+            comfort_fraction: 0.7,
+        }
+    }
+}
+
+impl DeviceModel for HeatPump {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::HeatPump
+    }
+
+    fn generate(&self, day: i64, rng: &mut dyn RngCore) -> FlexOffer {
+        let origin = day * SLOTS_PER_DAY;
+        let earliest = origin + rng.gen_range(self.window_from..=self.window_to);
+        let run = rng.gen_range(self.run_min..=self.run_max);
+        let latest = earliest + rng.gen_range(1..=3);
+        let slices = vec![
+            Slice::new(self.level_min, self.level_max).expect("levels ordered");
+            run
+        ];
+        let profile_max = self.level_max * run as i64;
+        let profile_min = self.level_min * run as i64;
+        let comfort_min =
+            ((profile_max as f64 * self.comfort_fraction) as i64).max(profile_min);
+        FlexOffer::with_totals(earliest, latest, slices, comfort_min, profile_max)
+            .expect("heat pump parameters produce well-formed flex-offers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn comfort_band_constrains_totals() {
+        let model = HeatPump::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for day in 0..10 {
+            let f = model.generate(day, &mut rng);
+            assert!(f.total_min() > f.profile_min(), "comfort floor binds");
+            assert_eq!(f.total_max(), f.profile_max());
+            assert!(!f.has_default_totals());
+            assert_eq!(f.sign(), flexoffers_model::SignClass::Positive);
+        }
+    }
+
+    #[test]
+    fn run_length_in_range() {
+        let model = HeatPump::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let f = model.generate(0, &mut rng);
+            assert!((model.run_min..=model.run_max).contains(&f.slice_count()));
+        }
+    }
+
+    #[test]
+    fn both_flexibilities_present() {
+        let model = HeatPump::default();
+        let f = model.generate(0, &mut StdRng::seed_from_u64(6));
+        assert!(f.time_flexibility() >= 1);
+        assert!(f.energy_flexibility() > 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Synthetic prosumer workloads for flex-offer experiments.
+//!
+//! The paper's evaluation setting — the Danish TotalFlex project — works on
+//! proprietary prosumer data we cannot ship. This crate substitutes seeded
+//! synthetic device models whose *flex-offer structure* mirrors the paper's
+//! own descriptions (see DESIGN.md, "Substitutions"):
+//!
+//! * [`ev::EvCharger`] — the introduction's use case: evening plug-in,
+//!   morning deadline, a 60–100 % charge-level band ([`ev::EvCharger::paper_use_case`]
+//!   reproduces the exact 23:00/6:00/60 % story);
+//! * [`dishwasher::Dishwasher`], [`heatpump::HeatPump`],
+//!   [`fridge::Refrigerator`] — the household appliances Scenario 1 lists;
+//! * [`solar::SolarPanel`], [`wind::WindTurbine`] — production (negative)
+//!   flex-offers with *zero time flexibility*, the pathology that breaks the
+//!   product measure (Example 11);
+//! * [`v2g::VehicleToGrid`] — the paper's example of a *mixed* flex-offer;
+//! * [`population`] — district-scale portfolios with a realistic device mix;
+//! * [`res`] and [`price`] — renewable production and spot price traces for
+//!   the scheduling and market experiments.
+//!
+//! All generation is deterministic under a seed. One slot = one hour, slot
+//! `0` = midnight of day 0; energy units are abstract (think 100 Wh per
+//! unit) per the paper's granularity-by-coefficient convention.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod device;
+pub mod dishwasher;
+pub mod ev;
+pub mod fridge;
+pub mod heatpump;
+pub mod population;
+pub mod price;
+pub mod res;
+pub mod solar;
+pub mod v2g;
+pub mod wind;
+
+pub use device::{DeviceKind, DeviceModel};
+pub use dishwasher::Dishwasher;
+pub use ev::EvCharger;
+pub use fridge::Refrigerator;
+pub use heatpump::HeatPump;
+pub use population::{district, PopulationBuilder};
+pub use solar::SolarPanel;
+pub use v2g::VehicleToGrid;
+pub use wind::WindTurbine;
+
+/// Slots per day at the default one-hour granularity.
+pub const SLOTS_PER_DAY: i64 = 24;

@@ -1,0 +1,91 @@
+//! Synthetic spot-price traces for the Scenario 2 market simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flexoffers_timeseries::Series;
+
+use crate::SLOTS_PER_DAY;
+
+/// Configuration for a day-ahead price trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriceTraceConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of days.
+    pub days: usize,
+    /// Off-peak base price (currency per energy unit).
+    pub base: f64,
+    /// Peak uplift added during morning/evening peaks.
+    pub peak_uplift: f64,
+    /// Multiplicative noise amplitude.
+    pub noise: f64,
+}
+
+impl Default for PriceTraceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            days: 1,
+            base: 10.0,
+            peak_uplift: 8.0,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Generates a diurnal price curve: cheap nights, a morning peak (7–9), a
+/// deeper evening peak (17–20), mild midday, plus multiplicative noise.
+/// Prices are strictly positive.
+pub fn price_trace(cfg: &PriceTraceConfig) -> Series<f64> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut values = Vec::with_capacity(cfg.days * SLOTS_PER_DAY as usize);
+    for _ in 0..cfg.days {
+        for hour in 0..SLOTS_PER_DAY {
+            let shape = match hour {
+                7..=9 => 0.8,
+                17..=20 => 1.0,
+                10..=16 => 0.3,
+                _ => 0.0,
+            };
+            let noise = 1.0 + rng.gen_range(-cfg.noise..=cfg.noise);
+            values.push(((cfg.base + cfg.peak_uplift * shape) * noise).max(0.01));
+        }
+    }
+    Series::new(0, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_cost_more_than_nights() {
+        let trace = price_trace(&PriceTraceConfig {
+            noise: 0.0,
+            ..PriceTraceConfig::default()
+        });
+        let night = trace.at(2);
+        let morning = trace.at(8);
+        let evening = trace.at(18);
+        assert!(morning > night);
+        assert!(evening > morning);
+    }
+
+    #[test]
+    fn strictly_positive() {
+        let trace = price_trace(&PriceTraceConfig::default());
+        assert!(trace.iter().all(|(_, v)| v > 0.0));
+    }
+
+    #[test]
+    fn deterministic_and_day_count() {
+        let cfg = PriceTraceConfig {
+            days: 2,
+            ..PriceTraceConfig::default()
+        };
+        let a = price_trace(&cfg);
+        assert_eq!(a.len(), 48);
+        assert_eq!(a, price_trace(&cfg));
+    }
+}

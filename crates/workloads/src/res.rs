@@ -1,0 +1,111 @@
+//! Synthetic renewable production traces — the scheduling target of the E2
+//! experiment (demand should follow supply).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flexoffers_timeseries::Series;
+
+use crate::SLOTS_PER_DAY;
+
+/// Configuration for a combined solar + wind production trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResTraceConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of days.
+    pub days: usize,
+    /// Solar fleet peak production per slot (energy units).
+    pub solar_capacity: i64,
+    /// Wind fleet capacity per slot (energy units).
+    pub wind_capacity: i64,
+}
+
+impl Default for ResTraceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            days: 1,
+            solar_capacity: 60,
+            wind_capacity: 80,
+        }
+    }
+}
+
+/// Generates a non-negative production trace: a diurnal solar bell (hours
+/// 6–18, scaled by a per-day cloud factor) plus AR(1) wind. The trace is
+/// *positive* (production magnitude) so it can serve directly as the target
+/// consumption profile for positive flex-offers.
+pub fn res_production_trace(cfg: &ResTraceConfig) -> Series<i64> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut values = Vec::with_capacity(cfg.days * SLOTS_PER_DAY as usize);
+    let mut wind_level = rng.gen_range(0.2..=0.8) * cfg.wind_capacity as f64;
+    for _ in 0..cfg.days {
+        let cloud = rng.gen_range(0.5..=1.0);
+        for hour in 0..SLOTS_PER_DAY {
+            let solar = if (6..18).contains(&hour) {
+                let phase = (hour - 6) as f64 / 12.0 * std::f64::consts::PI;
+                cfg.solar_capacity as f64 * phase.sin() * cloud
+            } else {
+                0.0
+            };
+            let shock = rng.gen_range(-0.25..=0.25) * cfg.wind_capacity as f64;
+            wind_level = (0.85 * wind_level + shock).clamp(0.0, cfg.wind_capacity as f64);
+            values.push((solar + wind_level).round() as i64);
+        }
+    }
+    Series::new(0, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_length_and_nonnegativity() {
+        let cfg = ResTraceConfig {
+            days: 3,
+            ..ResTraceConfig::default()
+        };
+        let trace = res_production_trace(&cfg);
+        assert_eq!(trace.len(), 3 * SLOTS_PER_DAY as usize);
+        assert!(trace.iter().all(|(_, v)| v >= 0));
+        assert_eq!(trace.start(), 0);
+    }
+
+    #[test]
+    fn nights_are_wind_only() {
+        let cfg = ResTraceConfig {
+            wind_capacity: 0,
+            ..ResTraceConfig::default()
+        };
+        let trace = res_production_trace(&cfg);
+        for hour in 0..6 {
+            assert_eq!(trace.at(hour), 0, "no solar before sunrise");
+        }
+        for hour in 18..24 {
+            assert_eq!(trace.at(hour), 0, "no solar after sunset");
+        }
+        // Midday produces.
+        assert!(trace.at(12) > 0 || trace.at(11) > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = ResTraceConfig::default();
+        assert_eq!(res_production_trace(&cfg), res_production_trace(&cfg));
+        let other = ResTraceConfig {
+            seed: 43,
+            ..ResTraceConfig::default()
+        };
+        assert_ne!(res_production_trace(&cfg), res_production_trace(&other));
+    }
+
+    #[test]
+    fn capacity_bounds_respected() {
+        let cfg = ResTraceConfig::default();
+        let trace = res_production_trace(&cfg);
+        let max = cfg.solar_capacity + cfg.wind_capacity;
+        assert!(trace.iter().all(|(_, v)| v <= max));
+    }
+}

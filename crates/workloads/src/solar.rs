@@ -1,0 +1,105 @@
+//! Solar-panel workloads: production flex-offers with zero time flexibility.
+
+use rand::{Rng, RngCore};
+
+use flexoffers_model::{FlexOffer, Slice};
+
+use crate::device::{DeviceKind, DeviceModel};
+use crate::SLOTS_PER_DAY;
+
+/// A rooftop solar panel: production follows the sun (no start-time
+/// flexibility at all), with per-slot forecast uncertainty expressed as the
+/// slice range. Amounts are negative per the paper's production convention.
+///
+/// Solar is the canonical `tf = 0` case: the product measure values it at
+/// zero no matter how uncertain the forecast (Example 11's blind spot),
+/// while vector/energy measures still see the amount flexibility.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolarPanel {
+    /// Hour the panel starts producing, e.g. 8.
+    pub sunrise: i64,
+    /// Hours of production, e.g. 9.
+    pub daylight: usize,
+    /// Peak production in energy units (positive; the model negates).
+    pub peak: i64,
+    /// Forecast uncertainty as a fraction of each slot's forecast.
+    pub uncertainty: f64,
+}
+
+impl Default for SolarPanel {
+    fn default() -> Self {
+        Self {
+            sunrise: 8,
+            daylight: 9,
+            peak: 8,
+            uncertainty: 0.3,
+        }
+    }
+}
+
+impl DeviceModel for SolarPanel {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::SolarPanel
+    }
+
+    fn generate(&self, day: i64, rng: &mut dyn RngCore) -> FlexOffer {
+        let origin = day * SLOTS_PER_DAY;
+        let start = origin + self.sunrise;
+        // Cloud factor scales the whole day.
+        let cloud = rng.gen_range(0.6..=1.0);
+        let slices: Vec<Slice> = (0..self.daylight)
+            .map(|h| {
+                // Half-sine bell over the daylight hours.
+                let phase = (h as f64 + 0.5) / self.daylight as f64 * std::f64::consts::PI;
+                let forecast = (self.peak as f64 * phase.sin() * cloud).round();
+                let spread = (forecast * self.uncertainty).ceil();
+                // Production: between -(forecast+spread) and -(forecast-spread).
+                let hi = (-(forecast - spread)).min(0.0) as i64;
+                let lo = -(forecast + spread) as i64;
+                Slice::new(lo, hi).expect("spread keeps ranges ordered")
+            })
+            .collect();
+        FlexOffer::new(start, start, slices)
+            .expect("solar parameters produce well-formed flex-offers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_time_flexibility_negative_sign() {
+        let model = SolarPanel::default();
+        let mut rng = StdRng::seed_from_u64(13);
+        for day in 0..10 {
+            let f = model.generate(day, &mut rng);
+            assert_eq!(f.time_flexibility(), 0, "the sun cannot be shifted");
+            assert_eq!(f.sign(), flexoffers_model::SignClass::Negative);
+            assert!(f.energy_flexibility() > 0, "forecast uncertainty");
+        }
+    }
+
+    #[test]
+    fn bell_shape_peaks_midday() {
+        let model = SolarPanel::default();
+        let f = model.generate(0, &mut StdRng::seed_from_u64(2));
+        let mid = f.slice_count() / 2;
+        // Midday produces more (more negative minimum) than the edges.
+        assert!(f.slices()[mid].min() < f.slices()[0].min());
+        assert!(f.slices()[mid].min() < f.slices()[f.slice_count() - 1].min());
+    }
+
+    #[test]
+    fn product_measure_blind_spot() {
+        // The pathology the paper's Example 11 warns about, in the wild.
+        let f = SolarPanel::default().generate(0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(
+            f.time_flexibility() as f64 * f.energy_flexibility() as f64,
+            0.0
+        );
+        assert!(f.energy_flexibility() > 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Vehicle-to-grid workloads: the paper's example of a *mixed* flex-offer.
+
+use rand::{Rng, RngCore};
+
+use flexoffers_model::{FlexOffer, Slice};
+
+use crate::device::{DeviceKind, DeviceModel};
+use crate::SLOTS_PER_DAY;
+
+/// A vehicle-to-grid battery: can discharge into the grid during the
+/// evening peak and must recharge before morning. Each slot can go either
+/// way within the inverter's limits, making every slice range cross zero —
+/// the paper's "mixed flex-offer" (Section 2) that defeats the area-based
+/// measures (Section 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VehicleToGrid {
+    /// Earliest plug-in hour of day.
+    pub plug_in_from: i64,
+    /// Latest plug-in hour of day.
+    pub plug_in_to: i64,
+    /// Session length range in slots.
+    pub session_min: usize,
+    /// Maximum session length in slots.
+    pub session_max: usize,
+    /// Inverter limit per slot (energy units, both directions).
+    pub inverter_limit: i64,
+    /// Net energy the battery must end up having gained, at minimum.
+    pub net_charge_min: i64,
+}
+
+impl Default for VehicleToGrid {
+    fn default() -> Self {
+        Self {
+            plug_in_from: 18,
+            plug_in_to: 22,
+            session_min: 4,
+            session_max: 8,
+            inverter_limit: 6,
+            net_charge_min: 4,
+        }
+    }
+}
+
+impl DeviceModel for VehicleToGrid {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::VehicleToGrid
+    }
+
+    fn generate(&self, day: i64, rng: &mut dyn RngCore) -> FlexOffer {
+        let origin = day * SLOTS_PER_DAY;
+        let plug_in = origin + rng.gen_range(self.plug_in_from..=self.plug_in_to);
+        let session = rng.gen_range(self.session_min..=self.session_max);
+        let latest = plug_in + rng.gen_range(0..=2);
+        let slices = vec![
+            Slice::new(-self.inverter_limit, self.inverter_limit)
+                .expect("inverter limits ordered");
+            session
+        ];
+        let profile_max = self.inverter_limit * session as i64;
+        // The car must leave with at least `net_charge_min` more energy
+        // than it arrived with, but never more than a full-rate charge.
+        let net_min = self.net_charge_min.min(profile_max);
+        FlexOffer::with_totals(plug_in, latest, slices, net_min, profile_max)
+            .expect("V2G parameters produce well-formed flex-offers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sessions_are_mixed_flex_offers() {
+        let model = VehicleToGrid::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        for day in 0..10 {
+            let f = model.generate(day, &mut rng);
+            assert_eq!(f.sign(), flexoffers_model::SignClass::Mixed);
+            assert!(f.energy_flexibility() > 0);
+        }
+    }
+
+    #[test]
+    fn net_charge_floor_enforced() {
+        let model = VehicleToGrid::default();
+        let f = model.generate(0, &mut StdRng::seed_from_u64(4));
+        assert!(f.total_min() >= model.net_charge_min.min(f.profile_max()));
+        // Every valid assignment nets at least the floor.
+        let mut rng = StdRng::seed_from_u64(5);
+        for a in f.sample_assignments(50, &mut rng) {
+            assert!(a.total() >= f.total_min());
+        }
+    }
+
+    #[test]
+    fn area_measures_reject_v2g_under_strict_policy() {
+        // The workload exists to show why Section 4 excludes mixed
+        // flex-offers from the area measures.
+        use flexoffers_measures::{AbsoluteAreaFlexibility, Measure};
+        let f = VehicleToGrid::default().generate(0, &mut StdRng::seed_from_u64(1));
+        assert!(AbsoluteAreaFlexibility::rejecting_mixed().of(&f).is_err());
+    }
+}

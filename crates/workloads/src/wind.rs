@@ -1,0 +1,99 @@
+//! Wind-turbine workloads: autocorrelated production, zero time flexibility.
+
+use rand::{Rng, RngCore};
+
+use flexoffers_model::{FlexOffer, Slice};
+
+use crate::device::{DeviceKind, DeviceModel};
+use crate::SLOTS_PER_DAY;
+
+/// A wind turbine: a full-day production profile whose hourly forecast
+/// follows an AR(1) process (wind persists), with uncertainty growing with
+/// the forecast level. Amounts negative, time flexibility zero.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindTurbine {
+    /// Rated capacity per slot (positive; the model negates).
+    pub capacity: i64,
+    /// AR(1) persistence in `[0, 1)`.
+    pub persistence: f64,
+    /// Forecast uncertainty as a fraction of each slot's forecast.
+    pub uncertainty: f64,
+}
+
+impl Default for WindTurbine {
+    fn default() -> Self {
+        Self {
+            capacity: 12,
+            persistence: 0.8,
+            uncertainty: 0.25,
+        }
+    }
+}
+
+impl DeviceModel for WindTurbine {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::WindTurbine
+    }
+
+    fn generate(&self, day: i64, rng: &mut dyn RngCore) -> FlexOffer {
+        let origin = day * SLOTS_PER_DAY;
+        let mut level = rng.gen_range(0.2..=0.8) * self.capacity as f64;
+        let slices: Vec<Slice> = (0..SLOTS_PER_DAY)
+            .map(|_| {
+                let shock = rng.gen_range(-0.3..=0.3) * self.capacity as f64;
+                level = (self.persistence * level + shock)
+                    .clamp(0.0, self.capacity as f64);
+                let forecast = level.round();
+                let spread = (forecast * self.uncertainty).ceil();
+                let hi = (-(forecast - spread)).min(0.0) as i64;
+                let lo = -(forecast + spread) as i64;
+                Slice::new(lo, hi).expect("spread keeps ranges ordered")
+            })
+            .collect();
+        FlexOffer::new(origin, origin, slices)
+            .expect("wind parameters produce well-formed flex-offers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_day_profile_zero_time_flexibility() {
+        let model = WindTurbine::default();
+        let f = model.generate(0, &mut StdRng::seed_from_u64(21));
+        assert_eq!(f.slice_count(), SLOTS_PER_DAY as usize);
+        assert_eq!(f.time_flexibility(), 0);
+        // Wind can be becalmed (slice max 0), so the sign is negative or,
+        // in the extreme, zero — never consumption.
+        assert_ne!(f.sign(), flexoffers_model::SignClass::Positive);
+        assert_ne!(f.sign(), flexoffers_model::SignClass::Mixed);
+    }
+
+    #[test]
+    fn persistence_bounds_hourly_jumps() {
+        let model = WindTurbine::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let f = model.generate(0, &mut rng);
+            for pair in f.slices().windows(2) {
+                let jump = (pair[1].min() - pair[0].min()).abs();
+                assert!(
+                    jump <= (model.capacity as f64 * 0.7).ceil() as i64,
+                    "hourly forecast jumped by {jump}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = WindTurbine::default();
+        let a = model.generate(1, &mut StdRng::seed_from_u64(3));
+        let b = model.generate(1, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

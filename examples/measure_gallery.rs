@@ -1,0 +1,88 @@
+//! A gallery of the paper's figures rendered in ASCII, with the measure
+//! pathologies each one illustrates.
+//!
+//! Run with `cargo run --example measure_gallery`.
+
+use flexoffers::area::{render_assignment, render_flexoffer, render_union};
+use flexoffers::measures::{
+    AbsoluteAreaFlexibility, Measure, ProductFlexibility, RelativeAreaFlexibility,
+    TimeSeriesFlexibility, VectorFlexibility,
+};
+use flexoffers::{Assignment, FlexOffer, Slice};
+
+fn fo(tes: i64, tls: i64, slices: &[(i64, i64)]) -> FlexOffer {
+    FlexOffer::new(
+        tes,
+        tls,
+        slices
+            .iter()
+            .map(|&(a, b)| Slice::new(a, b).expect("ordered"))
+            .collect(),
+    )
+    .expect("well-formed")
+}
+
+fn main() {
+    println!("=== Figure 1: the running flex-offer ===");
+    let f = fo(1, 6, &[(1, 3), (2, 4), (0, 5), (0, 3)]);
+    print!("{}", render_flexoffer(&f));
+    println!(
+        "tf = {}, ef = {}, product = {}\n",
+        f.time_flexibility(),
+        f.energy_flexibility(),
+        ProductFlexibility.of(&f).expect("defined")
+    );
+
+    println!("=== Figure 4: the area of one assignment (Example 7) ===");
+    let fa = Assignment::new(1, vec![2, 1, 3]);
+    print!("{}", render_assignment(&fa));
+    println!();
+
+    println!("=== Figures 5 & 6: area measures see size; f4 vs f5 ===");
+    let f4 = fo(0, 4, &[(2, 2)]);
+    let f5 = fo(0, 4, &[(1, 1), (2, 2)]);
+    print!("{}", render_union(&f4));
+    print!("{}", render_union(&f5));
+    println!(
+        "abs(f4) = {}, abs(f5) = {} — equal absolute flexibility;",
+        AbsoluteAreaFlexibility::new().of(&f4).expect("consumption"),
+        AbsoluteAreaFlexibility::new().of(&f5).expect("consumption"),
+    );
+    println!(
+        "rel(f4) = {:.3}, rel(f5) = {:.3} — relatively, the smaller f4 is more flexible\n",
+        RelativeAreaFlexibility::new().of(&f4).expect("consumption"),
+        RelativeAreaFlexibility::new().of(&f5).expect("consumption"),
+    );
+
+    println!("=== Figure 7: a mixed flex-offer (vehicle-to-grid shape) ===");
+    let f6 = fo(0, 2, &[(-1, 2), (-4, -1), (-3, 1)]);
+    print!("{}", render_union(&f6));
+    println!(
+        "assignments = {}, vector = {:.3}; the area measures overreach here\n\
+         (Definition 10 literally gives {}, counting committed production as\n\
+         flexibility) — Table 1's mixed 'No'.\n",
+        f6.unconstrained_assignment_count().expect("small"),
+        VectorFlexibility::default().of(&f6).expect("defined"),
+        AbsoluteAreaFlexibility::new().of(&f6).expect("literal policy"),
+    );
+
+    println!("=== Example 11: the product measure's blind spot ===");
+    let fixed_amount = fo(2, 8, &[(5, 5)]);
+    println!(
+        "fx = {fixed_amount}: tf = {}, ef = {} -> product = {} but vector = {}",
+        fixed_amount.time_flexibility(),
+        fixed_amount.energy_flexibility(),
+        ProductFlexibility.of(&fixed_amount).expect("defined"),
+        VectorFlexibility::default().of(&fixed_amount).expect("defined"),
+    );
+    println!();
+
+    println!("=== Example 13: norms cannot see time structure ===");
+    let near = fo(0, 1, &[(0, 1)]);
+    let far = fo(0, 10, &[(0, 1)]);
+    println!(
+        "series(f1)  = {} (window 0..1)\nseries(f1') = {} (window 0..10, ten-fold time flexibility, same value)",
+        TimeSeriesFlexibility::default().of(&near).expect("defined"),
+        TimeSeriesFlexibility::default().of(&far).expect("defined"),
+    );
+}

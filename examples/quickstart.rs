@@ -1,0 +1,69 @@
+//! Quickstart: the paper's EV use case, measured by all eight measures.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! An electric vehicle is plugged in at 23:00 with an empty battery, needs 3
+//! hours of charging, must be done by 6:00, and its owner is happy with 60 %
+//! of a full charge (the introduction of Valsomatzis et al., EDBT 2015).
+//! That story becomes one flex-offer; this example builds it, validates a
+//! concrete charging plan against it, and prints every flexibility measure.
+
+use flexoffers::workloads::EvCharger;
+use flexoffers::{all_measures, Assignment};
+
+fn main() {
+    // The use case as a flex-offer: start window [23:00, 3:00], three
+    // hourly slices of 0..10 units, total within 60-100 % of full.
+    let ev = EvCharger::paper_use_case();
+    println!("EV flex-offer: {ev}");
+    println!(
+        "  time flexibility   {} hours (start window 23:00 .. 3:00)",
+        ev.time_flexibility()
+    );
+    println!(
+        "  energy flexibility {} units (60-100 % charge band)",
+        ev.energy_flexibility()
+    );
+    println!();
+
+    // The scheduler of the use case starts charging at 1:00 (slot 25)
+    // "because wind production will increase at that time".
+    let plan = Assignment::new(25, vec![10, 10, 4]);
+    match ev.check_assignment(&plan) {
+        Ok(()) => println!("charging plan {plan} is valid (24 units = 80 % charge)"),
+        Err(violation) => println!("charging plan rejected: {violation}"),
+    }
+    println!();
+
+    // How flexible is this flex-offer, by every measure of the paper?
+    println!("{:<14} {:>12}  note", "measure", "value");
+    for measure in all_measures() {
+        match measure.of(&ev) {
+            Ok(v) => {
+                let note = match measure.short_name() {
+                    "Product" => "tf * ef (Definition 3)",
+                    "Vector" => "||<tf, ef>||_1 (Definition 4)",
+                    "Time-series" => "||f_max - f_min||_1 (Definition 7)",
+                    "Assignments" => "(tf+1) * prod(width+1) (Definition 8)",
+                    "Abs. Area" => "union area - cmin (Definition 10)",
+                    "Rel. Area" => "2*abs / (|cmin|+|cmax|) (Definition 11)",
+                    _ => "",
+                };
+                println!("{:<14} {v:>12.3}  {note}", measure.short_name());
+            }
+            Err(e) => println!("{:<14} {:>12}  {e}", measure.short_name(), "n/a"),
+        }
+    }
+
+    // The number of ways this EV could be charged, exactly.
+    println!();
+    println!(
+        "valid charging schedules |L(f)|: {}",
+        ev.constrained_assignment_count()
+            .expect("EV space fits in u128")
+    );
+    println!(
+        "of {} unconstrained start/amount combinations",
+        ev.unconstrained_assignment_count().expect("fits in u128")
+    );
+}

@@ -1,0 +1,92 @@
+//! Demand follows supply: schedule a district's flexible demand against a
+//! renewable production trace and compare schedulers.
+//!
+//! Run with `cargo run --example res_scheduling`.
+
+use flexoffers::scheduling::{
+    imbalance::coverage, schedule_via_aggregation, AnnealingScheduler, EarliestStartScheduler,
+    GreedyScheduler, HillClimbScheduler, Scheduler,
+};
+use flexoffers::GroupingParams;
+use flexoffers::workloads::res::{res_production_trace, ResTraceConfig};
+use flexoffers::workloads::PopulationBuilder;
+use flexoffers::SchedulingProblem;
+
+fn main() {
+    // Flexible consumption only; production is the target, not a player.
+    let portfolio = PopulationBuilder::new(19)
+        .electric_vehicles(30)
+        .dishwashers(40)
+        .heat_pumps(20)
+        .refrigerators(50)
+        .build();
+    let res = res_production_trace(&ResTraceConfig {
+        days: 2,
+        solar_capacity: 60,
+        wind_capacity: 90,
+        ..ResTraceConfig::default()
+    });
+    let problem = SchedulingProblem::new(portfolio.into_offers(), res.clone());
+
+    println!(
+        "{} flex-offers vs a {}-slot RES trace (total production {})",
+        problem.offers().len(),
+        res.len(),
+        res.sum()
+    );
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>8} {:>9}",
+        "scheduler", "L1", "L2", "peak", "coverage"
+    );
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(EarliestStartScheduler),
+        Box::new(GreedyScheduler::new()),
+        Box::new(HillClimbScheduler::new(42, 2_000)),
+        Box::new(AnnealingScheduler::new(42, 2_000)),
+    ];
+    for scheduler in schedulers {
+        let schedule = scheduler.schedule(&problem).expect("feasible");
+        assert!(problem.is_feasible(&schedule));
+        let im = schedule.imbalance(problem.target());
+        let cov = coverage(&schedule.load(), problem.target());
+        println!(
+            "{:<28} {:>10.1} {:>10.2} {:>8.1} {:>8.1}%",
+            scheduler.name(),
+            im.l1,
+            im.l2,
+            im.peak,
+            cov * 100.0
+        );
+    }
+
+    // Scenario 1's full pipeline: aggregate first, schedule the (far
+    // smaller) aggregate problem, disaggregate back to the devices.
+    let outcome = schedule_via_aggregation(
+        &problem,
+        &GroupingParams::with_tolerances(2, 2),
+        &GreedyScheduler::new(),
+    )
+    .expect("pipeline feasible");
+    assert!(problem.is_feasible(&outcome.schedule));
+    let im = outcome.schedule.imbalance(problem.target());
+    let cov = coverage(&outcome.schedule.load(), problem.target());
+    println!(
+        "{:<28} {:>10.1} {:>10.2} {:>8.1} {:>8.1}%   ({} offers -> {} aggregates, {} re-planned)",
+        "aggregate+greedy pipeline",
+        im.l1,
+        im.l2,
+        im.peak,
+        cov * 100.0,
+        problem.offers().len(),
+        outcome.aggregates,
+        outcome.unrealizable_plans,
+    );
+
+    println!(
+        "\nThe gap between the baseline row and the others is what prosumer\n\
+         flexibility buys the grid: the same appliances, shifted and\n\
+         modulated within their flex-offers, absorb far more renewable\n\
+         production (Scenario 1's motivation)."
+    );
+}

@@ -1,0 +1,140 @@
+//! `flexctl` — command-line access to the flexibility measures.
+//!
+//! ```text
+//! flexctl measure <file.json|-> [measure-name ...]   measure a flex-offer
+//! flexctl render  <file.json|->                      ASCII-render it
+//! flexctl count   <file.json|->                      assignment-space sizes
+//! flexctl names                                      list measure names
+//! flexctl template                                   print an example JSON
+//! ```
+//!
+//! Flex-offers are read as JSON in the model crate's serde format; `-`
+//! reads stdin. Try `flexctl template | flexctl measure -`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use flexoffers::area::{render_flexoffer, render_union};
+use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
+use flexoffers::workloads::EvCharger;
+use flexoffers::FlexOffer;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => run(cmd, rest),
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  flexctl measure <file.json|-> [measure-name ...]
+  flexctl render  <file.json|->
+  flexctl count   <file.json|->
+  flexctl names
+  flexctl template";
+
+fn run(cmd: &str, rest: &[String]) -> ExitCode {
+    match cmd {
+        "names" => {
+            for name in available_names() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        "template" => {
+            let ev = EvCharger::paper_use_case();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&ev).expect("model types serialize")
+            );
+            ExitCode::SUCCESS
+        }
+        "measure" | "render" | "count" => {
+            let Some(path) = rest.first() else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let fo = match load(path) {
+                Ok(fo) => fo,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd {
+                "measure" => measure(&fo, &rest[1..]),
+                "render" => {
+                    print!("{}", render_flexoffer(&fo));
+                    print!("{}", render_union(&fo));
+                    ExitCode::SUCCESS
+                }
+                _ => count(&fo),
+            }
+        }
+        _ => {
+            eprintln!("unknown command {cmd}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<FlexOffer, String> {
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    serde_json::from_str(&text).map_err(|e| format!("parsing flex-offer JSON: {e}"))
+}
+
+fn measure(fo: &FlexOffer, names: &[String]) -> ExitCode {
+    println!("flex-offer: {fo}");
+    let measures: Vec<Box<dyn Measure>> = if names.is_empty() {
+        all_measures()
+    } else {
+        let mut out = Vec::new();
+        for name in names {
+            match measure_by_name(name) {
+                Some(m) => out.push(m),
+                None => {
+                    eprintln!("unknown measure {name}; see `flexctl names`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+    for m in measures {
+        match m.of(fo) {
+            Ok(v) => println!("{:<14} {v:.6}", m.short_name()),
+            Err(e) => println!("{:<14} n/a ({e})", m.short_name()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn count(fo: &FlexOffer) -> ExitCode {
+    match fo.unconstrained_assignment_count() {
+        Some(n) => println!("unconstrained assignments (Def. 8): {n}"),
+        None => println!(
+            "unconstrained assignments (Def. 8): 2^{:.1} (overflows u128)",
+            fo.log2_assignment_count()
+        ),
+    }
+    match fo.constrained_assignment_count() {
+        Some(n) => println!("valid assignments |L(f)|:           {n}"),
+        None => println!(
+            "valid assignments |L(f)|:           ~{:.3e}",
+            fo.constrained_assignment_count_f64()
+        ),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! `flexoffers` — a Rust implementation of the flex-offer energy-flexibility
+//! stack around **“Measuring and Comparing Energy Flexibilities”**
+//! (Valsomatzis, Hose, Pedersen, Šikšnys — EDBT/ICDT 2015 Workshops).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`model`] — flex-offers, assignments, enumeration, counting, sampling;
+//! * [`measures`] — the paper's eight flexibility measures and the Table 1
+//!   characteristics harness (the paper's primary contribution);
+//! * [`timeseries`] — the discrete series algebra underneath;
+//! * [`area`] — grid-cell area semantics (Definitions 9–10) and ASCII
+//!   figure rendering;
+//! * [`aggregation`] — start-alignment aggregation, grouping,
+//!   flow-exact disaggregation, balance-aware grouping, loss evaluation;
+//! * [`scheduling`] — baseline/greedy/hill-climbing/exhaustive schedulers
+//!   against a target supply profile;
+//! * [`workloads`] — seeded synthetic prosumer devices, districts, RES and
+//!   price traces;
+//! * [`market`] — the Scenario 2 balancing-market simulation.
+//!
+//! The most common types are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flexoffers::{all_measures, FlexOffer, Slice};
+//!
+//! // The paper's Figure 1 flex-offer.
+//! let f = FlexOffer::new(1, 6, vec![
+//!     Slice::new(1, 3)?,
+//!     Slice::new(2, 4)?,
+//!     Slice::new(0, 5)?,
+//!     Slice::new(0, 3)?,
+//! ])?;
+//!
+//! for measure in all_measures() {
+//!     match measure.of(&f) {
+//!         Ok(v) => println!("{:<12} {v:.3}", measure.short_name()),
+//!         Err(e) => println!("{:<12} n/a ({e})", measure.short_name()),
+//!     }
+//! }
+//! # Ok::<(), flexoffers::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use flexoffers_aggregation as aggregation;
+pub use flexoffers_area as area;
+pub use flexoffers_market as market;
+pub use flexoffers_measures as measures;
+pub use flexoffers_model as model;
+pub use flexoffers_scheduling as scheduling;
+pub use flexoffers_timeseries as timeseries;
+pub use flexoffers_workloads as workloads;
+
+pub use flexoffers_aggregation::{aggregate, Aggregate, GroupingParams};
+pub use flexoffers_measures::{all_measures, Measure, MeasureError, Norm};
+pub use flexoffers_model::{
+    Assignment, Energy, FlexOffer, FlexOfferBuilder, ModelError, Portfolio, SignClass, Slice,
+    TimeSlot,
+};
+pub use flexoffers_scheduling::{Scheduler, SchedulingProblem};
+pub use flexoffers_timeseries::Series;

@@ -1,0 +1,93 @@
+//! Cross-crate pipeline: synthetic district -> grouping -> aggregation ->
+//! assignment -> disaggregation -> validity, plus loss accounting.
+
+use flexoffers::aggregation::{aggregate_portfolio, balance_aggregate, loss_table};
+use flexoffers::measures::{EnergyFlexibility, Measure, TimeFlexibility};
+use flexoffers::timeseries::ops::sum_series;
+use flexoffers::workloads::district;
+use flexoffers::{GroupingParams, SignClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn district_aggregates_and_disaggregates() {
+    let portfolio = district(5, 40);
+    let aggregates =
+        aggregate_portfolio(portfolio.as_slice(), &GroupingParams::with_tolerances(2, 2));
+    assert!(aggregates.len() < portfolio.len(), "aggregation reduces count");
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut checked = 0;
+    for agg in &aggregates {
+        // Sample an assignment of the aggregate and push it back down.
+        let assignment = agg.flexoffer().sample_assignment(&mut rng);
+        match agg.disaggregate(&assignment) {
+            Ok(parts) => {
+                assert_eq!(parts.len(), agg.len());
+                for (member, part) in agg.members().iter().zip(&parts) {
+                    assert!(member.is_valid_assignment(part));
+                }
+                let series: Vec<_> = parts.iter().map(|p| p.as_series()).collect();
+                assert_eq!(sum_series(series.iter()), assignment.as_series());
+                checked += 1;
+            }
+            Err(flexoffers::aggregation::DisaggregationError::Unrealizable) => {
+                // Legal: the aggregate overestimates joint flexibility.
+            }
+            Err(e) => panic!("unexpected disaggregation error: {e}"),
+        }
+    }
+    assert!(checked > 0, "at least some samples must disaggregate");
+}
+
+#[test]
+fn energy_flexibility_is_conserved_time_flexibility_shrinks() {
+    let portfolio = district(6, 30);
+    let aggregates =
+        aggregate_portfolio(portfolio.as_slice(), &GroupingParams::single_group());
+    let after: Vec<_> = aggregates.iter().map(|a| a.flexoffer().clone()).collect();
+    assert_eq!(
+        EnergyFlexibility.of_set(portfolio.as_slice()).unwrap(),
+        EnergyFlexibility.of_set(&after).unwrap(),
+        "totals sum exactly"
+    );
+    assert!(
+        TimeFlexibility.of_set(&after).unwrap()
+            <= TimeFlexibility.of_set(portfolio.as_slice()).unwrap(),
+        "the min-rule can only shrink summed time flexibility"
+    );
+}
+
+#[test]
+fn loss_table_runs_on_real_districts() {
+    let portfolio = district(7, 25);
+    let aggregates =
+        aggregate_portfolio(portfolio.as_slice(), &GroupingParams::with_tolerances(4, 4));
+    let table = loss_table(portfolio.as_slice(), &aggregates);
+    assert_eq!(table.len(), 8);
+    // Consumption + production portfolios keep every measure defined
+    // before aggregation; after aggregation mixed aggregates may appear,
+    // but the default area policy still evaluates them.
+    for entry in table {
+        entry.expect("definition-literal policies evaluate everywhere");
+    }
+}
+
+#[test]
+fn balance_aggregation_produces_mixed_aggregates_that_defeat_area_measures() {
+    let portfolio = district(8, 60);
+    let aggregates = balance_aggregate(portfolio.as_slice());
+    let mixed = aggregates
+        .iter()
+        .filter(|a| a.flexoffer().sign() == SignClass::Mixed)
+        .count();
+    assert!(mixed > 0, "pairing production with consumption yields mixed");
+    // The strict area policy refuses exactly those aggregates.
+    use flexoffers::measures::AbsoluteAreaFlexibility;
+    let strict = AbsoluteAreaFlexibility::rejecting_mixed();
+    let refusals = aggregates
+        .iter()
+        .filter(|a| strict.of(a.flexoffer()).is_err())
+        .count();
+    assert_eq!(refusals, mixed);
+}

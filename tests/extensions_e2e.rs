@@ -1,0 +1,124 @@
+//! End-to-end coverage of the future-work extensions: measure-aware
+//! aggregation, the aggregate-schedule-disaggregate pipeline, annealing,
+//! normalisation and the measure registry — all through the facade.
+
+use flexoffers::aggregation::MeasureAwareGrouping;
+use flexoffers::measures::{
+    available_names, measure_by_name, NormalizedMeasure, ProductFlexibility, VectorFlexibility,
+    WeightedMeasure,
+};
+use flexoffers::scheduling::{
+    schedule_via_aggregation, AnnealingScheduler, GreedyScheduler, Scheduler,
+};
+use flexoffers::workloads::res::{res_production_trace, ResTraceConfig};
+use flexoffers::workloads::{district, PopulationBuilder};
+use flexoffers::{GroupingParams, Measure, SchedulingProblem};
+
+#[test]
+fn measure_aware_grouping_bounds_loss_on_a_real_district() {
+    let portfolio = district(21, 50);
+    let vector = VectorFlexibility::default();
+    let tight = MeasureAwareGrouping::new(&vector, 0.05)
+        .aggregate_portfolio(portfolio.as_slice())
+        .unwrap();
+    let loose = MeasureAwareGrouping::new(&vector, 0.5)
+        .aggregate_portfolio(portfolio.as_slice())
+        .unwrap();
+    assert!(loose.len() <= tight.len(), "bigger budget, more compression");
+    // Tight budget keeps nearly all vector flexibility.
+    let before: f64 = portfolio
+        .iter()
+        .map(|f| vector.of(f).unwrap())
+        .sum();
+    let after: f64 = tight
+        .iter()
+        .map(|a| vector.of(a.flexoffer()).unwrap())
+        .sum();
+    assert!(after >= 0.80 * before, "kept {after} of {before}");
+}
+
+#[test]
+fn pipeline_runs_a_district_end_to_end() {
+    let portfolio = PopulationBuilder::new(33)
+        .electric_vehicles(12)
+        .dishwashers(18)
+        .heat_pumps(8)
+        .build();
+    let res = res_production_trace(&ResTraceConfig {
+        seed: 33,
+        days: 2,
+        solar_capacity: 40,
+        wind_capacity: 60,
+    });
+    let problem = SchedulingProblem::new(portfolio.into_offers(), res);
+    let outcome = schedule_via_aggregation(
+        &problem,
+        &GroupingParams::with_tolerances(2, 2),
+        &GreedyScheduler::new(),
+    )
+    .unwrap();
+    assert!(problem.is_feasible(&outcome.schedule));
+    assert!(
+        outcome.aggregates < problem.offers().len(),
+        "aggregation must reduce the problem"
+    );
+}
+
+#[test]
+fn annealing_is_feasible_and_competitive_on_a_district() {
+    let portfolio = PopulationBuilder::new(4)
+        .electric_vehicles(8)
+        .dishwashers(10)
+        .build();
+    let res = res_production_trace(&ResTraceConfig {
+        seed: 4,
+        days: 2,
+        solar_capacity: 30,
+        wind_capacity: 40,
+    });
+    let problem = SchedulingProblem::new(portfolio.into_offers(), res);
+    let greedy = GreedyScheduler::new().schedule(&problem).unwrap();
+    let annealed = AnnealingScheduler::new(4, 1_000).schedule(&problem).unwrap();
+    assert!(problem.is_feasible(&annealed));
+    assert!(
+        annealed.imbalance(problem.target()).l2 <= greedy.imbalance(problem.target()).l2 + 1e-9
+    );
+}
+
+#[test]
+fn registry_resolves_everything_it_advertises_on_real_offers() {
+    let portfolio = district(11, 10);
+    for name in available_names() {
+        let m = measure_by_name(name).unwrap();
+        let mut defined = 0;
+        for fo in &portfolio {
+            if m.of(fo).is_ok() {
+                defined += 1;
+            }
+        }
+        assert!(defined > 0, "{name} undefined on an entire district");
+    }
+}
+
+#[test]
+fn normalized_weighting_combines_incommensurable_measures() {
+    let portfolio = district(12, 20);
+    let offers = portfolio.as_slice();
+    let combo = WeightedMeasure::new(vec![
+        (
+            0.5,
+            Box::new(
+                NormalizedMeasure::fit(Box::new(VectorFlexibility::default()), offers).unwrap(),
+            ) as Box<dyn Measure>,
+        ),
+        (
+            0.5,
+            Box::new(NormalizedMeasure::fit(Box::new(ProductFlexibility), offers).unwrap()),
+        ),
+    ]);
+    // Every offer scores in [0, 1] (convex combination of unit-scaled parts).
+    for fo in offers {
+        let v = combo.of(fo).unwrap();
+        assert!((-1e-9..=1.0 + 1e-9).contains(&v), "score {v} out of range");
+    }
+}

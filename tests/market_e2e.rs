@@ -1,0 +1,77 @@
+//! Cross-crate market pipeline: populations -> aggregator -> spot market ->
+//! settlement, exercising the lot rule, the overestimation imbalance and
+//! the measure correlations.
+
+use flexoffers::market::{measure_savings_correlation, Aggregator, SpotMarket};
+use flexoffers::workloads::price::{price_trace, PriceTraceConfig};
+use flexoffers::workloads::PopulationBuilder;
+use flexoffers::{GroupingParams, Portfolio};
+
+fn market() -> SpotMarket {
+    SpotMarket::new(
+        price_trace(&PriceTraceConfig {
+            days: 2,
+            ..PriceTraceConfig::default()
+        }),
+        2.0,
+    )
+    .unwrap()
+}
+
+fn household_portfolio(seed: u64, scale: usize) -> Portfolio {
+    PopulationBuilder::new(seed)
+        .electric_vehicles(6 * scale)
+        .dishwashers(8 * scale)
+        .heat_pumps(4 * scale)
+        .build()
+}
+
+#[test]
+fn aggregation_unlocks_the_market() {
+    let portfolio = household_portfolio(1, 2);
+    let m = market();
+    let strict = Aggregator::new(GroupingParams::strict(), 200).run(&portfolio, &m);
+    let tolerant =
+        Aggregator::new(GroupingParams::with_tolerances(4, 4), 200).run(&portfolio, &m);
+    // Strict grouping leaves lots too small; tolerant grouping trades more.
+    assert!(tolerant.orders.len() >= strict.orders.len());
+    assert!(tolerant.rejected_lots <= strict.rejected_lots);
+    assert!(tolerant.total_cost() <= strict.total_cost());
+}
+
+#[test]
+fn flexible_trading_saves_against_the_baseline() {
+    let portfolio = household_portfolio(2, 2);
+    let outcome =
+        Aggregator::new(GroupingParams::with_tolerances(3, 3), 25).run(&portfolio, &market());
+    assert!(outcome.savings() > 0.0, "{outcome:?}");
+    assert_eq!(outcome.imbalance_cost, 0.0, "safe planning has no imbalance");
+}
+
+#[test]
+fn naive_planning_never_beats_safe_planning() {
+    let portfolio = household_portfolio(3, 2);
+    let m = market();
+    for params in [
+        GroupingParams::with_tolerances(2, 2),
+        GroupingParams::with_tolerances(6, 6),
+        GroupingParams::single_group(),
+    ] {
+        let safe = Aggregator::new(params, 25).run(&portfolio, &m);
+        let naive = Aggregator::naive(params, 25).run(&portfolio, &m);
+        assert!(safe.total_cost() <= naive.total_cost() + 1e-9);
+    }
+}
+
+#[test]
+fn correlations_cover_all_measures_on_clean_portfolios() {
+    let portfolios: Vec<Portfolio> = (0..5).map(|s| household_portfolio(s, 1 + s as usize % 3)).collect();
+    let aggregator = Aggregator::new(GroupingParams::with_tolerances(3, 3), 25);
+    let (outcomes, correlations) =
+        measure_savings_correlation(&portfolios, &aggregator, &market());
+    assert_eq!(outcomes.len(), 5);
+    assert_eq!(correlations.len(), 8);
+    for c in &correlations {
+        assert_eq!(c.evaluated, 5, "{} failed on some portfolio", c.measure);
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end reproduction of every worked example in the paper, through
+//! the public facade API only.
+
+use flexoffers::area::{assignment_area, union_area};
+use flexoffers::measures::{
+    AbsoluteAreaFlexibility, AssignmentFlexibility, EnergyFlexibility, ProductFlexibility,
+    RelativeAreaFlexibility, TimeSeriesFlexibility, VectorFlexibility,
+};
+use flexoffers::{all_measures, Assignment, FlexOffer, Measure, Norm, Slice};
+
+fn fo(tes: i64, tls: i64, slices: &[(i64, i64)]) -> FlexOffer {
+    FlexOffer::new(
+        tes,
+        tls,
+        slices
+            .iter()
+            .map(|&(a, b)| Slice::new(a, b).unwrap())
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn figure1() -> FlexOffer {
+    fo(1, 6, &[(1, 3), (2, 4), (0, 5), (0, 3)])
+}
+
+#[test]
+fn section2_figure1_assignment_membership() {
+    let f = figure1();
+    let fa1 = Assignment::new(2, vec![2, 3, 1, 2]);
+    assert!(f.is_valid_assignment(&fa1));
+    // And it shows up in the enumerated L(f).
+    assert!(f.assignments().any(|a| a == fa1));
+}
+
+#[test]
+fn examples_1_to_3_primitives() {
+    let f = figure1();
+    assert_eq!(f.time_flexibility(), 5);
+    assert_eq!(f.energy_flexibility(), 12);
+    assert_eq!(ProductFlexibility.of(&f).unwrap(), 60.0);
+}
+
+#[test]
+fn example_4_vector_by_the_definitions() {
+    // The paper prints <5,10>; its own Example 2 forces <5,12>.
+    let f = figure1();
+    assert_eq!(VectorFlexibility::new(Norm::L1).of(&f).unwrap(), 17.0);
+    assert_eq!(VectorFlexibility::new(Norm::L2).of(&f).unwrap(), 13.0);
+}
+
+#[test]
+fn example_5_and_13_time_series() {
+    let f1 = fo(0, 1, &[(0, 1)]);
+    let f1p = fo(0, 10, &[(0, 1)]);
+    for norm in [Norm::L1, Norm::L2] {
+        assert_eq!(TimeSeriesFlexibility::new(norm).of(&f1).unwrap(), 1.0);
+        assert_eq!(TimeSeriesFlexibility::new(norm).of(&f1p).unwrap(), 1.0);
+    }
+}
+
+#[test]
+fn example_6_and_14_assignment_counts() {
+    assert_eq!(
+        AssignmentFlexibility::new().of(&fo(0, 2, &[(0, 2)])).unwrap(),
+        9.0
+    );
+    let f6 = fo(0, 2, &[(-1, 2), (-4, -1), (-3, 1)]);
+    assert_eq!(AssignmentFlexibility::new().of(&f6).unwrap(), 240.0);
+    // The enumerator agrees with Definition 8's closed form here (default
+    // totals: nothing is pruned).
+    assert_eq!(f6.assignments().count(), 240);
+}
+
+#[test]
+fn example_7_area_cells() {
+    let cells = assignment_area(&Assignment::new(1, vec![2, 1, 3]));
+    let expected: Vec<(i64, i64)> =
+        vec![(1, 0), (1, 1), (2, 0), (3, 0), (3, 1), (3, 2)];
+    assert_eq!(
+        cells.iter().map(|c| (c.t, c.e)).collect::<Vec<_>>(),
+        expected
+    );
+}
+
+#[test]
+fn examples_8_to_10_area_measures() {
+    let f4 = fo(0, 4, &[(2, 2)]);
+    let f5 = fo(0, 4, &[(1, 1), (2, 2)]);
+    assert_eq!(union_area(&f4).size(), 10);
+    assert_eq!(union_area(&f5).size(), 11);
+    assert_eq!(AbsoluteAreaFlexibility::new().of(&f4).unwrap(), 8.0);
+    assert_eq!(AbsoluteAreaFlexibility::new().of(&f5).unwrap(), 8.0);
+    assert_eq!(RelativeAreaFlexibility::new().of(&f4).unwrap(), 4.0);
+    assert!(
+        (RelativeAreaFlexibility::new().of(&f5).unwrap() - 16.0 / 6.0).abs() < 1e-12
+    );
+}
+
+#[test]
+fn examples_11_and_12_size_blindness() {
+    let fx = fo(1, 3, &[(1, 5)]);
+    let fy = fo(1, 3, &[(101, 105)]);
+    assert_eq!(ProductFlexibility.of(&fx).unwrap(), 8.0);
+    assert_eq!(ProductFlexibility.of(&fy).unwrap(), 8.0);
+    assert_eq!(
+        VectorFlexibility::new(Norm::L1).of(&fx).unwrap(),
+        VectorFlexibility::new(Norm::L1).of(&fy).unwrap()
+    );
+    // Zero-collapse case.
+    assert_eq!(ProductFlexibility.of(&fo(2, 8, &[(5, 5)])).unwrap(), 0.0);
+    // Only the area measures tell the pair apart.
+    assert_ne!(
+        AbsoluteAreaFlexibility::new().of(&fx).unwrap(),
+        AbsoluteAreaFlexibility::new().of(&fy).unwrap()
+    );
+}
+
+#[test]
+fn example_15_mixed_area() {
+    let f6 = fo(0, 2, &[(-1, 2), (-4, -1), (-3, 1)]);
+    assert_eq!(f6.total_min(), -8);
+    assert_eq!(f6.total_max(), 2);
+    assert_eq!(union_area(&f6).size(), 24);
+    assert_eq!(AbsoluteAreaFlexibility::new().of(&f6).unwrap(), 32.0);
+    assert!((RelativeAreaFlexibility::new().of(&f6).unwrap() - 6.4).abs() < 1e-12);
+}
+
+#[test]
+fn all_measures_agree_with_direct_constructors_on_figure1() {
+    // The `all_measures` registry and the concrete types are the same
+    // objects behaviourally.
+    let f = figure1();
+    let direct: Vec<f64> = vec![
+        f.time_flexibility() as f64,
+        EnergyFlexibility.of(&f).unwrap(),
+        ProductFlexibility.of(&f).unwrap(),
+        VectorFlexibility::default().of(&f).unwrap(),
+        TimeSeriesFlexibility::default().of(&f).unwrap(),
+        AssignmentFlexibility::default().of(&f).unwrap(),
+        AbsoluteAreaFlexibility::new().of(&f).unwrap(),
+        RelativeAreaFlexibility::new().of(&f).unwrap(),
+    ];
+    for (m, expected) in all_measures().iter().zip(direct) {
+        assert_eq!(m.of(&f).unwrap(), expected, "{}", m.name());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests spanning crates: measures vs aggregation vs scheduling.
+
+use flexoffers::aggregation::aggregate;
+use flexoffers::measures::{
+    AbsoluteAreaFlexibility, EnergyFlexibility, Measure, ProductFlexibility, TimeFlexibility,
+    VectorFlexibility,
+};
+use flexoffers::scheduling::{GreedyScheduler, Scheduler};
+use flexoffers::{FlexOffer, SchedulingProblem, Series, SignClass, Slice};
+use proptest::prelude::*;
+
+fn arb_flexoffer() -> impl Strategy<Value = FlexOffer> {
+    (
+        0i64..4,
+        0i64..4,
+        prop::collection::vec((-3i64..4, 0i64..4), 1..4),
+    )
+        .prop_map(|(tes, w, raw)| {
+            FlexOffer::new(
+                tes,
+                tes + w,
+                raw.into_iter()
+                    .map(|(min, sw)| Slice::new(min, min + sw).unwrap())
+                    .collect(),
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aggregate_time_flexibility_is_the_member_minimum(
+        group in prop::collection::vec(arb_flexoffer(), 1..5)
+    ) {
+        let agg = aggregate(&group).unwrap();
+        let min_tf = group.iter().map(|f| TimeFlexibility.of(f).unwrap()).fold(f64::MAX, f64::min);
+        prop_assert_eq!(TimeFlexibility.of(agg.flexoffer()).unwrap(), min_tf);
+    }
+
+    #[test]
+    fn aggregate_energy_flexibility_is_the_member_sum(
+        group in prop::collection::vec(arb_flexoffer(), 1..5)
+    ) {
+        let agg = aggregate(&group).unwrap();
+        let sum: f64 = group.iter().map(|f| EnergyFlexibility.of(f).unwrap()).sum();
+        prop_assert_eq!(EnergyFlexibility.of(agg.flexoffer()).unwrap(), sum);
+    }
+
+    #[test]
+    fn product_flexibility_of_aggregate_never_exceeds_time_sum_times_energy_sum(
+        group in prop::collection::vec(arb_flexoffer(), 1..5)
+    ) {
+        // product(agg) = min(tf) * sum(ef) <= sum(tf) * sum(ef).
+        let agg = aggregate(&group).unwrap();
+        let tf_sum: f64 = group.iter().map(|f| TimeFlexibility.of(f).unwrap()).sum();
+        let ef_sum: f64 = group.iter().map(|f| EnergyFlexibility.of(f).unwrap()).sum();
+        prop_assert!(ProductFlexibility.of(agg.flexoffer()).unwrap() <= tf_sum * ef_sum + 1e-9);
+    }
+
+    #[test]
+    fn area_flexibility_of_pure_consumption_aggregate_is_at_least_each_members(
+        group in prop::collection::vec(
+            (0i64..3, 0i64..3, prop::collection::vec((0i64..4, 0i64..4), 1..3)), 1..4)
+    ) {
+        let members: Vec<FlexOffer> = group
+            .into_iter()
+            .map(|(tes, w, raw)| FlexOffer::new(
+                tes,
+                tes + w,
+                raw.into_iter().map(|(min, sw)| Slice::new(min, min + sw).unwrap()).collect(),
+            ).unwrap())
+            .collect();
+        let agg = aggregate(&members).unwrap();
+        if agg.flexoffer().sign() != SignClass::Mixed {
+            let abs = AbsoluteAreaFlexibility::new();
+            let agg_area = abs.of(agg.flexoffer()).unwrap();
+            // Aggregation can both create area flexibility (overestimation,
+            // EXPERIMENTS.md finding 4) and destroy it (the min-rule can
+            // erase a member's start window), so no member-wise dominance
+            // holds in either direction. What must hold: non-negativity,
+            // and the union-area bound by the occupancy window times the
+            // tallest achievable band.
+            prop_assert!(agg_area >= -1e-9);
+            let fo = agg.flexoffer();
+            let window = (fo.latest_end() - fo.earliest_start()) as f64;
+            let tallest = (0..fo.slice_count())
+                .map(|i| {
+                    let (lo, hi) = fo.achievable_band(i);
+                    (hi.max(0) - lo.min(0)) as f64
+                })
+                .fold(0.0f64, f64::max);
+            prop_assert!(agg_area <= window * tallest - fo.total_min().min(0) as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_scheduling_of_aggregates_is_feasible(
+        group in prop::collection::vec(arb_flexoffer(), 1..4),
+        target in prop::collection::vec(-4i64..8, 1..8),
+    ) {
+        let agg = aggregate(&group).unwrap();
+        let problem = SchedulingProblem::new(
+            vec![agg.flexoffer().clone()],
+            Series::new(0, target),
+        );
+        let schedule = GreedyScheduler::new().schedule(&problem).unwrap();
+        prop_assert!(problem.is_feasible(&schedule));
+        // The scheduled aggregate assignment disaggregates or is a
+        // documented overestimation; both are acceptable, panics are not.
+        let _ = agg.disaggregate(&schedule.assignments()[0]);
+    }
+
+    #[test]
+    fn vector_flexibility_of_aggregate_is_bounded_by_member_sum(
+        group in prop::collection::vec(arb_flexoffer(), 1..5)
+    ) {
+        // tf(agg) <= sum(tf), ef(agg) = sum(ef) -> each component is
+        // bounded by the member sums, so any monotone norm is too.
+        let agg = aggregate(&group).unwrap();
+        let v = VectorFlexibility::default();
+        let agg_v = v.of(agg.flexoffer()).unwrap();
+        let sum_v: f64 = group.iter().map(|f| v.of(f).unwrap()).sum();
+        prop_assert!(agg_v <= sum_v + 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-crate scheduling: district demand against a renewable trace; more
+//! flexibility must never schedule worse.
+
+use flexoffers::scheduling::{
+    imbalance::coverage, EarliestStartScheduler, GreedyScheduler, HillClimbScheduler, Scheduler,
+};
+use flexoffers::workloads::res::{res_production_trace, ResTraceConfig};
+use flexoffers::workloads::PopulationBuilder;
+use flexoffers::{FlexOffer, SchedulingProblem};
+
+fn district_problem(seed: u64) -> SchedulingProblem {
+    let portfolio = PopulationBuilder::new(seed)
+        .electric_vehicles(10)
+        .dishwashers(15)
+        .heat_pumps(6)
+        .refrigerators(20)
+        .build();
+    let res = res_production_trace(&ResTraceConfig {
+        seed,
+        days: 2,
+        solar_capacity: 40,
+        wind_capacity: 50,
+    });
+    SchedulingProblem::new(portfolio.into_offers(), res)
+}
+
+#[test]
+fn flexibility_beats_the_baseline_on_real_workloads() {
+    let problem = district_problem(3);
+    let target = problem.target();
+    let base = EarliestStartScheduler.schedule(&problem).unwrap();
+    let greedy = GreedyScheduler::new().schedule(&problem).unwrap();
+    let climbed = HillClimbScheduler::new(42, 800).schedule(&problem).unwrap();
+
+    assert!(problem.is_feasible(&base));
+    assert!(problem.is_feasible(&greedy));
+    assert!(problem.is_feasible(&climbed));
+
+    let b = base.imbalance(target).l2;
+    let g = greedy.imbalance(target).l2;
+    let c = climbed.imbalance(target).l2;
+    assert!(g < b, "greedy {g} must beat baseline {b} on a flexible district");
+    assert!(c <= g + 1e-9, "hill-climbing never regresses from greedy");
+}
+
+#[test]
+fn coverage_improves_with_scheduling() {
+    let problem = district_problem(4);
+    let base = EarliestStartScheduler.schedule(&problem).unwrap();
+    let greedy = GreedyScheduler::new().schedule(&problem).unwrap();
+    let base_cov = coverage(&base.load(), problem.target());
+    let greedy_cov = coverage(&greedy.load(), problem.target());
+    assert!(greedy_cov >= base_cov);
+}
+
+#[test]
+fn widening_every_window_never_hurts_the_greedy_schedule() {
+    let problem = district_problem(5);
+    let widened: Vec<FlexOffer> = problem
+        .offers()
+        .iter()
+        .map(|fo| {
+            FlexOffer::with_totals(
+                fo.earliest_start(),
+                fo.latest_start() + 3,
+                fo.slices().to_vec(),
+                fo.total_min(),
+                fo.total_max(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let wide_problem = SchedulingProblem::new(widened, problem.target().clone());
+    let tight = GreedyScheduler::new()
+        .schedule(&problem)
+        .unwrap()
+        .imbalance(problem.target())
+        .l2;
+    // Greedy is a heuristic, so per-offer it can only do better with more
+    // choices; across offers interactions could in principle hurt, so allow
+    // a small tolerance while requiring no blow-up.
+    let wide = GreedyScheduler::new()
+        .schedule(&wide_problem)
+        .unwrap()
+        .imbalance(problem.target())
+        .l2;
+    assert!(wide <= tight * 1.05 + 1e-9, "wide {wide} vs tight {tight}");
+}
+
+#[test]
+fn deterministic_schedules_under_seeds() {
+    let problem = district_problem(6);
+    let a = HillClimbScheduler::new(9, 200).schedule(&problem).unwrap();
+    let b = HillClimbScheduler::new(9, 200).schedule(&problem).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,65 @@
+//! Table 1 end-to-end: the declared matrix matches the paper transcription,
+//! and the behavioural probes confirm it up to the documented deviation.
+
+use flexoffers::measures::characteristics::{paper_table1, render_table};
+use flexoffers::measures::probe::{empirical_characteristics, known_deviations, verify_measure};
+use flexoffers::all_measures;
+
+#[test]
+fn declared_matrices_match_the_paper() {
+    let table = paper_table1();
+    for (m, (name, expected)) in all_measures().iter().zip(table) {
+        assert_eq!(m.short_name(), name);
+        assert_eq!(m.declared_characteristics(), expected, "{name}");
+    }
+}
+
+#[test]
+fn probes_confirm_the_paper_up_to_documented_deviations() {
+    let mut found = Vec::new();
+    for m in all_measures() {
+        found.extend(verify_measure(m.as_ref()));
+    }
+    assert_eq!(found, known_deviations());
+}
+
+#[test]
+fn rendered_table_has_the_papers_shape() {
+    let text = render_table(&paper_table1());
+    // 8 characteristic rows + header.
+    assert_eq!(text.lines().count(), 9);
+    for header in [
+        "Time",
+        "Energy",
+        "Product",
+        "Vector",
+        "Time-series",
+        "Assignments",
+        "Abs. Area",
+        "Rel. Area",
+    ] {
+        assert!(text.lines().next().unwrap().contains(header));
+    }
+    for row in [
+        "Captures time",
+        "Captures energy",
+        "Captures time & energy",
+        "Captures size",
+        "Captures positive flex-offers",
+        "Captures negative flex-offers",
+        "Captures Mixed flex-offers",
+        "Single Value",
+    ] {
+        assert!(text.contains(row), "missing row {row}");
+    }
+}
+
+#[test]
+fn empirical_matrix_is_stable_across_calls() {
+    // Probes are deterministic: no hidden randomness in the verdicts.
+    for m in all_measures() {
+        let a = empirical_characteristics(m.as_ref());
+        let b = empirical_characteristics(m.as_ref());
+        assert_eq!(a, b, "{}", m.short_name());
+    }
+}
