@@ -91,7 +91,12 @@ mod tests {
     }
 
     fn producer(tes: i64, tls: i64, amount: i64) -> FlexOffer {
-        FlexOffer::new(tes, tls, vec![Slice::new(-amount - 1, -amount + 1).unwrap()]).unwrap()
+        FlexOffer::new(
+            tes,
+            tls,
+            vec![Slice::new(-amount - 1, -amount + 1).unwrap()],
+        )
+        .unwrap()
     }
 
     #[test]

@@ -198,10 +198,8 @@ impl Aggregate {
             .solve(source, sink)
             .ok_or(DisaggregationError::Unrealizable)?;
 
-        let mut values: Vec<Vec<Energy>> = members
-            .iter()
-            .map(|m| vec![0; m.slice_count()])
-            .collect();
+        let mut values: Vec<Vec<Energy>> =
+            members.iter().map(|m| vec![0; m.slice_count()]).collect();
         for (i, j, id) in slice_edges {
             values[i][j] = flows[id];
         }

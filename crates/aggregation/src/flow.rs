@@ -54,7 +54,10 @@ impl FlowNetwork {
     /// Panics if `lower > upper` or either endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, lower: i64, upper: i64) -> usize {
         assert!(lower <= upper, "edge bounds inverted: [{lower}, {upper}]");
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         let idx = self.push_edge(u, v, upper - lower);
         self.excess[v] += lower;
         self.excess[u] -= lower;

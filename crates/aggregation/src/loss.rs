@@ -46,10 +46,7 @@ pub fn flexibility_loss(
     before: &[FlexOffer],
     aggregates: &[Aggregate],
 ) -> Result<LossReport, MeasureError> {
-    let after_offers: Vec<FlexOffer> = aggregates
-        .iter()
-        .map(|a| a.flexoffer().clone())
-        .collect();
+    let after_offers: Vec<FlexOffer> = aggregates.iter().map(|a| a.flexoffer().clone()).collect();
     Ok(LossReport {
         measure: measure.short_name().to_owned(),
         before: measure.of_set(before)?,

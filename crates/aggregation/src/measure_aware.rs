@@ -59,17 +59,10 @@ impl<'a> MeasureAwareGrouping<'a> {
         let mut group_values: Vec<f64> = Vec::new(); // summed member values
         for i in order {
             let offer = &offers[i];
-            let offer_value = self
-                .measure
-                .of(offer)
-                .map_err(MeasureAwareError::Measure)?;
-            let accepted = if let (Some(group), Some(&value)) =
-                (groups.last(), group_values.last())
+            let offer_value = self.measure.of(offer).map_err(MeasureAwareError::Measure)?;
+            let accepted = if let (Some(group), Some(&value)) = (groups.last(), group_values.last())
             {
-                if self
-                    .max_group_size
-                    .is_some_and(|cap| group.len() >= cap)
-                {
+                if self.max_group_size.is_some_and(|cap| group.len() >= cap) {
                     false
                 } else {
                     let mut candidate = group.clone();
@@ -85,7 +78,10 @@ impl<'a> MeasureAwareGrouping<'a> {
                 false
             };
             if accepted {
-                groups.last_mut().expect("accepted implies group").push(offer.clone());
+                groups
+                    .last_mut()
+                    .expect("accepted implies group")
+                    .push(offer.clone());
                 *group_values.last_mut().expect("accepted implies value") += offer_value;
             } else {
                 groups.push(vec![offer.clone()]);
@@ -168,8 +164,9 @@ mod tests {
             .unwrap();
         assert_eq!(groups.len(), 2);
         // The rigid offer is alone.
-        assert!(groups.iter().any(|g| g.len() == 1
-            && g.members()[0].time_flexibility() == 0));
+        assert!(groups
+            .iter()
+            .any(|g| g.len() == 1 && g.members()[0].time_flexibility() == 0));
     }
 
     #[test]
@@ -212,7 +209,9 @@ mod tests {
         // Verify the invariant on the final grouping: each group's measure
         // retains at least (1-budget)^(k-1) of the member sum for a group
         // of k members (each merge step could shed up to `budget`).
-        let offers: Vec<FlexOffer> = (0..10).map(|i| fo(i % 3, i % 3 + 3, 0, 2 + i % 2)).collect();
+        let offers: Vec<FlexOffer> = (0..10)
+            .map(|i| fo(i % 3, i % 3 + 3, 0, 2 + i % 2))
+            .collect();
         let budget = 0.3;
         let measure = VectorFlexibility::default();
         let groups = MeasureAwareGrouping::new(&measure, budget)

@@ -140,10 +140,7 @@ pub fn aggregate(members: &[FlexOffer]) -> Result<Aggregate, AggregationError> {
 
 /// Groups a portfolio with `params` and aggregates each group; singleton
 /// groups still become (trivial) aggregates, keeping the output uniform.
-pub fn aggregate_portfolio(
-    offers: &[FlexOffer],
-    params: &GroupingParams,
-) -> Vec<Aggregate> {
+pub fn aggregate_portfolio(offers: &[FlexOffer], params: &GroupingParams) -> Vec<Aggregate> {
     crate::group::group_indices(offers, params)
         .into_iter()
         .map(|idx| {
@@ -254,10 +251,7 @@ mod tests {
         let consumer = fo(0, 2, vec![(2, 4)]);
         let producer = fo(0, 2, vec![(-3, -1)]);
         let a = aggregate(&[consumer, producer]).unwrap();
-        assert_eq!(
-            a.flexoffer().sign(),
-            flexoffers_model::SignClass::Mixed
-        );
+        assert_eq!(a.flexoffer().sign(), flexoffers_model::SignClass::Mixed);
         assert_eq!(a.flexoffer().slices()[0], Slice::new(-1, 3).unwrap());
     }
 

@@ -74,10 +74,7 @@ mod tests {
     #[test]
     fn mixed_assignment() {
         let a = Assignment::new(0, vec![1, -1]);
-        assert_eq!(
-            assignment_area(&a),
-            vec![Cell::new(0, 0), Cell::new(1, -1)]
-        );
+        assert_eq!(assignment_area(&a), vec![Cell::new(0, 0), Cell::new(1, -1)]);
     }
 
     #[test]

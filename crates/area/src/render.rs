@@ -93,8 +93,20 @@ impl Canvas {
 pub fn render_flexoffer(fo: &FlexOffer) -> String {
     // Cells covering value v occupy rows 0..v (or v..0), so the exclusive
     // upper row bound is the largest slice maximum itself.
-    let e_hi = fo.slices().iter().map(|s| s.max()).max().unwrap_or(0).max(0);
-    let e_lo = fo.slices().iter().map(|s| s.min()).min().unwrap_or(0).min(0);
+    let e_hi = fo
+        .slices()
+        .iter()
+        .map(|s| s.max())
+        .max()
+        .unwrap_or(0)
+        .max(0);
+    let e_lo = fo
+        .slices()
+        .iter()
+        .map(|s| s.min())
+        .min()
+        .unwrap_or(0)
+        .min(0);
     let mut canvas = Canvas::new(fo.earliest_start(), fo.latest_end(), e_lo, e_hi);
     for (i, s) in fo.slices().iter().enumerate() {
         let t = fo.earliest_start() + i as i64;

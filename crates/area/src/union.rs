@@ -182,7 +182,14 @@ mod tests {
         let u = union_area(&f5);
         assert_eq!(u.size(), 11);
         let cols = u.columns();
-        assert_eq!(cols[0], ColumnExtent { slot: 0, above: 1, below: 0 });
+        assert_eq!(
+            cols[0],
+            ColumnExtent {
+                slot: 0,
+                above: 1,
+                below: 0
+            }
+        );
         for col in &cols[1..] {
             assert_eq!(col.above, 2);
             assert_eq!(col.below, 0);

@@ -43,9 +43,11 @@ fn bench_counting(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("log2", slices), &fo, |b, fo| {
             b.iter(|| black_box(fo.log2_assignment_count()))
         });
-        group.bench_with_input(BenchmarkId::new("dp_constrained", slices), &tight, |b, fo| {
-            b.iter(|| black_box(fo.constrained_assignment_count_f64()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dp_constrained", slices),
+            &tight,
+            |b, fo| b.iter(|| black_box(fo.constrained_assignment_count_f64())),
+        );
     }
     group.finish();
 }

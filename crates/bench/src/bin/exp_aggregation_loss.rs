@@ -3,10 +3,10 @@
 //!
 //! A district portfolio is grouped with a sweep of earliest-start and
 //! time-flexibility tolerances, aggregated, and every measure is evaluated
-//! before and after. Grouping-tolerance points run in parallel (crossbeam
-//! scoped threads). Pass `--json` for machine-readable rows.
+//! before and after. Grouping-tolerance points run in parallel (std scoped
+//! threads). Pass `--json` for machine-readable rows.
 //!
-//! Run with `cargo run --release -p flexoffers-bench --bin exp_aggregation_loss`.
+//! Run with `cargo run --release -p flexoffers_bench --bin exp_aggregation_loss`.
 
 use flexoffers_aggregation::{aggregate_portfolio, loss_table, GroupingParams, LossReport};
 use flexoffers_measures::MeasureError;
@@ -40,25 +40,23 @@ fn main() {
 
     // Each sweep point is independent; fan out with scoped threads.
     type SweepPoint = (i64, i64, usize, Vec<Result<LossReport, MeasureError>>);
-    let results: Vec<SweepPoint> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = sweep
-                .iter()
-                .map(|&(est, tft)| {
-                    scope.spawn(move |_| {
-                        let params = GroupingParams::with_tolerances(est, tft);
-                        let aggregates = aggregate_portfolio(offers, &params);
-                        let table = loss_table(offers, &aggregates);
-                        (est, tft, aggregates.len(), table)
-                    })
+    let results: Vec<SweepPoint> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sweep
+            .iter()
+            .map(|&(est, tft)| {
+                scope.spawn(move || {
+                    let params = GroupingParams::with_tolerances(est, tft);
+                    let aggregates = aggregate_portfolio(offers, &params);
+                    let table = loss_table(offers, &aggregates);
+                    (est, tft, aggregates.len(), table)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
 
     let mut json_rows = Vec::new();
     for (est, tft, n_aggregates, table) in &results {
@@ -115,8 +113,7 @@ fn main() {
     );
     let vector = flexoffers_measures::VectorFlexibility::default();
     for budget in [0.0, 0.05, 0.1, 0.2, 0.4] {
-        let grouper =
-            flexoffers_aggregation::MeasureAwareGrouping::new(&vector, budget);
+        let grouper = flexoffers_aggregation::MeasureAwareGrouping::new(&vector, budget);
         let aggregates = grouper
             .aggregate_portfolio(offers)
             .expect("consumption+production portfolios measure everywhere");
@@ -138,6 +135,9 @@ fn main() {
     );
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&json_rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json_rows).expect("serializable")
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! prices aggregation's flexibility *overestimation* by comparing the safe
 //! aggregator against the naive one across grouping coarseness.
 //!
-//! Run with `cargo run --release -p flexoffers-bench --bin exp_market_value`.
+//! Run with `cargo run --release -p flexoffers_bench --bin exp_market_value`.
 
 use flexoffers_aggregation::GroupingParams;
 use flexoffers_market::{measure_savings_correlation, Aggregator, SpotMarket};
@@ -47,8 +47,7 @@ fn main() {
     );
 
     let aggregator = Aggregator::new(GroupingParams::with_tolerances(3, 3), 25);
-    let (outcomes, correlations) =
-        measure_savings_correlation(&portfolios, &aggregator, &market);
+    let (outcomes, correlations) = measure_savings_correlation(&portfolios, &aggregator, &market);
 
     println!(
         "\n{:>4} {:>7} {:>8} {:>10} {:>10} {:>10} {:>8}",

@@ -9,7 +9,7 @@
 //! baseline, then report the Pearson correlation per measure: a good
 //! measure's value should track realized scheduling benefit.
 //!
-//! Run with `cargo run --release -p flexoffers-bench --bin exp_scheduling_value`.
+//! Run with `cargo run --release -p flexoffers_bench --bin exp_scheduling_value`.
 
 use flexoffers_market::pearson;
 use flexoffers_measures::{all_measures, Measure};
@@ -67,10 +67,7 @@ fn main() {
         "dial", "baseline L1", "greedy L1", "climb L1", "improve", "coverage"
     );
     for &dial in &dials {
-        let portfolio: Portfolio = base
-            .iter()
-            .map(|fo| scale_flexibility(fo, dial))
-            .collect();
+        let portfolio: Portfolio = base.iter().map(|fo| scale_flexibility(fo, dial)).collect();
         let problem = SchedulingProblem::new(portfolio.as_slice().to_vec(), res.clone());
 
         let baseline = EarliestStartScheduler

@@ -2,7 +2,7 @@
 //! (EDBT 2015), printing paper-vs-computed and exiting non-zero on any
 //! deviation that is not a documented erratum.
 //!
-//! Run with `cargo run -p flexoffers-bench --bin repro_examples`.
+//! Run with `cargo run -p flexoffers_bench --bin repro_examples`.
 
 use flexoffers_area::{assignment_area, union_area};
 use flexoffers_bench::fixtures;
@@ -106,7 +106,9 @@ fn main() {
     report.exact(
         "Example 6: assignment_flexibility(f2)",
         9.0,
-        AssignmentFlexibility::new().of(&fixtures::f2()).expect("total"),
+        AssignmentFlexibility::new()
+            .of(&fixtures::f2())
+            .expect("total"),
         "3 starts x 3 values",
     );
 
@@ -177,7 +179,9 @@ fn main() {
     report.exact(
         "Example 11: product_flexibility(fx), ef = 0",
         0.0,
-        ProductFlexibility.of(&fixtures::example11_fx()).expect("total"),
+        ProductFlexibility
+            .of(&fixtures::example11_fx())
+            .expect("total"),
         "6 * 0",
     );
     report.exact(
@@ -197,13 +201,17 @@ fn main() {
     report.exact(
         "Example 12: ||vector(fx)||_1 = ||vector(fy)||_1",
         6.0,
-        VectorFlexibility::new(Norm::L1).of(&fixtures::small_fx()).expect("total"),
+        VectorFlexibility::new(Norm::L1)
+            .of(&fixtures::small_fx())
+            .expect("total"),
         "",
     );
     report.exact(
         "Example 12: ||vector(fy)||_2",
         4.47213595499958,
-        VectorFlexibility::new(Norm::L2).of(&fixtures::large_fy()).expect("total"),
+        VectorFlexibility::new(Norm::L2)
+            .of(&fixtures::large_fy())
+            .expect("total"),
         "sqrt(4 + 16)",
     );
 
@@ -211,13 +219,17 @@ fn main() {
     report.exact(
         "Example 13: series_flexibility(f1'), L1",
         1.0,
-        TimeSeriesFlexibility::new(Norm::L1).of(&fixtures::f1_prime()).expect("total"),
+        TimeSeriesFlexibility::new(Norm::L1)
+            .of(&fixtures::f1_prime())
+            .expect("total"),
         "ten-fold time flexibility, same value",
     );
     report.exact(
         "Example 13: series_flexibility(f1'), L2",
         1.0,
-        TimeSeriesFlexibility::new(Norm::L2).of(&fixtures::f1_prime()).expect("total"),
+        TimeSeriesFlexibility::new(Norm::L2)
+            .of(&fixtures::f1_prime())
+            .expect("total"),
         "",
     );
 
@@ -272,13 +284,17 @@ fn main() {
     report.exact(
         "Example 15: absolute_area_flexibility(f6)",
         32.0,
-        AbsoluteAreaFlexibility::new().of(&f6).expect("literal policy"),
+        AbsoluteAreaFlexibility::new()
+            .of(&f6)
+            .expect("literal policy"),
         "24 - (-8), Definition 10 applied literally",
     );
     report.exact(
         "Example 15: relative_area_flexibility(f6)",
         6.4,
-        RelativeAreaFlexibility::new().of(&f6).expect("literal policy"),
+        RelativeAreaFlexibility::new()
+            .of(&f6)
+            .expect("literal policy"),
         "2*32 / (8+2)",
     );
 

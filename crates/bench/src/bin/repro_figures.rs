@@ -1,7 +1,7 @@
 //! Regenerates Figures 1–7 of Valsomatzis et al. (EDBT 2015) as ASCII
 //! renderings, each annotated with the quantities the paper derives from it.
 //!
-//! Run with `cargo run -p flexoffers-bench --bin repro_figures`.
+//! Run with `cargo run -p flexoffers_bench --bin repro_figures`.
 
 use flexoffers_area::{render_assignment, render_flexoffer, render_union, union_area};
 use flexoffers_bench::fixtures;

@@ -3,11 +3,11 @@
 //! probes — and diffs them. Exits non-zero if the diff contains anything
 //! beyond the documented deviation (the time-series measure's size leak).
 //!
-//! Run with `cargo run -p flexoffers-bench --bin repro_table1`.
+//! Run with `cargo run -p flexoffers_bench --bin repro_table1`.
 
+use flexoffers_measures::all_measures;
 use flexoffers_measures::characteristics::{paper_table1, render_table, Characteristics};
 use flexoffers_measures::probe::{empirical_characteristics, known_deviations, verify_measure};
-use flexoffers_measures::all_measures;
 
 fn main() {
     println!("Table 1 as printed in the paper:");

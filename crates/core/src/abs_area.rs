@@ -142,7 +142,9 @@ mod tests {
         let f6 = fo(0, 2, vec![(-1, 2), (-4, -1), (-3, 1)]);
         assert_eq!(
             AbsoluteAreaFlexibility::rejecting_mixed().of(&f6),
-            Err(MeasureError::MixedNotSupported { measure: "Abs. Area" })
+            Err(MeasureError::MixedNotSupported {
+                measure: "Abs. Area"
+            })
         );
     }
 

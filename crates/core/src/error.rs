@@ -31,7 +31,10 @@ impl fmt::Display for MeasureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MeasureError::MixedNotSupported { measure } => {
-                write!(f, "{measure} flexibility is not defined for mixed flex-offers")
+                write!(
+                    f,
+                    "{measure} flexibility is not defined for mixed flex-offers"
+                )
             }
             MeasureError::UndefinedDenominator => write!(
                 f,
@@ -52,15 +55,19 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MeasureError::MixedNotSupported { measure: "Abs. Area" }
-            .to_string()
-            .contains("mixed"));
+        assert!(MeasureError::MixedNotSupported {
+            measure: "Abs. Area"
+        }
+        .to_string()
+        .contains("mixed"));
         assert!(MeasureError::UndefinedDenominator
             .to_string()
             .contains("cmin"));
-        assert!(MeasureError::EmptySet { measure: "Rel. Area" }
-            .to_string()
-            .contains("empty"));
+        assert!(MeasureError::EmptySet {
+            measure: "Rel. Area"
+        }
+        .to_string()
+        .contains("empty"));
     }
 
     #[test]

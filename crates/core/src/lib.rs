@@ -78,8 +78,8 @@ pub use measure::{all_measures, Measure};
 pub use normalize::NormalizedMeasure;
 pub use product::ProductFlexibility;
 pub use registry::{available_names, measure_by_name};
-pub use scenarios::{qualified_measures, Scenario};
 pub use rel_area::RelativeAreaFlexibility;
+pub use scenarios::{qualified_measures, Scenario};
 pub use series::TimeSeriesFlexibility;
 pub use set::SetAggregation;
 pub use time::TimeFlexibility;

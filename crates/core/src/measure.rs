@@ -115,7 +115,10 @@ mod tests {
     fn default_set_semantics_is_sum() {
         let f = figure1();
         let set = vec![f.clone(), f.clone(), f];
-        for m in all_measures().iter().filter(|m| m.short_name() != "Rel. Area") {
+        for m in all_measures()
+            .iter()
+            .filter(|m| m.short_name() != "Rel. Area")
+        {
             let single = m.of(&set[0]).unwrap();
             let total = m.of_set(&set).unwrap();
             assert!(
@@ -128,7 +131,10 @@ mod tests {
 
     #[test]
     fn empty_set_sums_to_zero() {
-        for m in all_measures().iter().filter(|m| m.short_name() != "Rel. Area") {
+        for m in all_measures()
+            .iter()
+            .filter(|m| m.short_name() != "Rel. Area")
+        {
             assert_eq!(m.of_set(&[]).unwrap(), 0.0);
         }
     }

@@ -107,8 +107,7 @@ mod tests {
 
     #[test]
     fn fit_maps_reference_extremes_to_unit_interval() {
-        let m =
-            NormalizedMeasure::fit(Box::new(ProductFlexibility), &reference()).unwrap();
+        let m = NormalizedMeasure::fit(Box::new(ProductFlexibility), &reference()).unwrap();
         // Reference products: 0, 16, 64.
         assert_eq!(m.of(&fo(0, 0, 2)).unwrap(), 0.0);
         assert_eq!(m.of(&fo(0, 8, 8)).unwrap(), 1.0);
@@ -149,9 +148,7 @@ mod tests {
             ),
             (
                 0.5,
-                Box::new(
-                    NormalizedMeasure::fit(Box::new(ProductFlexibility), &refs).unwrap(),
-                ),
+                Box::new(NormalizedMeasure::fit(Box::new(ProductFlexibility), &refs).unwrap()),
             ),
         ]);
         // The reference maximum scores 1.0 under both parts.

@@ -140,7 +140,10 @@ fn mixed_representatives() -> Vec<FlexOffer> {
 
 /// Inflexible single-assignment pair: balanced mixed vs consumption analog.
 fn inflexible_pair() -> (FlexOffer, FlexOffer) {
-    (fo(0, 0, vec![(1, 1), (-1, -1)]), fo(0, 0, vec![(1, 1), (1, 1)]))
+    (
+        fo(0, 0, vec![(1, 1), (-1, -1)]),
+        fo(0, 0, vec![(1, 1), (1, 1)]),
+    )
 }
 
 fn strictly_increasing(m: &dyn Measure, family: &[FlexOffer]) -> bool {
@@ -166,9 +169,7 @@ fn values_differ(m: &dyn Measure, a: &FlexOffer, b: &FlexOffer) -> bool {
 
 /// Derives a measure's characteristics from behaviour alone.
 pub fn empirical_characteristics(m: &dyn Measure) -> Characteristics {
-    let positive = positive_representatives()
-        .iter()
-        .all(|f| m.of(f).is_ok());
+    let positive = positive_representatives().iter().all(|f| m.of(f).is_ok());
 
     let negative = positive_representatives().iter().all(|f| {
         let mf = mirror(f);

@@ -33,9 +33,7 @@ pub fn measure_by_name(name: &str) -> Option<Box<dyn Measure>> {
         "vector" | "vector-l1" => Box::new(VectorFlexibility::new(Norm::L1)),
         "vector-l2" => Box::new(VectorFlexibility::new(Norm::L2)),
         "vector-linf" => Box::new(VectorFlexibility::new(Norm::LInf)),
-        "series" | "time-series" | "series-l1" => {
-            Box::new(TimeSeriesFlexibility::new(Norm::L1))
-        }
+        "series" | "time-series" | "series-l1" => Box::new(TimeSeriesFlexibility::new(Norm::L1)),
         "series-l2" => Box::new(TimeSeriesFlexibility::new(Norm::L2)),
         "series-linf" => Box::new(TimeSeriesFlexibility::new(Norm::LInf)),
         "assignments" => Box::new(AssignmentFlexibility::new()),
@@ -125,6 +123,9 @@ mod tests {
     fn strict_variants_reject_mixed() {
         let mixed = FlexOffer::new(0, 1, vec![Slice::new(-1, 1).unwrap()]).unwrap();
         assert!(measure_by_name("abs-area").unwrap().of(&mixed).is_ok());
-        assert!(measure_by_name("abs-area-strict").unwrap().of(&mixed).is_err());
+        assert!(measure_by_name("abs-area-strict")
+            .unwrap()
+            .of(&mixed)
+            .is_err());
     }
 }

@@ -167,7 +167,9 @@ mod tests {
     fn empty_set_rejected() {
         assert_eq!(
             RelativeAreaFlexibility::new().of_set(&[]),
-            Err(MeasureError::EmptySet { measure: "Rel. Area" })
+            Err(MeasureError::EmptySet {
+                measure: "Rel. Area"
+            })
         );
     }
 

@@ -102,8 +102,12 @@ mod tests {
     #[test]
     fn overlapping_extremes_cancel() {
         // With tf = 0 the extremes share a domain; only range widths remain.
-        let f = FlexOffer::new(3, 3, vec![Slice::new(2, 5).unwrap(), Slice::new(-1, 1).unwrap()])
-            .unwrap();
+        let f = FlexOffer::new(
+            3,
+            3,
+            vec![Slice::new(2, 5).unwrap(), Slice::new(-1, 1).unwrap()],
+        )
+        .unwrap();
         let d = TimeSeriesFlexibility::difference(&f);
         assert_eq!(d, Series::new(3, vec![3, 2]));
         assert_eq!(TimeSeriesFlexibility::default().of(&f).unwrap(), 5.0);
@@ -131,18 +135,9 @@ mod tests {
         // sits at which anchor. When the extremes partially overlap
         // (0 < tf < s), the overlapped slots mix different slices and the
         // norm changes with the sign orientation.
-        let f = FlexOffer::new(
-            0,
-            1,
-            vec![Slice::fixed(-4), Slice::new(-1, 0).unwrap()],
-        )
-        .unwrap();
-        let mirrored = FlexOffer::new(
-            0,
-            1,
-            vec![Slice::fixed(4), Slice::new(0, 1).unwrap()],
-        )
-        .unwrap();
+        let f = FlexOffer::new(0, 1, vec![Slice::fixed(-4), Slice::new(-1, 0).unwrap()]).unwrap();
+        let mirrored =
+            FlexOffer::new(0, 1, vec![Slice::fixed(4), Slice::new(0, 1).unwrap()]).unwrap();
         let m = TimeSeriesFlexibility::default();
         assert_eq!(m.of(&f).unwrap(), 7.0);
         assert_eq!(m.of(&mirrored).unwrap(), 9.0);

@@ -23,11 +23,7 @@ pub enum SetAggregation {
 impl SetAggregation {
     /// Applies the aggregation to a measure over a set, overriding the
     /// measure's own `of_set` rule.
-    pub fn apply(
-        self,
-        measure: &dyn Measure,
-        fos: &[FlexOffer],
-    ) -> Result<f64, MeasureError> {
+    pub fn apply(self, measure: &dyn Measure, fos: &[FlexOffer]) -> Result<f64, MeasureError> {
         match self {
             SetAggregation::Sum => {
                 let mut total = 0.0;
@@ -92,7 +88,9 @@ mod tests {
     fn explicit_sum_and_average() {
         let fos = offers();
         let sum = SetAggregation::Sum.apply(&TimeFlexibility, &fos).unwrap();
-        let avg = SetAggregation::Average.apply(&TimeFlexibility, &fos).unwrap();
+        let avg = SetAggregation::Average
+            .apply(&TimeFlexibility, &fos)
+            .unwrap();
         assert_eq!(sum, 6.0);
         assert_eq!(avg, 3.0);
     }
@@ -103,7 +101,10 @@ mod tests {
             SetAggregation::Average.apply(&TimeFlexibility, &[]),
             Err(MeasureError::EmptySet { .. })
         ));
-        assert_eq!(SetAggregation::Sum.apply(&TimeFlexibility, &[]).unwrap(), 0.0);
+        assert_eq!(
+            SetAggregation::Sum.apply(&TimeFlexibility, &[]).unwrap(),
+            0.0
+        );
     }
 
     #[test]

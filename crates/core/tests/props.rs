@@ -1,8 +1,8 @@
 //! Property tests for measure invariants.
 
 use flexoffers_measures::{
-    all_measures, AbsoluteAreaFlexibility, AssignmentFlexibility, EnergyFlexibility, Measure,
-    Norm, ProductFlexibility, RelativeAreaFlexibility, TimeFlexibility, TimeSeriesFlexibility,
+    all_measures, AbsoluteAreaFlexibility, AssignmentFlexibility, EnergyFlexibility, Measure, Norm,
+    ProductFlexibility, RelativeAreaFlexibility, TimeFlexibility, TimeSeriesFlexibility,
     VectorFlexibility,
 };
 use flexoffers_model::{FlexOffer, Slice};

@@ -46,8 +46,11 @@ mod tests {
         assert!(MarketError::InvalidImbalanceMultiplier { multiplier: 0.5 }
             .to_string()
             .contains("0.5"));
-        assert!(MarketError::NonPositivePrice { slot: 3, price: 0.0 }
-            .to_string()
-            .contains("slot 3"));
+        assert!(MarketError::NonPositivePrice {
+            slot: 3,
+            price: 0.0
+        }
+        .to_string()
+        .contains("slot 3"));
     }
 }

@@ -83,14 +83,7 @@ mod tests {
     #[test]
     fn buys_no_more_than_cmin_at_positive_prices() {
         let m = market(vec![5.0; 6]);
-        let fo = FlexOffer::with_totals(
-            0,
-            2,
-            vec![Slice::new(0, 9).unwrap()],
-            3,
-            9,
-        )
-        .unwrap();
+        let fo = FlexOffer::with_totals(0, 2, vec![Slice::new(0, 9).unwrap()], 3, 9).unwrap();
         let a = cheapest_assignment(&fo, &m);
         assert_eq!(a.total(), 3);
     }

@@ -45,10 +45,7 @@ impl SpotMarket {
 
     /// The highest quoted price.
     pub fn max_price(&self) -> f64 {
-        self.prices
-            .iter()
-            .map(|(_, p)| p)
-            .fold(0.0f64, f64::max)
+        self.prices.iter().map(|(_, p)| p).fold(0.0f64, f64::max)
     }
 
     /// The penalty rate applied to imbalance volume.
@@ -59,9 +56,7 @@ impl SpotMarket {
     /// Procurement cost of a load series: `sum(load(t) * price(t))`.
     /// Production (negative load) earns revenue (negative cost).
     pub fn cost_of(&self, load: &Series<i64>) -> f64 {
-        load.iter()
-            .map(|(t, v)| v as f64 * self.price_at(t))
-            .sum()
+        load.iter().map(|(t, v)| v as f64 * self.price_at(t)).sum()
     }
 
     /// Settlement cost of an imbalance volume (always non-negative).

@@ -73,7 +73,10 @@ impl Assignment {
         if t < self.start {
             return 0;
         }
-        self.values.get((t - self.start) as usize).copied().unwrap_or(0)
+        self.values
+            .get((t - self.start) as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// A copy shifted `dt` slots.

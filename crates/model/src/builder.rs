@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn deferred_slice_error_surfaces_at_build() {
-        let r = FlexOfferBuilder::new().start_window(0, 1).slice(5, 2).build();
+        let r = FlexOfferBuilder::new()
+            .start_window(0, 1)
+            .slice(5, 2)
+            .build();
         assert_eq!(r, Err(ModelError::InvalidSliceRange { min: 5, max: 2 }));
     }
 

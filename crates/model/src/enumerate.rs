@@ -150,13 +150,14 @@ mod tests {
 
     #[test]
     fn odometer_order_is_lexicographic() {
-        let f = FlexOffer::new(0, 0, vec![Slice::new(0, 1).unwrap(), Slice::new(0, 1).unwrap()])
-            .unwrap();
+        let f = FlexOffer::new(
+            0,
+            0,
+            vec![Slice::new(0, 1).unwrap(), Slice::new(0, 1).unwrap()],
+        )
+        .unwrap();
         let vals: Vec<Vec<i64>> = f.assignments().map(|a| a.values().to_vec()).collect();
-        assert_eq!(
-            vals,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(vals, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

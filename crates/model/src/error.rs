@@ -171,7 +171,10 @@ impl fmt::Display for AssignmentViolation {
                 f,
                 "start {start} precedes the earliest start time {earliest_start}"
             ),
-            AssignmentViolation::StartTooLate { start, latest_start } => write!(
+            AssignmentViolation::StartTooLate {
+                start,
+                latest_start,
+            } => write!(
                 f,
                 "start {start} exceeds the latest start time {latest_start}"
             ),

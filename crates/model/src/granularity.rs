@@ -109,8 +109,7 @@ mod tests {
             for k in 1..=5 {
                 let parts = even_split(total, k);
                 assert_eq!(parts.iter().sum::<i64>(), total);
-                let spread =
-                    parts.iter().max().unwrap() - parts.iter().min().unwrap();
+                let spread = parts.iter().max().unwrap() - parts.iter().min().unwrap();
                 assert!(spread <= 1, "{total}/{k} -> {parts:?}");
             }
         }

@@ -231,10 +231,7 @@ mod tests {
     #[test]
     fn load_sums_assignments() {
         let p = Portfolio::from_offers(vec![consumption(), production()]);
-        let assignments = vec![
-            Assignment::new(1, vec![2]),
-            Assignment::new(1, vec![-1]),
-        ];
+        let assignments = vec![Assignment::new(1, vec![2]), Assignment::new(1, vec![-1])];
         assert!(p.all_valid(&assignments));
         let load = p.load(&assignments);
         assert_eq!(load.at(1), 1);

@@ -95,7 +95,10 @@ mod tests {
 
     #[test]
     fn production_is_negative() {
-        let f = fo(vec![Slice::new(-3, 0).unwrap(), Slice::new(-2, -1).unwrap()]);
+        let f = fo(vec![
+            Slice::new(-3, 0).unwrap(),
+            Slice::new(-2, -1).unwrap(),
+        ]);
         assert_eq!(SignClass::of(&f), SignClass::Negative);
     }
 

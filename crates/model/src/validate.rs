@@ -171,14 +171,7 @@ mod tests {
         let f = figure1();
         assert!(f.is_valid_assignment(&f.min_assignment()));
         assert!(f.is_valid_assignment(&f.max_assignment()));
-        let g = FlexOffer::with_totals(
-            0,
-            1,
-            vec![Slice::new(0, 5).unwrap()],
-            2,
-            4,
-        )
-        .unwrap();
+        let g = FlexOffer::with_totals(0, 1, vec![Slice::new(0, 5).unwrap()], 2, 4).unwrap();
         // Definition 5/6 extremes ignore totals; here they are invalid.
         assert!(!g.is_valid_assignment(&g.min_assignment()));
         assert!(!g.is_valid_assignment(&g.max_assignment()));

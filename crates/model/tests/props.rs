@@ -8,11 +8,11 @@ use rand::SeedableRng;
 /// A small random flex-offer: bounded dimensions so enumeration stays cheap.
 fn arb_flexoffer() -> impl Strategy<Value = FlexOffer> {
     (
-        0i64..4,                                        // tes
-        0i64..4,                                        // extra window
+        0i64..4,                                          // tes
+        0i64..4,                                          // extra window
         prop::collection::vec((-4i64..4, 0i64..4), 1..4), // (min, extra width)
-        0.0f64..1.0,                                    // cmin position in [pmin, pmax]
-        0.0f64..1.0,                                    // cmax position in [cmin, pmax]
+        0.0f64..1.0,                                      // cmin position in [pmin, pmax]
+        0.0f64..1.0,                                      // cmax position in [cmin, pmax]
     )
         .prop_map(|(tes, window, raw_slices, cmin_pos, cmax_pos)| {
             let slices: Vec<Slice> = raw_slices

@@ -112,8 +112,12 @@ mod tests {
 
     fn problem() -> SchedulingProblem {
         let offers = vec![
-            FlexOffer::new(0, 5, vec![Slice::new(0, 3).unwrap(), Slice::new(0, 3).unwrap()])
-                .unwrap(),
+            FlexOffer::new(
+                0,
+                5,
+                vec![Slice::new(0, 3).unwrap(), Slice::new(0, 3).unwrap()],
+            )
+            .unwrap(),
             FlexOffer::new(0, 5, vec![Slice::new(1, 2).unwrap()]).unwrap(),
             FlexOffer::new(2, 6, vec![Slice::new(0, 4).unwrap()]).unwrap(),
             FlexOffer::with_totals(1, 4, vec![Slice::new(0, 3).unwrap(); 2], 2, 5).unwrap(),

@@ -128,8 +128,12 @@ mod tests {
     #[test]
     fn limit_enforced() {
         let offers = vec![
-            FlexOffer::new(0, 50, vec![Slice::new(0, 50).unwrap(), Slice::new(0, 50).unwrap()])
-                .unwrap();
+            FlexOffer::new(
+                0,
+                50,
+                vec![Slice::new(0, 50).unwrap(), Slice::new(0, 50).unwrap()]
+            )
+            .unwrap();
             3
         ];
         let p = SchedulingProblem::new(offers, Series::empty());

@@ -108,16 +108,11 @@ impl GreedyScheduler {
             OrderHeuristic::InputOrder => {}
             OrderHeuristic::LeastFlexibleFirst => {
                 idx.sort_by_key(|&i| {
-                    (
-                        offers[i].time_flexibility(),
-                        offers[i].energy_flexibility(),
-                    )
+                    (offers[i].time_flexibility(), offers[i].energy_flexibility())
                 });
             }
             OrderHeuristic::LargestEnergyFirst => {
-                idx.sort_by_key(|&i| {
-                    -(offers[i].total_min().abs() + offers[i].total_max().abs())
-                });
+                idx.sort_by_key(|&i| -(offers[i].total_min().abs() + offers[i].total_max().abs()));
             }
         }
         idx
@@ -156,8 +151,12 @@ mod tests {
     #[test]
     fn tracks_a_trackable_target_exactly() {
         // One offer can match the target perfectly by shifting to slot 2.
-        let fo = FlexOffer::new(0, 3, vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()])
-            .unwrap();
+        let fo = FlexOffer::new(
+            0,
+            3,
+            vec![Slice::new(0, 5).unwrap(), Slice::new(0, 5).unwrap()],
+        )
+        .unwrap();
         let target = Series::new(2, vec![3, 4]);
         let p = SchedulingProblem::new(vec![fo], target.clone());
         let s = GreedyScheduler::new().schedule(&p).unwrap();
@@ -171,8 +170,12 @@ mod tests {
         use crate::baseline::EarliestStartScheduler;
         let offers = vec![
             FlexOffer::new(0, 4, vec![Slice::new(0, 3).unwrap()]).unwrap(),
-            FlexOffer::new(0, 4, vec![Slice::new(1, 4).unwrap(), Slice::new(0, 2).unwrap()])
-                .unwrap(),
+            FlexOffer::new(
+                0,
+                4,
+                vec![Slice::new(1, 4).unwrap(), Slice::new(0, 2).unwrap()],
+            )
+            .unwrap(),
             FlexOffer::new(2, 6, vec![Slice::new(0, 2).unwrap()]).unwrap(),
         ];
         let target = Series::new(3, vec![4, 4, 2]);

@@ -79,12 +79,20 @@ mod tests {
         // Several overlapping offers competing for a peaked target; greedy
         // order matters, so local search has room to improve.
         let offers = vec![
-            FlexOffer::new(0, 4, vec![Slice::new(0, 3).unwrap(), Slice::new(0, 3).unwrap()])
-                .unwrap(),
+            FlexOffer::new(
+                0,
+                4,
+                vec![Slice::new(0, 3).unwrap(), Slice::new(0, 3).unwrap()],
+            )
+            .unwrap(),
             FlexOffer::new(0, 4, vec![Slice::new(1, 2).unwrap()]).unwrap(),
             FlexOffer::new(1, 5, vec![Slice::new(0, 4).unwrap()]).unwrap(),
-            FlexOffer::new(2, 3, vec![Slice::new(2, 3).unwrap(), Slice::new(0, 1).unwrap()])
-                .unwrap(),
+            FlexOffer::new(
+                2,
+                3,
+                vec![Slice::new(2, 3).unwrap(), Slice::new(0, 1).unwrap()],
+            )
+            .unwrap(),
         ];
         SchedulingProblem::new(offers, Series::new(2, vec![6, 5, 2]))
     }
@@ -95,9 +103,7 @@ mod tests {
         let greedy = GreedyScheduler::new().schedule(&p).unwrap();
         let climbed = HillClimbScheduler::default().schedule(&p).unwrap();
         assert!(p.is_feasible(&climbed));
-        assert!(
-            climbed.imbalance(p.target()).l2 <= greedy.imbalance(p.target()).l2 + 1e-9
-        );
+        assert!(climbed.imbalance(p.target()).l2 <= greedy.imbalance(p.target()).l2 + 1e-9);
     }
 
     #[test]

@@ -120,8 +120,12 @@ mod tests {
         vec![
             FlexOffer::new(0, 2, vec![Slice::new(0, 3).unwrap()]).unwrap(),
             FlexOffer::new(0, 2, vec![Slice::new(1, 4).unwrap()]).unwrap(),
-            FlexOffer::new(3, 6, vec![Slice::new(0, 2).unwrap(), Slice::new(0, 2).unwrap()])
-                .unwrap(),
+            FlexOffer::new(
+                3,
+                6,
+                vec![Slice::new(0, 2).unwrap(), Slice::new(0, 2).unwrap()],
+            )
+            .unwrap(),
             FlexOffer::with_totals(3, 6, vec![Slice::new(0, 5).unwrap(); 2], 4, 8).unwrap(),
         ]
     }
@@ -158,12 +162,9 @@ mod tests {
         // members directly (identical spaces), so quality matches greedy.
         let problem = SchedulingProblem::new(offers(), Series::new(1, vec![4, 4, 4]));
         let direct = GreedyScheduler::new().schedule(&problem).unwrap();
-        let outcome = schedule_via_aggregation(
-            &problem,
-            &GroupingParams::strict(),
-            &GreedyScheduler::new(),
-        )
-        .unwrap();
+        let outcome =
+            schedule_via_aggregation(&problem, &GroupingParams::strict(), &GreedyScheduler::new())
+                .unwrap();
         assert!(problem.is_feasible(&outcome.schedule));
         // Strict grouping may still merge identical offers; only compare
         // when it stayed singleton.
@@ -180,10 +181,7 @@ mod tests {
         // index_map must not assign the same input index twice when the
         // portfolio contains equal flex-offers.
         let twin = FlexOffer::new(0, 1, vec![Slice::new(0, 2).unwrap()]).unwrap();
-        let problem = SchedulingProblem::new(
-            vec![twin.clone(), twin],
-            Series::new(0, vec![3, 3]),
-        );
+        let problem = SchedulingProblem::new(vec![twin.clone(), twin], Series::new(0, vec![3, 3]));
         let outcome = schedule_via_aggregation(
             &problem,
             &GroupingParams::single_group(),

@@ -83,9 +83,8 @@ mod tests {
 
     #[test]
     fn from_portfolio_copies_offers() {
-        let portfolio = Portfolio::from_offers(vec![
-            FlexOffer::new(0, 1, vec![Slice::fixed(1)]).unwrap(),
-        ]);
+        let portfolio =
+            Portfolio::from_offers(vec![FlexOffer::new(0, 1, vec![Slice::fixed(1)]).unwrap()]);
         let p = SchedulingProblem::from_portfolio(&portfolio, Series::empty());
         assert_eq!(p.offers().len(), 1);
     }

@@ -11,7 +11,11 @@ use proptest::prelude::*;
 fn arb_problem() -> impl Strategy<Value = SchedulingProblem> {
     (
         prop::collection::vec(
-            (0i64..3, 0i64..3, prop::collection::vec((-2i64..3, 0i64..3), 1..3)),
+            (
+                0i64..3,
+                0i64..3,
+                prop::collection::vec((-2i64..3, 0i64..3), 1..3),
+            ),
             1..4,
         ),
         prop::collection::vec(-4i64..8, 1..8),

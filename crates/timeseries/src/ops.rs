@@ -37,8 +37,7 @@ impl<T: SeriesValue> Neg for &Series<T> {
 pub fn sum_series<'a, T: SeriesValue + 'a>(
     iter: impl IntoIterator<Item = &'a Series<T>>,
 ) -> Series<T> {
-    iter.into_iter()
-        .fold(Series::empty(), |acc, s| &acc + s)
+    iter.into_iter().fold(Series::empty(), |acc, s| &acc + s)
 }
 
 /// Pointwise minimum over the union domain.

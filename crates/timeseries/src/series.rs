@@ -261,7 +261,9 @@ impl<T: SeriesValue> Series<T> {
         } else {
             (self.start.min(other.start), self.end().max(other.end()))
         };
-        Series::from_fn(lo, (hi - lo) as usize, |slot| f(self.at(slot), other.at(slot)))
+        Series::from_fn(lo, (hi - lo) as usize, |slot| {
+            f(self.at(slot), other.at(slot))
+        })
     }
 }
 

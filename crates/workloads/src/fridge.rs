@@ -37,10 +37,8 @@ impl DeviceModel for Refrigerator {
         let earliest = origin + rng.gen_range(0..SLOTS_PER_DAY - 4);
         let shift = rng.gen_range(0..=self.max_shift);
         let bursts = rng.gen_range(1..=2usize);
-        let slices = vec![
-            Slice::new(self.draw, self.draw + 1).expect("draw range ordered");
-            bursts
-        ];
+        let slices =
+            vec![Slice::new(self.draw, self.draw + 1).expect("draw range ordered"); bursts];
         FlexOffer::new(earliest, earliest + shift, slices)
             .expect("refrigerator parameters produce well-formed flex-offers")
     }

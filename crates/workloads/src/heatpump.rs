@@ -53,14 +53,10 @@ impl DeviceModel for HeatPump {
         let earliest = origin + rng.gen_range(self.window_from..=self.window_to);
         let run = rng.gen_range(self.run_min..=self.run_max);
         let latest = earliest + rng.gen_range(1..=3);
-        let slices = vec![
-            Slice::new(self.level_min, self.level_max).expect("levels ordered");
-            run
-        ];
+        let slices = vec![Slice::new(self.level_min, self.level_max).expect("levels ordered"); run];
         let profile_max = self.level_max * run as i64;
         let profile_min = self.level_min * run as i64;
-        let comfort_min =
-            ((profile_max as f64 * self.comfort_fraction) as i64).max(profile_min);
+        let comfort_min = ((profile_max as f64 * self.comfort_fraction) as i64).max(profile_min);
         FlexOffer::with_totals(earliest, latest, slices, comfort_min, profile_max)
             .expect("heat pump parameters produce well-formed flex-offers")
     }

@@ -202,9 +202,15 @@ mod tests {
     #[test]
     fn day_anchoring_shifts_profiles() {
         let today = PopulationBuilder::new(5).electric_vehicles(2).build();
-        let tomorrow = PopulationBuilder::new(5).electric_vehicles(2).day(1).build();
+        let tomorrow = PopulationBuilder::new(5)
+            .electric_vehicles(2)
+            .day(1)
+            .build();
         for (a, b) in today.iter().zip(tomorrow.iter()) {
-            assert_eq!(a.earliest_start() + crate::SLOTS_PER_DAY, b.earliest_start());
+            assert_eq!(
+                a.earliest_start() + crate::SLOTS_PER_DAY,
+                b.earliest_start()
+            );
         }
     }
 }

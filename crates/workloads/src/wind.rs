@@ -41,8 +41,7 @@ impl DeviceModel for WindTurbine {
         let slices: Vec<Slice> = (0..SLOTS_PER_DAY)
             .map(|_| {
                 let shock = rng.gen_range(-0.3..=0.3) * self.capacity as f64;
-                level = (self.persistence * level + shock)
-                    .clamp(0.0, self.capacity as f64);
+                level = (self.persistence * level + shock).clamp(0.0, self.capacity as f64);
                 let forecast = level.round();
                 let spread = (forecast * self.uncertainty).ceil();
                 let hi = (-(forecast - spread)).min(0.0) as i64;

@@ -24,8 +24,14 @@ fn main() {
 
     for (label, params) in [
         ("strict (identical shapes only)", GroupingParams::strict()),
-        ("tolerant (est<=2, tft<=2)", GroupingParams::with_tolerances(2, 2)),
-        ("coarse (est<=6, tft<=8)", GroupingParams::with_tolerances(6, 8)),
+        (
+            "tolerant (est<=2, tft<=2)",
+            GroupingParams::with_tolerances(2, 2),
+        ),
+        (
+            "coarse (est<=6, tft<=8)",
+            GroupingParams::with_tolerances(6, 8),
+        ),
         ("single group", GroupingParams::single_group()),
     ] {
         let aggregates = aggregate_portfolio(portfolio.as_slice(), &params);
@@ -68,8 +74,8 @@ fn main() {
         let aggregates = MeasureAwareGrouping::new(&vector, budget)
             .aggregate_portfolio(portfolio.as_slice())
             .expect("measure defined on this portfolio");
-        let report = flexibility_loss(&vector, portfolio.as_slice(), &aggregates)
-            .expect("vector totals");
+        let report =
+            flexibility_loss(&vector, portfolio.as_slice(), &aggregates).expect("vector totals");
         println!(
             "  budget {budget:.2}: {} aggregates, vector flexibility {:.0} -> {:.0} ({:.1}% loss)",
             aggregates.len(),

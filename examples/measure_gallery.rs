@@ -63,7 +63,9 @@ fn main() {
          flexibility) — Table 1's mixed 'No'.\n",
         f6.unconstrained_assignment_count().expect("small"),
         VectorFlexibility::default().of(&f6).expect("defined"),
-        AbsoluteAreaFlexibility::new().of(&f6).expect("literal policy"),
+        AbsoluteAreaFlexibility::new()
+            .of(&f6)
+            .expect("literal policy"),
     );
 
     println!("=== Example 11: the product measure's blind spot ===");
@@ -73,7 +75,9 @@ fn main() {
         fixed_amount.time_flexibility(),
         fixed_amount.energy_flexibility(),
         ProductFlexibility.of(&fixed_amount).expect("defined"),
-        VectorFlexibility::default().of(&fixed_amount).expect("defined"),
+        VectorFlexibility::default()
+            .of(&fixed_amount)
+            .expect("defined"),
     );
     println!();
 

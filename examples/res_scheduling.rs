@@ -7,9 +7,9 @@ use flexoffers::scheduling::{
     imbalance::coverage, schedule_via_aggregation, AnnealingScheduler, EarliestStartScheduler,
     GreedyScheduler, HillClimbScheduler, Scheduler,
 };
-use flexoffers::GroupingParams;
 use flexoffers::workloads::res::{res_production_trace, ResTraceConfig};
 use flexoffers::workloads::PopulationBuilder;
+use flexoffers::GroupingParams;
 use flexoffers::SchedulingProblem;
 
 fn main() {

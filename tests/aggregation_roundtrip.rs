@@ -14,7 +14,10 @@ fn district_aggregates_and_disaggregates() {
     let portfolio = district(5, 40);
     let aggregates =
         aggregate_portfolio(portfolio.as_slice(), &GroupingParams::with_tolerances(2, 2));
-    assert!(aggregates.len() < portfolio.len(), "aggregation reduces count");
+    assert!(
+        aggregates.len() < portfolio.len(),
+        "aggregation reduces count"
+    );
 
     let mut rng = StdRng::seed_from_u64(9);
     let mut checked = 0;
@@ -43,8 +46,7 @@ fn district_aggregates_and_disaggregates() {
 #[test]
 fn energy_flexibility_is_conserved_time_flexibility_shrinks() {
     let portfolio = district(6, 30);
-    let aggregates =
-        aggregate_portfolio(portfolio.as_slice(), &GroupingParams::single_group());
+    let aggregates = aggregate_portfolio(portfolio.as_slice(), &GroupingParams::single_group());
     let after: Vec<_> = aggregates.iter().map(|a| a.flexoffer().clone()).collect();
     assert_eq!(
         EnergyFlexibility.of_set(portfolio.as_slice()).unwrap(),
@@ -81,7 +83,10 @@ fn balance_aggregation_produces_mixed_aggregates_that_defeat_area_measures() {
         .iter()
         .filter(|a| a.flexoffer().sign() == SignClass::Mixed)
         .count();
-    assert!(mixed > 0, "pairing production with consumption yields mixed");
+    assert!(
+        mixed > 0,
+        "pairing production with consumption yields mixed"
+    );
     // The strict area policy refuses exactly those aggregates.
     use flexoffers::measures::AbsoluteAreaFlexibility;
     let strict = AbsoluteAreaFlexibility::rejecting_mixed();

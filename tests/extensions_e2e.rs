@@ -24,12 +24,12 @@ fn measure_aware_grouping_bounds_loss_on_a_real_district() {
     let loose = MeasureAwareGrouping::new(&vector, 0.5)
         .aggregate_portfolio(portfolio.as_slice())
         .unwrap();
-    assert!(loose.len() <= tight.len(), "bigger budget, more compression");
+    assert!(
+        loose.len() <= tight.len(),
+        "bigger budget, more compression"
+    );
     // Tight budget keeps nearly all vector flexibility.
-    let before: f64 = portfolio
-        .iter()
-        .map(|f| vector.of(f).unwrap())
-        .sum();
+    let before: f64 = portfolio.iter().map(|f| vector.of(f).unwrap()).sum();
     let after: f64 = tight
         .iter()
         .map(|a| vector.of(a.flexoffer()).unwrap())
@@ -78,7 +78,9 @@ fn annealing_is_feasible_and_competitive_on_a_district() {
     });
     let problem = SchedulingProblem::new(portfolio.into_offers(), res);
     let greedy = GreedyScheduler::new().schedule(&problem).unwrap();
-    let annealed = AnnealingScheduler::new(4, 1_000).schedule(&problem).unwrap();
+    let annealed = AnnealingScheduler::new(4, 1_000)
+        .schedule(&problem)
+        .unwrap();
     assert!(problem.is_feasible(&annealed));
     assert!(
         annealed.imbalance(problem.target()).l2 <= greedy.imbalance(problem.target()).l2 + 1e-9

@@ -31,8 +31,7 @@ fn aggregation_unlocks_the_market() {
     let portfolio = household_portfolio(1, 2);
     let m = market();
     let strict = Aggregator::new(GroupingParams::strict(), 200).run(&portfolio, &m);
-    let tolerant =
-        Aggregator::new(GroupingParams::with_tolerances(4, 4), 200).run(&portfolio, &m);
+    let tolerant = Aggregator::new(GroupingParams::with_tolerances(4, 4), 200).run(&portfolio, &m);
     // Strict grouping leaves lots too small; tolerant grouping trades more.
     assert!(tolerant.orders.len() >= strict.orders.len());
     assert!(tolerant.rejected_lots <= strict.rejected_lots);
@@ -45,7 +44,10 @@ fn flexible_trading_saves_against_the_baseline() {
     let outcome =
         Aggregator::new(GroupingParams::with_tolerances(3, 3), 25).run(&portfolio, &market());
     assert!(outcome.savings() > 0.0, "{outcome:?}");
-    assert_eq!(outcome.imbalance_cost, 0.0, "safe planning has no imbalance");
+    assert_eq!(
+        outcome.imbalance_cost, 0.0,
+        "safe planning has no imbalance"
+    );
 }
 
 #[test]
@@ -65,10 +67,11 @@ fn naive_planning_never_beats_safe_planning() {
 
 #[test]
 fn correlations_cover_all_measures_on_clean_portfolios() {
-    let portfolios: Vec<Portfolio> = (0..5).map(|s| household_portfolio(s, 1 + s as usize % 3)).collect();
+    let portfolios: Vec<Portfolio> = (0..5)
+        .map(|s| household_portfolio(s, 1 + s as usize % 3))
+        .collect();
     let aggregator = Aggregator::new(GroupingParams::with_tolerances(3, 3), 25);
-    let (outcomes, correlations) =
-        measure_savings_correlation(&portfolios, &aggregator, &market());
+    let (outcomes, correlations) = measure_savings_correlation(&portfolios, &aggregator, &market());
     assert_eq!(outcomes.len(), 5);
     assert_eq!(correlations.len(), 8);
     for c in &correlations {

@@ -62,7 +62,9 @@ fn example_5_and_13_time_series() {
 #[test]
 fn example_6_and_14_assignment_counts() {
     assert_eq!(
-        AssignmentFlexibility::new().of(&fo(0, 2, &[(0, 2)])).unwrap(),
+        AssignmentFlexibility::new()
+            .of(&fo(0, 2, &[(0, 2)]))
+            .unwrap(),
         9.0
     );
     let f6 = fo(0, 2, &[(-1, 2), (-4, -1), (-3, 1)]);
@@ -75,8 +77,7 @@ fn example_6_and_14_assignment_counts() {
 #[test]
 fn example_7_area_cells() {
     let cells = assignment_area(&Assignment::new(1, vec![2, 1, 3]));
-    let expected: Vec<(i64, i64)> =
-        vec![(1, 0), (1, 1), (2, 0), (3, 0), (3, 1), (3, 2)];
+    let expected: Vec<(i64, i64)> = vec![(1, 0), (1, 1), (2, 0), (3, 0), (3, 1), (3, 2)];
     assert_eq!(
         cells.iter().map(|c| (c.t, c.e)).collect::<Vec<_>>(),
         expected
@@ -92,9 +93,7 @@ fn examples_8_to_10_area_measures() {
     assert_eq!(AbsoluteAreaFlexibility::new().of(&f4).unwrap(), 8.0);
     assert_eq!(AbsoluteAreaFlexibility::new().of(&f5).unwrap(), 8.0);
     assert_eq!(RelativeAreaFlexibility::new().of(&f4).unwrap(), 4.0);
-    assert!(
-        (RelativeAreaFlexibility::new().of(&f5).unwrap() - 16.0 / 6.0).abs() < 1e-12
-    );
+    assert!((RelativeAreaFlexibility::new().of(&f5).unwrap() - 16.0 / 6.0).abs() < 1e-12);
 }
 
 #[test]

@@ -39,7 +39,10 @@ fn flexibility_beats_the_baseline_on_real_workloads() {
     let b = base.imbalance(target).l2;
     let g = greedy.imbalance(target).l2;
     let c = climbed.imbalance(target).l2;
-    assert!(g < b, "greedy {g} must beat baseline {b} on a flexible district");
+    assert!(
+        g < b,
+        "greedy {g} must beat baseline {b} on a flexible district"
+    );
     assert!(c <= g + 1e-9, "hill-climbing never regresses from greedy");
 }
 

@@ -1,9 +1,9 @@
 //! Table 1 end-to-end: the declared matrix matches the paper transcription,
 //! and the behavioural probes confirm it up to the documented deviation.
 
+use flexoffers::all_measures;
 use flexoffers::measures::characteristics::{paper_table1, render_table};
 use flexoffers::measures::probe::{empirical_characteristics, known_deviations, verify_measure};
-use flexoffers::all_measures;
 
 #[test]
 fn declared_matrices_match_the_paper() {

@@ -1,0 +1,278 @@
+//! A small, dependency-free stand-in for `criterion`.
+//!
+//! The build environment has no crates-registry access, so this vendored
+//! crate keeps the macro and builder surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::new`], `Bencher::iter`
+//! — and implements them as a straightforward wall-clock harness: warm up,
+//! run a fixed number of timed samples, report the per-iteration mean and
+//! min. There are no statistics, plots, or baselines; swap in the real
+//! criterion when a registry is available.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the time budget for measuring one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_bench(self, &id.label(), &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_bench(self.criterion, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_bench(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Ends the group. (No-op in this stand-in; kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterised.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if !self.function.is_empty() => format!("{}/{p}", self.function),
+            Some(p) => p.clone(),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill the sample budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(criterion: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm up and estimate the per-iteration cost.
+    let mut iters = 1u64;
+    let warm_up_end = Instant::now() + criterion.warm_up_time;
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.checked_div(iters as u32).unwrap_or(per_iter);
+        if Instant::now() >= warm_up_end {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 20);
+    }
+
+    // Pick an iteration count so all samples fit the measurement budget.
+    let budget_per_sample = criterion.measurement_time / criterion.sample_size as u32;
+    let per_iter_nanos = per_iter.as_nanos().max(1);
+    let iters = (budget_per_sample.as_nanos() / per_iter_nanos).clamp(1, 1 << 24) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(criterion.sample_size);
+    for _ in 0..criterion.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed / iters as u32);
+    }
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench: {label:<60} mean {:>12} min {:>12} ({} iters x {} samples)",
+        format_duration(mean),
+        format_duration(min),
+        iters,
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_a_tiny_bench_end_to_end() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| 2 * 2));
+    }
+}

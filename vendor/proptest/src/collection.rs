@@ -1,0 +1,29 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Vec<S::Value>` with a length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose elements come from `element` and whose length is
+/// uniform over `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.rng().gen_range(self.size.clone());
+        (0..len).map(|_| self.element.gen(rng)).collect()
+    }
+}

@@ -1,0 +1,262 @@
+//! The case runner: deterministic seeds, env overrides, and failing-seed
+//! persistence under `proptest-regressions/`.
+
+use std::fmt;
+use std::fs;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. Deterministic per test case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying random word source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+/// Default number of cases when neither the config nor `PROPTEST_CASES`
+/// says otherwise. Deliberately modest so full-workspace `cargo test -q`
+/// stays fast; raise per-run with the env var when hunting bugs.
+pub const DEFAULT_CASES: u32 = 64;
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// A failed (or discarded) test case, produced by the `prop_assert*` and
+/// `prop_assume!` macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+    is_reject: bool,
+}
+
+impl TestCaseError {
+    /// A genuine assertion failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            is_reject: false,
+        }
+    }
+
+    /// A discarded case (unsatisfied `prop_assume!`).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError {
+            message: reason.into(),
+            is_reject: true,
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs one property: replays persisted regression seeds first, then fresh
+/// deterministic cases. On failure the seed is appended to
+/// `proptest-regressions/<test-file>.txt` under the crate root and the test
+/// panics with the seed in the message.
+pub fn run(
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    cfg: &ProptestConfig,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let regression_path = regression_file(manifest_dir, source_file);
+
+    for seed in load_seeds(&regression_path, test_name) {
+        run_case(seed, &regression_path, test_name, true, &mut body);
+    }
+
+    let base = fnv64(source_file.as_bytes()) ^ fnv64(test_name.as_bytes());
+    for i in 0..cfg.effective_cases() {
+        let seed = base.wrapping_add(u64::from(i).wrapping_mul(0x9e3779b97f4a7c15));
+        run_case(seed, &regression_path, test_name, false, &mut body);
+    }
+}
+
+fn run_case(
+    seed: u64,
+    regression_path: &Path,
+    test_name: &str,
+    replay: bool,
+    body: &mut impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_seed(seed);
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+    let kind = if replay {
+        "replayed regression"
+    } else {
+        "case"
+    };
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) if e.is_reject => {}
+        Ok(Err(e)) => {
+            persist_seed(regression_path, test_name, seed);
+            panic!(
+                "proptest {kind} failed (seed {seed}, recorded in {}):\n{e}",
+                regression_path.display()
+            );
+        }
+        Err(panic_payload) => {
+            persist_seed(regression_path, test_name, seed);
+            let msg = panic_message(&panic_payload);
+            panic!(
+                "proptest {kind} panicked (seed {seed}, recorded in {}):\n{msg}",
+                regression_path.display()
+            );
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn regression_file(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Reads persisted seeds for `test_name`. Lines look like
+/// `cc 1234567890 # test_name`; lines without a name are replayed by every
+/// test in the file.
+fn load_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            let (seed_text, comment) = match rest.split_once('#') {
+                Some((s, c)) => (s.trim(), Some(c.trim())),
+                None => (rest.trim(), None),
+            };
+            let seed: u64 = seed_text.parse().ok()?;
+            match comment {
+                Some(name) if !name.is_empty() && name != test_name => None,
+                _ => Some(seed),
+            }
+        })
+        .collect()
+}
+
+fn persist_seed(path: &Path, test_name: &str, seed: u64) {
+    // Cargo runs a binary's tests on parallel threads; serialize the
+    // read-modify-write so two failing properties in one file can't drop
+    // each other's seed. (Distinct test binaries write distinct files.)
+    static WRITE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = WRITE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if load_seeds(path, test_name).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let mut text = fs::read_to_string(path).unwrap_or_else(|_| {
+        "# Seeds for failing proptest cases, replayed before fresh cases.\n\
+         # Format: `cc <seed> # <test name>`. Commit this file.\n"
+            .to_string()
+    });
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&format!("cc {seed} # {test_name}\n"));
+    let _ = fs::write(path, text);
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_round_trip_through_the_regression_file() {
+        let dir = std::env::temp_dir().join("proptest-stub-test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("props.txt");
+        persist_seed(&path, "my_test", 42);
+        persist_seed(&path, "my_test", 42); // duplicate is not re-added
+        persist_seed(&path, "other_test", 7);
+        assert_eq!(load_seeds(&path, "my_test"), vec![42]);
+        assert_eq!(load_seeds(&path, "other_test"), vec![7]);
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("cc 42").count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deterministic_rng_per_seed() {
+        use rand::{Rng, RngCore};
+        let mut a = TestRng::from_seed(9);
+        let mut b = TestRng::from_seed(9);
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        assert_eq!(a.rng().gen_range(0i64..100), b.rng().gen_range(0i64..100));
+    }
+}

@@ -1,0 +1,501 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented with a hand-rolled token walk (no `syn`/`quote` — the build
+//! environment has no registry access). Supports exactly the item shapes
+//! this workspace derives on:
+//!
+//! * structs with named fields, newtype/tuple structs;
+//! * enums with unit and tuple variants;
+//! * generic type parameters (bounds are added per derived trait);
+//! * the container attributes `#[serde(try_from = "T")]` and
+//!   `#[serde(into = "T")]`.
+//!
+//! Serialization targets the vendored serde's single concrete data model
+//! (`serde::Value`); objects are field-name keyed, unit variants are
+//! strings, and tuple variants are externally tagged single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<(String, usize)> },
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let mut try_from = None;
+    let mut into = None;
+
+    // Leading attributes (doc comments, #[serde(...)], etc.).
+    while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(pos + 1) {
+            parse_serde_attr(g.stream(), &mut try_from, &mut into);
+        }
+        pos += 2;
+    }
+
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    pos += 1;
+
+    let generics = parse_generics(&tokens, &mut pos);
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    arity: split_top_level(g.stream()).len(),
+                }
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        try_from,
+        into,
+        shape,
+    }
+}
+
+fn parse_serde_attr(attr: TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    // The attribute group content is e.g. `serde(try_from = "Raw", into = "Raw")`.
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = tokens.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(key) = &inner[i] {
+            let key = key.to_string();
+            if matches!(&inner.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                    let text = lit.to_string();
+                    let text = text.trim_matches('"').to_string();
+                    match key.as_str() {
+                        "try_from" => *try_from = Some(text),
+                        "into" => *into = Some(text),
+                        other => panic!("unsupported serde attribute `{other}` (vendored serde)"),
+                    }
+                    i += 3;
+                    if matches!(&inner.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            panic!("unsupported serde attribute form (vendored serde)");
+        }
+        i += 1;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, C = Default>` starting at `pos`, returning the
+/// parameter names and leaving `pos` one past the closing `>`.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *pos += 1;
+                    return params;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: consume the following ident as part of
+                // the lifetime, not as a type parameter.
+                *pos += 1;
+                expect_param = false;
+            }
+            TokenTree::Ident(i) if expect_param && depth == 1 => {
+                params.push(i.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    panic!("unbalanced generics in derive input");
+}
+
+/// Splits a token stream on top-level commas (commas not nested inside
+/// `<...>`; bracketed groups are single tokens already).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth = 0usize;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| {
+            let mut pos = 0;
+            while matches!(field.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                pos += 2;
+            }
+            skip_visibility(&field, &mut pos);
+            match field.get(pos) {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|variant| {
+            let mut pos = 0;
+            while matches!(variant.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                pos += 2;
+            }
+            let name = match variant.get(pos) {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let arity = match variant.get(pos + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    split_top_level(g.stream()).len()
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    panic!("struct-like enum variants are not supported by the vendored serde")
+                }
+                _ => 0,
+            };
+            (name, arity)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+impl Item {
+    /// `Name` or `Name<T, U>`.
+    fn ty(&self) -> String {
+        if self.generics.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generics.join(", "))
+        }
+    }
+
+    /// `impl` generics with the given bound, e.g. `<T: ::serde::Serialize>`.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            let params: Vec<String> = self
+                .generics
+                .iter()
+                .map(|p| format!("{p}: {bound}"))
+                .collect();
+            format!("<{}>", params.join(", "))
+        }
+    }
+}
+
+fn render_serialize(item: &Item) -> String {
+    let ty = item.ty();
+    let generics = item.impl_generics("::serde::Serialize");
+
+    let body = if let Some(into) = &item.into {
+        format!(
+            "let raw: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&raw)"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct { fields } => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+            Shape::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::TupleStruct { arity } => {
+                let entries: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+            }
+            Shape::UnitStruct => "::serde::Value::Null".to_string(),
+            Shape::Enum { variants } => {
+                let name = &item.name;
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|(v, arity)| match arity {
+                        0 => format!(
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                        ),
+                        1 => format!(
+                            "{name}::{v}(x0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(x0))])"
+                        ),
+                        n => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(",\n"))
+            }
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let ty = item.ty();
+    let generics = item.impl_generics("::serde::Deserialize");
+    let name = &item.name;
+
+    let body = if let Some(try_from) = &item.try_from {
+        format!(
+            "let raw: {try_from} = ::serde::Deserialize::from_value(v)?;\n\
+             ::core::convert::TryFrom::try_from(raw)\n\
+                 .map_err(|e| ::serde::DeError::custom(::std::format!(\"{{e}}\")))"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct { fields } => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: match v.get(\"{f}\") {{\n\
+                                 Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                                 None => return ::core::result::Result::Err(\
+                                     ::serde::DeError::custom(\
+                                     \"missing field `{f}` in {name}\")),\n\
+                             }}"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "if !::core::matches!(v, ::serde::Value::Object(_)) {{\n\
+                         return ::core::result::Result::Err(::serde::DeError::custom(\n\
+                             ::std::format!(\"expected object for {name}, found {{}}\", v.kind())));\n\
+                     }}\n\
+                     ::core::result::Result::Ok(Self {{ {} }})",
+                    inits.join(",\n")
+                )
+            }
+            Shape::TupleStruct { arity: 1 } => {
+                "::core::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+            }
+            Shape::TupleStruct { arity } => {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])"))
+                    .map(|e| format!("{e}?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                             ::core::result::Result::Ok(Self({})),\n\
+                         other => ::core::result::Result::Err(::serde::DeError::custom(\n\
+                             ::std::format!(\"expected {arity}-element array for {name}, found {{}}\", other.kind()))),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Shape::UnitStruct => "::core::result::Result::Ok(Self)".to_string(),
+            Shape::Enum { variants } => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|(_, arity)| *arity == 0)
+                    .map(|(v, _)| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v})"))
+                    .collect();
+                let payload_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|(_, arity)| *arity > 0)
+                    .map(|(v, arity)| match arity {
+                        1 => format!(
+                            "\"{v}\" => ::core::result::Result::Ok(\
+                             {name}::{v}(::serde::Deserialize::from_value(pv)?))"
+                        ),
+                        n => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{v}\" => match pv {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                                         ::core::result::Result::Ok({name}::{v}({})),\n\
+                                     other => ::core::result::Result::Err(::serde::DeError::custom(\n\
+                                         ::std::format!(\"expected {n}-element array for {name}::{v}, found {{}}\", other.kind()))),\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {unit_arms}\n\
+                             other => ::core::result::Result::Err(::serde::DeError::custom(\n\
+                                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                             let (k, pv) = &entries[0];\n\
+                             match k.as_str() {{\n\
+                                 {payload_arms}\n\
+                                 other => ::core::result::Result::Err(::serde::DeError::custom(\n\
+                                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         other => ::core::result::Result::Err(::serde::DeError::custom(\n\
+                             ::std::format!(\"expected variant of {name}, found {{}}\", other.kind()))),\n\
+                     }}",
+                    unit_arms = if unit_arms.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{},", unit_arms.join(",\n"))
+                    },
+                    payload_arms = if payload_arms.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{},", payload_arms.join(",\n"))
+                    },
+                )
+            }
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
