@@ -45,4 +45,4 @@ pub use error::{AggregationError, DisaggregationError};
 pub use group::{group_indices, group_offers, GroupingParams};
 pub use loss::{flexibility_loss, loss_table, LossReport};
 pub use measure_aware::{MeasureAwareError, MeasureAwareGrouping};
-pub use start_align::{aggregate, aggregate_portfolio, Aggregate};
+pub use start_align::{aggregate, aggregate_indices, aggregate_portfolio, Aggregate};

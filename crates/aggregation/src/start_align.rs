@@ -82,6 +82,23 @@ impl Aggregate {
     }
 }
 
+/// Aggregates the group selected by `indices` out of a shared offer slice —
+/// the parallel-safe grouping entry point: workers aggregating disjoint
+/// index groups share `offers` immutably and touch no other state, so a
+/// batch engine can fan groups out across threads and merge results in
+/// group order.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds for `offers`.
+pub fn aggregate_indices(
+    offers: &[FlexOffer],
+    indices: &[usize],
+) -> Result<Aggregate, AggregationError> {
+    let members: Vec<FlexOffer> = indices.iter().map(|&i| offers[i].clone()).collect();
+    aggregate(&members)
+}
+
 /// Aggregates a group of flex-offers by start alignment.
 ///
 /// * `tes_A = min(tes_i)`, `tls_A = tes_A + min(tf_i)`;
@@ -143,10 +160,7 @@ pub fn aggregate(members: &[FlexOffer]) -> Result<Aggregate, AggregationError> {
 pub fn aggregate_portfolio(offers: &[FlexOffer], params: &GroupingParams) -> Vec<Aggregate> {
     crate::group::group_indices(offers, params)
         .into_iter()
-        .map(|idx| {
-            let group: Vec<FlexOffer> = idx.iter().map(|&i| offers[i].clone()).collect();
-            aggregate(&group).expect("grouping never yields empty groups")
-        })
+        .map(|idx| aggregate_indices(offers, &idx).expect("grouping never yields empty groups"))
         .collect()
 }
 
@@ -169,6 +183,22 @@ mod tests {
     #[test]
     fn empty_group_rejected() {
         assert_eq!(aggregate(&[]), Err(AggregationError::EmptyGroup));
+    }
+
+    #[test]
+    fn aggregate_indices_matches_direct_aggregation() {
+        let offers = vec![
+            fo(0, 2, vec![(1, 3)]),
+            fo(1, 3, vec![(0, 2)]),
+            fo(5, 9, vec![(2, 4)]),
+        ];
+        let by_index = aggregate_indices(&offers, &[0, 1]).unwrap();
+        let direct = aggregate(&offers[..2]).unwrap();
+        assert_eq!(by_index, direct);
+        assert_eq!(
+            aggregate_indices(&offers, &[]),
+            Err(AggregationError::EmptyGroup)
+        );
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Engine throughput: all eight measures over a 1k-offer city portfolio,
+//! at 1/4/8 worker threads, against the naive sequential `of_set` loop
+//! (which re-prepares nothing and runs on one thread).
+//!
+//! `bench_report` is the heavyweight sibling that sweeps 1k/10k/100k and
+//! persists `BENCH_engine.json`; this bench is the quick interactive view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexoffers_engine::{Budget, Engine};
+use flexoffers_measures::all_measures;
+use flexoffers_workloads::{city, city_households_for};
+
+fn engine_measure_portfolio(c: &mut Criterion) {
+    const OFFERS: usize = 1_000;
+    let mut portfolio = city(7, city_households_for(OFFERS));
+    portfolio.truncate(OFFERS);
+    let offers = portfolio.into_offers();
+
+    let mut group = c.benchmark_group("engine_measure_1k");
+    for threads in [1usize, 4, 8] {
+        let engine = Engine::new(Budget::with_threads(threads).expect("non-zero"));
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &offers,
+            |b, offers| {
+                b.iter(|| engine.measure_portfolio_all(offers));
+            },
+        );
+    }
+    let measures = all_measures();
+    group.bench_with_input("sequential_of_set", &offers, |b, offers| {
+        b.iter(|| {
+            measures
+                .iter()
+                .map(|m| m.of_set(offers))
+                .filter(Result::is_ok)
+                .count()
+        });
+    });
+    group.finish();
+}
+
+fn engine_aggregate_portfolio(c: &mut Criterion) {
+    const OFFERS: usize = 1_000;
+    let mut portfolio = city(7, city_households_for(OFFERS));
+    portfolio.truncate(OFFERS);
+    let offers = portfolio.into_offers();
+    let params = flexoffers_aggregation::GroupingParams::with_tolerances(2, 4);
+
+    let mut group = c.benchmark_group("engine_aggregate_1k");
+    for threads in [1usize, 8] {
+        let engine = Engine::new(Budget::with_threads(threads).expect("non-zero"));
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &offers,
+            |b, offers| {
+                b.iter(|| engine.aggregate_portfolio(offers, &params));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_measure_portfolio,
+    engine_aggregate_portfolio
+);
+criterion_main!(benches);

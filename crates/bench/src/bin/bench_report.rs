@@ -1,0 +1,183 @@
+//! Persists the engine throughput baseline: `BENCH_engine.json`.
+//!
+//! Sweeps a seeded `city` portfolio at 1k/10k/100k offers, measuring all
+//! eight measures through [`Engine::measure_portfolio_all`] at 1/4/8
+//! worker threads, plus the naive sequential per-offer `of_set` loop as
+//! the baseline the speedup is quoted against. The emitted JSON is the
+//! seed point of the bench trajectory — future PRs regenerate it and
+//! compare.
+//!
+//! ```text
+//! cargo run --release -p flexoffers_bench --bin bench_report            # full sweep
+//! cargo run --release -p flexoffers_bench --bin bench_report -- --quick # 1k only (CI smoke)
+//! cargo run ... -- --out path/to.json                                   # custom output
+//! ```
+//!
+//! Throughput is wall-clock and host-dependent; `host_cpus` records how
+//! much parallelism the machine actually offered (on a single-core host
+//! the threaded runs cannot beat the baseline by more than the
+//! shared-preparation win).
+
+use std::time::Instant;
+
+use flexoffers_engine::{Budget, Engine};
+use flexoffers_measures::all_measures;
+use flexoffers_model::FlexOffer;
+use flexoffers_workloads::{city, city_households_for};
+use serde::Serialize;
+
+const SEED: u64 = 7;
+const THREADS: [usize; 3] = [1, 4, 8];
+
+#[derive(Serialize)]
+struct Run {
+    offers: usize,
+    threads: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SequentialRun {
+    offers: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    workload: String,
+    measures: usize,
+    host_cpus: usize,
+    sequential: Vec<SequentialRun>,
+    engine: Vec<Run>,
+    /// Engine at 8 threads over the largest size, vs the sequential loop.
+    speedup_8_threads_largest: f64,
+}
+
+/// Times `f`, re-running it until at least 0.2 s have elapsed (max 5
+/// passes) and returning the fastest single pass — enough repetition to
+/// de-noise the small sizes without making the 100k sweep crawl.
+fn time_best(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    for _ in 0..5 {
+        let start = Instant::now();
+        f();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        spent += secs;
+        if spent >= 0.2 {
+            break;
+        }
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) if !path.starts_with("--") => out_path = path.clone(),
+                _ => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown argument {other}\nusage: bench_report [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.as_str();
+    let sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    let largest = *sizes.last().expect("at least one size");
+    let mut portfolio = city(SEED, city_households_for(largest));
+    portfolio.truncate(largest);
+    let offers: &[FlexOffer] = portfolio.as_slice();
+    let measures = all_measures();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_report: city(seed {SEED}) · {} offers · {} measures · {host_cpus} host cpu(s)",
+        offers.len(),
+        measures.len()
+    );
+
+    let mut sequential = Vec::new();
+    let mut engine_runs = Vec::new();
+    for &size in sizes {
+        let slice = &offers[..size];
+
+        let secs = time_best(|| {
+            for m in &measures {
+                let _ = std::hint::black_box(m.of_set(std::hint::black_box(slice)));
+            }
+        });
+        println!(
+            "  sequential of_set loop  {size:>7} offers  {secs:>9.4}s  {:>10.0} offers/s",
+            size as f64 / secs
+        );
+        sequential.push(SequentialRun {
+            offers: size,
+            secs,
+            offers_per_sec: size as f64 / secs,
+        });
+
+        for &threads in &THREADS {
+            let engine = Engine::new(Budget::with_threads(threads).expect("non-zero"));
+            let secs = time_best(|| {
+                std::hint::black_box(engine.measure_portfolio_all(std::hint::black_box(slice)));
+            });
+            println!("  engine ({threads} thread{})    {size:>7} offers  {secs:>9.4}s  {:>10.0} offers/s", if threads == 1 { "" } else { "s" }, size as f64 / secs);
+            engine_runs.push(Run {
+                offers: size,
+                threads,
+                secs,
+                offers_per_sec: size as f64 / secs,
+            });
+        }
+    }
+
+    let baseline = sequential.last().expect("ran at least one size").secs;
+    let eight = engine_runs
+        .iter()
+        .filter(|r| r.offers == largest && r.threads == 8)
+        .map(|r| r.secs)
+        .next()
+        .expect("8-thread run present");
+    let speedup = baseline / eight;
+    println!(
+        "speedup at {largest} offers, 8 threads vs sequential loop: {speedup:.2}x \
+         (host offered {host_cpus} cpu(s))"
+    );
+
+    let report = BenchReport {
+        schema: "flexoffers-engine-bench/1",
+        workload: format!("workloads::city(seed {SEED}), truncated per size"),
+        measures: measures.len(),
+        host_cpus,
+        sequential,
+        engine: engine_runs,
+        speedup_8_threads_largest: speedup,
+    };
+    std::fs::write(
+        out_path,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -3,12 +3,14 @@
 //!
 //! A district portfolio is grouped with a sweep of earliest-start and
 //! time-flexibility tolerances, aggregated, and every measure is evaluated
-//! before and after. Grouping-tolerance points run in parallel (std scoped
-//! threads). Pass `--json` for machine-readable rows.
+//! before and after. Grouping-tolerance points fan out through the engine's
+//! shared [`parallel_map`] helper (deterministic output order). Pass
+//! `--json` for machine-readable rows.
 //!
 //! Run with `cargo run --release -p flexoffers_bench --bin exp_aggregation_loss`.
 
 use flexoffers_aggregation::{aggregate_portfolio, loss_table, GroupingParams, LossReport};
+use flexoffers_engine::{parallel_map, Budget, Engine};
 use flexoffers_measures::MeasureError;
 use flexoffers_workloads::district;
 use serde::Serialize;
@@ -33,30 +35,29 @@ fn main() {
         offers.len()
     );
 
+    // Baseline: the un-aggregated portfolio through the batch engine (the
+    // same set-level values every sweep point's "before" column uses).
+    println!(
+        "\n{}",
+        Engine::detected().measure_portfolio_all(offers).render()
+    );
+
     let sweep: Vec<(i64, i64)> = [0i64, 1, 2, 4, 8]
         .iter()
         .flat_map(|&est| [0i64, 2, 8].iter().map(move |&tft| (est, tft)))
         .collect();
 
-    // Each sweep point is independent; fan out with scoped threads.
+    // Each sweep point is independent; fan out through the engine's shared
+    // chunking helper (thread logic lives in one place, output stays in
+    // sweep order).
     type SweepPoint = (i64, i64, usize, Vec<Result<LossReport, MeasureError>>);
-    let results: Vec<SweepPoint> = std::thread::scope(|scope| {
-        let handles: Vec<_> = sweep
-            .iter()
-            .map(|&(est, tft)| {
-                scope.spawn(move || {
-                    let params = GroupingParams::with_tolerances(est, tft);
-                    let aggregates = aggregate_portfolio(offers, &params);
-                    let table = loss_table(offers, &aggregates);
-                    (est, tft, aggregates.len(), table)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
+    let results: Vec<SweepPoint> =
+        parallel_map(&sweep, Budget::detected().threads(), |&(est, tft)| {
+            let params = GroupingParams::with_tolerances(est, tft);
+            let aggregates = aggregate_portfolio(offers, &params);
+            let table = loss_table(offers, &aggregates);
+            (est, tft, aggregates.len(), table)
+        });
 
     let mut json_rows = Vec::new();
     for (est, tft, n_aggregates, table) in &results {

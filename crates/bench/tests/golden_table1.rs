@@ -1,0 +1,50 @@
+//! Golden-file snapshot of `repro_table1`: the paper's Table 1, both the
+//! transcription and the probe-derived reproduction, byte for byte.
+//!
+//! If a change legitimately alters this output (a new measure column, a
+//! reworded deviation note), regenerate the snapshot and review the diff:
+//!
+//! ```text
+//! cargo run --release -p flexoffers_bench --bin repro_table1 \
+//!     > crates/bench/tests/golden/repro_table1.txt
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/repro_table1.txt");
+
+#[test]
+fn repro_table1_output_matches_golden_snapshot() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro_table1"))
+        .output()
+        .expect("repro_table1 runs");
+    assert!(
+        out.status.success(),
+        "repro_table1 exited non-zero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("repro_table1 output is UTF-8");
+    if stdout != GOLDEN {
+        let first_diff = stdout
+            .lines()
+            .zip(GOLDEN.lines())
+            .position(|(got, want)| got != want)
+            .map_or_else(
+                || "line counts differ".to_owned(),
+                |i| {
+                    format!(
+                        "first differing line {}:\n  got:  {}\n  want: {}",
+                        i + 1,
+                        stdout.lines().nth(i).unwrap_or(""),
+                        GOLDEN.lines().nth(i).unwrap_or("")
+                    )
+                },
+            );
+        panic!(
+            "repro_table1 output deviates from the golden snapshot \
+             (crates/bench/tests/golden/repro_table1.txt).\n{first_diff}\n\
+             If the change is intentional, regenerate the snapshot (see \
+             this test's module docs) and commit the diff."
+        );
+    }
+}

@@ -6,6 +6,7 @@ use flexoffers_model::{FlexOffer, SignClass};
 use crate::characteristics::Characteristics;
 use crate::error::MeasureError;
 use crate::measure::Measure;
+use crate::prepared::PreparedOffer;
 
 /// How the measure treats mixed flex-offers, for which the paper deems it
 /// "not feasible" (Section 4) yet still evaluates Definition 10 literally in
@@ -80,6 +81,11 @@ impl Measure for AbsoluteAreaFlexibility {
     fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
         let base = self.inflexible_base(fo)?;
         Ok(union_area(fo).size() as f64 - base as f64)
+    }
+
+    fn of_prepared(&self, prepared: &PreparedOffer<'_>) -> Result<f64, MeasureError> {
+        let base = self.inflexible_base(prepared.offer())?;
+        Ok(prepared.union_size() as f64 - base as f64)
     }
 
     fn declared_characteristics(&self) -> Characteristics {

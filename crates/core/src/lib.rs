@@ -58,6 +58,7 @@ pub mod energy;
 pub mod error;
 pub mod measure;
 pub mod normalize;
+pub mod prepared;
 pub mod probe;
 pub mod product;
 pub mod registry;
@@ -76,6 +77,7 @@ pub use energy::EnergyFlexibility;
 pub use error::MeasureError;
 pub use measure::{all_measures, Measure};
 pub use normalize::NormalizedMeasure;
+pub use prepared::PreparedOffer;
 pub use product::ProductFlexibility;
 pub use registry::{available_names, measure_by_name};
 pub use rel_area::RelativeAreaFlexibility;

@@ -7,9 +7,11 @@ use crate::assignments::AssignmentFlexibility;
 use crate::characteristics::Characteristics;
 use crate::energy::EnergyFlexibility;
 use crate::error::MeasureError;
+use crate::prepared::PreparedOffer;
 use crate::product::ProductFlexibility;
 use crate::rel_area::RelativeAreaFlexibility;
 use crate::series::TimeSeriesFlexibility;
+use crate::set::SetAggregation;
 use crate::time::TimeFlexibility;
 use crate::vector::VectorFlexibility;
 
@@ -22,7 +24,10 @@ use crate::vector::VectorFlexibility;
 /// area — and [`RelativeAreaFlexibility`] overrides it with the average, as
 /// Section 4 prescribes ("the sum of relative flexibilities is not
 /// meaningful, instead the average relative flexibility could be used").
-pub trait Measure {
+///
+/// Measures are `Send + Sync`: they are immutable evaluation rules, and the
+/// portfolio engine fans them out across worker threads.
+pub trait Measure: Send + Sync {
     /// Full name, e.g. `"product flexibility"`.
     fn name(&self) -> &'static str;
 
@@ -32,6 +37,15 @@ pub trait Measure {
     /// The measure's value for one flex-offer.
     fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError>;
 
+    /// The measure's value for a prepared flex-offer, reusing any
+    /// intermediates the [`PreparedOffer`] carries (the union area, for the
+    /// two area measures). Defaults to the plain [`Measure::of`] path;
+    /// results are always identical — preparation only removes repeated
+    /// work, never changes arithmetic.
+    fn of_prepared(&self, prepared: &PreparedOffer<'_>) -> Result<f64, MeasureError> {
+        self.of(prepared.offer())
+    }
+
     /// The measure's value for a set of flex-offers. Default: sum.
     fn of_set(&self, fos: &[FlexOffer]) -> Result<f64, MeasureError> {
         let mut total = 0.0;
@@ -39,6 +53,15 @@ pub trait Measure {
             total += self.of(fo)?;
         }
         Ok(total)
+    }
+
+    /// How [`Measure::of_set`] combines member values: [`SetAggregation::Sum`]
+    /// by default, [`SetAggregation::Average`] for relative area (Section 4).
+    /// Batch evaluators (the portfolio engine) use this to merge per-offer
+    /// values without re-running the sequential `of_set` loop; every
+    /// override must keep the two in agreement.
+    fn set_aggregation(&self) -> SetAggregation {
+        SetAggregation::Sum
     }
 
     /// The measure's declared qualitative characteristics — its column of

@@ -14,6 +14,7 @@ use flexoffers_model::FlexOffer;
 use crate::characteristics::Characteristics;
 use crate::error::MeasureError;
 use crate::measure::Measure;
+use crate::prepared::PreparedOffer;
 
 /// A measure rescaled as `(m(f) - offset) / scale`.
 pub struct NormalizedMeasure {
@@ -81,6 +82,10 @@ impl Measure for NormalizedMeasure {
 
     fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
         Ok((self.inner.of(fo)? - self.offset) / self.scale)
+    }
+
+    fn of_prepared(&self, prepared: &PreparedOffer<'_>) -> Result<f64, MeasureError> {
+        Ok((self.inner.of_prepared(prepared)? - self.offset) / self.scale)
     }
 
     fn declared_characteristics(&self) -> Characteristics {

@@ -1,0 +1,119 @@
+//! Reusable per-offer measurement handles.
+//!
+//! Evaluating all eight measures over one flex-offer repeats work: the two
+//! area measures (Definitions 10–11) each recompute the assignment-union
+//! area, the single `O(s + tf)` sub-computation that dominates a full
+//! measurement pass. A [`PreparedOffer`] hoists that shared normalisation
+//! out of the hot loop — the union area is computed lazily, at most once
+//! per offer, and every measure's
+//! [`Measure::of_prepared`](crate::Measure::of_prepared) reuses it. The
+//! portfolio engine prepares each offer exactly once per batch, whatever
+//! the number of measures; passes that request no area measure never pay
+//! for the sweep at all.
+
+use std::cell::OnceCell;
+
+use flexoffers_area::{union_area, UnionArea};
+use flexoffers_model::FlexOffer;
+
+/// A flex-offer paired with its lazily computed, measure-shared
+/// intermediates.
+///
+/// The union-area sweep (Definition 10) runs on first use and is cached;
+/// the handle then serves every area-derived measure without
+/// recomputation. All other measures read the offer directly, so preparing
+/// is never slower than a plain per-measure loop — no measure set pays for
+/// work it does not use.
+#[derive(Clone, Debug)]
+pub struct PreparedOffer<'a> {
+    offer: &'a FlexOffer,
+    union: OnceCell<UnionArea>,
+}
+
+impl<'a> PreparedOffer<'a> {
+    /// Prepares an offer. Construction is free; intermediates are computed
+    /// on first use and cached.
+    pub fn new(offer: &'a FlexOffer) -> Self {
+        Self {
+            offer,
+            union: OnceCell::new(),
+        }
+    }
+
+    /// The underlying flex-offer.
+    pub fn offer(&self) -> &'a FlexOffer {
+        self.offer
+    }
+
+    /// The assignment-union area (Definition 10), computed on first call
+    /// and cached.
+    pub fn union(&self) -> &UnionArea {
+        self.union.get_or_init(|| union_area(self.offer))
+    }
+
+    /// Total number of cells in the union area.
+    pub fn union_size(&self) -> u64 {
+        self.union().size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::all_measures;
+    use flexoffers_model::Slice;
+
+    fn figure1() -> FlexOffer {
+        FlexOffer::new(
+            1,
+            6,
+            vec![
+                Slice::new(1, 3).unwrap(),
+                Slice::new(2, 4).unwrap(),
+                Slice::new(0, 5).unwrap(),
+                Slice::new(0, 3).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prepared_union_matches_direct_computation() {
+        let f = figure1();
+        let prepared = PreparedOffer::new(&f);
+        assert_eq!(prepared.union_size(), union_area(&f).size());
+        assert_eq!(prepared.offer(), &f);
+    }
+
+    #[test]
+    fn every_measure_agrees_with_its_unprepared_path() {
+        let f = figure1();
+        let prepared = PreparedOffer::new(&f);
+        for m in all_measures() {
+            assert_eq!(
+                m.of_prepared(&prepared),
+                m.of(&f),
+                "{} diverges between prepared and direct evaluation",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_offer_agrees_too() {
+        let f6 = FlexOffer::new(
+            0,
+            2,
+            vec![
+                Slice::new(-1, 2).unwrap(),
+                Slice::new(-4, -1).unwrap(),
+                Slice::new(-3, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        let prepared = PreparedOffer::new(&f6);
+        for m in all_measures() {
+            assert_eq!(m.of_prepared(&prepared), m.of(&f6), "{}", m.name());
+        }
+    }
+}

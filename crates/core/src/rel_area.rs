@@ -6,6 +6,8 @@ use crate::abs_area::{AbsoluteAreaFlexibility, MixedPolicy};
 use crate::characteristics::Characteristics;
 use crate::error::MeasureError;
 use crate::measure::Measure;
+use crate::prepared::PreparedOffer;
+use crate::set::SetAggregation;
 
 /// Relative area-based flexibility:
 /// `2 * absolute_area_flexibility / (|cmin| + |cmax|)` (Definition 11,
@@ -53,6 +55,23 @@ impl Measure for RelativeAreaFlexibility {
         }
         .of(fo)?;
         Ok(2.0 * abs / denominator as f64)
+    }
+
+    fn of_prepared(&self, prepared: &PreparedOffer<'_>) -> Result<f64, MeasureError> {
+        let fo = prepared.offer();
+        let denominator = fo.total_min().unsigned_abs() + fo.total_max().unsigned_abs();
+        if denominator == 0 {
+            return Err(MeasureError::UndefinedDenominator);
+        }
+        let abs = AbsoluteAreaFlexibility {
+            mixed_policy: self.mixed_policy,
+        }
+        .of_prepared(prepared)?;
+        Ok(2.0 * abs / denominator as f64)
+    }
+
+    fn set_aggregation(&self) -> SetAggregation {
+        SetAggregation::Average
     }
 
     /// Section 4: "the sum of relative flexibilities is not meaningful,

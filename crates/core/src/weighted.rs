@@ -11,6 +11,7 @@ use flexoffers_model::FlexOffer;
 use crate::characteristics::Characteristics;
 use crate::error::MeasureError;
 use crate::measure::Measure;
+use crate::prepared::PreparedOffer;
 
 /// A linear combination `sum(w_i * m_i(f))` of measures.
 ///
@@ -47,6 +48,14 @@ impl Measure for WeightedMeasure {
         let mut total = 0.0;
         for (w, m) in &self.parts {
             total += w * m.of(fo)?;
+        }
+        Ok(total)
+    }
+
+    fn of_prepared(&self, prepared: &PreparedOffer<'_>) -> Result<f64, MeasureError> {
+        let mut total = 0.0;
+        for (w, m) in &self.parts {
+            total += w * m.of_prepared(prepared)?;
         }
         Ok(total)
     }

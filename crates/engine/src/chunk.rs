@@ -1,0 +1,123 @@
+//! Deterministic fan-out primitives — the one place in the workspace that
+//! spawns worker threads.
+//!
+//! [`parallel_map`] preserves input order in its output no matter how the
+//! scheduler interleaves workers, which is what makes every consumer
+//! (the engine's measurement pass, parallel aggregation, the experiment
+//! sweeps in `crates/bench`) bitwise reproducible across thread counts.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Splits `0..len` into contiguous ranges of at most `chunk_size`, in
+/// order; the final range may be shorter. Empty input yields no ranges.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn chunk_ranges(len: usize, chunk_size: usize) -> Vec<Range<usize>> {
+    assert!(chunk_size > 0, "chunk size must be at least 1");
+    (0..len)
+        .step_by(chunk_size)
+        .map(|start| start..(start + chunk_size).min(len))
+        .collect()
+}
+
+/// Applies `f` to every item on up to `threads` scoped worker threads and
+/// returns the results **in input order**.
+///
+/// Workers claim items through a shared atomic cursor (cheap dynamic load
+/// balancing for unevenly sized work), but each result is tagged with its
+/// input index and the output is reassembled by index — scheduling can
+/// never reorder or change the output. With one thread (or at most one
+/// item) no threads are spawned at all; the closure runs inline.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly_once_in_order() {
+        assert_eq!(chunk_ranges(0, 3), vec![]);
+        assert_eq!(chunk_ranges(5, 2), vec![0..2, 2..4, 4..5]);
+        assert_eq!(chunk_ranges(6, 2), vec![0..2, 2..4, 4..6]);
+        assert_eq!(chunk_ranges(2, 10), vec![0..2]);
+        let flattened: Vec<usize> = chunk_ranges(97, 8).into_iter().flatten().collect();
+        assert_eq!(flattened, (0..97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be at least 1")]
+    fn zero_chunk_size_panics() {
+        chunk_ranges(3, 0);
+    }
+
+    #[test]
+    fn output_order_matches_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 7, 16] {
+            // Skew the per-item cost so workers finish out of order.
+            let out = parallel_map(&items, threads, |&x| {
+                if x % 13 == 0 {
+                    std::thread::yield_now();
+                }
+                x * x
+            });
+            let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[41], 8, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_map worker panicked")]
+    fn worker_panics_propagate() {
+        parallel_map(&[1, 2, 3], 2, |&x| {
+            assert!(x < 3, "boom");
+            x
+        });
+    }
+}

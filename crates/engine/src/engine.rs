@@ -1,0 +1,222 @@
+//! The batched evaluation pipeline itself.
+
+use std::time::Instant;
+
+use flexoffers_aggregation::{aggregate_indices, group_indices, Aggregate, GroupingParams};
+use flexoffers_measures::{all_measures, Measure, MeasureError, PreparedOffer, SetAggregation};
+use flexoffers_model::FlexOffer;
+
+use crate::budget::Budget;
+use crate::chunk::{chunk_ranges, parallel_map};
+use crate::report::{MeasureSummary, PortfolioReport};
+
+/// A portfolio-scale evaluator with a fixed [`Budget`].
+///
+/// The engine is a pure scheduler: all semantics live in the per-offer
+/// primitives it drives ([`Measure::of_prepared`],
+/// [`aggregate_indices`]), and every knob changes throughput only — see
+/// the crate docs for the determinism guarantee.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    budget: Budget,
+}
+
+impl Engine {
+    /// An engine over the given budget.
+    pub fn new(budget: Budget) -> Self {
+        Self { budget }
+    }
+
+    /// A single-threaded engine.
+    pub fn sequential() -> Self {
+        Self::new(Budget::sequential())
+    }
+
+    /// An engine sized to the host (see [`Budget::detected`]).
+    pub fn detected() -> Self {
+        Self::new(Budget::detected())
+    }
+
+    /// The engine's budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Evaluates `measures` over every offer and reduces to set-level
+    /// values, exactly as the sequential
+    /// [`Measure::of_set`] loop would — same values, same errors, same
+    /// floating-point addition order — but with the per-offer work chunked
+    /// across worker threads and each offer prepared once
+    /// ([`PreparedOffer`]) for all measures.
+    pub fn measure_portfolio(
+        &self,
+        offers: &[FlexOffer],
+        measures: &[Box<dyn Measure>],
+    ) -> PortfolioReport {
+        let started = Instant::now();
+        let chunk_size = self.budget.chunk_size_for(offers.len());
+        let ranges = chunk_ranges(offers.len(), chunk_size);
+
+        // Workers produce per-offer rows (one value per measure); nothing
+        // is reduced off the calling thread.
+        type Row = Vec<Result<f64, MeasureError>>;
+        let chunks: Vec<Vec<Row>> = parallel_map(&ranges, self.budget.threads(), |range| {
+            offers[range.clone()]
+                .iter()
+                .map(|fo| {
+                    let prepared = PreparedOffer::new(fo);
+                    measures.iter().map(|m| m.of_prepared(&prepared)).collect()
+                })
+                .collect()
+        });
+
+        // Deterministic merge: chunks arrive in portfolio order, and each
+        // measure's reduction walks offers in that order, mirroring its
+        // `of_set` semantics (short-circuit on the first error; sum, or
+        // average for relative area).
+        let summaries = measures
+            .iter()
+            .enumerate()
+            .map(|(j, m)| {
+                let mut total = 0.0;
+                let mut first_error: Option<MeasureError> = None;
+                let mut evaluated = 0usize;
+                let mut failed = 0usize;
+                let mut min: Option<f64> = None;
+                let mut max: Option<f64> = None;
+                for row in chunks.iter().flatten() {
+                    match &row[j] {
+                        Ok(v) => {
+                            evaluated += 1;
+                            min = Some(min.map_or(*v, |m| m.min(*v)));
+                            max = Some(max.map_or(*v, |m| m.max(*v)));
+                            if first_error.is_none() {
+                                total += v;
+                            }
+                        }
+                        Err(e) => {
+                            failed += 1;
+                            if first_error.is_none() {
+                                first_error = Some(e.clone());
+                            }
+                        }
+                    }
+                }
+                let value = match first_error {
+                    Some(e) => Err(e),
+                    None => match m.set_aggregation() {
+                        SetAggregation::Sum => Ok(total),
+                        SetAggregation::Average => {
+                            if offers.is_empty() {
+                                Err(MeasureError::EmptySet {
+                                    measure: m.short_name(),
+                                })
+                            } else {
+                                Ok(total / offers.len() as f64)
+                            }
+                        }
+                    },
+                };
+                MeasureSummary {
+                    measure: m.short_name(),
+                    value,
+                    evaluated,
+                    failed,
+                    min,
+                    max,
+                }
+            })
+            .collect();
+
+        PortfolioReport {
+            offers: offers.len(),
+            threads: self.budget.threads(),
+            chunk_size,
+            elapsed: started.elapsed(),
+            summaries,
+        }
+    }
+
+    /// [`Engine::measure_portfolio`] over the paper's eight measures.
+    pub fn measure_portfolio_all(&self, offers: &[FlexOffer]) -> PortfolioReport {
+        self.measure_portfolio(offers, &all_measures())
+    }
+
+    /// Groups `offers` under `params` and start-alignment-aggregates each
+    /// group, groups fanned out across worker threads. Output order (and
+    /// content) is identical to the sequential
+    /// [`flexoffers_aggregation::aggregate_portfolio`].
+    pub fn aggregate_portfolio(
+        &self,
+        offers: &[FlexOffer],
+        params: &GroupingParams,
+    ) -> Vec<Aggregate> {
+        let groups = group_indices(offers, params);
+        parallel_map(&groups, self.budget.threads(), |indices| {
+            aggregate_indices(offers, indices).expect("grouping never yields empty groups")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn offers() -> Vec<FlexOffer> {
+        vec![
+            FlexOffer::new(0, 2, vec![Slice::new(1, 3).unwrap()]).unwrap(),
+            FlexOffer::new(1, 5, vec![Slice::new(0, 2).unwrap()]).unwrap(),
+            FlexOffer::new(2, 4, vec![Slice::new(-3, -1).unwrap()]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn matches_sequential_of_set_exactly() {
+        let fos = offers();
+        let report = Engine::new(Budget::with_threads(3).unwrap()).measure_portfolio_all(&fos);
+        for (summary, m) in report.summaries.iter().zip(all_measures()) {
+            assert_eq!(summary.value, m.of_set(&fos), "{}", summary.measure);
+            assert_eq!(summary.evaluated + summary.failed, fos.len());
+        }
+    }
+
+    #[test]
+    fn empty_portfolio_reduces_like_of_set() {
+        let report = Engine::sequential().measure_portfolio_all(&[]);
+        assert_eq!(report.offers, 0);
+        for (summary, m) in report.summaries.iter().zip(all_measures()) {
+            assert_eq!(summary.value, m.of_set(&[]), "{}", summary.measure);
+        }
+    }
+
+    #[test]
+    fn mixed_offer_short_circuits_like_of_set() {
+        // A mixed flex-offer makes the strict measures error; the engine
+        // must surface the same error of_set does.
+        let mut fos = offers();
+        fos.push(FlexOffer::new(0, 1, vec![Slice::new(-1, 1).unwrap()]).unwrap());
+        let strict: Vec<Box<dyn Measure>> = vec![Box::new(
+            flexoffers_measures::AbsoluteAreaFlexibility::rejecting_mixed(),
+        )];
+        let report = Engine::detected().measure_portfolio(&fos, &strict);
+        assert_eq!(report.summaries[0].value, strict[0].of_set(&fos));
+        assert!(report.summaries[0].value.is_err());
+        assert_eq!(report.summaries[0].failed, 1);
+    }
+
+    #[test]
+    fn parallel_aggregation_matches_sequential() {
+        let fos = offers();
+        for params in [
+            GroupingParams::strict(),
+            GroupingParams::single_group(),
+            GroupingParams::with_tolerances(1, 2),
+        ] {
+            let parallel =
+                Engine::new(Budget::with_threads(4).unwrap()).aggregate_portfolio(&fos, &params);
+            let sequential = flexoffers_aggregation::aggregate_portfolio(&fos, &params);
+            assert_eq!(parallel, sequential);
+        }
+    }
+}

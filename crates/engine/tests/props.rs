@@ -1,0 +1,116 @@
+//! Engine determinism properties.
+//!
+//! The engine's contract is that *no* scheduling knob is observable in its
+//! results: any thread count, any chunk size, and the plain sequential
+//! per-offer loop all produce bitwise-identical values and errors. These
+//! properties drive randomly shaped portfolios (mixed signs included, so
+//! the error paths get exercised) through every comparison.
+
+use flexoffers_aggregation::{aggregate_portfolio, GroupingParams};
+use flexoffers_engine::{Budget, Engine};
+use flexoffers_measures::all_measures;
+use flexoffers_model::{FlexOffer, Slice};
+use proptest::prelude::*;
+
+fn arb_flexoffer() -> impl Strategy<Value = FlexOffer> {
+    (
+        0i64..4,
+        0i64..5,
+        prop::collection::vec((-5i64..5, 0i64..5), 1..5),
+        0.0f64..1.0,
+        0.0f64..1.0,
+    )
+        .prop_map(|(tes, window, raw, cmin_pos, cmax_pos)| {
+            let slices: Vec<Slice> = raw
+                .into_iter()
+                .map(|(min, w)| Slice::new(min, min + w).unwrap())
+                .collect();
+            let pmin: i64 = slices.iter().map(Slice::min).sum();
+            let pmax: i64 = slices.iter().map(Slice::max).sum();
+            let cmin = pmin + ((pmax - pmin) as f64 * cmin_pos) as i64;
+            let cmax = cmin + ((pmax - cmin) as f64 * cmax_pos) as i64;
+            FlexOffer::with_totals(tes, tes + window, slices, cmin, cmax).unwrap()
+        })
+}
+
+fn arb_portfolio() -> impl Strategy<Value = Vec<FlexOffer>> {
+    prop::collection::vec(arb_flexoffer(), 0..33)
+}
+
+/// A realistic seeded workload (not just the proptest shapes): regenerating
+/// the same city portfolio and measuring it at 1 vs 8 threads is
+/// reproducible end to end.
+#[test]
+fn seeded_city_portfolio_is_reproducible_across_thread_counts() {
+    let a = flexoffers_workloads::city(3, 300);
+    let b = flexoffers_workloads::city(3, 300);
+    assert_eq!(a, b, "same seed must regenerate the same portfolio");
+    let one = Engine::sequential().measure_portfolio_all(a.as_slice());
+    let eight = Engine::new(Budget::with_threads(8).unwrap()).measure_portfolio_all(b.as_slice());
+    assert_eq!(one.summaries, eight.summaries);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same portfolio, 1 vs N threads: identical summaries, bit for bit.
+    #[test]
+    fn thread_count_never_changes_results(
+        fos in arb_portfolio(),
+        threads in 2usize..9,
+    ) {
+        let one = Engine::sequential().measure_portfolio_all(&fos);
+        let many = Engine::new(Budget::with_threads(threads).unwrap())
+            .measure_portfolio_all(&fos);
+        prop_assert_eq!(one.summaries, many.summaries);
+    }
+
+    /// Chunk size is a throughput knob only.
+    #[test]
+    fn chunk_size_never_changes_results(
+        fos in arb_portfolio(),
+        chunk in 1usize..17,
+        threads in 1usize..9,
+    ) {
+        let default = Engine::new(Budget::with_threads(threads).unwrap())
+            .measure_portfolio_all(&fos);
+        let pinned = Engine::new(
+            Budget::with_threads(threads).unwrap().with_chunk_size(chunk).unwrap(),
+        )
+        .measure_portfolio_all(&fos);
+        prop_assert_eq!(default.summaries, pinned.summaries);
+    }
+
+    /// The engine agrees exactly with the sequential per-offer `of_set`
+    /// loop — values where the loop succeeds, the same error where it
+    /// short-circuits.
+    #[test]
+    fn engine_matches_sequential_of_set(fos in arb_portfolio()) {
+        let report = Engine::new(Budget::with_threads(8).unwrap())
+            .measure_portfolio_all(&fos);
+        for (summary, m) in report.summaries.iter().zip(all_measures()) {
+            prop_assert_eq!(
+                summary.value.clone(),
+                m.of_set(&fos),
+                "{} diverges from its sequential loop",
+                summary.measure
+            );
+            prop_assert_eq!(summary.evaluated + summary.failed, fos.len());
+        }
+    }
+
+    /// Parallel grouping + aggregation reproduces the sequential
+    /// `aggregate_portfolio` exactly, group order included.
+    #[test]
+    fn parallel_aggregation_matches_sequential(
+        fos in arb_portfolio(),
+        est in 0i64..6,
+        tft in 0i64..6,
+        threads in 1usize..9,
+    ) {
+        let params = GroupingParams::with_tolerances(est, tft);
+        let parallel = Engine::new(Budget::with_threads(threads).unwrap())
+            .aggregate_portfolio(&fos, &params);
+        prop_assert_eq!(parallel, aggregate_portfolio(&fos, &params));
+    }
+}

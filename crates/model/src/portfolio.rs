@@ -69,6 +69,13 @@ impl Portfolio {
         self.offers.iter()
     }
 
+    /// Keeps only the first `len` offers (no-op when the portfolio is
+    /// already at most `len` long) — for trimming generated populations to
+    /// an exact benchmark size.
+    pub fn truncate(&mut self, len: usize) {
+        self.offers.truncate(len);
+    }
+
     /// Consumes the portfolio, returning the flex-offers.
     pub fn into_offers(self) -> Vec<FlexOffer> {
         self.offers
@@ -243,6 +250,15 @@ mod tests {
         let p = Portfolio::from_offers(vec![consumption()]);
         assert!(!p.all_valid(&[]));
         assert!(!p.all_valid(&[Assignment::new(9, vec![2])]));
+    }
+
+    #[test]
+    fn truncate_trims_and_saturates() {
+        let mut p = Portfolio::from_offers(vec![consumption(), production()]);
+        p.truncate(1);
+        assert_eq!(p.len(), 1);
+        p.truncate(5);
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

@@ -146,6 +146,52 @@ pub fn district(seed: u64, households: usize) -> Portfolio {
         .build()
 }
 
+/// A city preset for portfolio-scale (100k+ offer) engine workloads: a
+/// denser, more electrified mix than [`district`] — 55 % EVs, 90 %
+/// dishwashers, 70 % heat pumps, one fridge each, 15 % rooftop solar, 8 %
+/// V2G, one utility wind turbine per 200 households.
+///
+/// The offer count grows by roughly 3.38 offers per household
+/// ([`city_offer_count`] gives the exact figure, accounting for the
+/// per-device integer truncation), so ~30k households exercise a
+/// 100k-offer engine run. Deterministic under `seed` like every generator
+/// here.
+pub fn city(seed: u64, households: usize) -> Portfolio {
+    PopulationBuilder::new(seed)
+        .electric_vehicles(households * 11 / 20)
+        .dishwashers(households * 9 / 10)
+        .heat_pumps(households * 7 / 10)
+        .refrigerators(households)
+        .solar_panels(households * 3 / 20)
+        .vehicle_to_grid(households * 2 / 25)
+        .wind_turbines(households / 200)
+        .build()
+}
+
+/// Exact number of offers [`city`] generates for `households`.
+pub fn city_offer_count(households: usize) -> usize {
+    households * 11 / 20
+        + households * 9 / 10
+        + households * 7 / 10
+        + households
+        + households * 3 / 20
+        + households * 2 / 25
+        + households / 200
+}
+
+/// The smallest household count for which [`city`] yields at least
+/// `offers` flex-offers — pair with
+/// [`Portfolio::truncate`](flexoffers_model::Portfolio::truncate) for an
+/// exact benchmark size.
+pub fn city_households_for(offers: usize) -> usize {
+    // city_offer_count grows ~3.38 per household; start below and step up.
+    let mut households = offers * 20 / 69;
+    while city_offer_count(households) < offers {
+        households += 1;
+    }
+    households
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +243,32 @@ mod tests {
                 assert!(fo.total_max() > 0);
             }
         }
+    }
+
+    #[test]
+    fn city_count_formula_is_exact_and_deterministic() {
+        for households in [0, 1, 7, 199, 200, 1000] {
+            let p = city(11, households);
+            assert_eq!(p.len(), city_offer_count(households), "{households}");
+        }
+        assert_eq!(city(11, 300), city(11, 300));
+        assert_ne!(city(11, 300), city(12, 300));
+    }
+
+    #[test]
+    fn city_households_for_hits_the_target() {
+        for target in [1, 1000, 10_000, 100_000] {
+            let households = city_households_for(target);
+            assert!(city_offer_count(households) >= target);
+            assert!(households == 0 || city_offer_count(households - 1) < target);
+        }
+    }
+
+    #[test]
+    fn city_mix_is_diverse() {
+        let p = city(3, 400);
+        let s = p.sign_summary();
+        assert!(s.positive > 0 && s.negative > 0 && s.mixed > 0);
     }
 
     #[test]

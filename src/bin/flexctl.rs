@@ -2,22 +2,28 @@
 //!
 //! ```text
 //! flexctl measure <file.json|-> [measure-name ...]   measure a flex-offer
+//! flexctl measure --portfolio <file.json|->          measure a whole portfolio
+//!         [--threads N] [--json] [measure-name ...]  (engine-parallel)
 //! flexctl render  <file.json|->                      ASCII-render it
 //! flexctl count   <file.json|->                      assignment-space sizes
 //! flexctl names                                      list measure names
-//! flexctl template                                   print an example JSON
+//! flexctl template [--portfolio]                     print example JSON
 //! ```
 //!
 //! Flex-offers are read as JSON in the model crate's serde format; `-`
-//! reads stdin. Try `flexctl template | flexctl measure -`.
+//! reads stdin. Portfolios are read either as `{"offers": [...]}` or as a
+//! bare JSON array of flex-offers. Try
+//! `flexctl template | flexctl measure -` or
+//! `flexctl template --portfolio | flexctl measure --portfolio -`.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use flexoffers::area::{render_flexoffer, render_union};
+use flexoffers::engine::{Budget, Engine};
 use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
-use flexoffers::workloads::EvCharger;
-use flexoffers::FlexOffer;
+use flexoffers::workloads::{district, EvCharger};
+use flexoffers::{FlexOffer, Portfolio};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,10 +38,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   flexctl measure <file.json|-> [measure-name ...]
+  flexctl measure --portfolio <file.json|-> [--threads N] [--json] [measure-name ...]
   flexctl render  <file.json|->
   flexctl count   <file.json|->
   flexctl names
-  flexctl template";
+  flexctl template [--portfolio]";
 
 fn run(cmd: &str, rest: &[String]) -> ExitCode {
     match cmd {
@@ -46,13 +53,24 @@ fn run(cmd: &str, rest: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         "template" => {
-            let ev = EvCharger::paper_use_case();
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&ev).expect("model types serialize")
-            );
+            if rest.iter().any(|a| a == "--portfolio") {
+                // A small deterministic district: enough device variety to
+                // exercise every measure, small enough to read.
+                let portfolio = district(7, 2);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&portfolio).expect("model types serialize")
+                );
+            } else {
+                let ev = EvCharger::paper_use_case();
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&ev).expect("model types serialize")
+                );
+            }
             ExitCode::SUCCESS
         }
+        "measure" if rest.iter().any(|a| a == "--portfolio") => measure_portfolio(rest),
         "measure" | "render" | "count" => {
             let Some(path) = rest.first() else {
                 eprintln!("{USAGE}");
@@ -82,35 +100,133 @@ fn run(cmd: &str, rest: &[String]) -> ExitCode {
     }
 }
 
-fn load(path: &str) -> Result<FlexOffer, String> {
-    let text = if path == "-" {
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
         let mut buffer = String::new();
         std::io::stdin()
             .read_to_string(&mut buffer)
             .map_err(|e| format!("reading stdin: {e}"))?;
-        buffer
+        Ok(buffer)
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
-    };
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn load(path: &str) -> Result<FlexOffer, String> {
+    let text = read_input(path)?;
     serde_json::from_str(&text).map_err(|e| format!("parsing flex-offer JSON: {e}"))
+}
+
+fn load_portfolio(path: &str) -> Result<Portfolio, String> {
+    let text = read_input(path)?;
+    // A bare array of offers is accepted alongside the canonical
+    // `{"offers": [...]}`; pick the parse by the leading token so errors
+    // point at the format the caller actually wrote.
+    if text.trim_start().starts_with('[') {
+        serde_json::from_str::<Vec<FlexOffer>>(&text).map(Portfolio::from_offers)
+    } else {
+        serde_json::from_str::<Portfolio>(&text)
+    }
+    .map_err(|e| format!("parsing portfolio JSON: {e}"))
+}
+
+fn resolve_measures(names: &[String]) -> Result<Vec<Box<dyn Measure>>, String> {
+    if names.is_empty() {
+        return Ok(all_measures());
+    }
+    let mut out = Vec::new();
+    for name in names {
+        match measure_by_name(name) {
+            Some(m) => out.push(m),
+            None => return Err(format!("unknown measure {name}; see `flexctl names`")),
+        }
+    }
+    Ok(out)
+}
+
+/// The `measure --portfolio` path: parse flags, build an engine, run one
+/// batched pass, print the report (text or `--json`).
+fn measure_portfolio(rest: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut json = false;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--portfolio" => {}
+            "--json" => json = true,
+            "--threads" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --threads needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) => threads = Some(n),
+                    Err(_) => {
+                        eprintln!("error: --threads takes a number, got {value}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if path.is_none() => path = Some(other),
+            other => names.push(other.to_owned()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let budget = match threads {
+        Some(n) => match Budget::with_threads(n) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Budget::detected(),
+    };
+    let portfolio = match load_portfolio(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if portfolio.is_empty() {
+        eprintln!("error: empty portfolio — nothing to measure");
+        return ExitCode::FAILURE;
+    }
+    let measures = match resolve_measures(&names) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = Engine::new(budget).measure_portfolio(portfolio.as_slice(), &measures);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.json()).expect("report serializes")
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    ExitCode::SUCCESS
 }
 
 fn measure(fo: &FlexOffer, names: &[String]) -> ExitCode {
     println!("flex-offer: {fo}");
-    let measures: Vec<Box<dyn Measure>> = if names.is_empty() {
-        all_measures()
-    } else {
-        let mut out = Vec::new();
-        for name in names {
-            match measure_by_name(name) {
-                Some(m) => out.push(m),
-                None => {
-                    eprintln!("unknown measure {name}; see `flexctl names`");
-                    return ExitCode::FAILURE;
-                }
-            }
+    let measures = match resolve_measures(names) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-        out
     };
     for m in measures {
         match m.of(fo) {

@@ -16,7 +16,9 @@
 //!   against a target supply profile;
 //! * [`workloads`] — seeded synthetic prosumer devices, districts, RES and
 //!   price traces;
-//! * [`market`] — the Scenario 2 balancing-market simulation.
+//! * [`market`] — the Scenario 2 balancing-market simulation;
+//! * [`engine`] — batched, multi-threaded portfolio-scale evaluation of
+//!   the measures and of aggregation, with deterministic merge order.
 //!
 //! The most common types are re-exported at the crate root.
 //!
@@ -47,6 +49,7 @@
 
 pub use flexoffers_aggregation as aggregation;
 pub use flexoffers_area as area;
+pub use flexoffers_engine as engine;
 pub use flexoffers_market as market;
 pub use flexoffers_measures as measures;
 pub use flexoffers_model as model;
@@ -55,6 +58,7 @@ pub use flexoffers_timeseries as timeseries;
 pub use flexoffers_workloads as workloads;
 
 pub use flexoffers_aggregation::{aggregate, Aggregate, GroupingParams};
+pub use flexoffers_engine::{Budget, Engine, PortfolioReport};
 pub use flexoffers_measures::{all_measures, Measure, MeasureError, Norm};
 pub use flexoffers_model::{
     Assignment, Energy, FlexOffer, FlexOfferBuilder, ModelError, Portfolio, SignClass, Slice,

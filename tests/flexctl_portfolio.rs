@@ -1,0 +1,202 @@
+//! Integration tests for `flexctl measure --portfolio`: the engine-backed
+//! batch path, its JSON output, and every documented error path (empty
+//! portfolio, malformed JSON, zero-thread request, unknown measure).
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+use serde::Deserialize;
+
+/// Typed mirror of the `--json` report (the vendored `serde_json` has no
+/// dynamic `Value`; typed deserialisation doubles as a schema check).
+#[derive(Debug, Deserialize)]
+struct JsonReport {
+    offers: usize,
+    threads: usize,
+    chunk_size: usize,
+    elapsed_secs: f64,
+    offers_per_second: f64,
+    measures: Vec<JsonMeasure>,
+}
+
+#[derive(Debug, Deserialize, PartialEq)]
+struct JsonMeasure {
+    measure: String,
+    value: Option<f64>,
+    error: Option<String>,
+    evaluated: usize,
+    failed: usize,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+const ALL_EIGHT_MEASURES: [&str; 8] = [
+    "Time",
+    "Energy",
+    "Product",
+    "Vector",
+    "Time-series",
+    "Assignments",
+    "Abs. Area",
+    "Rel. Area",
+];
+
+fn flexctl(args: &[&str], stdin: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_flexctl"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    } else {
+        cmd.stdin(Stdio::null());
+    }
+    let mut child = cmd.spawn().expect("flexctl spawns");
+    if let Some(input) = stdin {
+        // The child may exit before draining stdin (e.g. a flag error like
+        // `--threads 0` is rejected before any input is read), so a broken
+        // pipe here is expected; the assertions run on status and output.
+        let _ = child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(input.as_bytes());
+    }
+    child.wait_with_output().expect("flexctl terminates")
+}
+
+fn portfolio_template() -> String {
+    let out = flexctl(&["template", "--portfolio"], None);
+    assert!(out.status.success(), "flexctl template --portfolio exits 0");
+    String::from_utf8(out.stdout).expect("template output is UTF-8")
+}
+
+#[test]
+fn portfolio_measure_reports_all_eight_measures() {
+    let template = portfolio_template();
+    let out = flexctl(&["measure", "--portfolio", "-"], Some(&template));
+    assert!(
+        out.status.success(),
+        "measure --portfolio exits 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("output is UTF-8");
+    assert!(stdout.contains("offers"), "header line present:\n{stdout}");
+    for name in ALL_EIGHT_MEASURES {
+        assert!(stdout.contains(name), "output missing {name:?}:\n{stdout}");
+    }
+}
+
+#[test]
+fn portfolio_measure_accepts_a_bare_offer_array() {
+    let template = portfolio_template();
+    let portfolio: flexoffers::Portfolio =
+        serde_json::from_str(&template).expect("template parses as a portfolio");
+    let bare = serde_json::to_string(&portfolio.into_offers()).expect("offers array re-serialises");
+    let out = flexctl(&["measure", "--portfolio", "-"], Some(&bare));
+    assert!(
+        out.status.success(),
+        "bare array accepted; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn portfolio_json_output_is_deterministic_across_thread_counts() {
+    let template = portfolio_template();
+    let measures = |threads: &str| -> Vec<JsonMeasure> {
+        let out = flexctl(
+            &[
+                "measure",
+                "--portfolio",
+                "-",
+                "--json",
+                "--threads",
+                threads,
+            ],
+            Some(&template),
+        );
+        assert!(
+            out.status.success(),
+            "measure --portfolio --json --threads {threads} exits 0; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let report: JsonReport =
+            serde_json::from_str(&String::from_utf8(out.stdout).expect("UTF-8"))
+                .expect("--json output parses");
+        assert_eq!(report.threads, threads.parse::<usize>().unwrap());
+        assert!(report.offers > 0);
+        assert!(report.chunk_size > 0);
+        assert!(report.elapsed_secs >= 0.0);
+        assert!(report.offers_per_second >= 0.0);
+        assert_eq!(report.measures.len(), 8);
+        report.measures
+    };
+    // Timing fields differ run to run; the measured values must not.
+    assert_eq!(measures("1"), measures("8"));
+}
+
+#[test]
+fn portfolio_measure_honours_a_measure_subset() {
+    let template = portfolio_template();
+    let out = flexctl(
+        &["measure", "--portfolio", "-", "time", "energy"],
+        Some(&template),
+    );
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("UTF-8");
+    assert!(stdout.contains("Time"));
+    assert!(stdout.contains("Energy"));
+    assert!(!stdout.contains("Assignments"));
+}
+
+#[test]
+fn empty_portfolio_is_rejected() {
+    for empty in [r#"{"offers": []}"#, "[]"] {
+        let out = flexctl(&["measure", "--portfolio", "-"], Some(empty));
+        assert!(!out.status.success(), "empty portfolio {empty:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            stderr.contains("empty portfolio"),
+            "stderr names the problem: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn malformed_json_is_rejected() {
+    let out = flexctl(&["measure", "--portfolio", "-"], Some("{not json"));
+    assert!(!out.status.success(), "bad JSON must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        stderr.contains("parsing portfolio JSON"),
+        "stderr names the problem: {stderr}"
+    );
+}
+
+#[test]
+fn zero_threads_is_rejected() {
+    let template = portfolio_template();
+    let out = flexctl(
+        &["measure", "--portfolio", "-", "--threads", "0"],
+        Some(&template),
+    );
+    assert!(!out.status.success(), "--threads 0 must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        stderr.contains("thread count must be at least 1"),
+        "stderr names the problem: {stderr}"
+    );
+    let non_numeric = flexctl(
+        &["measure", "--portfolio", "-", "--threads", "many"],
+        Some(&template),
+    );
+    assert!(!non_numeric.status.success(), "--threads many must fail");
+}
+
+#[test]
+fn unknown_measure_is_rejected() {
+    let template = portfolio_template();
+    let out = flexctl(&["measure", "--portfolio", "-", "entropy"], Some(&template));
+    assert!(!out.status.success(), "unknown measure must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("unknown measure"), "stderr: {stderr}");
+}
