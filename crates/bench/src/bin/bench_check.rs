@@ -1,0 +1,71 @@
+//! CI bench-regression gate: compare a freshly measured engine bench
+//! report against the committed baseline, normalised to per-core
+//! throughput (see `flexoffers_bench::regression`).
+//!
+//! ```text
+//! bench_check [--baseline BENCH_engine.json] [--candidate BENCH_engine_ci.json]
+//!             [--min-ratio 0.5]
+//! ```
+//!
+//! Exit codes: 0 pass, 1 regression detected, 2 usage or unreadable
+//! reports.
+
+use flexoffers_bench::regression::{check_regression, EngineBenchReport, DEFAULT_MIN_RATIO};
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+fn load(side: &str, path: &str) -> EngineBenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("reading {side} report {path}: {e}")));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| die(&format!("parsing {side} report {path}: {e}")))
+}
+
+fn main() {
+    let mut baseline_path = String::from("BENCH_engine.json");
+    let mut candidate_path = String::from("BENCH_engine_ci.json");
+    let mut min_ratio = DEFAULT_MIN_RATIO;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = value_for("--baseline"),
+            "--candidate" => candidate_path = value_for("--candidate"),
+            "--min-ratio" => {
+                let raw = value_for("--min-ratio");
+                match raw.parse::<f64>() {
+                    Ok(r) if r > 0.0 && r.is_finite() => min_ratio = r,
+                    _ => die(&format!("--min-ratio takes a positive number, got {raw}")),
+                }
+            }
+            other => die(&format!(
+                "unknown argument {other}\nusage: bench_check [--baseline PATH] [--candidate PATH] [--min-ratio R]"
+            )),
+        }
+    }
+
+    let baseline = load("baseline", &baseline_path);
+    let candidate = load("candidate", &candidate_path);
+    println!(
+        "bench_check: {candidate_path} (host_cpus {}) vs {baseline_path} (host_cpus {})",
+        candidate.host_cpus, baseline.host_cpus
+    );
+    match check_regression(&baseline, &candidate, min_ratio) {
+        Ok(verdict) => {
+            println!("{}", verdict.render());
+            if !verdict.passed() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => die(&e.to_string()),
+    }
+}

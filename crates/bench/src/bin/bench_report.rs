@@ -18,8 +18,7 @@
 //! the threaded runs cannot beat the baseline by more than the
 //! shared-preparation win).
 
-use std::time::Instant;
-
+use flexoffers_bench::timing::time_best;
 use flexoffers_engine::{Budget, Engine};
 use flexoffers_measures::all_measures;
 use flexoffers_model::FlexOffer;
@@ -54,25 +53,6 @@ struct BenchReport {
     engine: Vec<Run>,
     /// Engine at 8 threads over the largest size, vs the sequential loop.
     speedup_8_threads_largest: f64,
-}
-
-/// Times `f`, re-running it until at least 0.2 s have elapsed (max 5
-/// passes) and returning the fastest single pass — enough repetition to
-/// de-noise the small sizes without making the 100k sweep crawl.
-fn time_best(mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    let mut spent = 0.0;
-    for _ in 0..5 {
-        let start = Instant::now();
-        f();
-        let secs = start.elapsed().as_secs_f64();
-        best = best.min(secs);
-        spent += secs;
-        if spent >= 0.2 {
-            break;
-        }
-    }
-    best
 }
 
 fn main() {

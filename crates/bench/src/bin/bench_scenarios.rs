@@ -1,0 +1,146 @@
+//! Persists the scenario-pipeline throughput baseline:
+//! `BENCH_scenarios.json`.
+//!
+//! Sweeps the two end-to-end scenario pipelines —
+//! [`Engine::schedule_portfolio`] (Scenario 1: group → aggregate →
+//! schedule → realize) and [`Engine::trade_portfolio`] (Scenario 2:
+//! group → plan → settle) — over seeded city portfolios at 1k/10k offers
+//! and 1/4/8 worker threads, plus the sequential library paths
+//! (`schedule_via_aggregation`, `Aggregator::run`) as the reference the
+//! speedup is quoted against. Workload knobs come from the same
+//! [`Scenario`] defaults `flexctl simulate` uses, so the recorded hot
+//! paths are exactly the served ones.
+//!
+//! ```text
+//! cargo run --release -p flexoffers_bench --bin bench_scenarios            # full sweep
+//! cargo run --release -p flexoffers_bench --bin bench_scenarios -- --quick # 1k only (CI smoke)
+//! cargo run ... -- --out path/to.json                                      # custom output
+//! ```
+
+use flexoffers_bench::timing::time_best;
+use flexoffers_engine::{Budget, Engine, Scenario, ScenarioKind};
+use flexoffers_model::FlexOffer;
+use flexoffers_scheduling::{schedule_via_aggregation, GreedyScheduler, SchedulingProblem};
+use flexoffers_workloads::city_households_for;
+use serde::Serialize;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+
+#[derive(Serialize)]
+struct Run {
+    scenario: &'static str,
+    offers: usize,
+    /// 0 marks the sequential library path; otherwise engine threads.
+    threads: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ScenarioBenchReport {
+    schema: &'static str,
+    workload: String,
+    host_cpus: usize,
+    runs: Vec<Run>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_scenarios.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) if !path.starts_with("--") => out_path = path.clone(),
+                _ => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown argument {other}\nusage: bench_scenarios [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000] };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("bench_scenarios: city portfolios · sizes {sizes:?} · {host_cpus} host cpu(s)");
+
+    let mut runs = Vec::new();
+    for &size in sizes {
+        let scenario = Scenario::city_portfolio(ScenarioKind::Schedule, city_households_for(size));
+        let mut portfolio = scenario.portfolio();
+        portfolio.truncate(size);
+        let offers: &[FlexOffer] = portfolio.as_slice();
+        let problem = SchedulingProblem::new(offers.to_vec(), scenario.target_for(offers.len()));
+        let scheduler = GreedyScheduler::new();
+        let market = scenario.spot_market();
+        let aggregator = scenario.aggregator();
+
+        let mut record = |scenario: &'static str, threads: usize, secs: f64| {
+            println!(
+                "  {scenario:<9} {:>10} {size:>7} offers  {secs:>9.4}s  {:>10.0} offers/s",
+                if threads == 0 {
+                    "sequential".to_owned()
+                } else {
+                    format!("{threads} thread(s)")
+                },
+                size as f64 / secs
+            );
+            runs.push(Run {
+                scenario,
+                offers: size,
+                threads,
+                secs,
+                offers_per_sec: size as f64 / secs,
+            });
+        };
+
+        let secs = time_best(|| {
+            let outcome =
+                schedule_via_aggregation(&problem, &scenario.grouping, &scheduler).unwrap();
+            std::hint::black_box(outcome);
+        });
+        record("schedule", 0, secs);
+        for &threads in &THREADS {
+            let engine = Engine::new(Budget::with_threads(threads).expect("non-zero"));
+            let secs = time_best(|| {
+                let outcome = engine
+                    .schedule_portfolio(&problem, &scenario.grouping, &scheduler)
+                    .unwrap();
+                std::hint::black_box(outcome);
+            });
+            record("schedule", threads, secs);
+        }
+
+        let secs = time_best(|| {
+            std::hint::black_box(aggregator.run(&portfolio, &market));
+        });
+        record("market", 0, secs);
+        for &threads in &THREADS {
+            let engine = Engine::new(Budget::with_threads(threads).expect("non-zero"));
+            let secs = time_best(|| {
+                std::hint::black_box(engine.trade_portfolio(&portfolio, &aggregator, &market));
+            });
+            record("market", threads, secs);
+        }
+    }
+
+    let report = ScenarioBenchReport {
+        schema: "flexoffers-scenario-bench/1",
+        workload: "workloads::city(seed 7), truncated per size, Scenario defaults".to_owned(),
+        host_cpus,
+        runs,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

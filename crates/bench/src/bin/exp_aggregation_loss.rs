@@ -5,7 +5,8 @@
 //! time-flexibility tolerances, aggregated, and every measure is evaluated
 //! before and after. Grouping-tolerance points fan out through the engine's
 //! shared [`parallel_map`] helper (deterministic output order). Pass
-//! `--json` for machine-readable rows.
+//! `--json` for machine-readable rows, `--quick` for the small CI-smoke
+//! variant (fewer households, a coarser sweep).
 //!
 //! Run with `cargo run --release -p flexoffers_bench --bin exp_aggregation_loss`.
 
@@ -28,10 +29,12 @@ struct JsonRow {
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let portfolio = district(42, 250);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let households = if quick { 50 } else { 250 };
+    let portfolio = district(42, households);
     let offers = portfolio.as_slice();
     println!(
-        "E1: flexibility loss under aggregation — {} flex-offers (seed 42, 250 households)",
+        "E1: flexibility loss under aggregation — {} flex-offers (seed 42, {households} households)",
         offers.len()
     );
 
@@ -42,9 +45,11 @@ fn main() {
         Engine::detected().measure_portfolio_all(offers).render()
     );
 
-    let sweep: Vec<(i64, i64)> = [0i64, 1, 2, 4, 8]
+    let est_points: &[i64] = if quick { &[0, 2, 8] } else { &[0, 1, 2, 4, 8] };
+    let tft_points: &[i64] = if quick { &[0, 8] } else { &[0, 2, 8] };
+    let sweep: Vec<(i64, i64)> = est_points
         .iter()
-        .flat_map(|&est| [0i64, 2, 8].iter().map(move |&tft| (est, tft)))
+        .flat_map(|&est| tft_points.iter().map(move |&tft| (est, tft)))
         .collect();
 
     // Each sweep point is independent; fan out through the engine's shared
@@ -113,7 +118,12 @@ fn main() {
         "budget", "aggregates", "vector before", "vector after", "loss"
     );
     let vector = flexoffers_measures::VectorFlexibility::default();
-    for budget in [0.0, 0.05, 0.1, 0.2, 0.4] {
+    let budgets: &[f64] = if quick {
+        &[0.0, 0.2]
+    } else {
+        &[0.0, 0.05, 0.1, 0.2, 0.4]
+    };
+    for &budget in budgets {
         let grouper = flexoffers_aggregation::MeasureAwareGrouping::new(&vector, budget);
         let aggregates = grouper
             .aggregate_portfolio(offers)

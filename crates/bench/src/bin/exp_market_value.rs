@@ -1,7 +1,9 @@
 //! Experiment E3 — the market value of flexibility (Scenario 2).
 //!
 //! Sixteen portfolios of varying composition and flexibility trade through
-//! an aggregator on a synthetic spot market. Reported per portfolio:
+//! an aggregator on a synthetic spot market — each run through the
+//! engine's parallel [`Engine::trade_portfolio`] pipeline (bitwise
+//! identical to the sequential `Aggregator::run`). Reported per portfolio:
 //! realized savings against the inflexible baseline; reported per measure:
 //! the correlation between the measure's portfolio value and those savings
 //! ("a better value in the energy market" — Scenario 2). A second sweep
@@ -11,7 +13,8 @@
 //! Run with `cargo run --release -p flexoffers_bench --bin exp_market_value`.
 
 use flexoffers_aggregation::GroupingParams;
-use flexoffers_market::{measure_savings_correlation, Aggregator, SpotMarket};
+use flexoffers_engine::Engine;
+use flexoffers_market::{measure_savings_correlation, Aggregator, MarketOutcome, SpotMarket};
 use flexoffers_model::Portfolio;
 use flexoffers_workloads::price::{price_trace, PriceTraceConfig};
 use flexoffers_workloads::PopulationBuilder;
@@ -46,8 +49,14 @@ fn main() {
         market.penalty_price()
     );
 
+    let engine = Engine::detected();
     let aggregator = Aggregator::new(GroupingParams::with_tolerances(3, 3), 25);
-    let (outcomes, correlations) = measure_savings_correlation(&portfolios, &aggregator, &market);
+    let outcomes: Vec<MarketOutcome> = portfolios
+        .iter()
+        .map(|p| engine.trade_portfolio(p, &aggregator, &market).outcome)
+        .collect();
+    let savings: Vec<f64> = outcomes.iter().map(MarketOutcome::savings).collect();
+    let correlations = measure_savings_correlation(&portfolios, &savings);
 
     println!(
         "\n{:>4} {:>7} {:>8} {:>10} {:>10} {:>10} {:>8}",
@@ -88,8 +97,12 @@ fn main() {
         ("est/tft <= 6", GroupingParams::with_tolerances(6, 6)),
         ("single group", GroupingParams::single_group()),
     ] {
-        let safe = Aggregator::new(params, 25).run(probe, &market);
-        let naive = Aggregator::naive(params, 25).run(probe, &market);
+        let safe = engine
+            .trade_portfolio(probe, &Aggregator::new(params, 25), &market)
+            .outcome;
+        let naive = engine
+            .trade_portfolio(probe, &Aggregator::naive(params, 25), &market)
+            .outcome;
         let aggregates = safe.orders.len() + safe.rejected_lots;
         println!(
             "{:>16} {:>12} {:>14.0} {:>14.0}",

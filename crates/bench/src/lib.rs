@@ -5,4 +5,6 @@
 #![warn(rust_2018_idioms)]
 
 pub mod fixtures;
+pub mod regression;
 pub mod report;
+pub mod timing;

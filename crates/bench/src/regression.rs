@@ -1,0 +1,282 @@
+//! Bench-regression comparison: is a freshly measured engine baseline
+//! still in the same league as the committed one?
+//!
+//! CI regenerates `BENCH_engine_ci.json` on whatever runner it lands on
+//! and compares it against the committed `BENCH_engine.json` via the
+//! `bench_check` binary. Absolute throughput is meaningless across hosts,
+//! so both sides are normalised to *per-core* throughput — each engine
+//! run's offers/sec divided by the parallelism it could actually use
+//! (`min(threads, host_cpus)`) — and the gate only fails when the
+//! candidate's best per-core figure drops below a generous fraction of
+//! the baseline's (default 0.5×). That tolerates runner noise and CPU
+//! generation gaps while still catching a hot path that got an order of
+//! magnitude slower.
+
+use std::fmt;
+
+use serde::Deserialize;
+
+/// The schema tag `bench_report` stamps into its JSON.
+pub const ENGINE_BENCH_SCHEMA: &str = "flexoffers-engine-bench/1";
+
+/// The default failure threshold: candidate per-core throughput below
+/// half the baseline fails the gate.
+pub const DEFAULT_MIN_RATIO: f64 = 0.5;
+
+/// One sequential `of_set` loop timing (mirror of `bench_report`'s JSON).
+#[derive(Clone, Debug, Deserialize)]
+pub struct SequentialRun {
+    /// Portfolio size.
+    pub offers: usize,
+    /// Wall-clock seconds of the fastest pass.
+    pub secs: f64,
+    /// Throughput.
+    pub offers_per_sec: f64,
+}
+
+/// One engine timing (mirror of `bench_report`'s JSON).
+#[derive(Clone, Debug, Deserialize)]
+pub struct EngineRun {
+    /// Portfolio size.
+    pub offers: usize,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Wall-clock seconds of the fastest pass.
+    pub secs: f64,
+    /// Throughput.
+    pub offers_per_sec: f64,
+}
+
+/// Typed mirror of a `BENCH_engine.json` report.
+#[derive(Clone, Debug, Deserialize)]
+pub struct EngineBenchReport {
+    /// Schema tag; must equal [`ENGINE_BENCH_SCHEMA`].
+    pub schema: String,
+    /// Workload description.
+    pub workload: String,
+    /// Number of measures evaluated per offer.
+    pub measures: usize,
+    /// CPUs the host offered when the report was recorded.
+    pub host_cpus: usize,
+    /// Sequential baseline timings.
+    pub sequential: Vec<SequentialRun>,
+    /// Engine timings.
+    pub engine: Vec<EngineRun>,
+    /// Recorded speedup headline.
+    pub speedup_8_threads_largest: f64,
+}
+
+impl EngineBenchReport {
+    /// The report's best per-core engine throughput: each run's
+    /// offers/sec divided by the parallelism it could actually use,
+    /// maximised over runs. `None` when the report has no engine runs.
+    pub fn per_core_peak(&self) -> Option<f64> {
+        self.engine
+            .iter()
+            .map(|r| r.offers_per_sec / r.threads.min(self.host_cpus).max(1) as f64)
+            .fold(None, |best: Option<f64>, v| {
+                Some(best.map_or(v, |b| b.max(v)))
+            })
+    }
+}
+
+/// Why a comparison could not be carried out (distinct from a failed
+/// gate, which is a [`RegressionVerdict`] with `passed() == false`).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RegressionError {
+    /// A report carried an unexpected schema tag.
+    SchemaMismatch {
+        /// Which side was malformed (`"baseline"` / `"candidate"`).
+        side: &'static str,
+        /// The tag found.
+        found: String,
+    },
+    /// A report contained no engine runs to normalise.
+    NoEngineRuns {
+        /// Which side was empty.
+        side: &'static str,
+    },
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::SchemaMismatch { side, found } => write!(
+                f,
+                "{side} report has schema {found:?}, expected {ENGINE_BENCH_SCHEMA:?}"
+            ),
+            RegressionError::NoEngineRuns { side } => {
+                write!(f, "{side} report has no engine runs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// The outcome of comparing a candidate bench report against a baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegressionVerdict {
+    /// Baseline per-core throughput (offers/sec/core).
+    pub baseline_per_core: f64,
+    /// Candidate per-core throughput (offers/sec/core).
+    pub candidate_per_core: f64,
+    /// The failure threshold the gate was run with.
+    pub min_ratio: f64,
+}
+
+impl RegressionVerdict {
+    /// Candidate over baseline.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_per_core == 0.0 {
+            // A zero baseline cannot regress; treat as trivially passing.
+            f64::INFINITY
+        } else {
+            self.candidate_per_core / self.baseline_per_core
+        }
+    }
+
+    /// `true` when the candidate clears the threshold.
+    pub fn passed(&self) -> bool {
+        self.ratio() >= self.min_ratio
+    }
+
+    /// Human-readable one-paragraph summary.
+    pub fn render(&self) -> String {
+        format!(
+            "per-core throughput: baseline {:.0} offers/s/core, candidate {:.0} offers/s/core \
+             — ratio {:.2}x (gate: >= {:.2}x) => {}",
+            self.baseline_per_core,
+            self.candidate_per_core,
+            self.ratio(),
+            self.min_ratio,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Compares `candidate` against `baseline` at `min_ratio`.
+pub fn check_regression(
+    baseline: &EngineBenchReport,
+    candidate: &EngineBenchReport,
+    min_ratio: f64,
+) -> Result<RegressionVerdict, RegressionError> {
+    for (side, report) in [("baseline", baseline), ("candidate", candidate)] {
+        if report.schema != ENGINE_BENCH_SCHEMA {
+            return Err(RegressionError::SchemaMismatch {
+                side,
+                found: report.schema.clone(),
+            });
+        }
+    }
+    let baseline_per_core = baseline
+        .per_core_peak()
+        .ok_or(RegressionError::NoEngineRuns { side: "baseline" })?;
+    let candidate_per_core = candidate
+        .per_core_peak()
+        .ok_or(RegressionError::NoEngineRuns { side: "candidate" })?;
+    Ok(RegressionVerdict {
+        baseline_per_core,
+        candidate_per_core,
+        min_ratio,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(host_cpus: usize, runs: &[(usize, f64)]) -> EngineBenchReport {
+        EngineBenchReport {
+            schema: ENGINE_BENCH_SCHEMA.to_owned(),
+            workload: "test".to_owned(),
+            measures: 8,
+            host_cpus,
+            sequential: vec![],
+            engine: runs
+                .iter()
+                .map(|&(threads, offers_per_sec)| EngineRun {
+                    offers: 1000,
+                    threads,
+                    secs: 1000.0 / offers_per_sec,
+                    offers_per_sec,
+                })
+                .collect(),
+            speedup_8_threads_largest: 1.0,
+        }
+    }
+
+    #[test]
+    fn per_core_normalises_by_usable_parallelism() {
+        // 8 threads on a 4-cpu host only count as 4-way parallelism.
+        let r = report(4, &[(1, 100.0), (8, 400.0)]);
+        assert_eq!(r.per_core_peak(), Some(100.0));
+        // On a 1-cpu host every run is per-core as measured.
+        let single = report(1, &[(8, 250.0)]);
+        assert_eq!(single.per_core_peak(), Some(250.0));
+    }
+
+    #[test]
+    fn equal_reports_pass_and_big_drops_fail() {
+        let baseline = report(4, &[(4, 400.0)]);
+        let same = check_regression(&baseline, &baseline.clone(), 0.5).unwrap();
+        assert!(same.passed());
+        assert!((same.ratio() - 1.0).abs() < 1e-12);
+
+        let slow = report(4, &[(4, 100.0)]);
+        let verdict = check_regression(&baseline, &slow, 0.5).unwrap();
+        assert!(!verdict.passed(), "{}", verdict.render());
+        assert!(verdict.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn cross_host_comparison_uses_per_core_figures() {
+        // Baseline on 1 cpu, candidate on 8: raw throughput differs 6x but
+        // per-core the candidate is fine.
+        let baseline = report(1, &[(1, 1000.0)]);
+        let candidate = report(8, &[(8, 6000.0)]);
+        let verdict = check_regression(&baseline, &candidate, 0.5).unwrap();
+        assert!((verdict.candidate_per_core - 750.0).abs() < 1e-9);
+        assert!(verdict.passed());
+    }
+
+    #[test]
+    fn schema_and_empty_reports_are_rejected() {
+        let good = report(1, &[(1, 100.0)]);
+        let mut bad_schema = good.clone();
+        bad_schema.schema = "something-else/9".to_owned();
+        assert!(matches!(
+            check_regression(&good, &bad_schema, 0.5),
+            Err(RegressionError::SchemaMismatch {
+                side: "candidate",
+                ..
+            })
+        ));
+        let empty = report(1, &[]);
+        let err = check_regression(&empty, &good, 0.5).unwrap_err();
+        assert!(err.to_string().contains("no engine runs"));
+    }
+
+    #[test]
+    fn zero_baseline_cannot_fail_the_gate() {
+        let zero = report(1, &[(1, 0.0)]);
+        let candidate = report(1, &[(1, 1.0)]);
+        let verdict = check_regression(&zero, &candidate, 0.5).unwrap();
+        assert!(verdict.passed());
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_checks_against_itself() {
+        // The committed BENCH_engine.json must stay parseable by this
+        // mirror, or the CI gate goes dark.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_engine.json"
+        ))
+        .expect("committed baseline exists");
+        let baseline: EngineBenchReport = serde_json::from_str(&text).expect("baseline parses");
+        let verdict = check_regression(&baseline, &baseline, DEFAULT_MIN_RATIO).unwrap();
+        assert!(verdict.passed());
+    }
+}

@@ -89,11 +89,13 @@ impl Budget {
     }
 
     /// The chunk size used for a portfolio of `len` offers: the pinned one,
-    /// or `ceil(len / (4 * threads))`, at least 1.
+    /// or `ceil(len / (4 * threads))`, at least 1. The multiplication
+    /// saturates so absurd thread counts degrade to chunk size 1 instead
+    /// of overflowing.
     pub fn chunk_size_for(&self, len: usize) -> usize {
         match self.chunk_size {
             Some(c) => c,
-            None => len.div_ceil(4 * self.threads).max(1),
+            None => len.div_ceil(4usize.saturating_mul(self.threads)).max(1),
         }
     }
 }
@@ -125,6 +127,13 @@ mod tests {
         assert_eq!(b.chunk_size_for(3), 1);
         let pinned = b.with_chunk_size(7).unwrap();
         assert_eq!(pinned.chunk_size_for(16_000), 7);
+    }
+
+    #[test]
+    fn absurd_thread_counts_do_not_overflow_chunk_math() {
+        let b = Budget::with_threads(usize::MAX).unwrap();
+        assert_eq!(b.chunk_size_for(100), 1);
+        assert_eq!(b.chunk_size_for(0), 1);
     }
 
     #[test]

@@ -3,12 +3,30 @@
 use std::time::Instant;
 
 use flexoffers_aggregation::{aggregate_indices, group_indices, Aggregate, GroupingParams};
+use flexoffers_market::{baseline_load, Aggregator, LotDecision, SpotMarket};
 use flexoffers_measures::{all_measures, Measure, MeasureError, PreparedOffer, SetAggregation};
-use flexoffers_model::FlexOffer;
+use flexoffers_model::{Assignment, FlexOffer, Portfolio};
+use flexoffers_scheduling::{
+    assemble_member_schedule, realize_aggregate, PipelineOutcome, Scheduler, SchedulingError,
+    SchedulingProblem,
+};
+use flexoffers_timeseries::ops::sum_series;
+use flexoffers_timeseries::Series;
 
 use crate::budget::Budget;
 use crate::chunk::{chunk_ranges, parallel_map};
 use crate::report::{MeasureSummary, PortfolioReport};
+
+/// Result of [`Engine::trade_portfolio`]: the settled market outcome plus
+/// pipeline context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TradeOutcome {
+    /// The settled market outcome — bitwise identical to the sequential
+    /// [`Aggregator::run`] on the same inputs.
+    pub outcome: flexoffers_market::MarketOutcome,
+    /// Number of aggregates the grouping produced (admitted + rejected).
+    pub aggregates: usize,
+}
 
 /// A portfolio-scale evaluator with a fixed [`Budget`].
 ///
@@ -55,22 +73,9 @@ impl Engine {
     ) -> PortfolioReport {
         let started = Instant::now();
         let chunk_size = self.budget.chunk_size_for(offers.len());
-        let ranges = chunk_ranges(offers.len(), chunk_size);
+        let rows = self.per_offer_rows(offers, measures);
 
-        // Workers produce per-offer rows (one value per measure); nothing
-        // is reduced off the calling thread.
-        type Row = Vec<Result<f64, MeasureError>>;
-        let chunks: Vec<Vec<Row>> = parallel_map(&ranges, self.budget.threads(), |range| {
-            offers[range.clone()]
-                .iter()
-                .map(|fo| {
-                    let prepared = PreparedOffer::new(fo);
-                    measures.iter().map(|m| m.of_prepared(&prepared)).collect()
-                })
-                .collect()
-        });
-
-        // Deterministic merge: chunks arrive in portfolio order, and each
+        // Deterministic merge: rows arrive in portfolio order, and each
         // measure's reduction walks offers in that order, mirroring its
         // `of_set` semantics (short-circuit on the first error; sum, or
         // average for relative area).
@@ -84,7 +89,7 @@ impl Engine {
                 let mut failed = 0usize;
                 let mut min: Option<f64> = None;
                 let mut max: Option<f64> = None;
-                for row in chunks.iter().flatten() {
+                for row in &rows {
                     match &row[j] {
                         Ok(v) => {
                             evaluated += 1;
@@ -142,6 +147,31 @@ impl Engine {
         self.measure_portfolio(offers, &all_measures())
     }
 
+    /// Per-offer values of `measures` over `offers` — each offer prepared
+    /// once ([`PreparedOffer`]), work chunked across workers, rows merged
+    /// in portfolio order. The single prepared-evaluation hot loop behind
+    /// both the measurement pass and the scenario correlations; nothing is
+    /// reduced off the calling thread.
+    pub(crate) fn per_offer_rows(
+        &self,
+        offers: &[FlexOffer],
+        measures: &[Box<dyn Measure>],
+    ) -> Vec<Vec<Result<f64, MeasureError>>> {
+        let chunk_size = self.budget.chunk_size_for(offers.len());
+        let ranges = chunk_ranges(offers.len(), chunk_size);
+        type Row = Vec<Result<f64, MeasureError>>;
+        let chunks: Vec<Vec<Row>> = parallel_map(&ranges, self.budget.threads(), |range| {
+            offers[range.clone()]
+                .iter()
+                .map(|fo| {
+                    let prepared = PreparedOffer::new(fo);
+                    measures.iter().map(|m| m.of_prepared(&prepared)).collect()
+                })
+                .collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
     /// Groups `offers` under `params` and start-alignment-aggregates each
     /// group, groups fanned out across worker threads. Output order (and
     /// content) is identical to the sequential
@@ -155,6 +185,93 @@ impl Engine {
         parallel_map(&groups, self.budget.threads(), |indices| {
             aggregate_indices(offers, indices).expect("grouping never yields empty groups")
         })
+    }
+
+    /// The full Scenario 1 pipeline at portfolio scale: group with
+    /// `params`, aggregate every tolerance group in parallel, schedule the
+    /// (much smaller) aggregate problem with `scheduler` on the calling
+    /// thread, then realize every aggregate's plan at member level in
+    /// parallel — each aggregate's scheduled load is its partition of the
+    /// residual target, and
+    /// [`realize_aggregate`] fits members against exactly that partition
+    /// when the plan proves unrealizable.
+    ///
+    /// The parallel units are the tolerance groups (a pure function of the
+    /// portfolio, never of the budget), and the merge scatters member
+    /// assignments back to input positions in group order, so the outcome
+    /// is **bitwise identical** at any thread count and chunk size — and
+    /// bitwise identical to the sequential
+    /// [`flexoffers_scheduling::schedule_via_aggregation`].
+    pub fn schedule_portfolio(
+        &self,
+        problem: &SchedulingProblem,
+        params: &GroupingParams,
+        scheduler: &dyn Scheduler,
+    ) -> Result<PipelineOutcome, SchedulingError> {
+        let offers = problem.offers();
+        let groups = group_indices(offers, params);
+        let aggregates: Vec<Aggregate> = parallel_map(&groups, self.budget.threads(), |indices| {
+            aggregate_indices(offers, indices).expect("grouping never yields empty groups")
+        });
+        let reduced = SchedulingProblem::new(
+            aggregates.iter().map(|a| a.flexoffer().clone()).collect(),
+            problem.target().clone(),
+        );
+        let aggregate_schedule = scheduler.schedule(&reduced)?;
+
+        let planned: Vec<(&Aggregate, &Assignment)> = aggregates
+            .iter()
+            .zip(aggregate_schedule.assignments())
+            .collect();
+        let realized: Vec<(Vec<Assignment>, bool)> =
+            parallel_map(&planned, self.budget.threads(), |(agg, assignment)| {
+                realize_aggregate(agg, assignment)
+            });
+
+        let outcome = assemble_member_schedule(offers.len(), &groups, realized);
+        debug_assert!(problem.is_feasible(&outcome.schedule));
+        Ok(outcome)
+    }
+
+    /// The full Scenario 2 pipeline at portfolio scale: group and
+    /// aggregate in parallel ([`Engine::aggregate_portfolio`]), evaluate
+    /// every aggregate against the market in parallel
+    /// ([`Aggregator::evaluate`]: admission, planning, realizability), and
+    /// settle the decisions on the calling thread in aggregate order.
+    ///
+    /// The baseline load is summed in parallel over portfolio chunks —
+    /// integer series addition is exact, so chunking cannot perturb it —
+    /// and the settlement fold reproduces the sequential accumulation
+    /// order, making the outcome **bitwise identical** to
+    /// [`Aggregator::run`] at any thread count and chunk size.
+    pub fn trade_portfolio(
+        &self,
+        portfolio: &Portfolio,
+        aggregator: &Aggregator,
+        market: &SpotMarket,
+    ) -> TradeOutcome {
+        let offers = portfolio.as_slice();
+        let aggregates = self.aggregate_portfolio(offers, &aggregator.grouping);
+        let decisions: Vec<LotDecision> = parallel_map(&aggregates, self.budget.threads(), |agg| {
+            aggregator.evaluate(agg, market)
+        });
+        let baseline_cost = market.cost_of(&self.baseline_load_parallel(offers));
+        TradeOutcome {
+            outcome: Aggregator::settle(decisions, baseline_cost, market),
+            aggregates: aggregates.len(),
+        }
+    }
+
+    /// The portfolio's no-flexibility baseline load, chunked across
+    /// workers. Partial sums are integer series, so the chunked total is
+    /// exactly [`baseline_load`] over the whole slice.
+    pub(crate) fn baseline_load_parallel(&self, offers: &[FlexOffer]) -> Series<i64> {
+        let chunk_size = self.budget.chunk_size_for(offers.len());
+        let ranges = chunk_ranges(offers.len(), chunk_size);
+        let partials = parallel_map(&ranges, self.budget.threads(), |range| {
+            baseline_load(&offers[range.clone()])
+        });
+        sum_series(partials.iter())
     }
 }
 
@@ -203,6 +320,51 @@ mod tests {
         assert_eq!(report.summaries[0].value, strict[0].of_set(&fos));
         assert!(report.summaries[0].value.is_err());
         assert_eq!(report.summaries[0].failed, 1);
+    }
+
+    #[test]
+    fn schedule_portfolio_matches_sequential_pipeline() {
+        use flexoffers_scheduling::{schedule_via_aggregation, GreedyScheduler};
+        let fos = offers();
+        let problem = SchedulingProblem::new(fos, Series::new(0, vec![4, 4, 2, 2, 1]));
+        for params in [
+            GroupingParams::strict(),
+            GroupingParams::single_group(),
+            GroupingParams::with_tolerances(2, 2),
+        ] {
+            let sequential =
+                schedule_via_aggregation(&problem, &params, &GreedyScheduler::new()).unwrap();
+            let parallel = Engine::new(Budget::with_threads(4).unwrap())
+                .schedule_portfolio(&problem, &params, &GreedyScheduler::new())
+                .unwrap();
+            assert_eq!(parallel, sequential);
+            assert!(problem.is_feasible(&parallel.schedule));
+        }
+    }
+
+    #[test]
+    fn trade_portfolio_matches_sequential_aggregator() {
+        use flexoffers_market::SpotMarket;
+        let portfolio = Portfolio::from_offers(offers());
+        let market = SpotMarket::new(Series::new(0, vec![2.0, 5.0, 3.0, 1.5, 4.0]), 2.0).unwrap();
+        for params in [
+            GroupingParams::strict(),
+            GroupingParams::single_group(),
+            GroupingParams::with_tolerances(2, 2),
+        ] {
+            let aggregator = Aggregator::new(params, 3);
+            let sequential = aggregator.run(&portfolio, &market);
+            let traded = Engine::new(Budget::with_threads(4).unwrap()).trade_portfolio(
+                &portfolio,
+                &aggregator,
+                &market,
+            );
+            assert_eq!(traded.outcome, sequential);
+            assert_eq!(
+                traded.aggregates,
+                traded.outcome.orders.len() + traded.outcome.rejected_lots
+            );
+        }
     }
 
     #[test]

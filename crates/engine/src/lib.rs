@@ -11,6 +11,17 @@
 //!   order, producing a [`PortfolioReport`];
 //! * [`Engine::aggregate_portfolio`] — tolerance grouping plus per-group
 //!   start-alignment aggregation, each group aggregated in parallel;
+//! * [`Engine::schedule_portfolio`] — the full Scenario 1 pipeline
+//!   (group → aggregate → schedule → realize) with the per-group and
+//!   per-aggregate stages fanned out, bitwise identical to the sequential
+//!   [`schedule_via_aggregation`](flexoffers_scheduling::schedule_via_aggregation);
+//! * [`Engine::trade_portfolio`] — the full Scenario 2 pipeline
+//!   (group → plan → settle) with per-aggregate parallelism, bitwise
+//!   identical to the sequential
+//!   [`Aggregator::run`](flexoffers_market::Aggregator::run);
+//! * [`Engine::simulate`] — a [`Scenario`] (workload seed, tolerance and
+//!   market knobs, scheduler choice) run end to end into a
+//!   [`ScenarioReport`] with text/JSON rendering;
 //! * [`parallel_map`] — the shared deterministic fan-out helper the engine
 //!   and the experiment binaries use, so thread logic lives in one place.
 //!
@@ -57,8 +68,12 @@ pub mod budget;
 pub mod chunk;
 pub mod engine;
 pub mod report;
+pub mod scenario;
+pub mod scenario_report;
 
 pub use budget::{Budget, EngineError};
 pub use chunk::{chunk_ranges, parallel_map};
-pub use engine::Engine;
+pub use engine::{Engine, TradeOutcome};
 pub use report::{MeasureSummary, PortfolioReport};
+pub use scenario::{Scenario, ScenarioError, ScenarioKind, SchedulerChoice};
+pub use scenario_report::{CorrelationSummary, MarketSummary, ScenarioReport, ScheduleSummary};

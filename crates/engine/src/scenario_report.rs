@@ -1,0 +1,373 @@
+//! What a scenario simulation produced: imbalance or settlement numbers,
+//! per-measure correlations, and text/JSON rendering.
+//!
+//! The JSON mirror deliberately excludes the wall-clock fields (`threads`,
+//! `elapsed`): everything it contains is a pure function of the
+//! [`Scenario`](crate::Scenario), so `--json` output is byte-identical
+//! across thread counts — the property CI's determinism smoke diffs.
+
+use std::time::Duration;
+
+use flexoffers_scheduling::Imbalance;
+use serde::Serialize;
+
+use crate::scenario::ScenarioKind;
+
+/// One measure's correlation with the scenario's realized outcome
+/// (start shift for Scenario 1, per-aggregate savings for Scenario 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorrelationSummary {
+    /// The measure's Table 1 column name.
+    pub measure: &'static str,
+    /// Pearson correlation; `None` when the sample is degenerate.
+    pub r: Option<f64>,
+    /// Samples the measure evaluated successfully on.
+    pub evaluated: usize,
+}
+
+/// Scenario 1 outcome: imbalance against the target before (earliest-start
+/// baseline) and after the aggregate-then-schedule pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleSummary {
+    /// The scheduler that drove the aggregate problem.
+    pub scheduler: &'static str,
+    /// Aggregates whose plan had to be re-fitted at member level.
+    pub unrealizable_plans: usize,
+    /// Imbalance of the no-flexibility baseline schedule.
+    pub imbalance_before: Imbalance,
+    /// Imbalance of the engine's schedule.
+    pub imbalance_after: Imbalance,
+}
+
+impl ScheduleSummary {
+    /// Fraction of the baseline L1 imbalance the schedule removed
+    /// (0 when the baseline is already 0).
+    pub fn improvement_l1(&self) -> f64 {
+        if self.imbalance_before.l1 == 0.0 {
+            0.0
+        } else {
+            1.0 - self.imbalance_after.l1 / self.imbalance_before.l1
+        }
+    }
+}
+
+/// Scenario 2 outcome: the settled market run, flattened for reporting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MarketSummary {
+    /// Admitted orders.
+    pub orders: usize,
+    /// Aggregates refused by the minimum-lot rule.
+    pub rejected_lots: usize,
+    /// Spot cost of all admitted plans.
+    pub procurement_cost: f64,
+    /// Penalty paid on unrealizable-plan imbalances.
+    pub imbalance_cost: f64,
+    /// Penalty-rate cost of rejected lots' baseline energy.
+    pub rejected_cost: f64,
+    /// Cost of the whole portfolio under the no-flexibility baseline.
+    pub baseline_cost: f64,
+    /// Baseline cost minus the flexible pipeline's total cost.
+    pub savings: f64,
+    /// Savings as a fraction of the baseline.
+    pub relative_savings: f64,
+}
+
+/// The result of one scenario simulation.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Which scenario ran.
+    pub scenario: ScenarioKind,
+    /// The scenario's seed.
+    pub seed: u64,
+    /// City size the portfolio was generated from.
+    pub households: usize,
+    /// Portfolio size.
+    pub offers: usize,
+    /// Aggregates the grouping produced.
+    pub aggregates: usize,
+    /// Worker threads the run used (wall-clock context, not part of the
+    /// JSON mirror).
+    pub threads: usize,
+    /// Wall-clock duration (not part of the JSON mirror).
+    pub elapsed: Duration,
+    /// Scenario 1 outcome, when `scenario` is schedule.
+    pub schedule: Option<ScheduleSummary>,
+    /// Scenario 2 outcome, when `scenario` is market.
+    pub market: Option<MarketSummary>,
+    /// Per-measure correlation with the scenario's realized outcome.
+    pub correlations: Vec<CorrelationSummary>,
+}
+
+impl ScenarioReport {
+    /// Renders the report as aligned text (includes the wall-clock
+    /// context the JSON mirror omits).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "scenario: {} · seed {} · {} households · {} offers · {} aggregates · {} thread(s) · {:.1} ms\n",
+            self.scenario,
+            self.seed,
+            self.households,
+            self.offers,
+            self.aggregates,
+            self.threads,
+            self.elapsed.as_secs_f64() * 1e3,
+        );
+        if let Some(s) = &self.schedule {
+            out.push_str(&format!(
+                "scheduler: {} · unrealizable plans: {}\n",
+                s.scheduler, s.unrealizable_plans
+            ));
+            out.push_str(&format!(
+                "{:<10} {:>14} {:>14} {:>12}\n",
+                "imbalance", "L1", "L2", "peak"
+            ));
+            out.push_str(&format!(
+                "{:<10} {:>14.1} {:>14.1} {:>12.1}\n",
+                "  before", s.imbalance_before.l1, s.imbalance_before.l2, s.imbalance_before.peak
+            ));
+            out.push_str(&format!(
+                "{:<10} {:>14.1} {:>14.1} {:>12.1}\n",
+                "  after", s.imbalance_after.l1, s.imbalance_after.l2, s.imbalance_after.peak
+            ));
+            out.push_str(&format!(
+                "improvement (L1): {:.1}%\n",
+                s.improvement_l1() * 100.0
+            ));
+            out.push_str("correlation of per-offer measure value with realized start shift:\n");
+        }
+        if let Some(m) = &self.market {
+            out.push_str(&format!(
+                "orders: {} · rejected lots: {}\n",
+                m.orders, m.rejected_lots
+            ));
+            out.push_str(&format!(
+                "baseline cost {:.0} · flexible total {:.0} · savings {:.0} ({:.1}%)\n",
+                m.baseline_cost,
+                m.procurement_cost + m.imbalance_cost + m.rejected_cost,
+                m.savings,
+                m.relative_savings * 100.0
+            ));
+            out.push_str(&format!(
+                "procurement {:.0} · imbalance {:.0} · rejected {:.0}\n",
+                m.procurement_cost, m.imbalance_cost, m.rejected_cost
+            ));
+            out.push_str("correlation of per-aggregate measure value with realized savings:\n");
+        }
+        for c in &self.correlations {
+            match c.r {
+                Some(r) => out.push_str(&format!(
+                    "  {:<14} {:>8.3}  ({} samples)\n",
+                    c.measure, r, c.evaluated
+                )),
+                None => out.push_str(&format!(
+                    "  {:<14} {:>8}  ({} samples)\n",
+                    c.measure, "n/a", c.evaluated
+                )),
+            }
+        }
+        out
+    }
+
+    /// A serialisable mirror of the report containing only the
+    /// deterministic fields — no threads, no timing — so equal scenarios
+    /// serialise to equal bytes at any budget.
+    pub fn json(&self) -> ScenarioReportJson {
+        ScenarioReportJson {
+            scenario: self.scenario.name(),
+            seed: self.seed,
+            households: self.households,
+            offers: self.offers,
+            aggregates: self.aggregates,
+            schedule: self.schedule.as_ref().map(|s| ScheduleJson {
+                scheduler: s.scheduler,
+                unrealizable_plans: s.unrealizable_plans,
+                imbalance_before: s.imbalance_before,
+                imbalance_after: s.imbalance_after,
+                improvement_l1: s.improvement_l1(),
+            }),
+            market: self.market.as_ref().map(|m| MarketJson {
+                orders: m.orders,
+                rejected_lots: m.rejected_lots,
+                procurement_cost: m.procurement_cost,
+                imbalance_cost: m.imbalance_cost,
+                rejected_cost: m.rejected_cost,
+                baseline_cost: m.baseline_cost,
+                savings: m.savings,
+                relative_savings: m.relative_savings,
+            }),
+            correlations: self
+                .correlations
+                .iter()
+                .map(|c| CorrelationJson {
+                    measure: c.measure,
+                    r: c.r,
+                    evaluated: c.evaluated,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serialisable mirror of [`ScenarioReport`] (deterministic fields only).
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioReportJson {
+    /// Scenario name (`schedule` / `market`).
+    pub scenario: &'static str,
+    /// The scenario's seed.
+    pub seed: u64,
+    /// City size.
+    pub households: usize,
+    /// Portfolio size.
+    pub offers: usize,
+    /// Aggregates the grouping produced.
+    pub aggregates: usize,
+    /// Scenario 1 outcome, when present.
+    pub schedule: Option<ScheduleJson>,
+    /// Scenario 2 outcome, when present.
+    pub market: Option<MarketJson>,
+    /// Per-measure correlations.
+    pub correlations: Vec<CorrelationJson>,
+}
+
+/// Serialisable mirror of [`ScheduleSummary`].
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ScheduleJson {
+    /// The scheduler that drove the aggregate problem.
+    pub scheduler: &'static str,
+    /// Aggregates re-fitted at member level.
+    pub unrealizable_plans: usize,
+    /// Baseline imbalance.
+    pub imbalance_before: Imbalance,
+    /// Scheduled imbalance.
+    pub imbalance_after: Imbalance,
+    /// Fraction of baseline L1 imbalance removed.
+    pub improvement_l1: f64,
+}
+
+/// Serialisable mirror of [`MarketSummary`].
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MarketJson {
+    /// Admitted orders.
+    pub orders: usize,
+    /// Rejected lots.
+    pub rejected_lots: usize,
+    /// Spot cost of admitted plans.
+    pub procurement_cost: f64,
+    /// Imbalance penalties.
+    pub imbalance_cost: f64,
+    /// Rejected lots' penalty cost.
+    pub rejected_cost: f64,
+    /// No-flexibility baseline cost.
+    pub baseline_cost: f64,
+    /// Baseline minus flexible total.
+    pub savings: f64,
+    /// Savings relative to baseline.
+    pub relative_savings: f64,
+}
+
+/// Serialisable mirror of [`CorrelationSummary`].
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CorrelationJson {
+    /// The measure's Table 1 column name.
+    pub measure: &'static str,
+    /// Pearson correlation, when defined.
+    pub r: Option<f64>,
+    /// Samples evaluated.
+    pub evaluated: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schedule() -> ScenarioReport {
+        ScenarioReport {
+            scenario: ScenarioKind::Schedule,
+            seed: 7,
+            households: 10,
+            offers: 34,
+            aggregates: 5,
+            threads: 4,
+            elapsed: Duration::from_millis(12),
+            schedule: Some(ScheduleSummary {
+                scheduler: "greedy",
+                unrealizable_plans: 1,
+                imbalance_before: Imbalance {
+                    l1: 100.0,
+                    l2: 40.0,
+                    peak: 9.0,
+                },
+                imbalance_after: Imbalance {
+                    l1: 25.0,
+                    l2: 10.0,
+                    peak: 3.0,
+                },
+            }),
+            market: None,
+            correlations: vec![CorrelationSummary {
+                measure: "Time",
+                r: Some(0.5),
+                evaluated: 34,
+            }],
+        }
+    }
+
+    #[test]
+    fn render_covers_schedule_fields() {
+        let text = sample_schedule().render();
+        assert!(text.contains("scenario: schedule"));
+        assert!(text.contains("unrealizable plans: 1"));
+        assert!(text.contains("improvement (L1): 75.0%"));
+        assert!(text.contains("Time"));
+    }
+
+    #[test]
+    fn render_covers_market_fields() {
+        let report = ScenarioReport {
+            scenario: ScenarioKind::Market,
+            schedule: None,
+            market: Some(MarketSummary {
+                orders: 3,
+                rejected_lots: 2,
+                procurement_cost: 90.0,
+                imbalance_cost: 5.0,
+                rejected_cost: 5.0,
+                baseline_cost: 150.0,
+                savings: 50.0,
+                relative_savings: 1.0 / 3.0,
+            }),
+            correlations: vec![CorrelationSummary {
+                measure: "Energy",
+                r: None,
+                evaluated: 0,
+            }],
+            ..sample_schedule()
+        };
+        let text = report.render();
+        assert!(text.contains("scenario: market"));
+        assert!(text.contains("rejected lots: 2"));
+        assert!(text.contains("savings 50"));
+        assert!(text.contains("n/a"));
+    }
+
+    #[test]
+    fn json_mirror_excludes_wall_clock_fields() {
+        let json = serde_json::to_string(&sample_schedule().json()).unwrap();
+        assert!(json.contains("\"scenario\":\"schedule\""));
+        assert!(json.contains("\"improvement_l1\""));
+        assert!(json.contains("\"market\":null"));
+        assert!(!json.contains("threads"));
+        assert!(!json.contains("elapsed"));
+    }
+
+    #[test]
+    fn improvement_of_zero_baseline_is_zero() {
+        let mut s = sample_schedule().schedule.unwrap();
+        s.imbalance_before = Imbalance {
+            l1: 0.0,
+            l2: 0.0,
+            peak: 0.0,
+        };
+        assert_eq!(s.improvement_l1(), 0.0);
+    }
+}

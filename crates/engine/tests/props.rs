@@ -8,8 +8,11 @@
 
 use flexoffers_aggregation::{aggregate_portfolio, GroupingParams};
 use flexoffers_engine::{Budget, Engine};
+use flexoffers_market::{Aggregator, SpotMarket};
 use flexoffers_measures::all_measures;
-use flexoffers_model::{FlexOffer, Slice};
+use flexoffers_model::{FlexOffer, Portfolio, Slice};
+use flexoffers_scheduling::{schedule_via_aggregation, GreedyScheduler, SchedulingProblem};
+use flexoffers_timeseries::Series;
 use proptest::prelude::*;
 
 fn arb_flexoffer() -> impl Strategy<Value = FlexOffer> {
@@ -35,6 +38,15 @@ fn arb_flexoffer() -> impl Strategy<Value = FlexOffer> {
 
 fn arb_portfolio() -> impl Strategy<Value = Vec<FlexOffer>> {
     prop::collection::vec(arb_flexoffer(), 0..33)
+}
+
+fn arb_target() -> impl Strategy<Value = Series<i64>> {
+    prop::collection::vec(-6i64..12, 1..10).prop_map(|values| Series::new(0, values))
+}
+
+fn arb_market() -> impl Strategy<Value = SpotMarket> {
+    (prop::collection::vec(0.5f64..20.0, 1..10), 1.0f64..4.0)
+        .prop_map(|(prices, penalty)| SpotMarket::new(Series::new(0, prices), penalty).unwrap())
 }
 
 /// A realistic seeded workload (not just the proptest shapes): regenerating
@@ -112,5 +124,80 @@ proptest! {
         let parallel = Engine::new(Budget::with_threads(threads).unwrap())
             .aggregate_portfolio(&fos, &params);
         prop_assert_eq!(parallel, aggregate_portfolio(&fos, &params));
+    }
+
+    /// The parallel Scenario 1 pipeline reproduces the sequential
+    /// `schedule_via_aggregation` exactly — schedule, aggregate count and
+    /// unrealizable count — at any thread count.
+    #[test]
+    fn schedule_portfolio_matches_sequential_pipeline(
+        fos in arb_portfolio(),
+        target in arb_target(),
+        est in 0i64..6,
+        tft in 0i64..6,
+        threads in 1usize..9,
+    ) {
+        let problem = SchedulingProblem::new(fos, target);
+        let params = GroupingParams::with_tolerances(est, tft);
+        let scheduler = GreedyScheduler::new();
+        let sequential = schedule_via_aggregation(&problem, &params, &scheduler).unwrap();
+        let parallel = Engine::new(Budget::with_threads(threads).unwrap())
+            .schedule_portfolio(&problem, &params, &scheduler)
+            .unwrap();
+        prop_assert_eq!(&parallel, &sequential);
+        prop_assert!(problem.is_feasible(&parallel.schedule));
+    }
+
+    /// Scheduling knobs (threads, chunk size) are throughput-only for the
+    /// Scenario 1 pipeline: 1 thread vs N threads vs a pinned chunk size
+    /// all match bit for bit.
+    #[test]
+    fn schedule_portfolio_thread_and_chunk_invariance(
+        fos in arb_portfolio(),
+        target in arb_target(),
+        threads in 2usize..9,
+        chunk in 1usize..17,
+    ) {
+        let problem = SchedulingProblem::new(fos, target);
+        let params = GroupingParams::with_tolerances(2, 2);
+        let scheduler = GreedyScheduler::new();
+        let one = Engine::sequential()
+            .schedule_portfolio(&problem, &params, &scheduler)
+            .unwrap();
+        let many = Engine::new(Budget::with_threads(threads).unwrap())
+            .schedule_portfolio(&problem, &params, &scheduler)
+            .unwrap();
+        let pinned = Engine::new(
+            Budget::with_threads(threads).unwrap().with_chunk_size(chunk).unwrap(),
+        )
+        .schedule_portfolio(&problem, &params, &scheduler)
+        .unwrap();
+        prop_assert_eq!(&one, &many);
+        prop_assert_eq!(&one, &pinned);
+    }
+
+    /// The parallel Scenario 2 pipeline reproduces the sequential
+    /// `Aggregator::run` exactly — orders, all cost accumulators, the
+    /// baseline — at any thread count and chunk size.
+    #[test]
+    fn trade_portfolio_matches_sequential_aggregator(
+        fos in arb_portfolio(),
+        market in arb_market(),
+        est in 0i64..6,
+        tft in 0i64..6,
+        min_lot in 0i64..8,
+        threads in 1usize..9,
+        chunk in 1usize..17,
+    ) {
+        let portfolio = Portfolio::from_offers(fos);
+        let aggregator = Aggregator::new(GroupingParams::with_tolerances(est, tft), min_lot);
+        let sequential = aggregator.run(&portfolio, &market);
+        let budget = Budget::with_threads(threads).unwrap().with_chunk_size(chunk).unwrap();
+        let traded = Engine::new(budget).trade_portfolio(&portfolio, &aggregator, &market);
+        prop_assert_eq!(&traded.outcome, &sequential);
+        prop_assert_eq!(
+            traded.aggregates,
+            traded.outcome.orders.len() + traded.outcome.rejected_lots
+        );
     }
 }

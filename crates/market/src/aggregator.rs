@@ -61,36 +61,68 @@ impl Aggregator {
     /// Runs the full pipeline: group, aggregate, admit, plan, settle.
     pub fn run(&self, portfolio: &Portfolio, market: &SpotMarket) -> MarketOutcome {
         let aggregates = aggregate_portfolio(portfolio.as_slice(), &self.grouping);
+        let decisions = aggregates.iter().map(|agg| self.evaluate(agg, market));
+        Aggregator::settle(
+            decisions,
+            market.cost_of(&baseline_load(portfolio.as_slice())),
+            market,
+        )
+    }
 
+    /// Evaluates one aggregate against the market: an admitted lot is
+    /// planned into an [`Order`], a lot that fails the minimum-lot rule
+    /// buys its baseline load at the penalty rate (no spot access).
+    ///
+    /// Aggregates are evaluated independently of each other, so a batch
+    /// engine can fan this out across worker threads;
+    /// [`Aggregator::run`] is [`Aggregator::settle`] folded over exactly
+    /// these decisions in aggregate order.
+    pub fn evaluate(&self, agg: &Aggregate, market: &SpotMarket) -> LotDecision {
+        if self.admits(agg.flexoffer()) {
+            LotDecision::Admitted(self.plan_order(agg, market))
+        } else {
+            let load = baseline_load(agg.members());
+            let volume: f64 = load.iter().map(|(_, v)| v.abs() as f64).sum();
+            LotDecision::Rejected {
+                cost: market.imbalance_cost(volume),
+            }
+        }
+    }
+
+    /// Folds per-aggregate decisions into a [`MarketOutcome`]. The fold
+    /// accumulates costs in decision order, so callers that preserve
+    /// aggregate order reproduce [`Aggregator::run`] bit for bit no matter
+    /// how the decisions themselves were computed.
+    pub fn settle(
+        decisions: impl IntoIterator<Item = LotDecision>,
+        baseline_cost: f64,
+        market: &SpotMarket,
+    ) -> MarketOutcome {
         let mut orders = Vec::new();
         let mut rejected_lots = 0;
         let mut procurement_cost = 0.0;
         let mut imbalance_cost = 0.0;
         let mut rejected_cost = 0.0;
-
-        for agg in &aggregates {
-            if self.admits(agg.flexoffer()) {
-                let order = self.plan_order(agg, market);
-                procurement_cost += order.cost;
-                imbalance_cost += market.imbalance_cost(order.imbalance);
-                orders.push(order);
-            } else {
-                rejected_lots += 1;
-                // Untradeable small fry buy their baseline load at the
-                // penalty rate (no spot access).
-                let load = baseline_load(agg.members());
-                let volume: f64 = load.iter().map(|(_, v)| v.abs() as f64).sum();
-                rejected_cost += market.imbalance_cost(volume);
+        for decision in decisions {
+            match decision {
+                LotDecision::Admitted(order) => {
+                    procurement_cost += order.cost;
+                    imbalance_cost += market.imbalance_cost(order.imbalance);
+                    orders.push(order);
+                }
+                LotDecision::Rejected { cost } => {
+                    rejected_lots += 1;
+                    rejected_cost += cost;
+                }
             }
         }
-
         MarketOutcome {
             orders,
             rejected_lots,
             procurement_cost,
             imbalance_cost,
             rejected_cost,
-            baseline_cost: market.cost_of(&baseline_load(portfolio.as_slice())),
+            baseline_cost,
         }
     }
 
@@ -137,9 +169,25 @@ impl Aggregator {
     }
 }
 
+/// One aggregate's fate at the market: traded, or refused by the
+/// minimum-lot rule and settled at penalty rates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LotDecision {
+    /// The lot cleared the admission rule and was planned into an order.
+    Admitted(Order),
+    /// The lot was too small to trade; its members buy their baseline load
+    /// at the penalty rate.
+    Rejected {
+        /// Penalty-rate cost of the rejected members' baseline energy.
+        cost: f64,
+    },
+}
+
 /// The no-flexibility delivery of a set of offers: earliest start, midpoint
-/// amounts fitted to totals.
-fn baseline_load(offers: &[FlexOffer]) -> Series<i64> {
+/// amounts fitted to totals (mirrors the scheduling crate's
+/// `EarliestStartScheduler`). Integer series sum, so any chunked
+/// computation that concatenates partial sums reproduces it exactly.
+pub fn baseline_load(offers: &[FlexOffer]) -> Series<i64> {
     let series: Vec<Series<i64>> = offers
         .iter()
         .map(|fo| {

@@ -28,7 +28,7 @@ pub mod settle;
 pub mod spot;
 pub mod value;
 
-pub use aggregator::Aggregator;
+pub use aggregator::{baseline_load, Aggregator, LotDecision};
 pub use error::MarketError;
 pub use planner::cheapest_assignment;
 pub use settle::{MarketOutcome, Order};

@@ -10,10 +10,6 @@
 use flexoffers_measures::all_measures;
 use flexoffers_model::Portfolio;
 
-use crate::aggregator::Aggregator;
-use crate::settle::MarketOutcome;
-use crate::spot::SpotMarket;
-
 /// Pearson correlation of two equally long samples; `None` when either side
 /// is degenerate (fewer than two points or zero variance).
 pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
@@ -50,26 +46,30 @@ pub struct MeasureCorrelation {
     pub evaluated: usize,
 }
 
-/// Runs the aggregator on every portfolio and correlates each measure's
-/// portfolio-level value with the realized savings. Returns the outcomes
-/// alongside the per-measure correlations.
+/// Correlates each measure's portfolio-level value with realized savings,
+/// one sample per portfolio. `savings` pairs positionally with
+/// `portfolios`; compute it however the scenario demands — the sequential
+/// [`Aggregator::run`](crate::Aggregator::run) or a batch engine's
+/// parallel trading pipeline — and hand only the numbers here.
+///
+/// # Panics
+///
+/// Panics if `portfolios` and `savings` have different lengths.
 pub fn measure_savings_correlation(
     portfolios: &[Portfolio],
-    aggregator: &Aggregator,
-    market: &SpotMarket,
-) -> (Vec<MarketOutcome>, Vec<MeasureCorrelation>) {
-    let outcomes: Vec<MarketOutcome> = portfolios
-        .iter()
-        .map(|p| aggregator.run(p, market))
-        .collect();
-    let savings: Vec<f64> = outcomes.iter().map(MarketOutcome::savings).collect();
-
-    let correlations = all_measures()
+    savings: &[f64],
+) -> Vec<MeasureCorrelation> {
+    assert_eq!(
+        portfolios.len(),
+        savings.len(),
+        "one savings sample per portfolio"
+    );
+    all_measures()
         .iter()
         .map(|m| {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
-            for (portfolio, s) in portfolios.iter().zip(&savings) {
+            for (portfolio, s) in portfolios.iter().zip(savings) {
                 if let Ok(v) = m.of_set(portfolio.as_slice()) {
                     xs.push(v);
                     ys.push(*s);
@@ -81,13 +81,14 @@ pub fn measure_savings_correlation(
                 evaluated: xs.len(),
             }
         })
-        .collect();
-    (outcomes, correlations)
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregator::Aggregator;
+    use crate::spot::SpotMarket;
     use flexoffers_aggregation::GroupingParams;
     use flexoffers_timeseries::Series;
     use flexoffers_workloads::price::{price_trace, PriceTraceConfig};
@@ -128,8 +129,12 @@ mod tests {
             })
             .collect();
         let aggregator = Aggregator::new(GroupingParams::with_tolerances(2, 2), 5);
-        let (outcomes, report) = measure_savings_correlation(&portfolios, &aggregator, &market);
-        assert_eq!(outcomes.len(), 4);
+        let savings: Vec<f64> = portfolios
+            .iter()
+            .map(|p| aggregator.run(p, &market).savings())
+            .collect();
+        let report = measure_savings_correlation(&portfolios, &savings);
+        assert_eq!(savings.len(), 4);
         assert_eq!(report.len(), 8);
         for entry in &report {
             assert_eq!(entry.evaluated, 4, "{} skipped portfolios", entry.measure);

@@ -44,5 +44,7 @@ pub use exhaustive::ExhaustiveScheduler;
 pub use greedy::GreedyScheduler;
 pub use hillclimb::HillClimbScheduler;
 pub use imbalance::{Imbalance, Schedule};
-pub use pipeline::{schedule_via_aggregation, PipelineOutcome};
+pub use pipeline::{
+    assemble_member_schedule, realize_aggregate, schedule_via_aggregation, PipelineOutcome,
+};
 pub use problem::{Scheduler, SchedulingProblem};

@@ -9,8 +9,8 @@
 //! re-scheduled at member level, so the pipeline always returns a feasible
 //! member-level schedule.
 
-use flexoffers_aggregation::{aggregate_portfolio, Aggregate, GroupingParams};
-use flexoffers_model::{Assignment, FlexOffer};
+use flexoffers_aggregation::{aggregate_indices, group_indices, Aggregate, GroupingParams};
+use flexoffers_model::Assignment;
 use flexoffers_timeseries::Series;
 
 use crate::error::SchedulingError;
@@ -18,7 +18,7 @@ use crate::imbalance::Schedule;
 use crate::problem::{Scheduler, SchedulingProblem};
 
 /// Outcome of the aggregate-then-schedule pipeline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PipelineOutcome {
     /// Member-level schedule, offer-ordered to match the input problem.
     pub schedule: Schedule,
@@ -37,84 +37,104 @@ pub fn schedule_via_aggregation(
     params: &GroupingParams,
     scheduler: &dyn Scheduler,
 ) -> Result<PipelineOutcome, SchedulingError> {
-    let aggregates = aggregate_portfolio(problem.offers(), params);
+    let offers = problem.offers();
+    let groups = group_indices(offers, params);
+    let aggregates: Vec<Aggregate> = groups
+        .iter()
+        .map(|g| aggregate_indices(offers, g).expect("grouping never yields empty groups"))
+        .collect();
     let reduced = SchedulingProblem::new(
         aggregates.iter().map(|a| a.flexoffer().clone()).collect(),
         problem.target().clone(),
     );
     let aggregate_schedule = scheduler.schedule(&reduced)?;
 
-    // Disaggregate each aggregate's assignment; on overestimation, fall
-    // back to a member-level greedy fit against this aggregate's share of
-    // the target (its scheduled load).
-    let mut member_assignments: Vec<Option<Assignment>> = vec![None; problem.offers().len()];
-    let mut unrealizable = 0;
-    let mut cursor = index_map(problem.offers(), &aggregates);
-    for (agg, assignment) in aggregates.iter().zip(aggregate_schedule.assignments()) {
-        let indices = cursor.next().expect("one index set per aggregate");
-        match agg.disaggregate(assignment) {
-            Ok(parts) => {
-                for (idx, part) in indices.iter().zip(parts) {
-                    member_assignments[*idx] = Some(part);
-                }
-            }
-            Err(_) => {
-                unrealizable += 1;
-                // Member-level fallback: fit members one by one against
-                // the load the aggregate was scheduled to produce.
-                let mut residual: Series<i64> = assignment.as_series();
-                for idx in indices {
-                    let (fit, _) =
-                        crate::greedy::best_fit_assignment(&problem.offers()[idx], &residual);
-                    residual = &residual - &fit.as_series();
-                    member_assignments[idx] = Some(fit);
-                }
-            }
-        }
-    }
-    let schedule = Schedule::new(
-        member_assignments
-            .into_iter()
-            .map(|a| a.expect("every member assigned"))
-            .collect(),
-    );
-    debug_assert!(problem.is_feasible(&schedule));
-    Ok(PipelineOutcome {
-        schedule,
-        aggregates: aggregates.len(),
-        unrealizable_plans: unrealizable,
-    })
+    // Realize each aggregate's plan at member level and scatter the parts
+    // back to the input positions the group owns.
+    let realized: Vec<(Vec<Assignment>, bool)> = aggregates
+        .iter()
+        .zip(aggregate_schedule.assignments())
+        .map(|(agg, assignment)| realize_aggregate(agg, assignment))
+        .collect();
+    let outcome = assemble_member_schedule(offers.len(), &groups, realized);
+    debug_assert!(problem.is_feasible(&outcome.schedule));
+    Ok(outcome)
 }
 
-/// Recovers, per aggregate, the input indices of its members (aggregation
-/// clones offers, so identity is positional: groups partition the input and
-/// each group's members appear in input order).
-fn index_map<'a>(
-    offers: &'a [FlexOffer],
-    aggregates: &'a [Aggregate],
-) -> impl Iterator<Item = Vec<usize>> + 'a {
-    let mut used = vec![false; offers.len()];
-    aggregates.iter().map(move |agg| {
-        agg.members()
-            .iter()
-            .map(|member| {
-                let idx = offers
-                    .iter()
-                    .enumerate()
-                    .position(|(i, fo)| !used[i] && fo == member)
-                    .expect("aggregate members come from the input portfolio");
-                used[idx] = true;
-                idx
-            })
-            .collect()
-    })
+/// Scatters per-aggregate realized parts back to the input positions each
+/// group owns and counts the fallbacks — the deterministic merge step both
+/// [`schedule_via_aggregation`] and the batch engine's parallel pipeline
+/// end on, kept in one place so the two stay bitwise interchangeable.
+/// `realized` pairs positionally with `groups` (one
+/// [`realize_aggregate`] result per group).
+///
+/// # Panics
+///
+/// Panics if `groups` does not partition `0..offers_len` or a part list
+/// does not match its group's length.
+pub fn assemble_member_schedule(
+    offers_len: usize,
+    groups: &[Vec<usize>],
+    realized: Vec<(Vec<Assignment>, bool)>,
+) -> PipelineOutcome {
+    let mut member_assignments: Vec<Option<Assignment>> = vec![None; offers_len];
+    let mut unrealizable = 0;
+    for (indices, (parts, fell_back)) in groups.iter().zip(realized) {
+        if fell_back {
+            unrealizable += 1;
+        }
+        assert_eq!(indices.len(), parts.len(), "one part per group member");
+        for (idx, part) in indices.iter().zip(parts) {
+            member_assignments[*idx] = Some(part);
+        }
+    }
+    PipelineOutcome {
+        schedule: Schedule::new(
+            member_assignments
+                .into_iter()
+                .map(|a| a.expect("groups partition the input"))
+                .collect(),
+        ),
+        aggregates: groups.len(),
+        unrealizable_plans: unrealizable,
+    }
+}
+
+/// Realizes one aggregate's scheduled assignment at member level: exact
+/// disaggregation when the plan is realizable, otherwise (the
+/// overestimation effect) a member-by-member greedy fit against the load
+/// the aggregate was scheduled to produce — each aggregate's plan *is* its
+/// partition of the residual target. Returns the member assignments (in
+/// member order) and whether the fallback fired.
+///
+/// Each aggregate is realized independently of every other, so a batch
+/// engine can fan this out across worker threads and merge in group order;
+/// `schedule_via_aggregation` is the sequential fold of exactly this
+/// function.
+pub fn realize_aggregate(agg: &Aggregate, assignment: &Assignment) -> (Vec<Assignment>, bool) {
+    match agg.disaggregate(assignment) {
+        Ok(parts) => (parts, false),
+        Err(_) => {
+            let mut residual: Series<i64> = assignment.as_series();
+            let parts = agg
+                .members()
+                .iter()
+                .map(|member| {
+                    let (fit, _) = crate::greedy::best_fit_assignment(member, &residual);
+                    residual = &residual - &fit.as_series();
+                    fit
+                })
+                .collect();
+            (parts, true)
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::greedy::GreedyScheduler;
-    use flexoffers_model::Slice;
+    use flexoffers_model::{FlexOffer, Slice};
 
     fn offers() -> Vec<FlexOffer> {
         vec![

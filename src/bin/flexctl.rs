@@ -4,6 +4,9 @@
 //! flexctl measure <file.json|-> [measure-name ...]   measure a flex-offer
 //! flexctl measure --portfolio <file.json|->          measure a whole portfolio
 //!         [--threads N] [--json] [measure-name ...]  (engine-parallel)
+//! flexctl simulate --scenario <schedule|market>      run a scenario pipeline
+//!         [--households H] [--seed S] [--threads N]  on a generated city
+//!         [--scheduler greedy|hillclimb] [--json]    portfolio
 //! flexctl render  <file.json|->                      ASCII-render it
 //! flexctl count   <file.json|->                      assignment-space sizes
 //! flexctl names                                      list measure names
@@ -23,7 +26,7 @@ use flexoffers::area::{render_flexoffer, render_union};
 use flexoffers::engine::{Budget, Engine};
 use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
 use flexoffers::workloads::{district, EvCharger};
-use flexoffers::{FlexOffer, Portfolio};
+use flexoffers::{FlexOffer, Portfolio, Scenario, ScenarioKind, SchedulerChoice};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +42,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   flexctl measure <file.json|-> [measure-name ...]
   flexctl measure --portfolio <file.json|-> [--threads N] [--json] [measure-name ...]
+  flexctl simulate --scenario <schedule|market> [--households H] [--seed S]
+                   [--threads N] [--scheduler greedy|hillclimb] [--json]
   flexctl render  <file.json|->
   flexctl count   <file.json|->
   flexctl names
@@ -70,6 +75,7 @@ fn run(cmd: &str, rest: &[String]) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "simulate" => simulate(rest),
         "measure" if rest.iter().any(|a| a == "--portfolio") => measure_portfolio(rest),
         "measure" | "render" | "count" => {
             let Some(path) = rest.first() else {
@@ -217,6 +223,107 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
         print!("{}", report.render());
     }
     ExitCode::SUCCESS
+}
+
+/// The `simulate` path: parse flags, build a scenario over a generated
+/// city portfolio, run it through the engine, print the report (text or
+/// `--json`; the JSON mirror is deterministic across thread counts).
+fn simulate(rest: &[String]) -> ExitCode {
+    // ~3.4 offers per household puts the default portfolio above the
+    // 10k-offer scale the engine pipelines are sized for.
+    let mut households: usize = 3_000;
+    let mut seed: u64 = 7;
+    let mut kind: Option<ScenarioKind> = None;
+    let mut scheduler = SchedulerChoice::Greedy;
+    let mut threads: Option<usize> = None;
+    let mut json = false;
+
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--scenario" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --scenario needs a value (schedule or market)");
+                    return ExitCode::FAILURE;
+                };
+                match ScenarioKind::parse(value) {
+                    Some(k) => kind = Some(k),
+                    None => {
+                        eprintln!("error: unknown scenario {value}; expected schedule or market");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--scheduler" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --scheduler needs a value (greedy or hillclimb)");
+                    return ExitCode::FAILURE;
+                };
+                match SchedulerChoice::parse(value) {
+                    Some(s) => scheduler = s,
+                    None => {
+                        eprintln!("error: unknown scheduler {value}; expected greedy or hillclimb");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--households" | "--seed" | "--threads" => {
+                let flag = arg.as_str();
+                let Some(value) = args.next() else {
+                    eprintln!("error: {flag} needs a value");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(n) = value.parse::<u64>() else {
+                    eprintln!("error: {flag} takes a number, got {value}");
+                    return ExitCode::FAILURE;
+                };
+                match flag {
+                    "--households" => households = n as usize,
+                    "--seed" => seed = n,
+                    _ => threads = Some(n as usize),
+                }
+            }
+            other => {
+                eprintln!("error: unknown simulate argument {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(kind) = kind else {
+        eprintln!("error: simulate needs --scenario schedule|market\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let budget = match threads {
+        Some(n) => match Budget::with_threads(n) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Budget::detected(),
+    };
+
+    let mut scenario = Scenario::city_portfolio(kind, households).with_seed(seed);
+    scenario.scheduler = scheduler;
+    match Engine::new(budget).simulate(&scenario) {
+        Ok(report) => {
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report.json()).expect("report serializes")
+                );
+            } else {
+                print!("{}", report.render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn measure(fo: &FlexOffer, names: &[String]) -> ExitCode {

@@ -18,7 +18,9 @@
 //!   price traces;
 //! * [`market`] — the Scenario 2 balancing-market simulation;
 //! * [`engine`] — batched, multi-threaded portfolio-scale evaluation of
-//!   the measures and of aggregation, with deterministic merge order.
+//!   the measures, aggregation, and the two end-to-end scenario pipelines
+//!   (schedule toward a target, trade on the balancing market), with
+//!   deterministic merge order.
 //!
 //! The most common types are re-exported at the crate root.
 //!
@@ -58,7 +60,9 @@ pub use flexoffers_timeseries as timeseries;
 pub use flexoffers_workloads as workloads;
 
 pub use flexoffers_aggregation::{aggregate, Aggregate, GroupingParams};
-pub use flexoffers_engine::{Budget, Engine, PortfolioReport};
+pub use flexoffers_engine::{
+    Budget, Engine, PortfolioReport, Scenario, ScenarioKind, ScenarioReport, SchedulerChoice,
+};
 pub use flexoffers_measures::{all_measures, Measure, MeasureError, Norm};
 pub use flexoffers_model::{
     Assignment, Energy, FlexOffer, FlexOfferBuilder, ModelError, Portfolio, SignClass, Slice,

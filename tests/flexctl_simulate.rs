@@ -1,0 +1,222 @@
+//! Integration tests for `flexctl simulate`: both scenario pipelines over
+//! a generated city portfolio, the determinism of the `--json` mirror
+//! across thread counts, and every documented error path (missing/unknown
+//! scenario, unknown scheduler, zero threads, empty portfolio).
+
+use std::process::{Command, Output, Stdio};
+
+use serde::Deserialize;
+
+/// Typed mirror of the `--json` report (the vendored `serde_json` has no
+/// dynamic `Value`; typed deserialisation doubles as a schema check).
+#[derive(Debug, Deserialize, PartialEq)]
+struct JsonReport {
+    scenario: String,
+    seed: u64,
+    households: usize,
+    offers: usize,
+    aggregates: usize,
+    schedule: Option<ScheduleJson>,
+    market: Option<MarketJson>,
+    correlations: Vec<CorrelationJson>,
+}
+
+#[derive(Debug, Deserialize, PartialEq)]
+struct ScheduleJson {
+    scheduler: String,
+    unrealizable_plans: usize,
+    imbalance_before: ImbalanceJson,
+    imbalance_after: ImbalanceJson,
+    improvement_l1: f64,
+}
+
+#[derive(Debug, Deserialize, PartialEq)]
+struct ImbalanceJson {
+    l1: f64,
+    l2: f64,
+    peak: f64,
+}
+
+#[derive(Debug, Deserialize, PartialEq)]
+struct MarketJson {
+    orders: usize,
+    rejected_lots: usize,
+    procurement_cost: f64,
+    imbalance_cost: f64,
+    rejected_cost: f64,
+    baseline_cost: f64,
+    savings: f64,
+    relative_savings: f64,
+}
+
+#[derive(Debug, Deserialize, PartialEq)]
+struct CorrelationJson {
+    measure: String,
+    r: Option<f64>,
+    evaluated: usize,
+}
+
+fn flexctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flexctl"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("flexctl runs")
+}
+
+/// Debug-build tests keep the portfolio at ~1k offers; the CI smoke runs
+/// the release binary at the ≥10k default.
+const HOUSEHOLDS: &str = "300";
+
+fn simulate_json(scenario: &str, threads: &str) -> String {
+    let out = flexctl(&[
+        "simulate",
+        "--scenario",
+        scenario,
+        "--households",
+        HOUSEHOLDS,
+        "--threads",
+        threads,
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "simulate --scenario {scenario} --threads {threads} exits 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("output is UTF-8")
+}
+
+#[test]
+fn schedule_scenario_text_report_names_its_fields() {
+    let out = flexctl(&[
+        "simulate",
+        "--scenario",
+        "schedule",
+        "--households",
+        HOUSEHOLDS,
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("UTF-8");
+    for needle in [
+        "scenario: schedule",
+        "offers",
+        "aggregates",
+        "imbalance",
+        "improvement (L1)",
+        "correlation",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
+}
+
+#[test]
+fn schedule_json_is_bitwise_identical_across_thread_counts() {
+    let one = simulate_json("schedule", "1");
+    let four = simulate_json("schedule", "4");
+    assert_eq!(one, four, "schedule report must not depend on threads");
+
+    let report: JsonReport = serde_json::from_str(&one).expect("--json parses");
+    assert_eq!(report.scenario, "schedule");
+    assert!(report.offers >= 1_000);
+    assert!(report.aggregates > 0);
+    assert!(report.market.is_none());
+    let schedule = report.schedule.expect("schedule summary present");
+    assert!(schedule.imbalance_after.l1 <= schedule.imbalance_before.l1);
+    assert_eq!(report.correlations.len(), 8);
+}
+
+#[test]
+fn market_json_is_bitwise_identical_across_thread_counts() {
+    let one = simulate_json("market", "1");
+    let four = simulate_json("market", "4");
+    assert_eq!(one, four, "market report must not depend on threads");
+
+    let report: JsonReport = serde_json::from_str(&one).expect("--json parses");
+    assert_eq!(report.scenario, "market");
+    assert!(report.schedule.is_none());
+    let market = report.market.expect("market summary present");
+    assert!(market.baseline_cost > 0.0);
+    assert_eq!(market.orders + market.rejected_lots, report.aggregates);
+}
+
+#[test]
+fn hillclimb_scheduler_is_accepted() {
+    let out = flexctl(&[
+        "simulate",
+        "--scenario",
+        "schedule",
+        "--households",
+        "100",
+        "--scheduler",
+        "hillclimb",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: JsonReport =
+        serde_json::from_str(&String::from_utf8(out.stdout).expect("UTF-8")).expect("parses");
+    assert_eq!(report.schedule.expect("summary").scheduler, "hillclimb");
+}
+
+#[test]
+fn missing_scenario_is_rejected() {
+    let out = flexctl(&["simulate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("--scenario"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_scenario_is_rejected() {
+    let out = flexctl(&["simulate", "--scenario", "arbitrage"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("unknown scenario"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_scheduler_is_rejected() {
+    let out = flexctl(&["simulate", "--scenario", "schedule", "--scheduler", "lp"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("unknown scheduler"), "stderr: {stderr}");
+}
+
+#[test]
+fn zero_threads_is_rejected() {
+    let out = flexctl(&["simulate", "--scenario", "market", "--threads", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        stderr.contains("thread count must be at least 1"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn empty_portfolio_is_rejected() {
+    let out = flexctl(&["simulate", "--scenario", "schedule", "--households", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("empty portfolio"), "stderr: {stderr}");
+}
+
+#[test]
+fn non_numeric_flags_are_rejected() {
+    for flag in ["--threads", "--households", "--seed"] {
+        let out = flexctl(&["simulate", "--scenario", "market", flag, "many"]);
+        assert!(!out.status.success(), "{flag} many must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(stderr.contains("takes a number"), "stderr: {stderr}");
+    }
+}

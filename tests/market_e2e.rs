@@ -71,8 +71,14 @@ fn correlations_cover_all_measures_on_clean_portfolios() {
         .map(|s| household_portfolio(s, 1 + s as usize % 3))
         .collect();
     let aggregator = Aggregator::new(GroupingParams::with_tolerances(3, 3), 25);
-    let (outcomes, correlations) = measure_savings_correlation(&portfolios, &aggregator, &market());
-    assert_eq!(outcomes.len(), 5);
+    let m = market();
+    let engine = flexoffers::Engine::detected();
+    let savings: Vec<f64> = portfolios
+        .iter()
+        .map(|p| engine.trade_portfolio(p, &aggregator, &m).outcome.savings())
+        .collect();
+    let correlations = measure_savings_correlation(&portfolios, &savings);
+    assert_eq!(savings.len(), 5);
     assert_eq!(correlations.len(), 8);
     for c in &correlations {
         assert_eq!(c.evaluated, 5, "{} failed on some portfolio", c.measure);
