@@ -61,14 +61,29 @@ impl GroupingParams {
 /// and the size cap is not hit. Groups are returned in sweep order; indices
 /// refer to the *input* slice.
 pub fn group_indices(offers: &[FlexOffer], params: &GroupingParams) -> Vec<Vec<usize>> {
-    let mut order: Vec<usize> = (0..offers.len()).collect();
-    order.sort_by_key(|&i| (offers[i].earliest_start(), offers[i].time_flexibility()));
+    let keys: Vec<(i64, i64)> = offers
+        .iter()
+        .map(|fo| (fo.earliest_start(), fo.time_flexibility()))
+        .collect();
+    group_keys(&keys, params)
+}
+
+/// The grouping sweep over bare `(tes, tf)` keys — the one implementation
+/// behind [`group_indices`], exposed so callers holding a *partitioned*
+/// offer book (one that never materialises a flat `&[FlexOffer]`) can still
+/// compute the exact same global grouping from 16 bytes per offer.
+///
+/// `keys[i]` is offer `i`'s `(earliest_start, time_flexibility)`; the
+/// returned index groups are identical to what [`group_indices`] yields on
+/// a slice with those keys, in the same order.
+pub fn group_keys(keys: &[(i64, i64)], params: &GroupingParams) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by_key(|&i| keys[i]);
 
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut anchor: Option<(i64, i64)> = None;
     for i in order {
-        let tes = offers[i].earliest_start();
-        let tf = offers[i].time_flexibility();
+        let (tes, tf) = keys[i];
         let fits = match (anchor, groups.last()) {
             (Some((a_tes, a_tf)), Some(last)) => {
                 tes - a_tes <= params.est_tolerance
@@ -157,6 +172,31 @@ mod tests {
     fn empty_input_empty_output() {
         assert!(group_indices(&[], &GroupingParams::single_group()).is_empty());
         assert!(group_offers(&[], &GroupingParams::strict()).is_empty());
+    }
+
+    #[test]
+    fn group_keys_is_exactly_group_indices_on_keys() {
+        let offers = vec![fo(3, 5), fo(0, 1), fo(2, 2), fo(9, 12), fo(0, 1)];
+        let keys: Vec<(i64, i64)> = offers
+            .iter()
+            .map(|f| (f.earliest_start(), f.time_flexibility()))
+            .collect();
+        for params in [
+            GroupingParams::strict(),
+            GroupingParams::single_group(),
+            GroupingParams::with_tolerances(3, 2),
+            GroupingParams {
+                est_tolerance: 10,
+                tf_tolerance: 10,
+                max_group_size: Some(2),
+            },
+        ] {
+            assert_eq!(
+                group_keys(&keys, &params),
+                group_indices(&offers, &params),
+                "{params:?}"
+            );
+        }
     }
 
     #[test]

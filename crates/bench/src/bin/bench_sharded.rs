@@ -1,0 +1,171 @@
+//! Persists the sharded-book throughput baseline: `BENCH_sharded.json`.
+//!
+//! Sweeps [`Engine::measure_book_all`] over hash-partitioned city books at
+//! 10k/100k offers, shards × threads ∈ {1, 4, 8}², with the flat
+//! single-thread engine pass as the `sequential` reference. The emitted
+//! JSON uses the `flexoffers-engine-bench/1` schema, so the existing
+//! `bench_check` regression gate consumes it unchanged (each engine run
+//! carries an extra `shards` field the gate ignores); CI regenerates a
+//! `--quick` candidate and compares per-core throughput against this
+//! committed baseline.
+//!
+//! ```text
+//! cargo run --release -p flexoffers_bench --bin bench_sharded            # full sweep
+//! cargo run --release -p flexoffers_bench --bin bench_sharded -- --quick # 10k only (CI)
+//! cargo run ... -- --out path/to.json                                    # custom output
+//! ```
+//!
+//! Books are built by streaming `city_stream` straight into the shard
+//! buffers — the construction path `flexctl measure --portfolio --city`
+//! uses — so the recorded hot path is exactly the served one.
+
+use flexoffers_bench::timing::time_best;
+use flexoffers_engine::{Budget, Engine, ShardedBook};
+use flexoffers_measures::all_measures;
+use flexoffers_workloads::{city_households_for, city_stream};
+use serde::Serialize;
+
+const SEED: u64 = 7;
+const SHARDS: [usize; 3] = [1, 4, 8];
+const THREADS: [usize; 3] = [1, 4, 8];
+
+#[derive(Serialize)]
+struct Run {
+    offers: usize,
+    threads: usize,
+    shards: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SequentialRun {
+    offers: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ShardedBenchReport {
+    schema: &'static str,
+    workload: String,
+    measures: usize,
+    host_cpus: usize,
+    /// Flat single-thread engine passes — the reference the sharded
+    /// speedup is quoted against.
+    sequential: Vec<SequentialRun>,
+    engine: Vec<Run>,
+    /// 8 shards × 8 threads over the largest size, vs the flat reference.
+    speedup_8_threads_largest: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_sharded.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) if !path.starts_with("--") => out_path = path.clone(),
+                _ => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown argument {other}\nusage: bench_sharded [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_sharded: city(seed {SEED}) streamed into hash shards · sizes {sizes:?} · \
+         {} measures · {host_cpus} host cpu(s)",
+        all_measures().len()
+    );
+
+    let mut sequential = Vec::new();
+    let mut engine_runs = Vec::new();
+    for &size in sizes {
+        let households = city_households_for(size);
+
+        // Flat single-thread reference over the identical offer prefix.
+        let flat: Vec<_> = city_stream(SEED, households).take(size).collect();
+        let engine = Engine::sequential();
+        let secs = time_best(|| {
+            std::hint::black_box(engine.measure_portfolio_all(std::hint::black_box(&flat)));
+        });
+        println!(
+            "  flat  1 thread           {size:>7} offers  {secs:>9.4}s  {:>10.0} offers/s",
+            size as f64 / secs
+        );
+        sequential.push(SequentialRun {
+            offers: size,
+            secs,
+            offers_per_sec: size as f64 / secs,
+        });
+        drop(flat);
+
+        for &shards in &SHARDS {
+            let book =
+                ShardedBook::collect_hashed(city_stream(SEED, households).take(size), shards)
+                    .expect("non-zero shard count");
+            for &threads in &THREADS {
+                let engine = Engine::new(Budget::with_threads(threads).expect("non-zero"));
+                let secs = time_best(|| {
+                    std::hint::black_box(engine.measure_book_all(std::hint::black_box(&book)));
+                });
+                println!(
+                    "  {shards} shard(s) × {threads} thread(s)  {size:>7} offers  \
+                     {secs:>9.4}s  {:>10.0} offers/s",
+                    size as f64 / secs
+                );
+                engine_runs.push(Run {
+                    offers: size,
+                    threads,
+                    shards,
+                    secs,
+                    offers_per_sec: size as f64 / secs,
+                });
+            }
+        }
+    }
+
+    let largest = *sizes.last().expect("at least one size");
+    let baseline = sequential.last().expect("ran at least one size").secs;
+    let eight = engine_runs
+        .iter()
+        .filter(|r| r.offers == largest && r.threads == 8 && r.shards == 8)
+        .map(|r| r.secs)
+        .next()
+        .expect("8x8 run present");
+    let speedup = baseline / eight;
+    println!(
+        "speedup at {largest} offers, 8 shards × 8 threads vs flat single thread: \
+         {speedup:.2}x (host offered {host_cpus} cpu(s))"
+    );
+
+    let report = ShardedBenchReport {
+        schema: "flexoffers-engine-bench/1",
+        workload: format!(
+            "workloads::city_stream(seed {SEED}) hash-partitioned per size (sharded measure)"
+        ),
+        measures: all_measures().len(),
+        host_cpus,
+        sequential,
+        engine: engine_runs,
+        speedup_8_threads_largest: speedup,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

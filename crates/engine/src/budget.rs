@@ -13,6 +13,10 @@ pub enum EngineError {
     /// A chunk size of zero was requested; chunks must hold at least one
     /// offer.
     ZeroChunkSize,
+    /// A shard count of zero was requested; a sharded book always needs at
+    /// least one shard. (Without this guard the hash partitioner's
+    /// `id % shards` would panic with a divide-by-zero.)
+    ZeroShards,
 }
 
 impl fmt::Display for EngineError {
@@ -20,6 +24,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::ZeroThreads => write!(f, "thread count must be at least 1"),
             EngineError::ZeroChunkSize => write!(f, "chunk size must be at least 1"),
+            EngineError::ZeroShards => write!(f, "shard count must be at least 1"),
         }
     }
 }
@@ -98,6 +103,20 @@ impl Budget {
             None => len.div_ceil(4usize.saturating_mul(self.threads)).max(1),
         }
     }
+
+    /// The per-shard worker budget when this budget is split across
+    /// `shards` shard workers: `threads / shards` threads each, floored at
+    /// one, with any pinned chunk size preserved. Floors matter: a naive
+    /// `threads / shards` is zero whenever the shard count exceeds the
+    /// thread budget (the degenerate-shard regime), and a zero-thread
+    /// budget is a constructor error — every knob combination must degrade
+    /// to a sequential worker instead.
+    pub(crate) fn per_shard(&self, shards: usize) -> Budget {
+        Budget {
+            threads: (self.threads / shards.max(1)).max(1),
+            chunk_size: self.chunk_size,
+        }
+    }
 }
 
 impl Default for Budget {
@@ -148,5 +167,20 @@ mod tests {
         assert!(EngineError::ZeroChunkSize
             .to_string()
             .contains("at least 1"));
+        assert!(EngineError::ZeroShards
+            .to_string()
+            .contains("shard count must be at least 1"));
+    }
+
+    #[test]
+    fn per_shard_budget_never_hits_zero_threads() {
+        let b = Budget::with_threads(8).unwrap().with_chunk_size(5).unwrap();
+        assert_eq!(b.per_shard(2).threads(), 4);
+        assert_eq!(b.per_shard(2).explicit_chunk_size(), Some(5));
+        // More shards than threads: each worker degrades to sequential
+        // instead of panicking in the Budget constructor.
+        assert_eq!(b.per_shard(64).threads(), 1);
+        assert_eq!(b.per_shard(0).threads(), 8);
+        assert_eq!(Budget::sequential().per_shard(4).threads(), 1);
     }
 }

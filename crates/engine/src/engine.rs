@@ -74,64 +74,7 @@ impl Engine {
         let started = Instant::now();
         let chunk_size = self.budget.chunk_size_for(offers.len());
         let rows = self.per_offer_rows(offers, measures);
-
-        // Deterministic merge: rows arrive in portfolio order, and each
-        // measure's reduction walks offers in that order, mirroring its
-        // `of_set` semantics (short-circuit on the first error; sum, or
-        // average for relative area).
-        let summaries = measures
-            .iter()
-            .enumerate()
-            .map(|(j, m)| {
-                let mut total = 0.0;
-                let mut first_error: Option<MeasureError> = None;
-                let mut evaluated = 0usize;
-                let mut failed = 0usize;
-                let mut min: Option<f64> = None;
-                let mut max: Option<f64> = None;
-                for row in &rows {
-                    match &row[j] {
-                        Ok(v) => {
-                            evaluated += 1;
-                            min = Some(min.map_or(*v, |m| m.min(*v)));
-                            max = Some(max.map_or(*v, |m| m.max(*v)));
-                            if first_error.is_none() {
-                                total += v;
-                            }
-                        }
-                        Err(e) => {
-                            failed += 1;
-                            if first_error.is_none() {
-                                first_error = Some(e.clone());
-                            }
-                        }
-                    }
-                }
-                let value = match first_error {
-                    Some(e) => Err(e),
-                    None => match m.set_aggregation() {
-                        SetAggregation::Sum => Ok(total),
-                        SetAggregation::Average => {
-                            if offers.is_empty() {
-                                Err(MeasureError::EmptySet {
-                                    measure: m.short_name(),
-                                })
-                            } else {
-                                Ok(total / offers.len() as f64)
-                            }
-                        }
-                    },
-                };
-                MeasureSummary {
-                    measure: m.short_name(),
-                    value,
-                    evaluated,
-                    failed,
-                    min,
-                    max,
-                }
-            })
-            .collect();
+        let summaries = reduce_measure_rows(measures, &rows);
 
         PortfolioReport {
             offers: offers.len(),
@@ -273,6 +216,72 @@ impl Engine {
         });
         sum_series(partials.iter())
     }
+}
+
+/// The deterministic merge behind [`Engine::measure_portfolio`] and the
+/// sharded book's merge tier: rows arrive in portfolio order, and each
+/// measure's reduction walks offers in that order, mirroring its
+/// [`Measure::of_set`] semantics (short-circuit on the first error; sum,
+/// or average for relative area). Keeping the reduction in one function is
+/// what makes flat and sharded measurement bitwise identical by
+/// construction.
+pub(crate) fn reduce_measure_rows(
+    measures: &[Box<dyn Measure>],
+    rows: &[Vec<Result<f64, MeasureError>>],
+) -> Vec<MeasureSummary> {
+    measures
+        .iter()
+        .enumerate()
+        .map(|(j, m)| {
+            let mut total = 0.0;
+            let mut first_error: Option<MeasureError> = None;
+            let mut evaluated = 0usize;
+            let mut failed = 0usize;
+            let mut min: Option<f64> = None;
+            let mut max: Option<f64> = None;
+            for row in rows {
+                match &row[j] {
+                    Ok(v) => {
+                        evaluated += 1;
+                        min = Some(min.map_or(*v, |m| m.min(*v)));
+                        max = Some(max.map_or(*v, |m| m.max(*v)));
+                        if first_error.is_none() {
+                            total += v;
+                        }
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        if first_error.is_none() {
+                            first_error = Some(e.clone());
+                        }
+                    }
+                }
+            }
+            let value = match first_error {
+                Some(e) => Err(e),
+                None => match m.set_aggregation() {
+                    SetAggregation::Sum => Ok(total),
+                    SetAggregation::Average => {
+                        if rows.is_empty() {
+                            Err(MeasureError::EmptySet {
+                                measure: m.short_name(),
+                            })
+                        } else {
+                            Ok(total / rows.len() as f64)
+                        }
+                    }
+                },
+            };
+            MeasureSummary {
+                measure: m.short_name(),
+                value,
+                evaluated,
+                failed,
+                min,
+                max,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

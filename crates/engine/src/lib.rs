@@ -22,6 +22,13 @@
 //! * [`Engine::simulate`] — a [`Scenario`] (workload seed, tolerance and
 //!   market knobs, scheduler choice) run end to end into a
 //!   [`ScenarioReport`] with text/JSON rendering;
+//! * [`ShardedBook`] — the portfolio partitioned into K shards
+//!   (hash-by-offer-id or tolerance-group-aware), with per-shard workers
+//!   and a merge tier behind [`Engine::measure_book`],
+//!   [`Engine::aggregate_book`], [`Engine::schedule_book`],
+//!   [`Engine::trade_book`] and [`Engine::simulate_sharded`] — every one
+//!   bitwise identical to its flat counterpart (see the [`shard`] module
+//!   docs);
 //! * [`parallel_map`] — the shared deterministic fan-out helper the engine
 //!   and the experiment binaries use, so thread logic lives in one place.
 //!
@@ -70,6 +77,7 @@ pub mod engine;
 pub mod report;
 pub mod scenario;
 pub mod scenario_report;
+pub mod shard;
 
 pub use budget::{Budget, EngineError};
 pub use chunk::{chunk_ranges, parallel_map};
@@ -77,3 +85,4 @@ pub use engine::{Engine, TradeOutcome};
 pub use report::{MeasureSummary, PortfolioReport};
 pub use scenario::{Scenario, ScenarioError, ScenarioKind, SchedulerChoice};
 pub use scenario_report::{CorrelationSummary, MarketSummary, ScenarioReport, ScheduleSummary};
+pub use shard::{Partitioner, Shard, ShardedBook};

@@ -84,15 +84,16 @@ impl PortfolioReport {
         out
     }
 
-    /// A serialisable mirror of the report (timing flattened to seconds,
-    /// errors to strings) for `--json` consumers.
+    /// A serialisable mirror of the report containing only the
+    /// deterministic fields (errors flattened to strings) for `--json`
+    /// consumers. Threads, chunk size and timing are deliberately
+    /// excluded: everything in the mirror is a pure function of the
+    /// portfolio and the measure set, so equal portfolios serialise to
+    /// equal bytes at any budget and any shard count — the property the
+    /// CI determinism smokes `cmp`.
     pub fn json(&self) -> PortfolioReportJson {
         PortfolioReportJson {
             offers: self.offers,
-            threads: self.threads,
-            chunk_size: self.chunk_size,
-            elapsed_secs: self.elapsed.as_secs_f64(),
-            offers_per_second: self.offers_per_second(),
             measures: self
                 .summaries
                 .iter()
@@ -110,19 +111,12 @@ impl PortfolioReport {
     }
 }
 
-/// Serialisable mirror of [`PortfolioReport`].
+/// Serialisable mirror of [`PortfolioReport`] (deterministic fields only —
+/// no threads, no chunk size, no timing).
 #[derive(Clone, Debug, Serialize)]
 pub struct PortfolioReportJson {
     /// Portfolio size.
     pub offers: usize,
-    /// Worker threads the pass ran with.
-    pub threads: usize,
-    /// Chunk size the pass used.
-    pub chunk_size: usize,
-    /// Wall-clock duration in seconds.
-    pub elapsed_secs: f64,
-    /// Throughput in offers per second.
-    pub offers_per_second: f64,
     /// Per-measure outcomes.
     pub measures: Vec<MeasureSummaryJson>,
 }
@@ -206,5 +200,16 @@ mod tests {
             .contains("|cmin| + |cmax|"));
         let text = serde_json::to_string(&j).expect("report serialises");
         assert!(text.contains("\"offers\":2"));
+    }
+
+    #[test]
+    fn json_mirror_excludes_budget_and_wall_clock_fields() {
+        // The mirror must be a pure function of the portfolio so sharded,
+        // flat, and any-thread-count runs serialise to identical bytes.
+        let text = serde_json::to_string(&sample().json()).unwrap();
+        assert!(!text.contains("threads"));
+        assert!(!text.contains("chunk_size"));
+        assert!(!text.contains("elapsed"));
+        assert!(!text.contains("offers_per_second"));
     }
 }

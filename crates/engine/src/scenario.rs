@@ -22,19 +22,21 @@ use std::time::Instant;
 use flexoffers_aggregation::GroupingParams;
 use flexoffers_market::{baseline_load, Aggregator, LotDecision, SpotMarket};
 use flexoffers_measures::all_measures;
-use flexoffers_model::Portfolio;
+use flexoffers_model::{Assignment, Portfolio};
 use flexoffers_scheduling::{
-    EarliestStartScheduler, GreedyScheduler, HillClimbScheduler, Scheduler, SchedulingError,
-    SchedulingProblem,
+    earliest_start_assignment, EarliestStartScheduler, GreedyScheduler, HillClimbScheduler,
+    Schedule, Scheduler, SchedulingError, SchedulingProblem,
 };
 use flexoffers_timeseries::Series;
-use flexoffers_workloads::city;
 use flexoffers_workloads::price::{price_trace, PriceTraceConfig};
 use flexoffers_workloads::res::{res_production_trace, ResTraceConfig};
+use flexoffers_workloads::{city, city_stream};
 
+use crate::budget::EngineError;
 use crate::chunk::parallel_map;
 use crate::engine::Engine;
 use crate::scenario_report::{CorrelationSummary, MarketSummary, ScenarioReport, ScheduleSummary};
+use crate::shard::ShardedBook;
 
 /// Which of the paper's two application scenarios to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -215,6 +217,8 @@ pub enum ScenarioError {
     EmptyPortfolio,
     /// The Scenario 1 scheduler failed on the aggregate problem.
     Scheduling(SchedulingError),
+    /// The sharded run was misconfigured (e.g. a zero shard count).
+    Engine(EngineError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -224,6 +228,7 @@ impl fmt::Display for ScenarioError {
                 write!(f, "empty portfolio — nothing to simulate")
             }
             ScenarioError::Scheduling(e) => write!(f, "scheduling the aggregate problem: {e}"),
+            ScenarioError::Engine(e) => write!(f, "{e}"),
         }
     }
 }
@@ -233,6 +238,12 @@ impl Error for ScenarioError {}
 impl From<SchedulingError> for ScenarioError {
     fn from(e: SchedulingError) -> Self {
         ScenarioError::Scheduling(e)
+    }
+}
+
+impl From<EngineError> for ScenarioError {
+    fn from(e: EngineError) -> Self {
+        ScenarioError::Engine(e)
     }
 }
 
@@ -264,6 +275,35 @@ impl Engine {
         }
     }
 
+    /// [`Engine::simulate`] over a sharded book: the scenario's city
+    /// portfolio is *streamed* straight into `shards` hash-partitioned
+    /// shard buffers ([`ShardedBook::collect_hashed`] over
+    /// [`city_stream`] — no full-portfolio `Vec` is ever materialised),
+    /// and the selected pipeline runs through the book paths
+    /// ([`Engine::schedule_book`] / [`Engine::trade_book`]).
+    ///
+    /// The report is **bitwise identical** to the unsharded
+    /// [`Engine::simulate`] of the same scenario at any shard count,
+    /// thread count and chunk size — the `--json` mirror `cmp`s equal in
+    /// CI. A zero shard count is rejected with
+    /// [`ScenarioError::Engine`]\([`EngineError::ZeroShards`]).
+    pub fn simulate_sharded(
+        &self,
+        scenario: &Scenario,
+        shards: usize,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let started = Instant::now();
+        let book =
+            ShardedBook::collect_hashed(city_stream(scenario.seed, scenario.households), shards)?;
+        if book.is_empty() {
+            return Err(ScenarioError::EmptyPortfolio);
+        }
+        match scenario.kind {
+            ScenarioKind::Schedule => self.simulate_schedule_book(scenario, &book, started),
+            ScenarioKind::Market => Ok(self.simulate_market_book(scenario, &book, started)),
+        }
+    }
+
     fn simulate_schedule(
         &self,
         scenario: &Scenario,
@@ -282,7 +322,7 @@ impl Engine {
         // Which measure predicted how much an offer's flexibility got
         // used? Per-offer measure values (parallel, merged in portfolio
         // order) against the realized start shift.
-        let rows = self.measure_rows(offers);
+        let rows = flatten_rows(self.per_offer_rows(offers, &all_measures()));
         let shifts: Vec<f64> = outcome
             .schedule
             .assignments()
@@ -290,13 +330,83 @@ impl Engine {
             .zip(offers)
             .map(|(a, fo)| (a.start() - fo.earliest_start()) as f64)
             .collect();
-        let correlations = correlate(&rows, &shifts);
+        Ok(self.schedule_report(
+            scenario,
+            offers.len(),
+            &outcome,
+            imbalance_before,
+            imbalance_after,
+            &rows,
+            &shifts,
+            started,
+        ))
+    }
 
-        Ok(ScenarioReport {
+    fn simulate_schedule_book(
+        &self,
+        scenario: &Scenario,
+        book: &ShardedBook,
+        started: Instant,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let target = scenario.target_for(book.len());
+        let scheduler = scenario.scheduler.build();
+        let outcome = self.schedule_book(book, &target, &scenario.grouping, scheduler.as_ref())?;
+
+        // The earliest-start baseline is a pure per-offer function:
+        // per-shard workers compute their own assignments, the merge tier
+        // scatters them to logical order — the same schedule
+        // `EarliestStartScheduler` produces on the flat portfolio.
+        let per_shard: Vec<Vec<Assignment>> =
+            parallel_map(book.shards(), self.budget().threads(), |shard| {
+                shard
+                    .offers()
+                    .iter()
+                    .map(earliest_start_assignment)
+                    .collect()
+            });
+        let baseline = Schedule::new(book.scatter(per_shard));
+        let imbalance_before = baseline.imbalance(&target);
+        let imbalance_after = outcome.schedule.imbalance(&target);
+
+        let rows = flatten_rows(self.book_rows(book, &all_measures()));
+        let shifts: Vec<f64> = outcome
+            .schedule
+            .assignments()
+            .iter()
+            .enumerate()
+            .map(|(g, a)| (a.start() - book.offer(g).earliest_start()) as f64)
+            .collect();
+        Ok(self.schedule_report(
+            scenario,
+            book.len(),
+            &outcome,
+            imbalance_before,
+            imbalance_after,
+            &rows,
+            &shifts,
+            started,
+        ))
+    }
+
+    /// Assembles the Scenario 1 report — one code path for the flat and
+    /// sharded pipelines, so their reports cannot drift.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_report(
+        &self,
+        scenario: &Scenario,
+        offers: usize,
+        outcome: &flexoffers_scheduling::PipelineOutcome,
+        imbalance_before: flexoffers_scheduling::Imbalance,
+        imbalance_after: flexoffers_scheduling::Imbalance,
+        rows: &[Vec<Option<f64>>],
+        shifts: &[f64],
+        started: Instant,
+    ) -> ScenarioReport {
+        ScenarioReport {
             scenario: scenario.kind,
             seed: scenario.seed,
             households: scenario.households,
-            offers: offers.len(),
+            offers,
             aggregates: outcome.aggregates,
             threads: self.budget().threads(),
             elapsed: started.elapsed(),
@@ -307,8 +417,8 @@ impl Engine {
                 imbalance_after,
             }),
             market: None,
-            correlations,
-        })
+            correlations: correlate(rows, shifts),
+        }
     }
 
     fn simulate_market(
@@ -318,9 +428,37 @@ impl Engine {
         started: Instant,
     ) -> ScenarioReport {
         let offers = portfolio.as_slice();
-        let market = scenario.spot_market();
         let aggregator = scenario.aggregator();
         let aggregates = self.aggregate_portfolio(offers, &aggregator.grouping);
+        let baseline = self.baseline_load_parallel(offers);
+        self.market_report(scenario, offers.len(), &aggregates, &baseline, started)
+    }
+
+    fn simulate_market_book(
+        &self,
+        scenario: &Scenario,
+        book: &ShardedBook,
+        started: Instant,
+    ) -> ScenarioReport {
+        let aggregator = scenario.aggregator();
+        let aggregates = self.aggregate_book(book, &aggregator.grouping);
+        let baseline = self.baseline_load_book(book);
+        self.market_report(scenario, book.len(), &aggregates, &baseline, started)
+    }
+
+    /// Runs the market evaluation over already-gathered aggregates and
+    /// assembles the Scenario 2 report — one code path for the flat and
+    /// sharded pipelines, so their reports cannot drift.
+    fn market_report(
+        &self,
+        scenario: &Scenario,
+        offers: usize,
+        aggregates: &[flexoffers_aggregation::Aggregate],
+        baseline: &Series<i64>,
+        started: Instant,
+    ) -> ScenarioReport {
+        let market = scenario.spot_market();
+        let aggregator = scenario.aggregator();
 
         // One parallel pass per aggregate: the market decision, the eight
         // measure values of the aggregate flex-offer, and — for admitted
@@ -329,7 +467,7 @@ impl Engine {
         // baseline was already priced inside `evaluate`).
         let measures = all_measures();
         type Evaluated = (LotDecision, Vec<Option<f64>>, Option<f64>);
-        let evaluated: Vec<Evaluated> = parallel_map(&aggregates, self.budget().threads(), |agg| {
+        let evaluated: Vec<Evaluated> = parallel_map(aggregates, self.budget().threads(), |agg| {
             let decision = aggregator.evaluate(agg, &market);
             let prepared = flexoffers_measures::PreparedOffer::new(agg.flexoffer());
             let values = measures
@@ -356,7 +494,7 @@ impl Engine {
         }
         let correlations = correlate(&rows, &savings);
 
-        let baseline_cost = market.cost_of(&self.baseline_load_parallel(offers));
+        let baseline_cost = market.cost_of(baseline);
         let outcome = Aggregator::settle(
             evaluated.into_iter().map(|(decision, _, _)| decision),
             baseline_cost,
@@ -367,7 +505,7 @@ impl Engine {
             scenario: scenario.kind,
             seed: scenario.seed,
             households: scenario.households,
-            offers: offers.len(),
+            offers,
             aggregates: aggregates.len(),
             threads: self.budget().threads(),
             elapsed: started.elapsed(),
@@ -385,16 +523,15 @@ impl Engine {
             correlations,
         }
     }
+}
 
-    /// Per-offer values of all eight measures — the engine's shared
-    /// prepared-evaluation pass, with errors flattened to `None` for the
-    /// correlation filter.
-    fn measure_rows(&self, offers: &[flexoffers_model::FlexOffer]) -> Vec<Vec<Option<f64>>> {
-        self.per_offer_rows(offers, &all_measures())
-            .into_iter()
-            .map(|row| row.into_iter().map(Result::ok).collect())
-            .collect()
-    }
+/// Errors flattened to `None` for the correlation filter.
+fn flatten_rows(
+    rows: Vec<Vec<Result<f64, flexoffers_measures::MeasureError>>>,
+) -> Vec<Vec<Option<f64>>> {
+    rows.into_iter()
+        .map(|row| row.into_iter().map(Result::ok).collect())
+        .collect()
 }
 
 /// Pearson correlation of each measure's column in `rows` against `ys`,
@@ -528,5 +665,41 @@ mod tests {
                 "{kind} scenario diverged across thread counts"
             );
         }
+    }
+
+    #[test]
+    fn simulate_sharded_is_bitwise_identical_to_flat_simulate() {
+        for kind in [ScenarioKind::Schedule, ScenarioKind::Market] {
+            let s = Scenario::city_portfolio(kind, 40);
+            let flat = Engine::new(Budget::with_threads(2).unwrap())
+                .simulate(&s)
+                .unwrap();
+            for shards in [1, 3, 8, 200] {
+                let sharded = Engine::new(Budget::with_threads(4).unwrap())
+                    .simulate_sharded(&s, shards)
+                    .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&flat.json()).unwrap(),
+                    serde_json::to_string(&sharded.json()).unwrap(),
+                    "{kind} scenario diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_sharded_rejects_zero_shards_and_empty_portfolios() {
+        let s = Scenario::city_portfolio(ScenarioKind::Market, 40);
+        let err = Engine::sequential().simulate_sharded(&s, 0).unwrap_err();
+        assert_eq!(err, ScenarioError::Engine(EngineError::ZeroShards));
+        assert!(err.to_string().contains("shard count must be at least 1"));
+
+        let empty = Scenario::city_portfolio(ScenarioKind::Schedule, 0);
+        assert_eq!(
+            Engine::sequential()
+                .simulate_sharded(&empty, 4)
+                .unwrap_err(),
+            ScenarioError::EmptyPortfolio
+        );
     }
 }

@@ -45,21 +45,29 @@ pub(crate) fn fit_totals(fo: &FlexOffer, mut values: Vec<Energy>) -> Vec<Energy>
     values
 }
 
+/// The baseline assignment for one flex-offer: earliest start, midpoint
+/// amounts clamped into the total-energy window. A pure per-offer function
+/// — [`EarliestStartScheduler`] maps it over the problem, and partitioned
+/// evaluators (the engine's sharded book) map it per shard and scatter,
+/// producing the exact same schedule.
+pub fn earliest_start_assignment(fo: &FlexOffer) -> Assignment {
+    let midpoints: Vec<Energy> = fo.slices().iter().map(|s| s.midpoint()).collect();
+    Assignment::new(fo.earliest_start(), fit_totals(fo, midpoints))
+}
+
 impl Scheduler for EarliestStartScheduler {
     fn name(&self) -> &'static str {
         "earliest-start baseline"
     }
 
     fn schedule(&self, problem: &SchedulingProblem) -> Result<Schedule, SchedulingError> {
-        let assignments = problem
-            .offers()
-            .iter()
-            .map(|fo| {
-                let midpoints: Vec<Energy> = fo.slices().iter().map(|s| s.midpoint()).collect();
-                Assignment::new(fo.earliest_start(), fit_totals(fo, midpoints))
-            })
-            .collect();
-        Ok(Schedule::new(assignments))
+        Ok(Schedule::new(
+            problem
+                .offers()
+                .iter()
+                .map(earliest_start_assignment)
+                .collect(),
+        ))
     }
 }
 

@@ -38,7 +38,7 @@ pub mod pipeline;
 pub mod problem;
 
 pub use annealing::AnnealingScheduler;
-pub use baseline::EarliestStartScheduler;
+pub use baseline::{earliest_start_assignment, EarliestStartScheduler};
 pub use error::SchedulingError;
 pub use exhaustive::ExhaustiveScheduler;
 pub use greedy::GreedyScheduler;

@@ -42,7 +42,10 @@ pub use dishwasher::Dishwasher;
 pub use ev::EvCharger;
 pub use fridge::Refrigerator;
 pub use heatpump::HeatPump;
-pub use population::{city, city_households_for, city_offer_count, district, PopulationBuilder};
+pub use population::{
+    city, city_households_for, city_offer_count, city_stream, district, PopulationBuilder,
+    PopulationStream,
+};
 pub use solar::SolarPanel;
 pub use v2g::VehicleToGrid;
 pub use wind::WindTurbine;

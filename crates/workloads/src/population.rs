@@ -113,21 +113,81 @@ impl PopulationBuilder {
 
     /// Generates the portfolio.
     pub fn build(&self) -> Portfolio {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut portfolio = Portfolio::new();
-        let mut emit = |model: &dyn DeviceModel, n: usize| {
-            for _ in 0..n {
-                portfolio.push(model.generate(self.day, &mut rng));
+        self.stream().collect()
+    }
+
+    /// Generates the population lazily, one flex-offer at a time, in
+    /// exactly the order (and with exactly the RNG stream) [`build`] uses —
+    /// `builder.stream().collect::<Portfolio>() == builder.build()` bit for
+    /// bit. This is the allocation-frugal entry point for shard-scale
+    /// consumers: a million-offer city can be drained straight into
+    /// per-shard buffers without one giant `Vec` materialised up front.
+    ///
+    /// [`build`]: PopulationBuilder::build
+    pub fn stream(&self) -> PopulationStream {
+        let schedule: Vec<(Box<dyn DeviceModel>, usize)> = vec![
+            (Box::new(EvCharger::default()), self.evs),
+            (Box::new(Dishwasher::default()), self.dishwashers),
+            (Box::new(HeatPump::default()), self.heat_pumps),
+            (Box::new(Refrigerator::default()), self.fridges),
+            (Box::new(SolarPanel::default()), self.solars),
+            (Box::new(WindTurbine::default()), self.winds),
+            (Box::new(VehicleToGrid::default()), self.v2gs),
+        ];
+        let remaining = schedule.iter().map(|(_, n)| n).sum();
+        PopulationStream {
+            rng: StdRng::seed_from_u64(self.seed),
+            day: self.day,
+            schedule,
+            position: 0,
+            emitted_in_current: 0,
+            remaining,
+        }
+    }
+}
+
+/// A lazy flex-offer generator over a [`PopulationBuilder`]'s device
+/// schedule — see [`PopulationBuilder::stream`]. The iterator reports an
+/// exact [`size_hint`](Iterator::size_hint), so `collect` into a `Vec` or
+/// [`Portfolio`] allocates once.
+pub struct PopulationStream {
+    rng: StdRng,
+    day: i64,
+    schedule: Vec<(Box<dyn DeviceModel>, usize)>,
+    position: usize,
+    emitted_in_current: usize,
+    remaining: usize,
+}
+
+impl Iterator for PopulationStream {
+    type Item = flexoffers_model::FlexOffer;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (model, count) = self.schedule.get(self.position)?;
+            if self.emitted_in_current < *count {
+                self.emitted_in_current += 1;
+                self.remaining -= 1;
+                return Some(model.generate(self.day, &mut self.rng));
             }
-        };
-        emit(&EvCharger::default(), self.evs);
-        emit(&Dishwasher::default(), self.dishwashers);
-        emit(&HeatPump::default(), self.heat_pumps);
-        emit(&Refrigerator::default(), self.fridges);
-        emit(&SolarPanel::default(), self.solars);
-        emit(&WindTurbine::default(), self.winds);
-        emit(&VehicleToGrid::default(), self.v2gs);
-        portfolio
+            self.position += 1;
+            self.emitted_in_current = 0;
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PopulationStream {}
+
+impl std::fmt::Debug for PopulationStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PopulationStream")
+            .field("day", &self.day)
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
     }
 }
 
@@ -157,6 +217,17 @@ pub fn district(seed: u64, households: usize) -> Portfolio {
 /// 100k-offer engine run. Deterministic under `seed` like every generator
 /// here.
 pub fn city(seed: u64, households: usize) -> Portfolio {
+    city_builder(seed, households).build()
+}
+
+/// The [`city`] preset as a lazy stream: the exact same offers in the exact
+/// same order, generated one at a time — million-offer cities can be drained
+/// straight into shard buffers without a single full-portfolio `Vec`.
+pub fn city_stream(seed: u64, households: usize) -> PopulationStream {
+    city_builder(seed, households).stream()
+}
+
+fn city_builder(seed: u64, households: usize) -> PopulationBuilder {
     PopulationBuilder::new(seed)
         .electric_vehicles(households * 11 / 20)
         .dishwashers(households * 9 / 10)
@@ -165,7 +236,6 @@ pub fn city(seed: u64, households: usize) -> Portfolio {
         .solar_panels(households * 3 / 20)
         .vehicle_to_grid(households * 2 / 25)
         .wind_turbines(households / 200)
-        .build()
 }
 
 /// Exact number of offers [`city`] generates for `households`.
@@ -269,6 +339,39 @@ mod tests {
         let p = city(3, 400);
         let s = p.sign_summary();
         assert!(s.positive > 0 && s.negative > 0 && s.mixed > 0);
+    }
+
+    #[test]
+    fn stream_replays_build_exactly() {
+        let builder = PopulationBuilder::new(13)
+            .electric_vehicles(3)
+            .dishwashers(2)
+            .solar_panels(1)
+            .vehicle_to_grid(1)
+            .day(2);
+        let streamed: Portfolio = builder.stream().collect();
+        assert_eq!(streamed, builder.build());
+    }
+
+    #[test]
+    fn city_stream_replays_city_exactly_with_exact_size_hint() {
+        for households in [0, 1, 37, 400] {
+            let stream = city_stream(11, households);
+            assert_eq!(stream.len(), city_offer_count(households));
+            let streamed: Portfolio = stream.collect();
+            assert_eq!(streamed, city(11, households), "{households} households");
+        }
+    }
+
+    #[test]
+    fn stream_size_hint_counts_down() {
+        let mut stream = PopulationBuilder::new(1).refrigerators(3).stream();
+        assert_eq!(stream.size_hint(), (3, Some(3)));
+        stream.next().expect("three offers");
+        assert_eq!(stream.size_hint(), (2, Some(2)));
+        assert_eq!(stream.by_ref().count(), 2);
+        assert_eq!(stream.size_hint(), (0, Some(0)));
+        assert!(stream.next().is_none());
     }
 
     #[test]

@@ -3,10 +3,14 @@
 //! ```text
 //! flexctl measure <file.json|-> [measure-name ...]   measure a flex-offer
 //! flexctl measure --portfolio <file.json|->          measure a whole portfolio
-//!         [--threads N] [--json] [measure-name ...]  (engine-parallel)
+//!         [--threads N] [--shards K] [--json]        (engine-parallel; sharded
+//!         [measure-name ...]                         book when --shards > 1)
+//! flexctl measure --portfolio --city H [--seed S]    same, over a generated
+//!         [--threads N] [--shards K] [--json]        city streamed into shards
 //! flexctl simulate --scenario <schedule|market>      run a scenario pipeline
 //!         [--households H] [--seed S] [--threads N]  on a generated city
-//!         [--scheduler greedy|hillclimb] [--json]    portfolio
+//!         [--shards K] [--scheduler greedy|hillclimb]
+//!         [--json]
 //! flexctl render  <file.json|->                      ASCII-render it
 //! flexctl count   <file.json|->                      assignment-space sizes
 //! flexctl names                                      list measure names
@@ -18,6 +22,14 @@
 //! bare JSON array of flex-offers. Try
 //! `flexctl template | flexctl measure -` or
 //! `flexctl template --portfolio | flexctl measure --portfolio -`.
+//!
+//! `--shards K` partitions the book hash-by-offer-id into K shards and
+//! runs the sharded pipelines; the `--json` output is byte-identical to
+//! the unsharded run. `--city H` generates the portfolio instead of
+//! reading a file, and combined with `--shards` it is streamed straight
+//! into the shard buffers, so a million-offer city never materialises as
+//! one allocation:
+//! `flexctl measure --portfolio --city 296000 --shards 8 --json`.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -25,8 +37,10 @@ use std::process::ExitCode;
 use flexoffers::area::{render_flexoffer, render_union};
 use flexoffers::engine::{Budget, Engine};
 use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
-use flexoffers::workloads::{district, EvCharger};
-use flexoffers::{FlexOffer, Portfolio, Scenario, ScenarioKind, SchedulerChoice};
+use flexoffers::workloads::{city_stream, district, EvCharger};
+use flexoffers::{
+    FlexOffer, Partitioner, Portfolio, Scenario, ScenarioKind, SchedulerChoice, ShardedBook,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,9 +55,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   flexctl measure <file.json|-> [measure-name ...]
-  flexctl measure --portfolio <file.json|-> [--threads N] [--json] [measure-name ...]
+  flexctl measure --portfolio <file.json|-> [--threads N] [--shards K] [--json]
+                  [measure-name ...]
+  flexctl measure --portfolio --city H [--seed S] [--threads N] [--shards K] [--json]
   flexctl simulate --scenario <schedule|market> [--households H] [--seed S]
-                   [--threads N] [--scheduler greedy|hillclimb] [--json]
+                   [--threads N] [--shards K] [--scheduler greedy|hillclimb] [--json]
   flexctl render  <file.json|->
   flexctl count   <file.json|->
   flexctl names
@@ -151,38 +167,57 @@ fn resolve_measures(names: &[String]) -> Result<Vec<Box<dyn Measure>>, String> {
 }
 
 /// The `measure --portfolio` path: parse flags, build an engine, run one
-/// batched pass, print the report (text or `--json`).
+/// batched pass — flat, or over a hash-sharded book when `--shards` is
+/// given — and print the report (text or `--json`; the JSON mirror is
+/// byte-identical between the flat and sharded runs).
 fn measure_portfolio(rest: &[String]) -> ExitCode {
-    let mut path: Option<&str> = None;
-    let mut names: Vec<String> = Vec::new();
+    let mut positionals: Vec<String> = Vec::new();
     let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut city: Option<usize> = None;
+    let mut seed: Option<u64> = None;
     let mut json = false;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--portfolio" => {}
             "--json" => json = true,
-            "--threads" => {
+            "--threads" | "--shards" | "--city" | "--seed" => {
+                let flag = arg.as_str();
                 let Some(value) = args.next() else {
-                    eprintln!("error: --threads needs a value");
+                    eprintln!("error: {flag} needs a value");
                     return ExitCode::FAILURE;
                 };
-                match value.parse::<usize>() {
-                    Ok(n) => threads = Some(n),
-                    Err(_) => {
-                        eprintln!("error: --threads takes a number, got {value}");
-                        return ExitCode::FAILURE;
-                    }
+                let Ok(n) = value.parse::<u64>() else {
+                    eprintln!("error: {flag} takes a number, got {value}");
+                    return ExitCode::FAILURE;
+                };
+                match flag {
+                    "--threads" => threads = Some(n as usize),
+                    "--shards" => shards = Some(n as usize),
+                    "--city" => city = Some(n as usize),
+                    _ => seed = Some(n),
                 }
             }
-            other if path.is_none() => path = Some(other),
-            other => names.push(other.to_owned()),
+            other => positionals.push(other.to_owned()),
         }
     }
-    let Some(path) = path else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+    // Positionals are classified only after every flag is parsed, so the
+    // meaning of `time` in `measure --portfolio time --city 10` does not
+    // depend on whether it precedes or follows `--city`: with --city all
+    // positionals are measure names, otherwise the first is the file.
+    let (path, names): (Option<String>, Vec<String>) = if city.is_some() {
+        (None, positionals)
+    } else if positionals.is_empty() {
+        (None, Vec::new())
+    } else {
+        (Some(positionals.remove(0)), positionals)
     };
+    if seed.is_some() && city.is_none() {
+        eprintln!("error: --seed only applies to a generated portfolio; pair it with --city");
+        return ExitCode::FAILURE;
+    }
+    let seed = seed.unwrap_or(7);
 
     let budget = match threads {
         Some(n) => match Budget::with_threads(n) {
@@ -194,17 +229,6 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
         },
         None => Budget::detected(),
     };
-    let portfolio = match load_portfolio(path) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if portfolio.is_empty() {
-        eprintln!("error: empty portfolio — nothing to measure");
-        return ExitCode::FAILURE;
-    }
     let measures = match resolve_measures(&names) {
         Ok(m) => m,
         Err(e) => {
@@ -212,8 +236,71 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let engine = Engine::new(budget);
 
-    let report = Engine::new(budget).measure_portfolio(portfolio.as_slice(), &measures);
+    let report = match (city, path) {
+        (Some(households), _) => match shards {
+            Some(k) => {
+                // Generated city, streamed straight into the shard
+                // buffers — the full book never exists as one allocation.
+                let book = match ShardedBook::collect_hashed(city_stream(seed, households), k) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if book.is_empty() {
+                    eprintln!("error: empty portfolio — nothing to measure");
+                    return ExitCode::FAILURE;
+                }
+                engine.measure_book(&book, &measures)
+            }
+            None => {
+                // No --shards: the genuinely flat engine path, so the CI
+                // byte-compare against a sharded run exercises two
+                // different pipelines.
+                let portfolio: Portfolio = city_stream(seed, households).collect();
+                if portfolio.is_empty() {
+                    eprintln!("error: empty portfolio — nothing to measure");
+                    return ExitCode::FAILURE;
+                }
+                engine.measure_portfolio(portfolio.as_slice(), &measures)
+            }
+        },
+        (None, Some(path)) => {
+            let portfolio = match load_portfolio(&path) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if portfolio.is_empty() {
+                eprintln!("error: empty portfolio — nothing to measure");
+                return ExitCode::FAILURE;
+            }
+            match shards {
+                Some(k) => {
+                    let book =
+                        match ShardedBook::from_portfolio(portfolio, k, &Partitioner::HashById) {
+                            Ok(b) => b,
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                    engine.measure_book(&book, &measures)
+                }
+                None => engine.measure_portfolio(portfolio.as_slice(), &measures),
+            }
+        }
+        (None, None) => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     if json {
         println!(
             "{}",
@@ -236,6 +323,7 @@ fn simulate(rest: &[String]) -> ExitCode {
     let mut kind: Option<ScenarioKind> = None;
     let mut scheduler = SchedulerChoice::Greedy;
     let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut json = false;
 
     let mut args = rest.iter();
@@ -268,7 +356,7 @@ fn simulate(rest: &[String]) -> ExitCode {
                     }
                 }
             }
-            "--households" | "--seed" | "--threads" => {
+            "--households" | "--seed" | "--threads" | "--shards" => {
                 let flag = arg.as_str();
                 let Some(value) = args.next() else {
                     eprintln!("error: {flag} needs a value");
@@ -281,6 +369,7 @@ fn simulate(rest: &[String]) -> ExitCode {
                 match flag {
                     "--households" => households = n as usize,
                     "--seed" => seed = n,
+                    "--shards" => shards = Some(n as usize),
                     _ => threads = Some(n as usize),
                 }
             }
@@ -307,7 +396,12 @@ fn simulate(rest: &[String]) -> ExitCode {
 
     let mut scenario = Scenario::city_portfolio(kind, households).with_seed(seed);
     scenario.scheduler = scheduler;
-    match Engine::new(budget).simulate(&scenario) {
+    let engine = Engine::new(budget);
+    let outcome = match shards {
+        Some(k) => engine.simulate_sharded(&scenario, k),
+        None => engine.simulate(&scenario),
+    };
+    match outcome {
         Ok(report) => {
             if json {
                 println!(

@@ -20,7 +20,9 @@
 //! * [`engine`] — batched, multi-threaded portfolio-scale evaluation of
 //!   the measures, aggregation, and the two end-to-end scenario pipelines
 //!   (schedule toward a target, trade on the balancing market), with
-//!   deterministic merge order.
+//!   deterministic merge order — including sharded multi-million-offer
+//!   books ([`ShardedBook`]) whose per-shard workers and merge tier stay
+//!   bitwise identical to the flat engine.
 //!
 //! The most common types are re-exported at the crate root.
 //!
@@ -61,7 +63,8 @@ pub use flexoffers_workloads as workloads;
 
 pub use flexoffers_aggregation::{aggregate, Aggregate, GroupingParams};
 pub use flexoffers_engine::{
-    Budget, Engine, PortfolioReport, Scenario, ScenarioKind, ScenarioReport, SchedulerChoice,
+    Budget, Engine, Partitioner, PortfolioReport, Scenario, ScenarioKind, ScenarioReport,
+    SchedulerChoice, ShardedBook,
 };
 pub use flexoffers_measures::{all_measures, Measure, MeasureError, Norm};
 pub use flexoffers_model::{

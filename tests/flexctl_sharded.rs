@@ -1,0 +1,233 @@
+//! Integration tests for `flexctl --shards`: the sharded book behind
+//! `measure --portfolio` and `simulate` must serialise byte-identically to
+//! the unsharded runs (at the 10k-offer scale the engine pipelines are
+//! sized for), and the documented error paths (`--shards 0`, non-numeric
+//! values) must be rejected with named messages.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn flexctl(args: &[&str], stdin: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_flexctl"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    } else {
+        cmd.stdin(Stdio::null());
+    }
+    let mut child = cmd.spawn().expect("flexctl spawns");
+    if let Some(input) = stdin {
+        // The child may exit before draining stdin (flag errors are
+        // rejected before any input is read), so a broken pipe is fine.
+        let _ = child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(input.as_bytes());
+    }
+    child.wait_with_output().expect("flexctl terminates")
+}
+
+fn stdout_of(args: &[&str], stdin: Option<&str>) -> String {
+    let out = flexctl(args, stdin);
+    assert!(
+        out.status.success(),
+        "flexctl {args:?} exits 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("output is UTF-8")
+}
+
+fn stderr_of_failure(args: &[&str], stdin: Option<&str>) -> String {
+    let out = flexctl(args, stdin);
+    assert!(!out.status.success(), "flexctl {args:?} must fail");
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// `city(seed 7, 2956 households)` is 10 003 offers — the 10k scale the
+/// engine pipelines are sized for.
+const CITY_10K: &str = "2956";
+
+#[test]
+fn sharded_city_measure_json_is_byte_equal_to_unsharded_at_10k_offers() {
+    let unsharded = stdout_of(
+        &["measure", "--portfolio", "--city", CITY_10K, "--json"],
+        None,
+    );
+    assert!(
+        unsharded.contains("\"offers\": 10003"),
+        "city sizing drifted:\n{unsharded}"
+    );
+    for shards in ["1", "4", "8"] {
+        let sharded = stdout_of(
+            &[
+                "measure",
+                "--portfolio",
+                "--city",
+                CITY_10K,
+                "--shards",
+                shards,
+                "--threads",
+                "2",
+                "--json",
+            ],
+            None,
+        );
+        assert_eq!(
+            unsharded, sharded,
+            "--shards {shards} must not change a single output byte"
+        );
+    }
+}
+
+#[test]
+fn sharded_file_measure_json_is_byte_equal_to_unsharded() {
+    let template = stdout_of(&["template", "--portfolio"], None);
+    let unsharded = stdout_of(&["measure", "--portfolio", "-", "--json"], Some(&template));
+    let sharded = stdout_of(
+        &["measure", "--portfolio", "-", "--shards", "3", "--json"],
+        Some(&template),
+    );
+    assert_eq!(unsharded, sharded);
+}
+
+#[test]
+fn sharded_simulate_json_is_byte_equal_to_unsharded_at_10k_offers() {
+    for scenario in ["schedule", "market"] {
+        let unsharded = stdout_of(
+            &[
+                "simulate",
+                "--scenario",
+                scenario,
+                "--households",
+                CITY_10K,
+                "--json",
+            ],
+            None,
+        );
+        for shards in ["1", "4"] {
+            let sharded = stdout_of(
+                &[
+                    "simulate",
+                    "--scenario",
+                    scenario,
+                    "--households",
+                    CITY_10K,
+                    "--shards",
+                    shards,
+                    "--threads",
+                    "2",
+                    "--json",
+                ],
+                None,
+            );
+            assert_eq!(
+                unsharded, sharded,
+                "{scenario} --shards {shards} must not change a single output byte"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_measure_text_report_still_renders() {
+    let out = stdout_of(
+        &["measure", "--portfolio", "--city", "30", "--shards", "4"],
+        None,
+    );
+    assert!(out.contains("offers"), "header present:\n{out}");
+    for name in ["Time", "Energy", "Assignments", "Rel. Area"] {
+        assert!(out.contains(name), "missing {name:?}:\n{out}");
+    }
+}
+
+#[test]
+fn zero_shards_is_rejected_on_measure() {
+    let template = stdout_of(&["template", "--portfolio"], None);
+    for (args, stdin) in [
+        (
+            vec!["measure", "--portfolio", "-", "--shards", "0"],
+            Some(template.as_str()),
+        ),
+        (
+            vec!["measure", "--portfolio", "--city", "10", "--shards", "0"],
+            None,
+        ),
+    ] {
+        let stderr = stderr_of_failure(&args, stdin);
+        assert!(
+            stderr.contains("shard count must be at least 1"),
+            "stderr names the problem: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn zero_shards_is_rejected_on_simulate() {
+    let stderr = stderr_of_failure(&["simulate", "--scenario", "market", "--shards", "0"], None);
+    assert!(
+        stderr.contains("shard count must be at least 1"),
+        "stderr names the problem: {stderr}"
+    );
+}
+
+#[test]
+fn non_numeric_shards_are_rejected() {
+    let template = stdout_of(&["template", "--portfolio"], None);
+    let stderr = stderr_of_failure(
+        &["measure", "--portfolio", "-", "--shards", "many"],
+        Some(&template),
+    );
+    assert!(stderr.contains("takes a number"), "stderr: {stderr}");
+
+    let stderr = stderr_of_failure(
+        &["simulate", "--scenario", "schedule", "--shards", "many"],
+        None,
+    );
+    assert!(stderr.contains("takes a number"), "stderr: {stderr}");
+
+    let stderr = stderr_of_failure(&["measure", "--portfolio", "-", "--shards"], None);
+    assert!(stderr.contains("needs a value"), "stderr: {stderr}");
+}
+
+#[test]
+fn positional_measure_names_work_on_either_side_of_city() {
+    // Positionals are classified after flag parsing, so a measure name
+    // means the same thing before and after --city.
+    let before = stdout_of(
+        &["measure", "--portfolio", "time", "--city", "10", "--json"],
+        None,
+    );
+    let after = stdout_of(
+        &["measure", "--portfolio", "--city", "10", "time", "--json"],
+        None,
+    );
+    assert_eq!(before, after);
+    assert!(before.contains("Time"), "subset honoured:\n{before}");
+    assert!(!before.contains("Energy"), "subset honoured:\n{before}");
+}
+
+#[test]
+fn city_flag_rejects_a_competing_file_argument_as_an_unknown_measure() {
+    let stderr = stderr_of_failure(
+        &["measure", "--portfolio", "input.json", "--city", "10"],
+        None,
+    );
+    assert!(
+        stderr.contains("unknown measure input.json"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn seed_without_city_is_rejected() {
+    let template = stdout_of(&["template", "--portfolio"], None);
+    let stderr = stderr_of_failure(
+        &["measure", "--portfolio", "-", "--seed", "9"],
+        Some(&template),
+    );
+    assert!(
+        stderr.contains("--seed only applies to a generated portfolio"),
+        "stderr: {stderr}"
+    );
+}
