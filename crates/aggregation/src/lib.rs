@@ -42,7 +42,7 @@ pub mod start_align;
 
 pub use balance::{balance_aggregate, balance_groups};
 pub use error::{AggregationError, DisaggregationError};
-pub use group::{group_indices, group_keys, group_offers, GroupingParams};
+pub use group::{group_indices, group_keys, group_offers, GroupingParams, KeyIndex};
 pub use loss::{flexibility_loss, loss_table, LossReport};
 pub use measure_aware::{MeasureAwareError, MeasureAwareGrouping};
 pub use start_align::{aggregate, aggregate_indices, aggregate_portfolio, Aggregate};

@@ -1,0 +1,203 @@
+//! Persists the live serving tier's throughput baseline:
+//! `BENCH_serving.json`.
+//!
+//! Replays [`flexoffers_workloads::event_stream`] scripts (adds + churn)
+//! through a [`LiveBook`] at 10k/100k offers, churn 1 %/10 %, shards
+//! {1, 4, 8}, recording event-application throughput and the *warm
+//! incremental query latency* (one single-offer update followed by a
+//! measure query — the one-dirty-shard hot path the tier exists for). The
+//! flat from-scratch batch query ([`flexoffers_serving::batch::answer`])
+//! is the `sequential` reference — the batch-restart cost a query would
+//! pay without the incremental state.
+//!
+//! The emitted JSON uses the `flexoffers-engine-bench/1` schema, so the
+//! existing `bench_check` regression gate consumes it unchanged (each run
+//! carries extra `shards`/`churn`/`events`/`update_query_secs` fields the
+//! gate ignores; `offers_per_sec` is events applied per second). The
+//! recorded `speedup_8_threads_largest` headline is the batch-query /
+//! incremental-query latency ratio at the largest size.
+//!
+//! ```text
+//! cargo run --release -p flexoffers_bench --bin bench_serving            # full sweep
+//! cargo run --release -p flexoffers_bench --bin bench_serving -- --quick # 10k only (CI)
+//! cargo run ... -- --out path/to.json                                    # custom output
+//! ```
+
+use flexoffers_bench::timing::time_best;
+use flexoffers_engine::{Budget, Engine};
+use flexoffers_measures::all_measures;
+use flexoffers_serving::{batch, LiveBook, QueryKind, ServeConfig};
+use flexoffers_workloads::{city_households_for, event_stream, OfferEvent};
+use serde::Serialize;
+
+const SEED: u64 = 7;
+
+#[derive(Serialize)]
+struct Run {
+    offers: usize,
+    threads: usize,
+    shards: usize,
+    churn: f64,
+    events: usize,
+    secs: f64,
+    /// Events applied per second (the field the per-core gate normalises).
+    offers_per_sec: f64,
+    /// Warm incremental latency: one single-offer update + measure query.
+    update_query_secs: f64,
+}
+
+#[derive(Serialize)]
+struct SequentialRun {
+    offers: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ServingBenchReport {
+    schema: &'static str,
+    workload: String,
+    measures: usize,
+    host_cpus: usize,
+    /// From-scratch flat batch measure queries over the replayed book —
+    /// the restart cost the serving tier avoids.
+    sequential: Vec<SequentialRun>,
+    engine: Vec<Run>,
+    /// Batch-query secs over warm incremental-query secs at the largest
+    /// size (8 shards for the full sweep).
+    speedup_8_threads_largest: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_serving.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) if !path.starts_with("--") => out_path = path.clone(),
+                _ => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown argument {other}\nusage: bench_serving [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let churns: &[f64] = if quick { &[0.01] } else { &[0.01, 0.10] };
+    let shard_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8] };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_serving: event_stream(seed {SEED}) replayed through LiveBook · sizes {sizes:?} · \
+         churn {churns:?} · shards {shard_counts:?} · {host_cpus} host cpu(s)"
+    );
+
+    let config = ServeConfig::default();
+    let mut sequential = Vec::new();
+    let mut engine_runs = Vec::new();
+    let mut headline = 1.0f64;
+    for &size in sizes {
+        let households = city_households_for(size);
+        for &churn in churns {
+            let events: Vec<OfferEvent> = event_stream(SEED, households, churn).collect();
+            for &shards in shard_counts {
+                let engine = Engine::new(Budget::with_threads(shards).expect("non-zero"));
+                let build = || {
+                    let mut book =
+                        LiveBook::new(config, shards, engine).expect("non-zero shard count");
+                    for event in &events {
+                        book.apply_offer_event(event.clone()).expect("valid stream");
+                    }
+                    book
+                };
+                let replay_secs = time_best(|| {
+                    std::hint::black_box(build());
+                });
+                let events_per_sec = events.len() as f64 / replay_secs;
+
+                // Warm the caches, then measure the incremental hot path:
+                // one single-offer update + one measure query.
+                let mut book = build();
+                book.answer(QueryKind::Measure);
+                let victim = book.live_ids()[0];
+                let replacement = book.to_portfolio().as_slice()[0].clone();
+                let update_query_secs = time_best(|| {
+                    book.update(victim, replacement.clone()).expect("live id");
+                    std::hint::black_box(book.answer(QueryKind::Measure));
+                });
+                println!(
+                    "  {shards} shard(s) · churn {churn:>4} · {size:>7} offers  \
+                     {replay_secs:>9.4}s replay ({events_per_sec:>9.0} events/s)  \
+                     {:.2}ms warm query",
+                    update_query_secs * 1e3
+                );
+                engine_runs.push(Run {
+                    offers: size,
+                    threads: shards,
+                    shards,
+                    churn,
+                    events: events.len(),
+                    secs: replay_secs,
+                    offers_per_sec: events_per_sec,
+                    update_query_secs,
+                });
+
+                // The batch-restart reference and the headline, recorded
+                // once per size (largest shard count, smallest churn).
+                if shards == *shard_counts.last().expect("non-empty") && churn == churns[0] {
+                    let logical = book.to_portfolio();
+                    let flat = Engine::sequential();
+                    let batch_secs = time_best(|| {
+                        std::hint::black_box(batch::answer(
+                            &flat,
+                            &config,
+                            logical.as_slice(),
+                            QueryKind::Measure,
+                        ));
+                    });
+                    println!(
+                        "  batch rebuild reference    {size:>7} offers  {batch_secs:>9.4}s \
+                         ({:.1}x the warm incremental query)",
+                        batch_secs / update_query_secs
+                    );
+                    sequential.push(SequentialRun {
+                        offers: logical.len(),
+                        secs: batch_secs,
+                        offers_per_sec: logical.len() as f64 / batch_secs,
+                    });
+                    if size == *sizes.last().expect("non-empty") {
+                        headline = batch_secs / update_query_secs;
+                    }
+                }
+            }
+        }
+    }
+
+    let report = ServingBenchReport {
+        schema: "flexoffers-engine-bench/1",
+        workload: format!(
+            "workloads::event_stream(seed {SEED}) replayed through LiveBook (adds+churn; \
+             offers_per_sec = events/s; sequential = flat batch measure query; speedup = \
+             batch query / warm incremental query at the largest size)"
+        ),
+        measures: all_measures().len(),
+        host_cpus,
+        sequential,
+        engine: engine_runs,
+        speedup_8_threads_largest: headline,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -281,6 +281,25 @@ mod tests {
     }
 
     #[test]
+    fn committed_serving_baseline_feeds_the_same_gate() {
+        // BENCH_serving.json reuses the engine-bench schema (runs carry
+        // extra shards/churn/events/update_query_secs fields this mirror
+        // ignores; offers_per_sec records events applied per second), so
+        // the one bench_check binary gates the serving baseline too.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_serving.json"
+        ))
+        .expect("committed serving baseline exists");
+        let baseline: EngineBenchReport = serde_json::from_str(&text).expect("baseline parses");
+        assert_eq!(baseline.schema, ENGINE_BENCH_SCHEMA);
+        assert!(!baseline.engine.is_empty());
+        assert!(!baseline.sequential.is_empty());
+        let verdict = check_regression(&baseline, &baseline, DEFAULT_MIN_RATIO).unwrap();
+        assert!(verdict.passed());
+    }
+
+    #[test]
     fn committed_sharded_baseline_feeds_the_same_gate() {
         // BENCH_sharded.json reuses the engine-bench schema (each run
         // carries an extra `shards` field this mirror ignores), so the one

@@ -110,8 +110,12 @@ impl Budget {
     /// `threads / shards` is zero whenever the shard count exceeds the
     /// thread budget (the degenerate-shard regime), and a zero-thread
     /// budget is a constructor error — every knob combination must degrade
-    /// to a sequential worker instead.
-    pub(crate) fn per_shard(&self, shards: usize) -> Budget {
+    /// to a sequential worker instead. Public so the serving tier's live
+    /// book splits its budget exactly the way [`ShardedBook`]'s pipelines
+    /// do.
+    ///
+    /// [`ShardedBook`]: crate::ShardedBook
+    pub fn per_shard(&self, shards: usize) -> Budget {
         Budget {
             threads: (self.threads / shards.max(1)).max(1),
             chunk_size: self.chunk_size,

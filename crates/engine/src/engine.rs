@@ -95,7 +95,14 @@ impl Engine {
     /// in portfolio order. The single prepared-evaluation hot loop behind
     /// both the measurement pass and the scenario correlations; nothing is
     /// reduced off the calling thread.
-    pub(crate) fn per_offer_rows(
+    ///
+    /// Public because the serving tier caches these rows *per shard* and
+    /// re-runs the pass only on shards a mutation dirtied: each row is a
+    /// pure function of its offer alone (no cross-offer arithmetic), so
+    /// rows computed shard-by-shard and gathered in portfolio order are
+    /// bitwise the rows of one flat pass, ready for
+    /// [`reduce_measure_rows`].
+    pub fn per_offer_rows(
         &self,
         offers: &[FlexOffer],
         measures: &[Box<dyn Measure>],
@@ -156,9 +163,37 @@ impl Engine {
         let aggregates: Vec<Aggregate> = parallel_map(&groups, self.budget.threads(), |indices| {
             aggregate_indices(offers, indices).expect("grouping never yields empty groups")
         });
+        let outcome = self.schedule_aggregates(
+            &aggregates,
+            &groups,
+            offers.len(),
+            problem.target(),
+            scheduler,
+        )?;
+        debug_assert!(problem.is_feasible(&outcome.schedule));
+        Ok(outcome)
+    }
+
+    /// The back half of the Scenario 1 pipeline, starting from
+    /// already-computed aggregates and their member groups: schedule the
+    /// reduced problem on the calling thread, realize every aggregate's
+    /// plan at member level in parallel, and scatter the member
+    /// assignments back to input positions. One implementation behind
+    /// [`Engine::schedule_portfolio`], the sharded
+    /// [`Engine::schedule_book`](crate::shard), and the serving tier's
+    /// incremental schedule query — so the pipeline's stages cannot drift
+    /// between the flat, sharded, and live paths.
+    pub fn schedule_aggregates(
+        &self,
+        aggregates: &[Aggregate],
+        groups: &[Vec<usize>],
+        offers_len: usize,
+        target: &Series<i64>,
+        scheduler: &dyn Scheduler,
+    ) -> Result<PipelineOutcome, SchedulingError> {
         let reduced = SchedulingProblem::new(
             aggregates.iter().map(|a| a.flexoffer().clone()).collect(),
-            problem.target().clone(),
+            target.clone(),
         );
         let aggregate_schedule = scheduler.schedule(&reduced)?;
 
@@ -171,9 +206,7 @@ impl Engine {
                 realize_aggregate(agg, assignment)
             });
 
-        let outcome = assemble_member_schedule(offers.len(), &groups, realized);
-        debug_assert!(problem.is_feasible(&outcome.schedule));
-        Ok(outcome)
+        Ok(assemble_member_schedule(offers_len, groups, realized))
     }
 
     /// The full Scenario 2 pipeline at portfolio scale: group and
@@ -207,8 +240,10 @@ impl Engine {
 
     /// The portfolio's no-flexibility baseline load, chunked across
     /// workers. Partial sums are integer series, so the chunked total is
-    /// exactly [`baseline_load`] over the whole slice.
-    pub(crate) fn baseline_load_parallel(&self, offers: &[FlexOffer]) -> Series<i64> {
+    /// exactly [`baseline_load`] over the whole slice — and exactly the
+    /// fold of any other partition's partials (the serving tier caches one
+    /// partial per shard and sums them on every trade query).
+    pub fn baseline_load_parallel(&self, offers: &[FlexOffer]) -> Series<i64> {
         let chunk_size = self.budget.chunk_size_for(offers.len());
         let ranges = chunk_ranges(offers.len(), chunk_size);
         let partials = parallel_map(&ranges, self.budget.threads(), |range| {
@@ -223,9 +258,10 @@ impl Engine {
 /// measure's reduction walks offers in that order, mirroring its
 /// [`Measure::of_set`] semantics (short-circuit on the first error; sum,
 /// or average for relative area). Keeping the reduction in one function is
-/// what makes flat and sharded measurement bitwise identical by
-/// construction.
-pub(crate) fn reduce_measure_rows(
+/// what makes flat, sharded, and *incrementally cached* measurement
+/// (the serving tier feeds it rows gathered from per-shard caches)
+/// bitwise identical by construction.
+pub fn reduce_measure_rows(
     measures: &[Box<dyn Measure>],
     rows: &[Vec<Result<f64, MeasureError>>],
 ) -> Vec<MeasureSummary> {

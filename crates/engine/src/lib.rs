@@ -21,7 +21,10 @@
 //!   [`Aggregator::run`](flexoffers_market::Aggregator::run);
 //! * [`Engine::simulate`] — a [`Scenario`] (workload seed, tolerance and
 //!   market knobs, scheduler choice) run end to end into a
-//!   [`ScenarioReport`] with text/JSON rendering;
+//!   [`ScenarioReport`] with text/JSON rendering —
+//!   [`Engine::simulate_portfolio`] / [`Engine::simulate_book`] run the
+//!   same pipelines over a caller-supplied portfolio or book (the seam the
+//!   live serving tier and the CLI's batch replay share);
 //! * [`ShardedBook`] — the portfolio partitioned into K shards
 //!   (hash-by-offer-id or tolerance-group-aware), with per-shard workers
 //!   and a merge tier behind [`Engine::measure_book`],
@@ -81,8 +84,8 @@ pub mod shard;
 
 pub use budget::{Budget, EngineError};
 pub use chunk::{chunk_ranges, parallel_map};
-pub use engine::{Engine, TradeOutcome};
+pub use engine::{reduce_measure_rows, Engine, TradeOutcome};
 pub use report::{MeasureSummary, PortfolioReport};
 pub use scenario::{Scenario, ScenarioError, ScenarioKind, SchedulerChoice};
 pub use scenario_report::{CorrelationSummary, MarketSummary, ScenarioReport, ScheduleSummary};
-pub use shard::{Partitioner, Shard, ShardedBook};
+pub use shard::{splitmix64, stable_shard, Partitioner, Shard, ShardedBook};

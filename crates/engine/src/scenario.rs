@@ -264,14 +264,48 @@ impl Engine {
     /// (the [`ScenarioReport::json`](crate::ScenarioReport::json) mirror
     /// excludes wall-clock fields for exactly this reason).
     pub fn simulate(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        self.simulate_portfolio(scenario, &scenario.portfolio())
+    }
+
+    /// Runs `scenario`'s pipeline over a *caller-supplied* portfolio
+    /// instead of the scenario's own generated city — the entry point for
+    /// portfolios that arrived some other way (a file, a replayed event
+    /// stream). The scenario still contributes every knob and derived
+    /// trace: grouping, scheduler, target profile (scaled to the given
+    /// portfolio's size), spot market. [`Engine::simulate`] is exactly
+    /// this over [`Scenario::portfolio`].
+    pub fn simulate_portfolio(
+        &self,
+        scenario: &Scenario,
+        portfolio: &Portfolio,
+    ) -> Result<ScenarioReport, ScenarioError> {
         let started = Instant::now();
-        let portfolio = scenario.portfolio();
         if portfolio.is_empty() {
             return Err(ScenarioError::EmptyPortfolio);
         }
         match scenario.kind {
-            ScenarioKind::Schedule => self.simulate_schedule(scenario, &portfolio, started),
-            ScenarioKind::Market => Ok(self.simulate_market(scenario, &portfolio, started)),
+            ScenarioKind::Schedule => self.simulate_schedule(scenario, portfolio, started),
+            ScenarioKind::Market => Ok(self.simulate_market(scenario, portfolio, started)),
+        }
+    }
+
+    /// Runs `scenario`'s pipeline over an already-partitioned
+    /// [`ShardedBook`] — the book counterpart of
+    /// [`Engine::simulate_portfolio`], bitwise identical to it (and to the
+    /// flat [`Engine::simulate`]) for a book holding the same logical
+    /// portfolio, at any shard count and budget.
+    pub fn simulate_book(
+        &self,
+        scenario: &Scenario,
+        book: &ShardedBook,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let started = Instant::now();
+        if book.is_empty() {
+            return Err(ScenarioError::EmptyPortfolio);
+        }
+        match scenario.kind {
+            ScenarioKind::Schedule => self.simulate_schedule_book(scenario, book, started),
+            ScenarioKind::Market => Ok(self.simulate_market_book(scenario, book, started)),
         }
     }
 
@@ -292,16 +326,9 @@ impl Engine {
         scenario: &Scenario,
         shards: usize,
     ) -> Result<ScenarioReport, ScenarioError> {
-        let started = Instant::now();
         let book =
             ShardedBook::collect_hashed(city_stream(scenario.seed, scenario.households), shards)?;
-        if book.is_empty() {
-            return Err(ScenarioError::EmptyPortfolio);
-        }
-        match scenario.kind {
-            ScenarioKind::Schedule => self.simulate_schedule_book(scenario, &book, started),
-            ScenarioKind::Market => Ok(self.simulate_market_book(scenario, &book, started)),
-        }
+        self.simulate_book(scenario, &book)
     }
 
     fn simulate_schedule(
@@ -388,10 +415,13 @@ impl Engine {
         ))
     }
 
-    /// Assembles the Scenario 1 report — one code path for the flat and
-    /// sharded pipelines, so their reports cannot drift.
+    /// Assembles the Scenario 1 report from an already-run pipeline — one
+    /// code path for the flat, sharded, *and live-serving* paths, so their
+    /// reports cannot drift. `rows` are the per-offer measure values
+    /// (errors flattened, see [`flatten_rows`]) and `shifts` the realized
+    /// start shifts, both in portfolio order.
     #[allow(clippy::too_many_arguments)]
-    fn schedule_report(
+    pub fn schedule_report(
         &self,
         scenario: &Scenario,
         offers: usize,
@@ -447,9 +477,12 @@ impl Engine {
     }
 
     /// Runs the market evaluation over already-gathered aggregates and
-    /// assembles the Scenario 2 report — one code path for the flat and
-    /// sharded pipelines, so their reports cannot drift.
-    fn market_report(
+    /// assembles the Scenario 2 report — one code path for the flat,
+    /// sharded, *and live-serving* paths, so their reports cannot drift.
+    /// `baseline` is the portfolio's no-flexibility load (callers with a
+    /// partitioned book fold per-shard partials; integer series addition
+    /// makes any partition exact).
+    pub fn market_report(
         &self,
         scenario: &Scenario,
         offers: usize,
@@ -525,8 +558,11 @@ impl Engine {
     }
 }
 
-/// Errors flattened to `None` for the correlation filter.
-fn flatten_rows(
+/// Errors flattened to `None` for the correlation filter — the adapter
+/// between [`Engine::per_offer_rows`] output and [`correlate`]. Public so
+/// the serving tier can feed its cached per-shard rows through the exact
+/// pipeline the scenario reports use.
+pub fn flatten_rows(
     rows: Vec<Vec<Result<f64, flexoffers_measures::MeasureError>>>,
 ) -> Vec<Vec<Option<f64>>> {
     rows.into_iter()
@@ -536,7 +572,9 @@ fn flatten_rows(
 
 /// Pearson correlation of each measure's column in `rows` against `ys`,
 /// skipping rows where the measure errored or either side is non-finite.
-fn correlate(rows: &[Vec<Option<f64>>], ys: &[f64]) -> Vec<CorrelationSummary> {
+/// One implementation for the flat, sharded, and live-serving report
+/// paths, so their correlation tables cannot drift.
+pub fn correlate(rows: &[Vec<Option<f64>>], ys: &[f64]) -> Vec<CorrelationSummary> {
     all_measures()
         .iter()
         .enumerate()

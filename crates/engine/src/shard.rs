@@ -37,11 +37,8 @@
 use flexoffers_aggregation::{aggregate, group_keys, Aggregate, GroupingParams};
 use flexoffers_market::{Aggregator, LotDecision, SpotMarket};
 use flexoffers_measures::{all_measures, Measure, MeasureError};
-use flexoffers_model::{Assignment, FlexOffer, Portfolio};
-use flexoffers_scheduling::{
-    assemble_member_schedule, realize_aggregate, PipelineOutcome, Scheduler, SchedulingError,
-    SchedulingProblem,
-};
+use flexoffers_model::{FlexOffer, Portfolio};
+use flexoffers_scheduling::{PipelineOutcome, Scheduler, SchedulingError};
 use flexoffers_timeseries::ops::sum_series;
 use flexoffers_timeseries::Series;
 use std::time::Instant;
@@ -82,11 +79,27 @@ impl Partitioner {
 /// `splitmix64` — a stable, platform-independent 64-bit mix. The standard
 /// library's `DefaultHasher` is explicitly not stable across releases, and
 /// shard placement must never silently change under a toolchain bump.
-fn mix(mut x: u64) -> u64 {
+/// Public because every stable hash in the workspace (shard placement
+/// here, the serving tier's group-key digests) must share one definition.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// The [`Partitioner::HashById`] placement function: which of `shards`
+/// shards owns the offer with logical id `id` (`splitmix64(id) % shards`).
+/// Exposed so the serving tier's live book routes streamed adds to the
+/// exact shard a batch [`ShardedBook::collect_hashed`] build would pick.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero — callers guard with
+/// [`EngineError::ZeroShards`] first, exactly as the book constructors do.
+pub fn stable_shard(id: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be at least 1");
+    (splitmix64(id) % shards as u64) as usize
 }
 
 /// One shard of a [`ShardedBook`]: its offers plus the global (logical
@@ -179,7 +192,7 @@ impl ShardedBook {
             owners: Vec::new(),
         };
         for (id, fo) in offers.into_iter().enumerate() {
-            let s = (mix(id as u64) % shards as u64) as usize;
+            let s = stable_shard(id as u64, shards);
             book.owners.push((s, book.shards[s].len()));
             book.shards[s].offers.push(fo);
             book.shards[s].global.push(id);
@@ -383,22 +396,7 @@ impl Engine {
     ) -> Result<PipelineOutcome, SchedulingError> {
         let groups = book.global_groups(params);
         let aggregates = self.aggregate_groups(book, &groups);
-        let reduced = SchedulingProblem::new(
-            aggregates.iter().map(|a| a.flexoffer().clone()).collect(),
-            target.clone(),
-        );
-        let aggregate_schedule = scheduler.schedule(&reduced)?;
-
-        let planned: Vec<(&Aggregate, &Assignment)> = aggregates
-            .iter()
-            .zip(aggregate_schedule.assignments())
-            .collect();
-        let realized: Vec<(Vec<Assignment>, bool)> =
-            parallel_map(&planned, self.budget().threads(), |(agg, assignment)| {
-                realize_aggregate(agg, assignment)
-            });
-
-        Ok(assemble_member_schedule(book.len(), &groups, realized))
+        self.schedule_aggregates(&aggregates, &groups, book.len(), target, scheduler)
     }
 
     /// [`Engine::trade_portfolio`] over a sharded book — the Scenario 2
@@ -445,7 +443,7 @@ mod tests {
     use crate::budget::Budget;
     use flexoffers_aggregation::group_indices;
     use flexoffers_model::Slice;
-    use flexoffers_scheduling::GreedyScheduler;
+    use flexoffers_scheduling::{GreedyScheduler, SchedulingProblem};
 
     fn offers(n: usize) -> Vec<FlexOffer> {
         (0..n)

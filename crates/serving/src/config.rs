@@ -1,0 +1,86 @@
+//! The serving tier's query configuration.
+
+use flexoffers_aggregation::GroupingParams;
+use flexoffers_engine::{Scenario, ScenarioKind, SchedulerChoice};
+
+/// Every knob a live book needs to answer its four query kinds — the
+/// [`Scenario`] fields minus the workload source (the portfolio arrives as
+/// events, not from a generator). All derived artefacts (target profile,
+/// spot prices) are pure functions of these fields plus the book's current
+/// offer count, so equal configs over equal logical portfolios answer with
+/// equal bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Seed for the target and price traces (not for the portfolio — that
+    /// is the event stream's business).
+    pub seed: u64,
+    /// Grouping tolerances for aggregate/schedule/trade queries.
+    pub grouping: GroupingParams,
+    /// Scheduler for schedule queries.
+    pub scheduler: SchedulerChoice,
+    /// Horizon of the target and price traces, in days.
+    pub days: usize,
+    /// Minimum tradeable lot volume for trade queries.
+    pub min_lot: i64,
+    /// Imbalance penalty for trade queries, as a multiple of the peak spot
+    /// price.
+    pub penalty_multiplier: f64,
+}
+
+impl ServeConfig {
+    /// The [`Scenario`] this config answers `kind` queries with. The
+    /// scenario's workload fields are pinned (`households` 0 — the live
+    /// portfolio replaces the generated city), so the batch oracle and the
+    /// live path serialise identical scenario headers.
+    pub fn scenario(&self, kind: ScenarioKind) -> Scenario {
+        Scenario {
+            kind,
+            seed: self.seed,
+            households: 0,
+            grouping: self.grouping,
+            scheduler: self.scheduler,
+            days: self.days,
+            min_lot: self.min_lot,
+            penalty_multiplier: self.penalty_multiplier,
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    /// Mirrors [`Scenario::city_portfolio`]'s defaults: seed 7, tolerances
+    /// (2, 2), greedy scheduling, a 2-day horizon, minimum lot 25, penalty
+    /// multiplier 2.0 — so a served query and a `flexctl simulate` run
+    /// over the same offers agree out of the box.
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            grouping: GroupingParams::with_tolerances(2, 2),
+            scheduler: SchedulerChoice::Greedy,
+            days: 2,
+            min_lot: 25,
+            penalty_multiplier: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mirrors_the_city_scenario_defaults() {
+        let config = ServeConfig::default();
+        let reference = Scenario::city_portfolio(ScenarioKind::Schedule, 0);
+        assert_eq!(config.scenario(ScenarioKind::Schedule), reference);
+    }
+
+    #[test]
+    fn scenario_kind_is_the_callers_choice() {
+        let config = ServeConfig::default();
+        assert_eq!(
+            config.scenario(ScenarioKind::Market).kind,
+            ScenarioKind::Market
+        );
+        assert_eq!(config.scenario(ScenarioKind::Market).households, 0);
+    }
+}

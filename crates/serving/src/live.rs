@@ -1,0 +1,712 @@
+//! The live book: incremental per-shard state between queries.
+//!
+//! A [`LiveBook`] is the event-driven counterpart of a batch
+//! [`ShardedBook`](flexoffers_engine::ShardedBook). Offers carry stable
+//! logical ids (a monotone counter, never reused); adds route through the
+//! batch book's own hash placement
+//! ([`stable_shard`](flexoffers_engine::stable_shard)), and the *logical
+//! portfolio* at any instant is the live offers in id order — exactly the
+//! portfolio a from-scratch build would hold, which is what every query
+//! answer is pinned against.
+//!
+//! # Cache architecture
+//!
+//! Three layers of incremental state, each invalidated as narrowly as the
+//! mutation allows:
+//!
+//! * **Per-shard measure rows** — the prepared-offer row pass
+//!   ([`Engine::per_offer_rows`]) cached per shard behind a dirty bit. A
+//!   single-offer update re-runs the pass on exactly one shard (asserted
+//!   by the per-shard evaluation counters, [`LiveBook::evaluations`]); the
+//!   merge gathers cached rows from everyone else.
+//! * **Per-shard baseline partials** — the no-flexibility load summed per
+//!   shard; integer series addition is exact, so folding partials equals
+//!   the flat [`Engine::baseline_load_parallel`] bit for bit.
+//! * **Group-key state** — a sorted
+//!   [`KeyIndex`](flexoffers_aggregation::KeyIndex) maintained per event
+//!   (no per-query sort), a cached position grouping, and per-shard
+//!   **key digests** (a commutative multiset hash of the shard's
+//!   `(tes, tf)` keys, maintained in O(1) per mutation). An update that
+//!   keeps its offer's grouping key leaves every digest unchanged and
+//!   keeps the grouping cache warm (the in-process check compares the old
+//!   and new key directly — exact, collision-free; the digests are the
+//!   equivalent shard-level summary, exposed for observability and as the
+//!   16-byte-per-shard comparison a future *cross-process* shard would
+//!   ship instead of its keys). Only key-changing mutations force the
+//!   (linear, sort-free) re-sweep.
+//!
+//! Queries recombine this state through the engine's own public reduction
+//! and report-assembly functions, which is what makes every answer
+//! byte-identical to a batch rebuild ([`crate::batch::answer`]).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use flexoffers_aggregation::{aggregate, Aggregate, KeyIndex};
+use flexoffers_engine::scenario::{flatten_rows, ScenarioError};
+use flexoffers_engine::{
+    parallel_map, reduce_measure_rows, splitmix64, stable_shard, Engine, EngineError,
+    PortfolioReport, ScenarioKind,
+};
+use flexoffers_market::baseline_load;
+use flexoffers_measures::{all_measures, MeasureError};
+use flexoffers_model::{Assignment, FlexOffer, Portfolio};
+use flexoffers_scheduling::{earliest_start_assignment, Schedule};
+use flexoffers_timeseries::ops::sum_series;
+use flexoffers_timeseries::Series;
+use flexoffers_workloads::OfferEvent;
+
+use crate::config::ServeConfig;
+use crate::event::{Event, QueryKind};
+use crate::report::{aggregate_report, answer_line, error_line};
+
+/// One per-offer row of measure values (all eight measures).
+type Row = Vec<Result<f64, MeasureError>>;
+
+/// Errors applying a mutation to a live book.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LiveError {
+    /// An update or remove referenced an id that is not live (never added,
+    /// or already removed — ids are not reused).
+    UnknownId {
+        /// The dead id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::UnknownId { id } => write!(f, "unknown offer id {id} — not live"),
+        }
+    }
+}
+
+impl Error for LiveError {}
+
+/// The cached evaluation state of one shard, valid only while the shard is
+/// clean (any mutation of the shard drops the whole cache).
+struct ShardCache {
+    /// Per-offer measure rows, aligned with the shard's local offer order.
+    rows: Vec<Row>,
+    /// The shard's no-flexibility baseline partial.
+    baseline: Series<i64>,
+}
+
+/// One shard of a [`LiveBook`]: parallel id/offer arrays (local order is
+/// arrival order with swap-remove holes — global order is restored through
+/// the id ranks, never from shard order).
+struct LiveShard {
+    ids: Vec<u64>,
+    offers: Vec<FlexOffer>,
+    cache: Option<ShardCache>,
+    key_digest: u64,
+    evaluations: usize,
+}
+
+impl LiveShard {
+    fn new() -> Self {
+        Self {
+            ids: Vec::new(),
+            offers: Vec::new(),
+            cache: None,
+            key_digest: 0,
+            evaluations: 0,
+        }
+    }
+}
+
+/// An offer's grouping key — the 16 bytes the aggregation layer sweeps.
+fn grouping_key(offer: &FlexOffer) -> (i64, i64) {
+    (offer.earliest_start(), offer.time_flexibility())
+}
+
+/// A commutative multiset hash of one grouping key: shard digests are the
+/// wrapping sum of member key hashes, so insert/remove/update maintain
+/// them in O(1) and equal key multisets give equal digests regardless of
+/// arrival order. (The engine's [`splitmix64`] twice — the exact mix the
+/// hash partitioner uses — so near-identical keys do not cancel.)
+fn key_hash((tes, tf): (i64, i64)) -> u64 {
+    splitmix64(splitmix64(tes as u64) ^ (tf as u64))
+}
+
+/// The event-driven book — see the module docs for the cache architecture
+/// and the crate docs for the byte-identity contract.
+pub struct LiveBook {
+    config: ServeConfig,
+    engine: Engine,
+    shards: Vec<LiveShard>,
+    /// `owners[id] = (shard, local)` for every live id; iteration order is
+    /// id order, i.e. logical portfolio order.
+    owners: BTreeMap<u64, (usize, usize)>,
+    next_id: u64,
+    /// The live `(tes, tf)` keys, kept sorted across mutations.
+    keys: KeyIndex,
+    /// The grouping as *positions* into the logical portfolio, cached
+    /// until a mutation changes the key multiset or the id set.
+    groups_cache: Option<Vec<Vec<usize>>>,
+}
+
+impl LiveBook {
+    /// An empty book over `shards` shards, answering queries under
+    /// `config` with `engine`'s budget.
+    pub fn new(config: ServeConfig, shards: usize, engine: Engine) -> Result<Self, EngineError> {
+        if shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        Ok(Self {
+            config,
+            engine,
+            shards: (0..shards).map(|_| LiveShard::new()).collect(),
+            owners: BTreeMap::new(),
+            next_id: 0,
+            keys: KeyIndex::new(),
+            groups_cache: None,
+        })
+    }
+
+    /// Number of live offers.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// `true` when no offers are live.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard live offer counts, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.ids.len()).collect()
+    }
+
+    /// The serving configuration queries run under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// How many times each shard's measure pass has run — the observable
+    /// the incremental contract is asserted on: after a warm query, a
+    /// single-offer update followed by another query bumps exactly one
+    /// shard's counter.
+    pub fn evaluations(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.evaluations).collect()
+    }
+
+    /// Per-shard group-key digests (commutative multiset hashes of the
+    /// shard's `(tes, tf)` keys). Equal digests across a mutation mean the
+    /// grouping inputs did not change. In process the warm-cache decision
+    /// uses the exact old-vs-new key comparison (see
+    /// [`update`](Self::update)); the digests are the shard-level summary
+    /// of the same fact — what tests observe, and what a cross-process
+    /// shard would ship to prove its key multiset unchanged without
+    /// resending the keys.
+    pub fn key_digests(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.key_digest).collect()
+    }
+
+    /// `true` while the cached position grouping is valid (no key- or
+    /// id-set-changing mutation since it was computed).
+    pub fn groups_cached(&self) -> bool {
+        self.groups_cache.is_some()
+    }
+
+    /// The live ids in logical (id) order.
+    pub fn live_ids(&self) -> Vec<u64> {
+        self.owners.keys().copied().collect()
+    }
+
+    /// The logical portfolio at this instant: live offers in id order —
+    /// exactly what a from-scratch build would evaluate. Clones every
+    /// offer; meant for oracles and tests, not the serving hot path.
+    pub fn to_portfolio(&self) -> Portfolio {
+        self.owners
+            .values()
+            .map(|&(s, local)| self.shards[s].offers[local].clone())
+            .collect()
+    }
+
+    /// Applies one mutation or query. Mutations return `Ok(None)`; queries
+    /// return `Ok(Some(answer))` with the one-line JSON answer.
+    pub fn apply(&mut self, event: Event) -> Result<Option<String>, LiveError> {
+        match event {
+            Event::Add(offer) => {
+                self.add(offer);
+                Ok(None)
+            }
+            Event::Update { id, offer } => self.update(id, offer).map(|()| None),
+            Event::Remove { id } => self.remove(id).map(|()| None),
+            Event::Query(kind) => Ok(Some(self.answer(kind))),
+        }
+    }
+
+    /// Applies one workload mutation ([`flexoffers_workloads::OfferEvent`]).
+    pub fn apply_offer_event(&mut self, event: OfferEvent) -> Result<(), LiveError> {
+        self.apply(event.into()).map(|answer| {
+            debug_assert!(answer.is_none(), "offer events are never queries");
+        })
+    }
+
+    /// Adds an offer, assigning and returning the next logical id. Routes
+    /// to `stable_shard(id, shards)` — the same placement a batch
+    /// [`collect_hashed`](flexoffers_engine::ShardedBook::collect_hashed)
+    /// build computes from logical positions; the placement is irrelevant
+    /// to answers (the merge is partition-independent), it only spreads
+    /// load.
+    pub fn add(&mut self, offer: FlexOffer) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let s = stable_shard(id, self.shards.len());
+        let key = grouping_key(&offer);
+        let shard = &mut self.shards[s];
+        self.owners.insert(id, (s, shard.ids.len()));
+        shard.ids.push(id);
+        shard.offers.push(offer);
+        shard.cache = None;
+        shard.key_digest = shard.key_digest.wrapping_add(key_hash(key));
+        self.keys.insert(id, key);
+        self.groups_cache = None;
+        id
+    }
+
+    /// Replaces the offer with logical id `id` in place. Dirties exactly
+    /// that offer's shard; when the replacement keeps the offer's grouping
+    /// key, the key index, digests, and cached grouping all stay warm.
+    pub fn update(&mut self, id: u64, offer: FlexOffer) -> Result<(), LiveError> {
+        let &(s, local) = self.owners.get(&id).ok_or(LiveError::UnknownId { id })?;
+        let shard = &mut self.shards[s];
+        let old_key = grouping_key(&shard.offers[local]);
+        let new_key = grouping_key(&offer);
+        if old_key != new_key {
+            assert!(self.keys.remove(id, old_key), "owner table and keys agree");
+            self.keys.insert(id, new_key);
+            shard.key_digest = shard
+                .key_digest
+                .wrapping_sub(key_hash(old_key))
+                .wrapping_add(key_hash(new_key));
+            self.groups_cache = None;
+        }
+        shard.offers[local] = offer;
+        shard.cache = None;
+        Ok(())
+    }
+
+    /// Removes the offer with logical id `id` (ids are never reused).
+    pub fn remove(&mut self, id: u64) -> Result<(), LiveError> {
+        let (s, local) = self.owners.remove(&id).ok_or(LiveError::UnknownId { id })?;
+        let shard = &mut self.shards[s];
+        let key = grouping_key(&shard.offers[local]);
+        shard.ids.swap_remove(local);
+        shard.offers.swap_remove(local);
+        if let Some(&moved) = shard.ids.get(local) {
+            // swap_remove relocated the former tail into the hole.
+            self.owners.insert(moved, (s, local));
+        }
+        shard.cache = None;
+        shard.key_digest = shard.key_digest.wrapping_sub(key_hash(key));
+        assert!(self.keys.remove(id, key), "owner table and keys agree");
+        self.groups_cache = None;
+        Ok(())
+    }
+
+    /// Answers one query from the incremental state as a single JSON line
+    /// — byte-identical to a from-scratch batch evaluation of the current
+    /// logical portfolio ([`crate::batch::answer`]).
+    pub fn answer(&mut self, kind: QueryKind) -> String {
+        match kind {
+            QueryKind::Measure => self.measure_answer(),
+            QueryKind::Aggregate => self.aggregate_answer(),
+            QueryKind::Schedule => self.schedule_answer(),
+            QueryKind::Trade => self.trade_answer(),
+        }
+    }
+
+    fn measure_answer(&mut self) -> String {
+        let started = Instant::now();
+        self.refresh_dirty();
+        let measures = all_measures();
+        let rows = self.gather_rows();
+        let summaries = reduce_measure_rows(&measures, &rows);
+        let report = PortfolioReport {
+            offers: rows.len(),
+            threads: self.engine.budget().threads(),
+            chunk_size: self.engine.budget().chunk_size_for(rows.len()),
+            elapsed: started.elapsed(),
+            summaries,
+        };
+        answer_line(QueryKind::Measure, &report.json())
+    }
+
+    fn aggregate_answer(&mut self) -> String {
+        self.ensure_groups();
+        let aggregates = self.aggregate_groups(self.cached_groups());
+        answer_line(
+            QueryKind::Aggregate,
+            &aggregate_report(self.len(), &aggregates),
+        )
+    }
+
+    fn schedule_answer(&mut self) -> String {
+        let kind = QueryKind::Schedule;
+        if self.is_empty() {
+            return error_line(kind, &ScenarioError::EmptyPortfolio.to_string());
+        }
+        let started = Instant::now();
+        self.refresh_dirty();
+        self.ensure_groups();
+        let groups = self.cached_groups();
+        let scenario = self.config.scenario(ScenarioKind::Schedule);
+        let n = self.len();
+        let target = scenario.target_for(n);
+
+        // The Scenario 1 pipeline over incrementally grouped state — the
+        // engine's own back half, so the stages cannot drift from the
+        // flat and sharded paths.
+        let aggregates = self.aggregate_groups(groups);
+        let scheduler = scenario.scheduler.build();
+        let outcome = match self.engine.schedule_aggregates(
+            &aggregates,
+            groups,
+            n,
+            &target,
+            scheduler.as_ref(),
+        ) {
+            Ok(outcome) => outcome,
+            Err(e) => return error_line(kind, &ScenarioError::from(e).to_string()),
+        };
+
+        // Earliest-start baseline: per-offer, computed per shard and
+        // scattered back to logical order.
+        let per_shard: Vec<Vec<Assignment>> =
+            parallel_map(&self.shards, self.engine.budget().threads(), |shard| {
+                shard.offers.iter().map(earliest_start_assignment).collect()
+            });
+        let baseline = Schedule::new(self.scatter(per_shard));
+        let imbalance_before = baseline.imbalance(&target);
+        let imbalance_after = outcome.schedule.imbalance(&target);
+
+        // Correlations reuse the cached measure rows; shifts come from the
+        // realized schedule against each offer's earliest start.
+        let rows = flatten_rows(self.gather_rows());
+        let earliest: Vec<i64> = self
+            .owners
+            .values()
+            .map(|&(s, local)| self.shards[s].offers[local].earliest_start())
+            .collect();
+        let shifts: Vec<f64> = outcome
+            .schedule
+            .assignments()
+            .iter()
+            .zip(&earliest)
+            .map(|(a, tes)| (a.start() - tes) as f64)
+            .collect();
+
+        let report = self.engine.schedule_report(
+            &scenario,
+            n,
+            &outcome,
+            imbalance_before,
+            imbalance_after,
+            &rows,
+            &shifts,
+            started,
+        );
+        answer_line(kind, &report.json())
+    }
+
+    fn trade_answer(&mut self) -> String {
+        let kind = QueryKind::Trade;
+        if self.is_empty() {
+            return error_line(kind, &ScenarioError::EmptyPortfolio.to_string());
+        }
+        let started = Instant::now();
+        self.refresh_dirty();
+        self.ensure_groups();
+        let scenario = self.config.scenario(ScenarioKind::Market);
+        let aggregates = self.aggregate_groups(self.cached_groups());
+        // The baseline folds the cached per-shard partials — integer
+        // series addition makes this the flat baseline bit for bit.
+        let baseline = sum_series(
+            self.shards
+                .iter()
+                .map(|s| &s.cache.as_ref().expect("refreshed above").baseline),
+        );
+        let report =
+            self.engine
+                .market_report(&scenario, self.len(), &aggregates, &baseline, started);
+        answer_line(kind, &report.json())
+    }
+
+    /// Re-runs the measure pass and the baseline partial on every dirty
+    /// shard (dirty shards fan out across the budget's threads, each
+    /// worker getting a per-shard split of the budget over the *dirty*
+    /// count — on the one-dirty-shard hot path that single worker gets the
+    /// whole thread budget; the split is throughput-only, results are
+    /// budget-invariant) and bumps those shards' evaluation counters.
+    /// Clean shards are not touched — this is the "one shard per
+    /// single-offer update" contract.
+    fn refresh_dirty(&mut self) {
+        let dirty: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, shard)| shard.cache.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if dirty.is_empty() {
+            return;
+        }
+        let worker = Engine::new(self.engine.budget().per_shard(dirty.len()));
+        let measures = all_measures();
+        let computed: Vec<ShardCache> = {
+            let work: Vec<&[FlexOffer]> =
+                dirty.iter().map(|&i| &self.shards[i].offers[..]).collect();
+            parallel_map(&work, self.engine.budget().threads(), |offers| ShardCache {
+                rows: worker.per_offer_rows(offers, &measures),
+                baseline: if offers.is_empty() {
+                    baseline_load(&[])
+                } else {
+                    worker.baseline_load_parallel(offers)
+                },
+            })
+        };
+        for (i, cache) in dirty.into_iter().zip(computed) {
+            self.shards[i].cache = Some(cache);
+            self.shards[i].evaluations += 1;
+        }
+    }
+
+    /// Cached per-offer measure rows in logical portfolio order. Callers
+    /// must [`refresh_dirty`](Self::refresh_dirty) first.
+    fn gather_rows(&self) -> Vec<Row> {
+        self.owners
+            .values()
+            .map(|&(s, local)| {
+                self.shards[s].cache.as_ref().expect("refreshed").rows[local].clone()
+            })
+            .collect()
+    }
+
+    /// Fills the grouping cache if a mutation invalidated it: the
+    /// tolerance grouping as positions into the logical portfolio. The
+    /// sweep runs over the already-sorted [`KeyIndex`] — no per-query
+    /// sort — and id order is position order, so the groups are exactly
+    /// [`flexoffers_aggregation::group_keys`] over the logical portfolio.
+    /// Borrow the result with [`cached_groups`](Self::cached_groups) —
+    /// the warm path is allocation-free.
+    fn ensure_groups(&mut self) {
+        if self.groups_cache.is_some() {
+            return;
+        }
+        let ids: Vec<u64> = self.owners.keys().copied().collect();
+        let groups: Vec<Vec<usize>> = self
+            .keys
+            .group_ids(&self.config.grouping)
+            .into_iter()
+            .map(|group| {
+                group
+                    .into_iter()
+                    .map(|id| ids.binary_search(&id).expect("grouped ids are live"))
+                    .collect()
+            })
+            .collect();
+        self.groups_cache = Some(groups);
+    }
+
+    /// The cached grouping; callers run
+    /// [`ensure_groups`](Self::ensure_groups) first.
+    fn cached_groups(&self) -> &[Vec<usize>] {
+        self.groups_cache.as_deref().expect("ensure_groups ran")
+    }
+
+    /// Aggregates every group in parallel, members gathered through the
+    /// owner table in group order — the live counterpart of the batch
+    /// book's per-group aggregation, same output order and content.
+    fn aggregate_groups(&self, groups: &[Vec<usize>]) -> Vec<Aggregate> {
+        let flat: Vec<&FlexOffer> = self
+            .owners
+            .values()
+            .map(|&(s, local)| &self.shards[s].offers[local])
+            .collect();
+        parallel_map(groups, self.engine.budget().threads(), |indices| {
+            let members: Vec<FlexOffer> = indices.iter().map(|&g| flat[g].clone()).collect();
+            aggregate(&members).expect("grouping never yields empty groups")
+        })
+    }
+
+    /// The merge tier's scatter: per-shard results reassembled into
+    /// logical portfolio order through the id ranks.
+    fn scatter<T>(&self, per_shard: Vec<Vec<T>>) -> Vec<T> {
+        let ids: Vec<u64> = self.owners.keys().copied().collect();
+        let mut out: Vec<Option<T>> = (0..ids.len()).map(|_| None).collect();
+        for (shard, results) in self.shards.iter().zip(per_shard) {
+            assert_eq!(shard.ids.len(), results.len(), "one result per offer");
+            for (&id, r) in shard.ids.iter().zip(results) {
+                let pos = ids.binary_search(&id).expect("shard ids are live");
+                out[pos] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("shards partition the book"))
+            .collect()
+    }
+}
+
+impl fmt::Debug for LiveBook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LiveBook")
+            .field("offers", &self.len())
+            .field("shards", &self.shard_count())
+            .field("next_id", &self.next_id)
+            .field("groups_cached", &self.groups_cached())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn offer(tes: i64, window: i64, lo: i64) -> FlexOffer {
+        FlexOffer::new(tes, tes + window, vec![Slice::new(lo, lo + 2).unwrap()]).unwrap()
+    }
+
+    fn book(shards: usize) -> LiveBook {
+        LiveBook::new(ServeConfig::default(), shards, Engine::sequential()).unwrap()
+    }
+
+    #[test]
+    fn zero_shards_is_the_documented_error() {
+        assert_eq!(
+            LiveBook::new(ServeConfig::default(), 0, Engine::sequential()).unwrap_err(),
+            EngineError::ZeroShards
+        );
+    }
+
+    #[test]
+    fn ids_are_monotone_and_the_logical_portfolio_is_id_ordered() {
+        let mut book = book(3);
+        let a = book.add(offer(0, 2, 1));
+        let b = book.add(offer(1, 3, -1));
+        let c = book.add(offer(2, 1, 0));
+        assert_eq!((a, b, c), (0, 1, 2));
+        book.remove(b).unwrap();
+        let d = book.add(offer(5, 2, 2));
+        assert_eq!(d, 3, "ids are never reused");
+        let logical = book.to_portfolio();
+        assert_eq!(logical.len(), 3);
+        assert_eq!(logical.as_slice()[0], offer(0, 2, 1));
+        assert_eq!(logical.as_slice()[1], offer(2, 1, 0));
+        assert_eq!(logical.as_slice()[2], offer(5, 2, 2));
+    }
+
+    #[test]
+    fn unknown_ids_are_reported_not_panicked() {
+        let mut book = book(2);
+        assert_eq!(
+            book.update(4, offer(0, 1, 0)).unwrap_err(),
+            LiveError::UnknownId { id: 4 }
+        );
+        assert_eq!(book.remove(4).unwrap_err(), LiveError::UnknownId { id: 4 });
+        assert!(LiveError::UnknownId { id: 4 }
+            .to_string()
+            .contains("unknown offer id 4"));
+    }
+
+    #[test]
+    fn single_offer_update_reevaluates_exactly_one_shard() {
+        let mut book = book(4);
+        let ids: Vec<u64> = (0..40).map(|i| book.add(offer(i % 5, i % 3, -1))).collect();
+        book.answer(QueryKind::Measure);
+        let warm = book.evaluations();
+        assert!(warm.iter().all(|&e| e == 1), "first query evaluates all");
+
+        let victim = ids[7];
+        let &(victim_shard, _) = book.owners.get(&victim).unwrap();
+        book.update(victim, offer(9, 1, 1)).unwrap();
+        book.answer(QueryKind::Measure);
+        let after = book.evaluations();
+        for (s, (&w, &a)) in warm.iter().zip(&after).enumerate() {
+            if s == victim_shard {
+                assert_eq!(a, w + 1, "dirty shard re-evaluates");
+            } else {
+                assert_eq!(a, w, "clean shard {s} must not re-evaluate");
+            }
+        }
+
+        // A query with nothing dirty evaluates nothing.
+        book.answer(QueryKind::Measure);
+        assert_eq!(book.evaluations(), after);
+    }
+
+    #[test]
+    fn key_preserving_updates_keep_the_grouping_cache_warm() {
+        let mut book = book(2);
+        let id = book.add(offer(0, 2, 1));
+        book.add(offer(0, 2, -1));
+        book.answer(QueryKind::Aggregate);
+        assert!(book.groups_cached());
+        let digests = book.key_digests();
+
+        // Same (tes, tf), different profile: grouping inputs unchanged.
+        book.update(id, offer(0, 2, 0)).unwrap();
+        assert_eq!(book.key_digests(), digests, "digest spots the no-op");
+        assert!(book.groups_cached(), "grouping cache survives");
+
+        // A key-changing update invalidates.
+        book.update(id, offer(7, 2, 0)).unwrap();
+        assert_ne!(book.key_digests(), digests);
+        assert!(!book.groups_cached());
+    }
+
+    #[test]
+    fn adds_and_removes_invalidate_the_grouping_cache() {
+        let mut book = book(2);
+        book.add(offer(0, 2, 1));
+        book.answer(QueryKind::Aggregate);
+        assert!(book.groups_cached());
+        let id = book.add(offer(1, 2, 1));
+        assert!(!book.groups_cached());
+        book.answer(QueryKind::Aggregate);
+        assert!(book.groups_cached());
+        book.remove(id).unwrap();
+        assert!(!book.groups_cached());
+    }
+
+    #[test]
+    fn empty_book_answers_match_the_batch_semantics() {
+        let mut book = book(3);
+        let measure = book.answer(QueryKind::Measure);
+        assert!(measure.contains("\"offers\":0"), "{measure}");
+        let aggregate = book.answer(QueryKind::Aggregate);
+        assert!(aggregate.contains("\"aggregates\":0"), "{aggregate}");
+        for kind in [QueryKind::Schedule, QueryKind::Trade] {
+            let answer = book.answer(kind);
+            assert!(answer.contains("\"error\":\"empty portfolio"), "{answer}");
+        }
+    }
+
+    #[test]
+    fn apply_routes_queries_and_mutations() {
+        let mut book = book(2);
+        assert_eq!(book.apply(Event::Add(offer(0, 1, 1))).unwrap(), None);
+        let answer = book
+            .apply(Event::Query(QueryKind::Measure))
+            .unwrap()
+            .expect("queries answer");
+        assert!(answer.starts_with("{\"query\":\"measure\""));
+        assert_eq!(
+            book.apply(Event::Remove { id: 9 }).unwrap_err(),
+            LiveError::UnknownId { id: 9 }
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! The mpsc event loop: a [`LiveBook`] owned by a dedicated thread,
+//! driven through a cloneable-free, ordered channel.
+//!
+//! [`LiveServer::spawn`] moves a fresh book onto a worker thread and hands
+//! back a [`LiveHandle`]. Mutations are fire-and-forget sends (the loop
+//! applies them in arrival order); queries carry a reply channel and block
+//! the *caller* — never the loop — until their answer line comes back.
+//! Because one thread owns all state, answers are linearisable: a query
+//! observes exactly the mutations sent before it.
+//!
+//! A mutation error (an unknown id — impossible for scripts that went
+//! through [`parse_script`](crate::parse_script), which validates ids
+//! statically) stops the loop: subsequent sends report [`ServerGone`], and
+//! [`LiveHandle::shutdown`] surfaces the original [`LiveError`].
+
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use flexoffers_engine::{Engine, EngineError};
+use flexoffers_model::FlexOffer;
+
+use crate::config::ServeConfig;
+use crate::event::{Event, QueryKind};
+use crate::live::{LiveBook, LiveError};
+
+/// The loop has terminated — either shut down, or stopped on a mutation
+/// error ([`LiveHandle::shutdown`] tells which).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerGone;
+
+impl fmt::Display for ServerGone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serving loop terminated — shutdown() reports why")
+    }
+}
+
+impl Error for ServerGone {}
+
+enum Request {
+    Mutate(Event),
+    Query(QueryKind, mpsc::Sender<String>),
+}
+
+/// Spawner for the serving loop.
+pub struct LiveServer;
+
+impl LiveServer {
+    /// Spawns a serving loop over an empty [`LiveBook`] with the given
+    /// shard count and engine budget.
+    pub fn spawn(
+        config: ServeConfig,
+        shards: usize,
+        engine: Engine,
+    ) -> Result<LiveHandle, EngineError> {
+        let mut book = LiveBook::new(config, shards, engine)?;
+        let (tx, rx) = mpsc::channel::<Request>();
+        let thread = std::thread::spawn(move || {
+            for request in rx {
+                match request {
+                    Request::Mutate(event) => {
+                        book.apply(event)?;
+                    }
+                    Request::Query(kind, reply) => {
+                        // A dropped reply receiver just means the caller
+                        // stopped waiting; the loop carries on.
+                        let _ = reply.send(book.answer(kind));
+                    }
+                }
+            }
+            Ok(())
+        });
+        Ok(LiveHandle {
+            tx: Some(tx),
+            thread: Some(thread),
+        })
+    }
+}
+
+/// The caller's side of the serving loop.
+#[derive(Debug)]
+pub struct LiveHandle {
+    tx: Option<mpsc::Sender<Request>>,
+    thread: Option<JoinHandle<Result<(), LiveError>>>,
+}
+
+impl LiveHandle {
+    fn sender(&self) -> &mpsc::Sender<Request> {
+        self.tx.as_ref().expect("sender lives until shutdown/drop")
+    }
+
+    /// Sends one event: mutations return `Ok(None)` immediately (applied
+    /// in order by the loop), queries block for their answer line.
+    pub fn send(&self, event: Event) -> Result<Option<String>, ServerGone> {
+        match event {
+            Event::Query(kind) => self.query(kind).map(Some),
+            mutation => self
+                .sender()
+                .send(Request::Mutate(mutation))
+                .map(|()| None)
+                .map_err(|_| ServerGone),
+        }
+    }
+
+    /// Enqueues an add (the loop assigns the next logical id).
+    pub fn add(&self, offer: FlexOffer) -> Result<(), ServerGone> {
+        self.send(Event::Add(offer)).map(|_| ())
+    }
+
+    /// Enqueues an in-place update of offer `id`.
+    pub fn update(&self, id: u64, offer: FlexOffer) -> Result<(), ServerGone> {
+        self.send(Event::Update { id, offer }).map(|_| ())
+    }
+
+    /// Enqueues a removal of offer `id`.
+    pub fn remove(&self, id: u64) -> Result<(), ServerGone> {
+        self.send(Event::Remove { id }).map(|_| ())
+    }
+
+    /// Runs a query against the state after every previously sent event
+    /// and blocks until its one-line JSON answer arrives.
+    pub fn query(&self, kind: QueryKind) -> Result<String, ServerGone> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.sender()
+            .send(Request::Query(kind, reply_tx))
+            .map_err(|_| ServerGone)?;
+        reply_rx.recv().map_err(|_| ServerGone)
+    }
+
+    /// Closes the channel, drains the loop, and reports how it ended:
+    /// `Ok(())` after a clean drain, or the [`LiveError`] that stopped it.
+    pub fn shutdown(mut self) -> Result<(), LiveError> {
+        self.tx.take();
+        let thread = self.thread.take().expect("not yet joined");
+        match thread.join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl Drop for LiveHandle {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(thread) = self.thread.take() {
+            // A drop without shutdown() still drains the loop; apply
+            // errors are intentionally discarded here.
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn offer(tes: i64) -> FlexOffer {
+        FlexOffer::new(tes, tes + 2, vec![Slice::new(1, 3).unwrap()]).unwrap()
+    }
+
+    fn spawn() -> LiveHandle {
+        LiveServer::spawn(ServeConfig::default(), 3, Engine::sequential()).unwrap()
+    }
+
+    #[test]
+    fn queries_observe_all_prior_events_in_order() {
+        let handle = spawn();
+        for tes in 0..10 {
+            handle.add(offer(tes)).unwrap();
+        }
+        handle.remove(4).unwrap();
+        handle.update(5, offer(99)).unwrap();
+        let served = handle.query(QueryKind::Measure).unwrap();
+
+        let mut direct = LiveBook::new(ServeConfig::default(), 3, Engine::sequential()).unwrap();
+        for tes in 0..10 {
+            direct.add(offer(tes));
+        }
+        direct.remove(4).unwrap();
+        direct.update(5, offer(99)).unwrap();
+        assert_eq!(served, direct.answer(QueryKind::Measure));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_at_spawn() {
+        assert_eq!(
+            LiveServer::spawn(ServeConfig::default(), 0, Engine::sequential()).unwrap_err(),
+            EngineError::ZeroShards
+        );
+    }
+
+    #[test]
+    fn mutation_errors_stop_the_loop_and_surface_at_shutdown() {
+        let handle = spawn();
+        handle.remove(42).unwrap(); // enqueued fine; fails in the loop
+                                    // The channel is ordered, so the loop hits the bad remove (and
+                                    // exits) before it could ever answer this query.
+        let gone = handle.query(QueryKind::Measure).unwrap_err();
+        assert_eq!(gone, ServerGone);
+        assert!(gone.to_string().contains("terminated"));
+        assert_eq!(
+            handle.shutdown().unwrap_err(),
+            LiveError::UnknownId { id: 42 }
+        );
+    }
+
+    #[test]
+    fn send_routes_queries_and_mutations() {
+        let handle = spawn();
+        assert_eq!(handle.send(Event::Add(offer(1))).unwrap(), None);
+        let answer = handle
+            .send(Event::Query(QueryKind::Aggregate))
+            .unwrap()
+            .expect("queries answer");
+        assert!(answer.contains("\"offers\":1"), "{answer}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dropping_the_handle_does_not_hang() {
+        let handle = spawn();
+        handle.add(offer(0)).unwrap();
+        drop(handle);
+    }
+}

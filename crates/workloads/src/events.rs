@@ -1,0 +1,262 @@
+//! Deterministic flex-offer *event* workloads for the live serving tier.
+//!
+//! A production flexibility platform never sees a finished portfolio: offers
+//! arrive, get revised as device states change, and disappear when devices
+//! commit or unplug. [`event_stream`] turns the existing [`city`] builder
+//! into exactly that shape — a seeded Add/Update/Remove sequence — so the
+//! serving benches, the proptests, and the CLI script generator all draw
+//! from one workload source.
+//!
+//! Ids follow the serving tier's contract: the `k`-th `Add` carries logical
+//! id `k` (a monotone counter, never reused), and updates/removes reference
+//! ids that are live at that point in the stream. Everything is a pure
+//! function of `(seed, households, churn)`.
+//!
+//! [`city`]: crate::city
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flexoffers_model::FlexOffer;
+
+use crate::device::DeviceModel;
+use crate::dishwasher::Dishwasher;
+use crate::ev::EvCharger;
+use crate::fridge::Refrigerator;
+use crate::heatpump::HeatPump;
+use crate::population::{city_offer_count, city_stream, PopulationStream};
+use crate::solar::SolarPanel;
+use crate::v2g::VehicleToGrid;
+use crate::wind::WindTurbine;
+
+/// One mutation of a live flex-offer book.
+///
+/// The query side of a serving event loop lives with the server (queries
+/// carry reply channels); this is the workload-generable part.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OfferEvent {
+    /// A new flex-offer arrives; the receiver assigns it the next logical
+    /// id (the `k`-th add in a stream gets id `k`).
+    Add(FlexOffer),
+    /// The offer with logical id `id` is revised in place.
+    Update {
+        /// Logical id assigned at add time.
+        id: u64,
+        /// The replacement flex-offer.
+        offer: FlexOffer,
+    },
+    /// The offer with logical id `id` leaves the book. Ids are never
+    /// reused.
+    Remove {
+        /// Logical id assigned at add time.
+        id: u64,
+    },
+}
+
+/// A deterministic Add/Update/Remove sequence over the [`city`] workload:
+/// every city offer arrives as an `Add` (in exactly the [`city_stream`]
+/// order, so the post-add book *is* the city portfolio), followed by
+/// `round(offers × churn)` churn events alternating `Update` (a fresh
+/// device profile for a random live id) and `Remove` (a random live id
+/// leaves).
+///
+/// The stream is lazy ([`EventStream`] generates one event at a time with
+/// an exact size hint), so million-offer event scripts can be drained
+/// straight into a live book or a file without materialising a `Vec`.
+/// Deterministic under `(seed, households, churn)`; the churn RNG stream is
+/// independent of the city generation stream.
+///
+/// # Panics
+///
+/// Panics if `churn` is not a finite fraction in `[0, 1]` — more churn
+/// than offers would let removals outrun the book.
+///
+/// [`city`]: crate::city
+pub fn event_stream(seed: u64, households: usize, churn: f64) -> EventStream {
+    assert!(
+        churn.is_finite() && (0.0..=1.0).contains(&churn),
+        "churn must be a fraction in [0, 1], got {churn}"
+    );
+    let offers = city_offer_count(households);
+    EventStream {
+        adds: city_stream(seed, households),
+        // A fixed xor keeps the churn stream well separated from the city
+        // stream under equal seeds (seed_from_u64 expands via SplitMix64).
+        rng: StdRng::seed_from_u64(seed ^ 0xc4a2_99d5_6f3e_81b7),
+        models: replacement_models(),
+        live: Vec::with_capacity(offers),
+        next_id: 0,
+        churn_remaining: ((offers as f64) * churn).round() as usize,
+        churn_emitted: 0,
+    }
+}
+
+/// Exact number of events [`event_stream`] yields for the given knobs.
+pub fn event_stream_len(households: usize, churn: f64) -> usize {
+    let offers = city_offer_count(households);
+    offers + ((offers as f64) * churn).round() as usize
+}
+
+/// The device mix churn updates draw replacements from — every class the
+/// city contains, so updates keep exercising negative and mixed offers.
+fn replacement_models() -> Vec<Box<dyn DeviceModel>> {
+    vec![
+        Box::new(EvCharger::default()),
+        Box::new(Dishwasher::default()),
+        Box::new(HeatPump::default()),
+        Box::new(Refrigerator::default()),
+        Box::new(SolarPanel::default()),
+        Box::new(WindTurbine::default()),
+        Box::new(VehicleToGrid::default()),
+    ]
+}
+
+/// The lazy generator behind [`event_stream`]; see there for the contract.
+pub struct EventStream {
+    adds: PopulationStream,
+    rng: StdRng,
+    models: Vec<Box<dyn DeviceModel>>,
+    live: Vec<u64>,
+    next_id: u64,
+    churn_remaining: usize,
+    churn_emitted: usize,
+}
+
+impl Iterator for EventStream {
+    type Item = OfferEvent;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(offer) = self.adds.next() {
+            self.live.push(self.next_id);
+            self.next_id += 1;
+            return Some(OfferEvent::Add(offer));
+        }
+        if self.churn_remaining == 0 || self.live.is_empty() {
+            return None;
+        }
+        self.churn_remaining -= 1;
+        let turn = self.churn_emitted;
+        self.churn_emitted += 1;
+        let at = self.rng.gen_range(0..self.live.len());
+        if turn.is_multiple_of(2) {
+            let id = self.live[at];
+            let which = self.rng.gen_range(0..self.models.len());
+            let offer = self.models[which].generate(0, &mut self.rng);
+            Some(OfferEvent::Update { id, offer })
+        } else {
+            // Alternation caps removals at half the churn budget, and churn
+            // is capped at 1.0, so the live set cannot drain below the
+            // budget — the `is_empty` guard above is belt and braces.
+            Some(OfferEvent::Remove {
+                id: self.live.swap_remove(at),
+            })
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.adds.len() + self.churn_remaining;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EventStream {}
+
+impl std::fmt::Debug for EventStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventStream")
+            .field("adds_remaining", &self.adds.len())
+            .field("churn_remaining", &self.churn_remaining)
+            .field("live", &self.live.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city;
+
+    #[test]
+    fn deterministic_under_the_knobs() {
+        let a: Vec<OfferEvent> = event_stream(11, 40, 0.25).collect();
+        let b: Vec<OfferEvent> = event_stream(11, 40, 0.25).collect();
+        assert_eq!(a, b);
+        let other_seed: Vec<OfferEvent> = event_stream(12, 40, 0.25).collect();
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn zero_churn_is_exactly_the_city_in_order() {
+        let events: Vec<OfferEvent> = event_stream(7, 30, 0.0).collect();
+        let portfolio = city(7, 30);
+        assert_eq!(events.len(), portfolio.len());
+        for (event, fo) in events.iter().zip(&portfolio) {
+            assert_eq!(event, &OfferEvent::Add(fo.clone()));
+        }
+    }
+
+    #[test]
+    fn churn_counts_and_alternation_match_the_contract() {
+        let households = 50;
+        let offers = city_offer_count(households);
+        let churn = 0.2;
+        let events: Vec<OfferEvent> = event_stream(3, households, churn).collect();
+        assert_eq!(events.len(), event_stream_len(households, churn));
+        let adds = events
+            .iter()
+            .filter(|e| matches!(e, OfferEvent::Add(_)))
+            .count();
+        let updates = events
+            .iter()
+            .filter(|e| matches!(e, OfferEvent::Update { .. }))
+            .count();
+        let removes = events
+            .iter()
+            .filter(|e| matches!(e, OfferEvent::Remove { .. }))
+            .count();
+        assert_eq!(adds, offers);
+        let total = ((offers as f64) * churn).round() as usize;
+        assert_eq!(updates, total.div_ceil(2), "updates go first");
+        assert_eq!(removes, total / 2);
+        // All adds precede all churn.
+        let first_churn = events
+            .iter()
+            .position(|e| !matches!(e, OfferEvent::Add(_)))
+            .unwrap();
+        assert_eq!(first_churn, offers);
+    }
+
+    #[test]
+    fn updates_and_removes_reference_live_ids_only() {
+        let mut live = std::collections::BTreeSet::new();
+        let mut next = 0u64;
+        for event in event_stream(9, 60, 1.0) {
+            match event {
+                OfferEvent::Add(_) => {
+                    live.insert(next);
+                    next += 1;
+                }
+                OfferEvent::Update { id, .. } => assert!(live.contains(&id), "update of dead {id}"),
+                OfferEvent::Remove { id } => assert!(live.remove(&id), "remove of dead {id}"),
+            }
+        }
+        assert!(!live.is_empty(), "full churn still leaves half the book");
+    }
+
+    #[test]
+    fn size_hint_is_exact_and_counts_down() {
+        let mut stream = event_stream(5, 10, 0.5);
+        let expected = event_stream_len(10, 0.5);
+        assert_eq!(stream.len(), expected);
+        stream.next().expect("at least one event");
+        assert_eq!(stream.len(), expected - 1);
+        assert_eq!(stream.by_ref().count(), expected - 1);
+        assert_eq!(stream.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn must be a fraction")]
+    fn out_of_range_churn_is_rejected() {
+        event_stream(1, 10, 1.5);
+    }
+}

@@ -15,6 +15,9 @@
 //!   product measure (Example 11);
 //! * [`v2g::VehicleToGrid`] — the paper's example of a *mixed* flex-offer;
 //! * [`population`] — district-scale portfolios with a realistic device mix;
+//! * [`events`] — seeded Add/Update/Remove event streams over the city
+//!   builder, the shared workload of the live serving tier's benches and
+//!   tests;
 //! * [`res`] and [`price`] — renewable production and spot price traces for
 //!   the scheduling and market experiments.
 //!
@@ -28,6 +31,7 @@
 pub mod device;
 pub mod dishwasher;
 pub mod ev;
+pub mod events;
 pub mod fridge;
 pub mod heatpump;
 pub mod population;
@@ -40,6 +44,7 @@ pub mod wind;
 pub use device::{DeviceKind, DeviceModel};
 pub use dishwasher::Dishwasher;
 pub use ev::EvCharger;
+pub use events::{event_stream, event_stream_len, EventStream, OfferEvent};
 pub use fridge::Refrigerator;
 pub use heatpump::HeatPump;
 pub use population::{

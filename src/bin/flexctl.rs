@@ -8,9 +8,14 @@
 //! flexctl measure --portfolio --city H [--seed S]    same, over a generated
 //!         [--threads N] [--shards K] [--json]        city streamed into shards
 //! flexctl simulate --scenario <schedule|market>      run a scenario pipeline
-//!         [--households H] [--seed S] [--threads N]  on a generated city
-//!         [--shards K] [--scheduler greedy|hillclimb]
-//!         [--json]
+//!         [--city H] [--seed S] [--threads N]        on a generated city
+//!         [--shards K] [--scheduler greedy|hillclimb] (--households is an
+//!         [--json]                                    alias of --city)
+//! flexctl serve --script <events.jsonl|->            replay an event stream
+//!         [--shards K] [--threads N] [--seed S]      through the live book;
+//!         [--batch]                                  one JSON line per query
+//! flexctl events --city H [--seed S] [--churn PCT]   generate such a script
+//!         [--queries N]                              from the city workload
 //! flexctl render  <file.json|->                      ASCII-render it
 //! flexctl count   <file.json|->                      assignment-space sizes
 //! flexctl names                                      list measure names
@@ -30,14 +35,23 @@
 //! into the shard buffers, so a million-offer city never materialises as
 //! one allocation:
 //! `flexctl measure --portfolio --city 296000 --shards 8 --json`.
+//!
+//! `serve` replays a JSONL event script (see `flexctl events` and the
+//! serving crate's event schema: one `{"event": "add|update|remove|query",
+//! ...}` object per line) through the live serving tier and prints one
+//! deterministic JSON line per query. `--batch` answers every query by
+//! rebuilding the portfolio from scratch through the flat engine instead —
+//! the outputs are byte-identical, which CI `cmp`s.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use flexoffers::area::{render_flexoffer, render_union};
 use flexoffers::engine::{Budget, Engine};
 use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
-use flexoffers::workloads::{city_stream, district, EvCharger};
+use flexoffers::serving::batch::BatchBook;
+use flexoffers::serving::{parse_script, Event, LiveServer, QueryKind, ServeConfig};
+use flexoffers::workloads::{city_stream, district, event_stream, event_stream_len, EvCharger};
 use flexoffers::{
     FlexOffer, Partitioner, Portfolio, Scenario, ScenarioKind, SchedulerChoice, ShardedBook,
 };
@@ -58,8 +72,10 @@ const USAGE: &str = "usage:
   flexctl measure --portfolio <file.json|-> [--threads N] [--shards K] [--json]
                   [measure-name ...]
   flexctl measure --portfolio --city H [--seed S] [--threads N] [--shards K] [--json]
-  flexctl simulate --scenario <schedule|market> [--households H] [--seed S]
+  flexctl simulate --scenario <schedule|market> [--city H] [--seed S]
                    [--threads N] [--shards K] [--scheduler greedy|hillclimb] [--json]
+  flexctl serve --script <events.jsonl|-> [--shards K] [--threads N] [--seed S] [--batch]
+  flexctl events --city H [--seed S] [--churn PCT] [--queries N]
   flexctl render  <file.json|->
   flexctl count   <file.json|->
   flexctl names
@@ -92,6 +108,8 @@ fn run(cmd: &str, rest: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         "simulate" => simulate(rest),
+        "serve" => serve(rest),
+        "events" => events(rest),
         "measure" if rest.iter().any(|a| a == "--portfolio") => measure_portfolio(rest),
         "measure" | "render" | "count" => {
             let Some(path) = rest.first() else {
@@ -152,6 +170,65 @@ fn load_portfolio(path: &str) -> Result<Portfolio, String> {
     .map_err(|e| format!("parsing portfolio JSON: {e}"))
 }
 
+/// Parses the value of a numeric flag out of the argument iterator — the
+/// one implementation behind every `--threads/--shards/--city/--seed/...`
+/// across the subcommands, so the error wording cannot drift.
+fn count_flag(flag: &str, args: &mut std::slice::Iter<'_, String>) -> Result<u64, String> {
+    let Some(value) = args.next() else {
+        return Err(format!("{flag} needs a value"));
+    };
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("{flag} takes a number, got {value}"))
+}
+
+/// The engine budget for an optional `--threads` value.
+fn budget_for(threads: Option<usize>) -> Result<Budget, String> {
+    match threads {
+        Some(n) => Budget::with_threads(n).map_err(|e| e.to_string()),
+        None => Ok(Budget::detected()),
+    }
+}
+
+/// A loaded portfolio, flat or already partitioned into a sharded book.
+enum LoadedBook {
+    Flat(Portfolio),
+    Book(ShardedBook),
+}
+
+impl LoadedBook {
+    fn is_empty(&self) -> bool {
+        match self {
+            LoadedBook::Flat(p) => p.is_empty(),
+            LoadedBook::Book(b) => b.is_empty(),
+        }
+    }
+}
+
+/// The one city-loading path behind `measure --portfolio --city` and
+/// `simulate`: generate the seeded city and either collect it flat or
+/// stream it straight into hash-partitioned shard buffers (a
+/// million-offer city never materialises as one allocation).
+fn city_book(seed: u64, households: usize, shards: Option<usize>) -> Result<LoadedBook, String> {
+    match shards {
+        Some(k) => ShardedBook::collect_hashed(city_stream(seed, households), k)
+            .map(LoadedBook::Book)
+            .map_err(|e| e.to_string()),
+        None => Ok(LoadedBook::Flat(city_stream(seed, households).collect())),
+    }
+}
+
+/// The file-loading counterpart of [`city_book`].
+fn file_book(path: &str, shards: Option<usize>) -> Result<LoadedBook, String> {
+    let portfolio = load_portfolio(path)?;
+    match shards {
+        Some(k) => ShardedBook::from_portfolio(portfolio, k, &Partitioner::HashById)
+            .map(LoadedBook::Book)
+            .map_err(|e| e.to_string()),
+        None => Ok(LoadedBook::Flat(portfolio)),
+    }
+}
+
 fn resolve_measures(names: &[String]) -> Result<Vec<Box<dyn Measure>>, String> {
     if names.is_empty() {
         return Ok(all_measures());
@@ -182,15 +259,13 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
         match arg.as_str() {
             "--portfolio" => {}
             "--json" => json = true,
-            "--threads" | "--shards" | "--city" | "--seed" => {
-                let flag = arg.as_str();
-                let Some(value) = args.next() else {
-                    eprintln!("error: {flag} needs a value");
-                    return ExitCode::FAILURE;
-                };
-                let Ok(n) = value.parse::<u64>() else {
-                    eprintln!("error: {flag} takes a number, got {value}");
-                    return ExitCode::FAILURE;
+            flag @ ("--threads" | "--shards" | "--city" | "--seed") => {
+                let n = match count_flag(flag, &mut args) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 };
                 match flag {
                     "--threads" => threads = Some(n as usize),
@@ -219,15 +294,12 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
     }
     let seed = seed.unwrap_or(7);
 
-    let budget = match threads {
-        Some(n) => match Budget::with_threads(n) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => Budget::detected(),
+    let budget = match budget_for(threads) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     let measures = match resolve_measures(&names) {
         Ok(m) => m,
@@ -238,67 +310,31 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
     };
     let engine = Engine::new(budget);
 
-    let report = match (city, path) {
-        (Some(households), _) => match shards {
-            Some(k) => {
-                // Generated city, streamed straight into the shard
-                // buffers — the full book never exists as one allocation.
-                let book = match ShardedBook::collect_hashed(city_stream(seed, households), k) {
-                    Ok(b) => b,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                if book.is_empty() {
-                    eprintln!("error: empty portfolio — nothing to measure");
-                    return ExitCode::FAILURE;
-                }
-                engine.measure_book(&book, &measures)
-            }
-            None => {
-                // No --shards: the genuinely flat engine path, so the CI
-                // byte-compare against a sharded run exercises two
-                // different pipelines.
-                let portfolio: Portfolio = city_stream(seed, households).collect();
-                if portfolio.is_empty() {
-                    eprintln!("error: empty portfolio — nothing to measure");
-                    return ExitCode::FAILURE;
-                }
-                engine.measure_portfolio(portfolio.as_slice(), &measures)
-            }
-        },
-        (None, Some(path)) => {
-            let portfolio = match load_portfolio(&path) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if portfolio.is_empty() {
-                eprintln!("error: empty portfolio — nothing to measure");
-                return ExitCode::FAILURE;
-            }
-            match shards {
-                Some(k) => {
-                    let book =
-                        match ShardedBook::from_portfolio(portfolio, k, &Partitioner::HashById) {
-                            Ok(b) => b,
-                            Err(e) => {
-                                eprintln!("error: {e}");
-                                return ExitCode::FAILURE;
-                            }
-                        };
-                    engine.measure_book(&book, &measures)
-                }
-                None => engine.measure_portfolio(portfolio.as_slice(), &measures),
-            }
-        }
+    // One loading helper for both sources (city generation streams into
+    // shard buffers when sharded; without --shards the genuinely flat
+    // engine path runs, so the CI byte-compare against a sharded run
+    // exercises two different pipelines).
+    let loaded = match (city, path) {
+        (Some(households), _) => city_book(seed, households, shards),
+        (None, Some(path)) => file_book(&path, shards),
         (None, None) => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
+    };
+    let report = match loaded {
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(loaded) if loaded.is_empty() => {
+            eprintln!("error: empty portfolio — nothing to measure");
+            return ExitCode::FAILURE;
+        }
+        Ok(LoadedBook::Flat(portfolio)) => {
+            engine.measure_portfolio(portfolio.as_slice(), &measures)
+        }
+        Ok(LoadedBook::Book(book)) => engine.measure_book(&book, &measures),
     };
 
     if json {
@@ -312,13 +348,16 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The `simulate` path: parse flags, build a scenario over a generated
-/// city portfolio, run it through the engine, print the report (text or
-/// `--json`; the JSON mirror is deterministic across thread counts).
+/// The `simulate` path: parse flags, generate the city portfolio through
+/// the same loading helper `measure --portfolio --city` uses (`--city` and
+/// `--households` name the same knob), run the scenario through the
+/// engine, print the report (text or `--json`; the JSON mirror is
+/// deterministic across thread counts and shard counts).
 fn simulate(rest: &[String]) -> ExitCode {
     // ~3.4 offers per household puts the default portfolio above the
     // 10k-offer scale the engine pipelines are sized for.
-    let mut households: usize = 3_000;
+    let mut households: Option<usize> = None;
+    let mut city: Option<usize> = None;
     let mut seed: u64 = 7;
     let mut kind: Option<ScenarioKind> = None;
     let mut scheduler = SchedulerChoice::Greedy;
@@ -356,18 +395,17 @@ fn simulate(rest: &[String]) -> ExitCode {
                     }
                 }
             }
-            "--households" | "--seed" | "--threads" | "--shards" => {
-                let flag = arg.as_str();
-                let Some(value) = args.next() else {
-                    eprintln!("error: {flag} needs a value");
-                    return ExitCode::FAILURE;
-                };
-                let Ok(n) = value.parse::<u64>() else {
-                    eprintln!("error: {flag} takes a number, got {value}");
-                    return ExitCode::FAILURE;
+            flag @ ("--city" | "--households" | "--seed" | "--threads" | "--shards") => {
+                let n = match count_flag(flag, &mut args) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 };
                 match flag {
-                    "--households" => households = n as usize,
+                    "--city" => city = Some(n as usize),
+                    "--households" => households = Some(n as usize),
                     "--seed" => seed = n,
                     "--shards" => shards = Some(n as usize),
                     _ => threads = Some(n as usize),
@@ -383,23 +421,32 @@ fn simulate(rest: &[String]) -> ExitCode {
         eprintln!("error: simulate needs --scenario schedule|market\n{USAGE}");
         return ExitCode::FAILURE;
     };
-    let budget = match threads {
-        Some(n) => match Budget::with_threads(n) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => Budget::detected(),
+    let households = match (city, households) {
+        (Some(_), Some(_)) => {
+            eprintln!("error: --city and --households name the same knob; give one");
+            return ExitCode::FAILURE;
+        }
+        (Some(h), None) | (None, Some(h)) => h,
+        (None, None) => 3_000,
+    };
+    let budget = match budget_for(threads) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
 
     let mut scenario = Scenario::city_portfolio(kind, households).with_seed(seed);
     scenario.scheduler = scheduler;
     let engine = Engine::new(budget);
-    let outcome = match shards {
-        Some(k) => engine.simulate_sharded(&scenario, k),
-        None => engine.simulate(&scenario),
+    let outcome = match city_book(seed, households, shards) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(LoadedBook::Flat(portfolio)) => engine.simulate_portfolio(&scenario, &portfolio),
+        Ok(LoadedBook::Book(book)) => engine.simulate_book(&scenario, &book),
     };
     match outcome {
         Ok(report) => {
@@ -418,6 +465,219 @@ fn simulate(rest: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `serve` path: parse and statically validate a JSONL event script,
+/// then replay it — through the live mpsc serving loop (default), or
+/// through the from-scratch batch oracle (`--batch`). Every query prints
+/// one JSON line; the two modes are byte-identical.
+fn serve(rest: &[String]) -> ExitCode {
+    let mut script: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut batch = false;
+
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--batch" => batch = true,
+            "--script" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --script needs a path (or - for stdin)");
+                    return ExitCode::FAILURE;
+                };
+                script = Some(value.clone());
+            }
+            flag @ ("--shards" | "--threads" | "--seed") => {
+                let n = match count_flag(flag, &mut args) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match flag {
+                    "--shards" => shards = Some(n as usize),
+                    "--threads" => threads = Some(n as usize),
+                    _ => seed = Some(n),
+                }
+            }
+            other => {
+                eprintln!("error: unknown serve argument {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if batch && shards.is_some() {
+        // The batch oracle is deliberately the *flat* engine; silently
+        // accepting --shards would mislabel what was measured.
+        eprintln!(
+            "error: --shards does not apply to --batch (the batch oracle is the flat engine)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let shards = shards.unwrap_or(1);
+    let Some(script) = script else {
+        eprintln!("error: serve needs --script <events.jsonl|->\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match read_input(&script) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_script(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let budget = match budget_for(threads) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = ServeConfig::default();
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    let engine = Engine::new(budget);
+
+    if batch {
+        let mut book = BatchBook::new(config, engine);
+        for event in events {
+            match book.apply(event) {
+                Ok(Some(line)) => println!("{line}"),
+                Ok(None) => {}
+                Err(e) => {
+                    // Unreachable for a validated script; kept as a guard.
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let handle = match LiveServer::spawn(config, shards, engine) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for event in events {
+        match handle.send(event) {
+            Ok(Some(line)) => println!("{line}"),
+            Ok(None) => {}
+            Err(_) => break, // the loop died; shutdown() reports why
+        }
+    }
+    match handle.shutdown() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `events` path: generate a deterministic JSONL event script from
+/// the city workload ([`event_stream`]) with `--queries` query events
+/// (cycling measure/aggregate/schedule/trade) spread evenly through the
+/// stream — the input `flexctl serve` replays and CI diffs live-vs-batch.
+fn events(rest: &[String]) -> ExitCode {
+    let mut city: Option<usize> = None;
+    let mut seed: u64 = 7;
+    let mut churn_pct: f64 = 0.0;
+    let mut queries: usize = 4;
+
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--churn" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --churn needs a value (percent of offers)");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(pct) = value.parse::<f64>() else {
+                    eprintln!("error: --churn takes a number, got {value}");
+                    return ExitCode::FAILURE;
+                };
+                if !pct.is_finite() || !(0.0..=100.0).contains(&pct) {
+                    eprintln!("error: --churn is a percentage between 0 and 100, got {value}");
+                    return ExitCode::FAILURE;
+                }
+                churn_pct = pct;
+            }
+            flag @ ("--city" | "--seed" | "--queries") => {
+                let n = match count_flag(flag, &mut args) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match flag {
+                    "--city" => city = Some(n as usize),
+                    "--seed" => seed = n,
+                    _ => queries = n as usize,
+                }
+            }
+            other => {
+                eprintln!("error: unknown events argument {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(households) = city else {
+        eprintln!("error: events needs --city H\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let churn = churn_pct / 100.0;
+    let total = event_stream_len(households, churn);
+    // Queries go out every `stride` mutations (and any remainder at the
+    // end), cycling the four kinds in wire order.
+    let stride = if queries == 0 {
+        usize::MAX
+    } else {
+        total.div_ceil(queries).max(1)
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut emitted_queries = 0usize;
+    // A closed pipe (`flexctl events ... | head`) is a normal way to
+    // consume a large stream generator: stop emitting, exit cleanly.
+    let mut write = |line: String| writeln!(out, "{line}").is_ok();
+    'emit: {
+        for (i, event) in event_stream(seed, households, churn).enumerate() {
+            if !write(Event::from(event).to_json_line()) {
+                break 'emit;
+            }
+            if (i + 1) % stride == 0 && emitted_queries < queries {
+                let kind = QueryKind::all()[emitted_queries % 4];
+                if !write(Event::Query(kind).to_json_line()) {
+                    break 'emit;
+                }
+                emitted_queries += 1;
+            }
+        }
+        while emitted_queries < queries {
+            let kind = QueryKind::all()[emitted_queries % 4];
+            if !write(Event::Query(kind).to_json_line()) {
+                break 'emit;
+            }
+            emitted_queries += 1;
+        }
+    }
+    let _ = out.flush();
+    ExitCode::SUCCESS
 }
 
 fn measure(fo: &FlexOffer, names: &[String]) -> ExitCode {

@@ -22,7 +22,12 @@
 //!   (schedule toward a target, trade on the balancing market), with
 //!   deterministic merge order — including sharded multi-million-offer
 //!   books ([`ShardedBook`]) whose per-shard workers and merge tier stay
-//!   bitwise identical to the flat engine.
+//!   bitwise identical to the flat engine;
+//! * [`serving`] — the live tier on top: an event-driven
+//!   [`LiveBook`](serving::LiveBook) over per-shard incremental state
+//!   (cached measure rows, baseline partials, group-key digests) answering
+//!   measure/aggregate/schedule/trade queries between updates, byte-
+//!   identical to a from-scratch batch rebuild.
 //!
 //! The most common types are re-exported at the crate root.
 //!
@@ -58,6 +63,7 @@ pub use flexoffers_market as market;
 pub use flexoffers_measures as measures;
 pub use flexoffers_model as model;
 pub use flexoffers_scheduling as scheduling;
+pub use flexoffers_serving as serving;
 pub use flexoffers_timeseries as timeseries;
 pub use flexoffers_workloads as workloads;
 

@@ -63,4 +63,27 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Reads the value as a string slice if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+// A `Value` is its own serialization — this is what lets callers parse
+// arbitrary JSON first (`serde_json::from_str::<Value>`) and pick it apart
+// by hand, the stand-in for real serde's `deserialize_any`.
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, crate::DeError> {
+        Ok(v.clone())
+    }
 }
