@@ -30,6 +30,20 @@ pub struct UnionArea {
 }
 
 impl UnionArea {
+    /// Builds a union area from precomputed per-column extents. Callers
+    /// must pass the columns ascending by slot and spanning the offer's
+    /// occupancy window — the invariant [`union_area`] establishes and
+    /// every accessor assumes. The seam exists for batch evaluators that
+    /// compute extents out-of-line (the measures crate's columnar sweep)
+    /// and hand the finished area to scalar consumers.
+    pub fn from_columns(columns: Vec<ColumnExtent>) -> Self {
+        debug_assert!(
+            columns.windows(2).all(|w| w[1].slot == w[0].slot + 1),
+            "columns must be contiguous and ascending by slot"
+        );
+        Self { columns }
+    }
+
     /// Per-column extents, ascending by slot, spanning the occupancy window.
     pub fn columns(&self) -> &[ColumnExtent] {
         &self.columns

@@ -1,0 +1,213 @@
+//! Persists the columnar-kernel baseline: `BENCH_columnar.json`.
+//!
+//! Sweeps the same seeded `city` portfolio as `bench_report`, but the
+//! comparison here is scalar kernel vs columnar kernel rather than
+//! sequential loop vs engine: the `sequential` section times the engine
+//! at 1 thread with [`Kernel::Scalar`] (the flat per-offer
+//! `PreparedOffer` path), and the `engine` section times
+//! [`Kernel::Columnar`] at 1/4/8 threads. The headline
+//! `columnar_speedup_1_thread_largest` is the single-core win the
+//! columnar layout buys on its own, with no parallelism in either
+//! numerator or denominator.
+//!
+//! Before any timing, the two kernels are run over the full largest
+//! slice and every per-offer value (and the earliest-start baseline
+//! series) is asserted bit-identical — a throughput number for a kernel
+//! that diverges would be meaningless.
+//!
+//! ```text
+//! cargo run --release -p flexoffers_bench --bin bench_columnar            # full sweep
+//! cargo run --release -p flexoffers_bench --bin bench_columnar -- --quick # 1k only (CI smoke)
+//! cargo run ... -- --out path/to.json                                      # custom output
+//! ```
+//!
+//! The emitted JSON reuses the `flexoffers-engine-bench/1` schema so the
+//! one `bench_check` binary gates this baseline too (per-core throughput
+//! of the `engine` runs, i.e. the columnar kernel).
+
+use flexoffers_bench::timing::time_best;
+use flexoffers_engine::{Budget, Engine, Kernel};
+use flexoffers_measures::all_measures;
+use flexoffers_model::FlexOffer;
+use flexoffers_workloads::{city, city_households_for};
+use serde::Serialize;
+
+const SEED: u64 = 7;
+const THREADS: [usize; 3] = [1, 4, 8];
+
+#[derive(Serialize)]
+struct Run {
+    offers: usize,
+    threads: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SequentialRun {
+    offers: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    workload: String,
+    measures: usize,
+    host_cpus: usize,
+    /// Scalar kernel, engine at 1 thread — the comparator.
+    sequential: Vec<SequentialRun>,
+    /// Columnar kernel at each thread count.
+    engine: Vec<Run>,
+    /// Columnar at 8 threads over the largest size, vs scalar at 1.
+    speedup_8_threads_largest: f64,
+    /// The layout win alone: columnar at 1 thread vs scalar at 1 thread,
+    /// largest size.
+    columnar_speedup_1_thread_largest: f64,
+}
+
+/// Panics unless the scalar and columnar kernels agree bit-for-bit on
+/// every per-offer measure value and on the earliest-start baseline.
+fn assert_kernels_identical(scalar: &Engine, columnar: &Engine, offers: &[FlexOffer]) {
+    let measures = all_measures();
+    let scalar_rows = scalar.per_offer_rows(offers, &measures);
+    let columnar_rows = columnar.per_offer_rows(offers, &measures);
+    assert_eq!(scalar_rows.len(), columnar_rows.len());
+    for (i, (s_row, c_row)) in scalar_rows.iter().zip(&columnar_rows).enumerate() {
+        assert_eq!(s_row.len(), c_row.len());
+        for (m, (s, c)) in s_row.iter().zip(c_row).enumerate() {
+            let same = match (s, c) {
+                (Ok(a), Ok(b)) => a.to_bits() == b.to_bits(),
+                (Err(a), Err(b)) => a == b,
+                _ => false,
+            };
+            assert!(
+                same,
+                "offer {i}, measure {m}: scalar {s:?} != columnar {c:?}"
+            );
+        }
+    }
+    assert_eq!(
+        scalar.baseline_load_parallel(offers),
+        columnar.baseline_load_parallel(offers),
+        "earliest-start baseline diverged between kernels"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_columnar.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) if !path.starts_with("--") => out_path = path.clone(),
+                _ => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown argument {other}\nusage: bench_columnar [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.as_str();
+    let sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    let largest = *sizes.last().expect("at least one size");
+    let mut portfolio = city(SEED, city_households_for(largest));
+    portfolio.truncate(largest);
+    let offers: &[FlexOffer] = portfolio.as_slice();
+    let measures = all_measures();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_columnar: city(seed {SEED}) · {} offers · {} measures · {host_cpus} host cpu(s)",
+        offers.len(),
+        measures.len()
+    );
+
+    let scalar_1 = Engine::new(Budget::sequential().with_kernel(Kernel::Scalar));
+    let columnar_1 = Engine::new(Budget::sequential().with_kernel(Kernel::Columnar));
+    assert_kernels_identical(&scalar_1, &columnar_1, offers);
+    println!("  kernels agree bit-for-bit over {} offers", offers.len());
+
+    let mut sequential = Vec::new();
+    let mut engine_runs = Vec::new();
+    for &size in sizes {
+        let slice = &offers[..size];
+
+        let secs = time_best(|| {
+            std::hint::black_box(scalar_1.measure_portfolio_all(std::hint::black_box(slice)));
+        });
+        println!(
+            "  scalar kernel (1 thread)   {size:>7} offers  {secs:>9.4}s  {:>10.0} offers/s",
+            size as f64 / secs
+        );
+        sequential.push(SequentialRun {
+            offers: size,
+            secs,
+            offers_per_sec: size as f64 / secs,
+        });
+
+        for &threads in &THREADS {
+            let budget = Budget::with_threads(threads)
+                .expect("non-zero")
+                .with_kernel(Kernel::Columnar);
+            let engine = Engine::new(budget);
+            let secs = time_best(|| {
+                std::hint::black_box(engine.measure_portfolio_all(std::hint::black_box(slice)));
+            });
+            println!("  columnar ({threads} thread{})       {size:>7} offers  {secs:>9.4}s  {:>10.0} offers/s", if threads == 1 { "" } else { "s" }, size as f64 / secs);
+            engine_runs.push(Run {
+                offers: size,
+                threads,
+                secs,
+                offers_per_sec: size as f64 / secs,
+            });
+        }
+    }
+
+    let scalar_secs = sequential.last().expect("ran at least one size").secs;
+    let columnar_at = |threads: usize| {
+        engine_runs
+            .iter()
+            .filter(|r| r.offers == largest && r.threads == threads)
+            .map(|r| r.secs)
+            .next()
+            .unwrap_or_else(|| panic!("{threads}-thread run present"))
+    };
+    let speedup_1 = scalar_secs / columnar_at(1);
+    let speedup_8 = scalar_secs / columnar_at(8);
+    println!(
+        "columnar speedup at {largest} offers: {speedup_1:.2}x at 1 thread, \
+         {speedup_8:.2}x at 8 threads (host offered {host_cpus} cpu(s))"
+    );
+
+    let report = BenchReport {
+        schema: "flexoffers-engine-bench/1",
+        workload: format!("workloads::city(seed {SEED}), truncated per size"),
+        measures: measures.len(),
+        host_cpus,
+        sequential,
+        engine: engine_runs,
+        speedup_8_threads_largest: speedup_8,
+        columnar_speedup_1_thread_largest: speedup_1,
+    };
+    std::fs::write(
+        out_path,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -43,6 +43,20 @@ struct SequentialRun {
     offers_per_sec: f64,
 }
 
+/// The genuinely parallel data point: the largest size at the biggest
+/// swept thread count the host can actually run in parallel, quoted
+/// against the same size at 1 thread. Only emitted when `host_cpus > 1`
+/// — on a single-core runner every threaded run is time-sliced and the
+/// ratio would measure scheduler overhead, not scaling.
+#[derive(Serialize)]
+struct MultiCoreRun {
+    offers: usize,
+    threads: usize,
+    secs: f64,
+    offers_per_sec: f64,
+    speedup_vs_1_thread: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: &'static str,
@@ -53,6 +67,51 @@ struct BenchReport {
     engine: Vec<Run>,
     /// Engine at 8 threads over the largest size, vs the sequential loop.
     speedup_8_threads_largest: f64,
+    /// Present only when recorded on a multi-core host; see README
+    /// "Refreshing baselines on multi-core hardware". Dropped from the
+    /// JSON (not serialized as null) by `write_report`.
+    multi_core: Option<MultiCoreRun>,
+}
+
+/// Serializes `report`, omitting a `None` multi-core section entirely so
+/// single-core baselines carry no `"multi_core": null` noise (the
+/// vendored serde derive has no `skip_serializing_if`).
+fn write_report(out_path: &str, report: &BenchReport) {
+    let mut value = report.to_value();
+    if let serde::Value::Object(fields) = &mut value {
+        fields.retain(|(k, v)| !(k == "multi_core" && matches!(v, serde::Value::Null)));
+    }
+    std::fs::write(
+        out_path,
+        serde_json::to_string_pretty(&value).expect("report serializes") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+}
+
+/// Builds the multi-core section from the swept engine runs, or `None`
+/// on a single-core host (or when the sweep lacks the needed runs).
+fn multi_core_section(
+    engine_runs: &[Run],
+    largest: usize,
+    host_cpus: usize,
+) -> Option<MultiCoreRun> {
+    if host_cpus <= 1 {
+        return None;
+    }
+    let single = engine_runs
+        .iter()
+        .find(|r| r.offers == largest && r.threads == 1)?;
+    let parallel = engine_runs
+        .iter()
+        .filter(|r| r.offers == largest && r.threads > 1 && r.threads <= host_cpus)
+        .max_by_key(|r| r.threads)?;
+    Some(MultiCoreRun {
+        offers: parallel.offers,
+        threads: parallel.threads,
+        secs: parallel.secs,
+        offers_per_sec: parallel.offers_per_sec,
+        speedup_vs_1_thread: single.secs / parallel.secs,
+    })
 }
 
 fn main() {
@@ -145,6 +204,15 @@ fn main() {
          (host offered {host_cpus} cpu(s))"
     );
 
+    let multi_core = multi_core_section(&engine_runs, largest, host_cpus);
+    match &multi_core {
+        Some(mc) => println!(
+            "multi-core: {} offers at {} threads: {:.2}x vs 1 thread",
+            mc.offers, mc.threads, mc.speedup_vs_1_thread
+        ),
+        None => println!("multi-core section skipped (host offered {host_cpus} cpu(s))"),
+    }
+
     let report = BenchReport {
         schema: "flexoffers-engine-bench/1",
         workload: format!("workloads::city(seed {SEED}), truncated per size"),
@@ -153,11 +221,8 @@ fn main() {
         sequential,
         engine: engine_runs,
         speedup_8_threads_largest: speedup,
+        multi_core,
     };
-    std::fs::write(
-        out_path,
-        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
-    )
-    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    write_report(out_path, &report);
     println!("wrote {out_path}");
 }

@@ -47,8 +47,24 @@ pub struct EngineRun {
     pub offers_per_sec: f64,
 }
 
-/// Typed mirror of a `BENCH_engine.json` report.
+/// The genuinely parallel data point a report recorded on a multi-core
+/// host (mirror of `bench_report`'s optional `multi_core` section).
 #[derive(Clone, Debug, Deserialize)]
+pub struct MultiCoreRun {
+    /// Portfolio size.
+    pub offers: usize,
+    /// Worker threads the run used (capped at the host's cpus).
+    pub threads: usize,
+    /// Wall-clock seconds of the fastest pass.
+    pub secs: f64,
+    /// Throughput.
+    pub offers_per_sec: f64,
+    /// Same size at 1 thread divided by this run.
+    pub speedup_vs_1_thread: f64,
+}
+
+/// Typed mirror of a `BENCH_engine.json` report.
+#[derive(Clone, Debug)]
 pub struct EngineBenchReport {
     /// Schema tag; must equal [`ENGINE_BENCH_SCHEMA`].
     pub schema: String,
@@ -64,6 +80,38 @@ pub struct EngineBenchReport {
     pub engine: Vec<EngineRun>,
     /// Recorded speedup headline.
     pub speedup_8_threads_largest: f64,
+    /// Multi-core scaling section; absent in reports recorded on
+    /// single-core hosts (and in reports predating the section).
+    pub multi_core: Option<MultiCoreRun>,
+}
+
+// Hand-written rather than derived: the vendored serde derive has no
+// `#[serde(default)]`, and `multi_core` must tolerate being absent (or
+// null) so reports from single-core hosts and pre-section baselines keep
+// parsing.
+impl serde::Deserialize for EngineBenchReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| {
+                serde::DeError::custom(format!("missing field `{name}` in EngineBenchReport"))
+            })
+        };
+        Ok(Self {
+            schema: Deserialize::from_value(field("schema")?)?,
+            workload: Deserialize::from_value(field("workload")?)?,
+            measures: Deserialize::from_value(field("measures")?)?,
+            host_cpus: Deserialize::from_value(field("host_cpus")?)?,
+            sequential: Deserialize::from_value(field("sequential")?)?,
+            engine: Deserialize::from_value(field("engine")?)?,
+            speedup_8_threads_largest: Deserialize::from_value(field(
+                "speedup_8_threads_largest",
+            )?)?,
+            multi_core: match v.get("multi_core") {
+                Some(section) => Deserialize::from_value(section)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl EngineBenchReport {
@@ -122,6 +170,11 @@ pub struct RegressionVerdict {
     pub baseline_per_core: f64,
     /// Candidate per-core throughput (offers/sec/core).
     pub candidate_per_core: f64,
+    /// Candidate multi-core speedup over baseline multi-core speedup;
+    /// `None` unless *both* reports carry a `multi_core` section (a
+    /// single-core runner comparing against a multi-core baseline, or
+    /// vice versa, cannot be judged on scaling).
+    pub multi_core_ratio: Option<f64>,
     /// The failure threshold the gate was run with.
     pub min_ratio: f64,
 }
@@ -137,16 +190,21 @@ impl RegressionVerdict {
         }
     }
 
-    /// `true` when the candidate clears the threshold.
+    /// `true` when the candidate clears the threshold — per-core always,
+    /// and multi-core scaling too when both sides recorded it.
     pub fn passed(&self) -> bool {
-        self.ratio() >= self.min_ratio
+        self.ratio() >= self.min_ratio && self.multi_core_ratio.is_none_or(|r| r >= self.min_ratio)
     }
 
     /// Human-readable one-paragraph summary.
     pub fn render(&self) -> String {
+        let multi_core = match self.multi_core_ratio {
+            Some(r) => format!("; multi-core speedup ratio {r:.2}x"),
+            None => String::new(),
+        };
         format!(
             "per-core throughput: baseline {:.0} offers/s/core, candidate {:.0} offers/s/core \
-             — ratio {:.2}x (gate: >= {:.2}x) => {}",
+             — ratio {:.2}x{multi_core} (gate: >= {:.2}x) => {}",
             self.baseline_per_core,
             self.candidate_per_core,
             self.ratio(),
@@ -176,9 +234,16 @@ pub fn check_regression(
     let candidate_per_core = candidate
         .per_core_peak()
         .ok_or(RegressionError::NoEngineRuns { side: "candidate" })?;
+    let multi_core_ratio = match (&baseline.multi_core, &candidate.multi_core) {
+        (Some(b), Some(c)) if b.speedup_vs_1_thread > 0.0 => {
+            Some(c.speedup_vs_1_thread / b.speedup_vs_1_thread)
+        }
+        _ => None,
+    };
     Ok(RegressionVerdict {
         baseline_per_core,
         candidate_per_core,
+        multi_core_ratio,
         min_ratio,
     })
 }
@@ -204,7 +269,19 @@ mod tests {
                 })
                 .collect(),
             speedup_8_threads_largest: 1.0,
+            multi_core: None,
         }
+    }
+
+    fn with_multi_core(mut r: EngineBenchReport, speedup: f64) -> EngineBenchReport {
+        r.multi_core = Some(MultiCoreRun {
+            offers: 1000,
+            threads: 4,
+            secs: 0.25,
+            offers_per_sec: 4000.0,
+            speedup_vs_1_thread: speedup,
+        });
+        r
     }
 
     #[test]
@@ -259,6 +336,57 @@ mod tests {
     }
 
     #[test]
+    fn multi_core_gate_only_engages_when_both_sides_recorded_it() {
+        let flat = report(4, &[(4, 400.0)]);
+        let scaled = with_multi_core(report(4, &[(4, 400.0)]), 3.6);
+
+        // One-sided sections never produce a ratio: cross-host runs where
+        // only the baseline (or only the candidate) is multi-core still
+        // gate on per-core throughput alone.
+        for (b, c) in [(&flat, &scaled), (&scaled, &flat), (&flat, &flat)] {
+            let verdict = check_regression(b, c, 0.5).unwrap();
+            assert_eq!(verdict.multi_core_ratio, None);
+            assert!(verdict.passed());
+            assert!(!verdict.render().contains("multi-core"));
+        }
+
+        // Both sides recorded: scaling holds → pass, with the ratio shown.
+        let still_scaled = with_multi_core(report(4, &[(4, 400.0)]), 3.4);
+        let verdict = check_regression(&scaled, &still_scaled, 0.5).unwrap();
+        assert!(verdict.multi_core_ratio.is_some());
+        assert!(verdict.passed());
+        assert!(verdict.render().contains("multi-core speedup ratio"));
+
+        // Scaling collapsed (3.6x -> 1.1x) while per-core throughput held:
+        // the gate fails on the multi-core leg alone.
+        let collapsed = with_multi_core(report(4, &[(4, 400.0)]), 1.1);
+        let verdict = check_regression(&scaled, &collapsed, 0.5).unwrap();
+        assert!((verdict.ratio() - 1.0).abs() < 1e-12);
+        assert!(!verdict.passed(), "{}", verdict.render());
+    }
+
+    #[test]
+    fn multi_core_section_parses_from_json() {
+        let text = r#"{
+            "schema": "flexoffers-engine-bench/1",
+            "workload": "test",
+            "measures": 8,
+            "host_cpus": 8,
+            "sequential": [],
+            "engine": [{"offers": 1000, "threads": 4, "secs": 0.5, "offers_per_sec": 2000.0}],
+            "speedup_8_threads_largest": 1.0,
+            "multi_core": {
+                "offers": 1000, "threads": 4, "secs": 0.25,
+                "offers_per_sec": 4000.0, "speedup_vs_1_thread": 3.7
+            }
+        }"#;
+        let parsed: EngineBenchReport = serde_json::from_str(text).expect("parses");
+        let mc = parsed.multi_core.expect("section present");
+        assert_eq!(mc.threads, 4);
+        assert!((mc.speedup_vs_1_thread - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
     fn zero_baseline_cannot_fail_the_gate() {
         let zero = report(1, &[(1, 0.0)]);
         let candidate = report(1, &[(1, 1.0)]);
@@ -291,6 +419,26 @@ mod tests {
             "/../../BENCH_serving.json"
         ))
         .expect("committed serving baseline exists");
+        let baseline: EngineBenchReport = serde_json::from_str(&text).expect("baseline parses");
+        assert_eq!(baseline.schema, ENGINE_BENCH_SCHEMA);
+        assert!(!baseline.engine.is_empty());
+        assert!(!baseline.sequential.is_empty());
+        let verdict = check_regression(&baseline, &baseline, DEFAULT_MIN_RATIO).unwrap();
+        assert!(verdict.passed());
+    }
+
+    #[test]
+    fn committed_columnar_baseline_feeds_the_same_gate() {
+        // BENCH_columnar.json reuses the engine-bench schema (`sequential`
+        // records the scalar kernel at 1 thread, `engine` the columnar
+        // kernel per thread count, plus a columnar_speedup_1_thread_largest
+        // headline this mirror ignores), so the one bench_check binary
+        // gates the columnar baseline too.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_columnar.json"
+        ))
+        .expect("committed columnar baseline exists");
         let baseline: EngineBenchReport = serde_json::from_str(&text).expect("baseline parses");
         assert_eq!(baseline.schema, ENGINE_BENCH_SCHEMA);
         assert!(!baseline.engine.is_empty());

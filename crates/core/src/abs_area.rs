@@ -4,6 +4,7 @@ use flexoffers_area::union_area;
 use flexoffers_model::{FlexOffer, SignClass};
 
 use crate::characteristics::Characteristics;
+use crate::columnar::ColumnarKernel;
 use crate::error::MeasureError;
 use crate::measure::Measure;
 use crate::prepared::PreparedOffer;
@@ -86,6 +87,10 @@ impl Measure for AbsoluteAreaFlexibility {
     fn of_prepared(&self, prepared: &PreparedOffer<'_>) -> Result<f64, MeasureError> {
         let base = self.inflexible_base(prepared.offer())?;
         Ok(prepared.union_size() as f64 - base as f64)
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarKernel> {
+        Some(ColumnarKernel::AbsArea(self.mixed_policy))
     }
 
     fn declared_characteristics(&self) -> Characteristics {

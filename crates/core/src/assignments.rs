@@ -3,6 +3,7 @@
 use flexoffers_model::FlexOffer;
 
 use crate::characteristics::Characteristics;
+use crate::columnar::ColumnarKernel;
 use crate::error::MeasureError;
 use crate::measure::Measure;
 
@@ -86,6 +87,16 @@ impl Measure for AssignmentFlexibility {
         match self.scale {
             CountScale::Linear => Ok(linear),
             CountScale::Log2 => Ok(linear.log2()),
+        }
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarKernel> {
+        // The exact |L(f)| count enumerates the constrained space and has
+        // no columnar form; Definition 8's product-space count does.
+        if self.constrained {
+            None
+        } else {
+            Some(ColumnarKernel::Assignments(self.scale))
         }
     }
 

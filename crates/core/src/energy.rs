@@ -3,6 +3,7 @@
 use flexoffers_model::FlexOffer;
 
 use crate::characteristics::Characteristics;
+use crate::columnar::ColumnarKernel;
 use crate::error::MeasureError;
 use crate::measure::Measure;
 
@@ -25,6 +26,10 @@ impl Measure for EnergyFlexibility {
 
     fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
         Ok(fo.energy_flexibility() as f64)
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarKernel> {
+        Some(ColumnarKernel::Energy)
     }
 
     fn declared_characteristics(&self) -> Characteristics {

@@ -54,6 +54,7 @@
 pub mod abs_area;
 pub mod assignments;
 pub mod characteristics;
+pub mod columnar;
 pub mod energy;
 pub mod error;
 pub mod measure;
@@ -73,6 +74,7 @@ pub mod weighted;
 pub use abs_area::{AbsoluteAreaFlexibility, MixedPolicy};
 pub use assignments::{AssignmentFlexibility, CountScale};
 pub use characteristics::Characteristics;
+pub use columnar::{ColumnarBatch, ColumnarKernel};
 pub use energy::EnergyFlexibility;
 pub use error::MeasureError;
 pub use measure::{all_measures, Measure};

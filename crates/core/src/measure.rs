@@ -55,6 +55,17 @@ pub trait Measure: Send + Sync {
         Ok(total)
     }
 
+    /// The columnar kernel evaluating this measure as a single pass over a
+    /// [`ColumnarBatch`](crate::columnar::ColumnarBatch), or `None` when the
+    /// measure has no columnar form (wrappers, the constrained assignment
+    /// count) and must run through the scalar [`Measure::of_prepared`]
+    /// fallback. An implementation may only return a kernel whose batch
+    /// evaluation is bitwise identical to `of_prepared` — the engine
+    /// switches paths freely on that contract.
+    fn columnar_kernel(&self) -> Option<crate::columnar::ColumnarKernel> {
+        None
+    }
+
     /// How [`Measure::of_set`] combines member values: [`SetAggregation::Sum`]
     /// by default, [`SetAggregation::Average`] for relative area (Section 4).
     /// Batch evaluators (the portfolio engine) use this to merge per-offer

@@ -40,6 +40,17 @@ impl<'a> PreparedOffer<'a> {
         }
     }
 
+    /// Prepares an offer with its union area already computed — for batch
+    /// evaluators (the columnar kernels) that sweep unions out-of-line and
+    /// hand them to scalar fallback measures without a second sweep. The
+    /// caller must pass the offer's own union (`union_area(offer)` or a
+    /// value-identical reproduction); the handle serves it verbatim.
+    pub fn with_union(offer: &'a FlexOffer, union: UnionArea) -> Self {
+        let cell = OnceCell::new();
+        cell.set(union).expect("fresh cell accepts a value");
+        Self { offer, union: cell }
+    }
+
     /// The underlying flex-offer.
     pub fn offer(&self) -> &'a FlexOffer {
         self.offer
@@ -96,6 +107,25 @@ mod tests {
                 "{} diverges between prepared and direct evaluation",
                 m.name()
             );
+        }
+    }
+
+    #[test]
+    fn with_union_serves_the_injected_area_without_recomputing() {
+        let f = figure1();
+        let union = union_area(&f);
+        let prepared = PreparedOffer::with_union(&f, union.clone());
+        assert_eq!(prepared.union(), &union);
+        assert_eq!(prepared.union_size(), union.size());
+    }
+
+    #[test]
+    fn with_union_matches_lazy_preparation_for_every_measure() {
+        let f = figure1();
+        let seeded = PreparedOffer::with_union(&f, union_area(&f));
+        let lazy = PreparedOffer::new(&f);
+        for m in all_measures() {
+            assert_eq!(m.of_prepared(&seeded), m.of_prepared(&lazy), "{}", m.name());
         }
     }
 

@@ -4,6 +4,7 @@ use flexoffers_model::FlexOffer;
 
 use crate::abs_area::{AbsoluteAreaFlexibility, MixedPolicy};
 use crate::characteristics::Characteristics;
+use crate::columnar::ColumnarKernel;
 use crate::error::MeasureError;
 use crate::measure::Measure;
 use crate::prepared::PreparedOffer;
@@ -68,6 +69,10 @@ impl Measure for RelativeAreaFlexibility {
         }
         .of_prepared(prepared)?;
         Ok(2.0 * abs / denominator as f64)
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarKernel> {
+        Some(ColumnarKernel::RelArea(self.mixed_policy))
     }
 
     fn set_aggregation(&self) -> SetAggregation {

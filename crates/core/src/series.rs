@@ -4,6 +4,7 @@ use flexoffers_model::FlexOffer;
 use flexoffers_timeseries::Norm;
 
 use crate::characteristics::Characteristics;
+use crate::columnar::ColumnarKernel;
 use crate::error::MeasureError;
 use crate::measure::Measure;
 
@@ -55,6 +56,10 @@ impl Measure for TimeSeriesFlexibility {
 
     fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
         Ok(self.norm.of(&Self::difference(fo)))
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarKernel> {
+        Some(ColumnarKernel::TimeSeries(self.norm))
     }
 
     fn declared_characteristics(&self) -> Characteristics {

@@ -4,6 +4,7 @@ use flexoffers_model::FlexOffer;
 use flexoffers_timeseries::Norm;
 
 use crate::characteristics::Characteristics;
+use crate::columnar::ColumnarKernel;
 use crate::error::MeasureError;
 use crate::measure::Measure;
 
@@ -53,6 +54,10 @@ impl Measure for VectorFlexibility {
     fn of(&self, fo: &FlexOffer) -> Result<f64, MeasureError> {
         let (t, e) = Self::components(fo);
         Ok(self.norm.of_vec2(t, e))
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarKernel> {
+        Some(ColumnarKernel::Vector(self.norm))
     }
 
     fn declared_characteristics(&self) -> Characteristics {

@@ -1,9 +1,9 @@
 //! Property tests for measure invariants.
 
 use flexoffers_measures::{
-    all_measures, AbsoluteAreaFlexibility, AssignmentFlexibility, EnergyFlexibility, Measure, Norm,
-    ProductFlexibility, RelativeAreaFlexibility, TimeFlexibility, TimeSeriesFlexibility,
-    VectorFlexibility,
+    all_measures, AbsoluteAreaFlexibility, AssignmentFlexibility, ColumnarBatch, EnergyFlexibility,
+    Measure, Norm, PreparedOffer, ProductFlexibility, RelativeAreaFlexibility, TimeFlexibility,
+    TimeSeriesFlexibility, VectorFlexibility,
 };
 use flexoffers_model::{FlexOffer, Slice};
 use proptest::prelude::*;
@@ -231,4 +231,66 @@ proptest! {
             prop_assert!((total - parts).abs() < 1e-6, "{}", m.name());
         }
     }
+
+    /// Columnar kernels are bitwise identical to the scalar prepared-offer
+    /// loop — every value and every error, for all eight default measures
+    /// plus the reject-mixed, log-scaled and (kernel-less, fallback-path)
+    /// exact variants, over portfolios with mixed signs, empty sets and
+    /// singletons.
+    #[test]
+    fn columnar_rows_match_the_scalar_loop_bitwise(
+        fos in prop::collection::vec(arb_flexoffer(), 0..12),
+    ) {
+        let measures = kernel_suite();
+        let rows = ColumnarBatch::new().rows(&fos, &measures);
+        prop_assert_eq!(rows.len(), fos.len());
+        for (i, fo) in fos.iter().enumerate() {
+            let prepared = PreparedOffer::new(fo);
+            for (j, m) in measures.iter().enumerate() {
+                let scalar = m.of_prepared(&prepared);
+                match (&rows[i][j], &scalar) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "{} on {}: {} vs {}", m.name(), fo, a, b
+                    ),
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b, "{} on {}", m.name(), fo),
+                    (a, b) => prop_assert!(
+                        false,
+                        "{} on {}: {:?} vs {:?}", m.name(), fo, a, b
+                    ),
+                }
+            }
+        }
+    }
+
+    /// One batch arena reloaded across differently sized chunks gives the
+    /// same values as a fresh batch per chunk — scratch reuse is
+    /// observationally inert.
+    #[test]
+    fn arena_reuse_never_changes_values(
+        fos in prop::collection::vec(arb_flexoffer(), 1..12),
+        split in 0usize..12,
+    ) {
+        let measures = kernel_suite();
+        let split = split.min(fos.len());
+        let mut arena = ColumnarBatch::new();
+        let mut reused = arena.rows(&fos[..split], &measures);
+        reused.extend(arena.rows(&fos[split..], &measures));
+        let mut fresh = ColumnarBatch::new().rows(&fos[..split], &measures);
+        fresh.extend(ColumnarBatch::new().rows(&fos[split..], &measures));
+        prop_assert_eq!(reused, fresh);
+    }
+}
+
+/// The eight default measures plus the variants that flip kernel-relevant
+/// knobs: mixed-sign rejection (error paths), the log₂ assignment scale,
+/// and the constrained count, which has no columnar kernel and must ride
+/// the fallback path.
+fn kernel_suite() -> Vec<Box<dyn Measure>> {
+    let mut measures = all_measures();
+    measures.push(Box::new(AbsoluteAreaFlexibility::rejecting_mixed()));
+    measures.push(Box::new(RelativeAreaFlexibility::rejecting_mixed()));
+    measures.push(Box::new(AssignmentFlexibility::log_scaled()));
+    measures.push(Box::new(AssignmentFlexibility::exact()));
+    measures
 }

@@ -4,7 +4,9 @@ use std::time::Instant;
 
 use flexoffers_aggregation::{aggregate_indices, group_indices, Aggregate, GroupingParams};
 use flexoffers_market::{baseline_load, Aggregator, LotDecision, SpotMarket};
-use flexoffers_measures::{all_measures, Measure, MeasureError, PreparedOffer, SetAggregation};
+use flexoffers_measures::{
+    all_measures, ColumnarBatch, Measure, MeasureError, PreparedOffer, SetAggregation,
+};
 use flexoffers_model::{Assignment, FlexOffer, Portfolio};
 use flexoffers_scheduling::{
     assemble_member_schedule, realize_aggregate, PipelineOutcome, Scheduler, SchedulingError,
@@ -13,7 +15,7 @@ use flexoffers_scheduling::{
 use flexoffers_timeseries::ops::sum_series;
 use flexoffers_timeseries::Series;
 
-use crate::budget::Budget;
+use crate::budget::{Budget, Kernel};
 use crate::chunk::{chunk_ranges, parallel_map};
 use crate::report::{MeasureSummary, PortfolioReport};
 
@@ -73,8 +75,31 @@ impl Engine {
     ) -> PortfolioReport {
         let started = Instant::now();
         let chunk_size = self.budget.chunk_size_for(offers.len());
-        let rows = self.per_offer_rows(offers, measures);
-        let summaries = reduce_measure_rows(measures, &rows);
+        let summaries = if self.use_columnar(measures) {
+            // Columnar fast path: workers hand back measure-major columns
+            // per chunk and each measure's fold walks the chunks in range
+            // order — the same per-offer value sequence the row-major
+            // reduction sees, without ever materialising a row.
+            let ranges = chunk_ranges(offers.len(), chunk_size);
+            let chunked: Vec<Vec<Vec<Result<f64, MeasureError>>>> =
+                parallel_map(&ranges, self.budget.threads(), |range| {
+                    ColumnarBatch::new().columns(&offers[range.clone()], measures)
+                });
+            measures
+                .iter()
+                .enumerate()
+                .map(|(j, m)| {
+                    reduce_measure_values(
+                        m.as_ref(),
+                        offers.len(),
+                        chunked.iter().flat_map(|columns| columns[j].iter()),
+                    )
+                })
+                .collect()
+        } else {
+            let rows = self.per_offer_rows(offers, measures);
+            reduce_measure_rows(measures, &rows)
+        };
 
         PortfolioReport {
             offers: offers.len(),
@@ -110,16 +135,59 @@ impl Engine {
         let chunk_size = self.budget.chunk_size_for(offers.len());
         let ranges = chunk_ranges(offers.len(), chunk_size);
         type Row = Vec<Result<f64, MeasureError>>;
-        let chunks: Vec<Vec<Row>> = parallel_map(&ranges, self.budget.threads(), |range| {
-            offers[range.clone()]
-                .iter()
-                .map(|fo| {
-                    let prepared = PreparedOffer::new(fo);
-                    measures.iter().map(|m| m.of_prepared(&prepared)).collect()
-                })
-                .collect()
-        });
+        let chunks: Vec<Vec<Row>> = if self.use_columnar(measures) {
+            parallel_map(&ranges, self.budget.threads(), |range| {
+                ColumnarBatch::new().rows(&offers[range.clone()], measures)
+            })
+        } else {
+            parallel_map(&ranges, self.budget.threads(), |range| {
+                offers[range.clone()]
+                    .iter()
+                    .map(|fo| {
+                        let prepared = PreparedOffer::new(fo);
+                        measures.iter().map(|m| m.of_prepared(&prepared)).collect()
+                    })
+                    .collect()
+            })
+        };
         chunks.into_iter().flatten().collect()
+    }
+
+    /// [`Engine::per_offer_rows`] evaluated through a caller-owned columnar
+    /// arena. On a single-threaded columnar budget the whole slice runs as
+    /// one batch inside `arena`, whose buffers survive the call — a worker
+    /// that keeps its arena (the serving tier keeps one per shard) does
+    /// zero steady-state kernel allocations. Any other budget delegates to
+    /// [`Engine::per_offer_rows`], leaving `arena` untouched. Rows are
+    /// bitwise identical either way: each row is a pure function of its
+    /// offer, so batching the slice whole instead of in chunks cannot
+    /// change it.
+    pub fn per_offer_rows_in(
+        &self,
+        arena: &mut ColumnarBatch,
+        offers: &[FlexOffer],
+        measures: &[Box<dyn Measure>],
+    ) -> Vec<Vec<Result<f64, MeasureError>>> {
+        if self.budget.threads() <= 1 && self.use_columnar(measures) {
+            arena.rows(offers, measures)
+        } else {
+            self.per_offer_rows(offers, measures)
+        }
+    }
+
+    /// Whether this budget's [`Kernel`] resolves to the columnar path for
+    /// the given measure set: never for [`Kernel::Scalar`], always for
+    /// [`Kernel::Columnar`] (kernel-less measures fall back per offer
+    /// inside the batch), and for [`Kernel::Auto`] only when the set is
+    /// non-empty and every measure advertises a columnar kernel.
+    fn use_columnar(&self, measures: &[Box<dyn Measure>]) -> bool {
+        match self.budget.kernel() {
+            Kernel::Scalar => false,
+            Kernel::Columnar => true,
+            Kernel::Auto => {
+                !measures.is_empty() && measures.iter().all(|m| m.columnar_kernel().is_some())
+            }
+        }
     }
 
     /// Groups `offers` under `params` and start-alignment-aggregates each
@@ -246,10 +314,34 @@ impl Engine {
     pub fn baseline_load_parallel(&self, offers: &[FlexOffer]) -> Series<i64> {
         let chunk_size = self.budget.chunk_size_for(offers.len());
         let ranges = chunk_ranges(offers.len(), chunk_size);
-        let partials = parallel_map(&ranges, self.budget.threads(), |range| {
-            baseline_load(&offers[range.clone()])
-        });
+        let partials = if self.budget.kernel() == Kernel::Scalar {
+            parallel_map(&ranges, self.budget.threads(), |range| {
+                baseline_load(&offers[range.clone()])
+            })
+        } else {
+            // The baseline always has a columnar form, so Auto picks it.
+            parallel_map(&ranges, self.budget.threads(), |range| {
+                ColumnarBatch::new().baseline_partial(&offers[range.clone()])
+            })
+        };
         sum_series(partials.iter())
+    }
+
+    /// [`Engine::baseline_load_parallel`] through a caller-owned columnar
+    /// arena — the baseline counterpart of [`Engine::per_offer_rows_in`],
+    /// with the same single-threaded-columnar arena reuse and the same
+    /// bitwise-identity guarantee (the columnar partial reproduces the
+    /// scalar fold's series representation exactly).
+    pub fn baseline_load_parallel_in(
+        &self,
+        arena: &mut ColumnarBatch,
+        offers: &[FlexOffer],
+    ) -> Series<i64> {
+        if self.budget.threads() <= 1 && self.budget.kernel() != Kernel::Scalar {
+            arena.baseline_partial(offers)
+        } else {
+            self.baseline_load_parallel(offers)
+        }
     }
 }
 
@@ -268,56 +360,67 @@ pub fn reduce_measure_rows(
     measures
         .iter()
         .enumerate()
-        .map(|(j, m)| {
-            let mut total = 0.0;
-            let mut first_error: Option<MeasureError> = None;
-            let mut evaluated = 0usize;
-            let mut failed = 0usize;
-            let mut min: Option<f64> = None;
-            let mut max: Option<f64> = None;
-            for row in rows {
-                match &row[j] {
-                    Ok(v) => {
-                        evaluated += 1;
-                        min = Some(min.map_or(*v, |m| m.min(*v)));
-                        max = Some(max.map_or(*v, |m| m.max(*v)));
-                        if first_error.is_none() {
-                            total += v;
-                        }
-                    }
-                    Err(e) => {
-                        failed += 1;
-                        if first_error.is_none() {
-                            first_error = Some(e.clone());
-                        }
-                    }
+        .map(|(j, m)| reduce_measure_values(m.as_ref(), rows.len(), rows.iter().map(|row| &row[j])))
+        .collect()
+}
+
+/// One measure's reduction over its per-offer values in portfolio order —
+/// the shared fold behind [`reduce_measure_rows`] (row-major input) and
+/// the engine's columnar fast path (measure-major input). `offer_count`
+/// is the portfolio size the values were drawn from; the fold consumes
+/// exactly one value per offer.
+fn reduce_measure_values<'a>(
+    m: &dyn Measure,
+    offer_count: usize,
+    values: impl Iterator<Item = &'a Result<f64, MeasureError>>,
+) -> MeasureSummary {
+    let mut total = 0.0;
+    let mut first_error: Option<MeasureError> = None;
+    let mut evaluated = 0usize;
+    let mut failed = 0usize;
+    let mut min: Option<f64> = None;
+    let mut max: Option<f64> = None;
+    for value in values {
+        match value {
+            Ok(v) => {
+                evaluated += 1;
+                min = Some(min.map_or(*v, |m| m.min(*v)));
+                max = Some(max.map_or(*v, |m| m.max(*v)));
+                if first_error.is_none() {
+                    total += v;
                 }
             }
-            let value = match first_error {
-                Some(e) => Err(e),
-                None => match m.set_aggregation() {
-                    SetAggregation::Sum => Ok(total),
-                    SetAggregation::Average => {
-                        if rows.is_empty() {
-                            Err(MeasureError::EmptySet {
-                                measure: m.short_name(),
-                            })
-                        } else {
-                            Ok(total / rows.len() as f64)
-                        }
-                    }
-                },
-            };
-            MeasureSummary {
-                measure: m.short_name(),
-                value,
-                evaluated,
-                failed,
-                min,
-                max,
+            Err(e) => {
+                failed += 1;
+                if first_error.is_none() {
+                    first_error = Some(e.clone());
+                }
             }
-        })
-        .collect()
+        }
+    }
+    let value = match first_error {
+        Some(e) => Err(e),
+        None => match m.set_aggregation() {
+            SetAggregation::Sum => Ok(total),
+            SetAggregation::Average => {
+                if offer_count == 0 {
+                    Err(MeasureError::EmptySet {
+                        measure: m.short_name(),
+                    })
+                } else {
+                    Ok(total / offer_count as f64)
+                }
+            }
+        },
+    };
+    MeasureSummary {
+        measure: m.short_name(),
+        value,
+        evaluated,
+        failed,
+        min,
+        max,
+    }
 }
 
 #[cfg(test)]

@@ -82,7 +82,7 @@ pub mod scenario;
 pub mod scenario_report;
 pub mod shard;
 
-pub use budget::{Budget, EngineError};
+pub use budget::{Budget, EngineError, Kernel};
 pub use chunk::{chunk_ranges, parallel_map};
 pub use engine::{reduce_measure_rows, Engine, TradeOutcome};
 pub use report::{MeasureSummary, PortfolioReport};

@@ -7,7 +7,7 @@
 //! the error paths get exercised) through every comparison.
 
 use flexoffers_aggregation::{aggregate_portfolio, GroupingParams};
-use flexoffers_engine::{Budget, Engine, Partitioner, ShardedBook};
+use flexoffers_engine::{Budget, Engine, Kernel, Partitioner, ShardedBook};
 use flexoffers_market::{Aggregator, SpotMarket};
 use flexoffers_measures::all_measures;
 use flexoffers_model::{FlexOffer, Portfolio, Slice};
@@ -122,6 +122,93 @@ proptest! {
             );
             prop_assert_eq!(summary.evaluated + summary.failed, fos.len());
         }
+    }
+
+    /// The kernel knob is a pure throughput switch: scalar, columnar and
+    /// auto produce bitwise-identical per-offer rows at any threads ×
+    /// chunk combination — including chunks larger than the portfolio,
+    /// empty portfolios, and singletons.
+    #[test]
+    fn kernel_never_changes_per_offer_rows(
+        fos in arb_portfolio(),
+        threads in 1usize..5,
+        chunk in 1usize..40,
+    ) {
+        let measures = all_measures();
+        let budget = |kernel| {
+            Budget::with_threads(threads)
+                .unwrap()
+                .with_chunk_size(chunk)
+                .unwrap()
+                .with_kernel(kernel)
+        };
+        let scalar = Engine::new(budget(Kernel::Scalar)).per_offer_rows(&fos, &measures);
+        let columnar = Engine::new(budget(Kernel::Columnar)).per_offer_rows(&fos, &measures);
+        let auto = Engine::new(budget(Kernel::Auto)).per_offer_rows(&fos, &measures);
+        prop_assert_eq!(scalar.len(), fos.len());
+        prop_assert_eq!(columnar.len(), fos.len());
+        for (i, (s_row, c_row)) in scalar.iter().zip(&columnar).enumerate() {
+            prop_assert_eq!(s_row.len(), c_row.len());
+            for (j, (s, c)) in s_row.iter().zip(c_row).enumerate() {
+                match (s, c) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "offer {} measure {}: {} vs {}", i, j, a, b
+                    ),
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (a, b) => prop_assert!(
+                        false,
+                        "offer {} measure {}: {:?} vs {:?}", i, j, a, b
+                    ),
+                }
+            }
+        }
+        prop_assert_eq!(&columnar, &auto);
+    }
+
+    /// Every kernel's chunked baseline partials merge to exactly the
+    /// market crate's sequential earliest-start baseline.
+    #[test]
+    fn baseline_kernels_agree_with_the_market_baseline(
+        fos in arb_portfolio(),
+        threads in 1usize..5,
+        chunk in 1usize..40,
+    ) {
+        let reference = flexoffers_market::baseline_load(&fos);
+        for kernel in [Kernel::Scalar, Kernel::Columnar, Kernel::Auto] {
+            let engine = Engine::new(
+                Budget::with_threads(threads)
+                    .unwrap()
+                    .with_chunk_size(chunk)
+                    .unwrap()
+                    .with_kernel(kernel),
+            );
+            prop_assert_eq!(
+                engine.baseline_load_parallel(&fos),
+                reference.clone(),
+                "kernel {:?}", kernel
+            );
+        }
+    }
+
+    /// The sharded book's merge tier is kernel-blind too: a columnar
+    /// sharded measurement reproduces the flat scalar engine bit for bit.
+    #[test]
+    fn sharded_columnar_measure_matches_flat_scalar(
+        fos in arb_portfolio(),
+        shards in 1usize..6,
+        partitioner in arb_partitioner(),
+        threads in 1usize..5,
+    ) {
+        let flat = Engine::new(Budget::with_threads(threads).unwrap().with_kernel(Kernel::Scalar))
+            .measure_portfolio_all(&fos);
+        let book = ShardedBook::partition(&fos, shards, &partitioner).unwrap();
+        let sharded = Engine::new(
+            Budget::with_threads(threads).unwrap().with_kernel(Kernel::Columnar),
+        )
+        .measure_book_all(&book);
+        prop_assert_eq!(sharded.summaries, flat.summaries);
+        prop_assert_eq!(sharded.offers, fos.len());
     }
 
     /// Parallel grouping + aggregation reproduces the sequential

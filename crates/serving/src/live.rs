@@ -42,6 +42,7 @@
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use flexoffers_aggregation::{aggregate, Aggregate, KeyIndex};
@@ -51,7 +52,7 @@ use flexoffers_engine::{
     PortfolioReport, ScenarioKind,
 };
 use flexoffers_market::baseline_load;
-use flexoffers_measures::{all_measures, MeasureError};
+use flexoffers_measures::{all_measures, ColumnarBatch, MeasureError};
 use flexoffers_model::{Assignment, FlexOffer, Portfolio};
 use flexoffers_scheduling::{earliest_start_assignment, Schedule};
 use flexoffers_timeseries::ops::sum_series;
@@ -105,6 +106,12 @@ struct LiveShard {
     cache: Option<ShardCache>,
     key_digest: u64,
     evaluations: usize,
+    /// The shard's columnar scratch arena: the measure pass and baseline
+    /// partial run inside it ([`Engine::per_offer_rows_in`]), and its
+    /// buffers persist across refreshes — once a shard has been evaluated
+    /// at its steady-state size, re-evaluations allocate nothing in the
+    /// kernels.
+    arena: ColumnarBatch,
 }
 
 impl LiveShard {
@@ -115,6 +122,7 @@ impl LiveShard {
             cache: None,
             key_digest: 0,
             evaluations: 0,
+            arena: ColumnarBatch::new(),
         }
     }
 }
@@ -466,21 +474,37 @@ impl LiveBook {
         }
         let worker = Engine::new(self.engine.budget().per_shard(dirty.len()));
         let measures = all_measures();
+        // Each dirty shard's arena is taken out of the shard (and wrapped
+        // for the fan-out) so a worker can mutate it while the shard's
+        // offers stay borrowed, then handed back below — the buffers
+        // survive the round trip, which is what makes steady-state
+        // refreshes allocation-free in the kernels.
+        let arenas: Vec<Mutex<ColumnarBatch>> = dirty
+            .iter()
+            .map(|&i| Mutex::new(std::mem::take(&mut self.shards[i].arena)))
+            .collect();
         let computed: Vec<ShardCache> = {
-            let work: Vec<&[FlexOffer]> =
-                dirty.iter().map(|&i| &self.shards[i].offers[..]).collect();
-            parallel_map(&work, self.engine.budget().threads(), |offers| ShardCache {
-                rows: worker.per_offer_rows(offers, &measures),
-                baseline: if offers.is_empty() {
-                    baseline_load(&[])
-                } else {
-                    worker.baseline_load_parallel(offers)
-                },
+            let work: Vec<(&[FlexOffer], &Mutex<ColumnarBatch>)> = dirty
+                .iter()
+                .zip(&arenas)
+                .map(|(&i, arena)| (&self.shards[i].offers[..], arena))
+                .collect();
+            parallel_map(&work, self.engine.budget().threads(), |&(offers, arena)| {
+                let mut arena = arena.lock().expect("arena is uncontended per shard");
+                ShardCache {
+                    rows: worker.per_offer_rows_in(&mut arena, offers, &measures),
+                    baseline: if offers.is_empty() {
+                        baseline_load(&[])
+                    } else {
+                        worker.baseline_load_parallel_in(&mut arena, offers)
+                    },
+                }
             })
         };
-        for (i, cache) in dirty.into_iter().zip(computed) {
+        for ((i, cache), arena) in dirty.into_iter().zip(computed).zip(arenas) {
             self.shards[i].cache = Some(cache);
             self.shards[i].evaluations += 1;
+            self.shards[i].arena = arena.into_inner().expect("arena is uncontended per shard");
         }
     }
 

@@ -39,25 +39,21 @@ impl Norm {
 
     /// Applies the norm to the series' values.
     pub fn of<T: SeriesValue>(self, series: &Series<T>) -> f64 {
+        self.of_values(series.iter().map(|(_, v)| v.to_f64()))
+    }
+
+    /// Applies the norm to a plain value stream, accumulating in iteration
+    /// order with exactly the arithmetic [`Norm::of`] uses — `of` is this
+    /// function over the series' stored values, so a caller that streams
+    /// the same values in the same order gets the bitwise-identical norm
+    /// without materialising a [`Series`]. This is the seam the measures
+    /// crate's columnar kernels evaluate the time-series measure through.
+    pub fn of_values(self, values: impl Iterator<Item = f64>) -> f64 {
         match self {
-            Norm::L1 => series.iter().map(|(_, v)| v.to_f64().abs()).sum(),
-            Norm::L2 => series
-                .iter()
-                .map(|(_, v)| {
-                    let x = v.to_f64();
-                    x * x
-                })
-                .sum::<f64>()
-                .sqrt(),
-            Norm::LInf => series
-                .iter()
-                .map(|(_, v)| v.to_f64().abs())
-                .fold(0.0, f64::max),
-            Norm::Lp(p) => series
-                .iter()
-                .map(|(_, v)| v.to_f64().abs().powf(p))
-                .sum::<f64>()
-                .powf(1.0 / p),
+            Norm::L1 => values.map(f64::abs).sum(),
+            Norm::L2 => values.map(|x| x * x).sum::<f64>().sqrt(),
+            Norm::LInf => values.map(f64::abs).fold(0.0, f64::max),
+            Norm::Lp(p) => values.map(|x| x.abs().powf(p)).sum::<f64>().powf(1.0 / p),
         }
     }
 

@@ -4,16 +4,18 @@
 //! flexctl measure <file.json|-> [measure-name ...]   measure a flex-offer
 //! flexctl measure --portfolio <file.json|->          measure a whole portfolio
 //!         [--threads N] [--shards K] [--json]        (engine-parallel; sharded
-//!         [measure-name ...]                         book when --shards > 1)
+//!         [--kernel scalar|columnar|auto]            book when --shards > 1)
+//!         [measure-name ...]
 //! flexctl measure --portfolio --city H [--seed S]    same, over a generated
 //!         [--threads N] [--shards K] [--json]        city streamed into shards
+//!         [--kernel scalar|columnar|auto]
 //! flexctl simulate --scenario <schedule|market>      run a scenario pipeline
 //!         [--city H] [--seed S] [--threads N]        on a generated city
 //!         [--shards K] [--scheduler greedy|hillclimb] (--households is an
-//!         [--json]                                    alias of --city)
+//!         [--kernel scalar|columnar|auto] [--json]    alias of --city)
 //! flexctl serve --script <events.jsonl|->            replay an event stream
 //!         [--shards K] [--threads N] [--seed S]      through the live book;
-//!         [--batch]                                  one JSON line per query
+//!         [--kernel scalar|columnar|auto] [--batch]  one JSON line per query
 //! flexctl events --city H [--seed S] [--churn PCT]   generate such a script
 //!         [--queries N]                              from the city workload
 //! flexctl render  <file.json|->                      ASCII-render it
@@ -36,6 +38,15 @@
 //! one allocation:
 //! `flexctl measure --portfolio --city 296000 --shards 8 --json`.
 //!
+//! `--threads N` is one *shared* budget, not per-shard: with `--shards K`
+//! each shard worker runs on `N / K` threads, floored at 1, so `K > N`
+//! degrades every shard worker to sequential instead of erroring (and
+//! results never change — the budget split is throughput-only). `--kernel`
+//! picks the measure/baseline kernel implementation: `scalar` is the
+//! per-offer prepared loop, `columnar` the struct-of-arrays batch kernels,
+//! and the default `auto` picks columnar whenever every requested measure
+//! has a columnar form. All three produce bitwise-identical output.
+//!
 //! `serve` replays a JSONL event script (see `flexctl events` and the
 //! serving crate's event schema: one `{"event": "add|update|remove|query",
 //! ...}` object per line) through the live serving tier and prints one
@@ -47,7 +58,7 @@ use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use flexoffers::area::{render_flexoffer, render_union};
-use flexoffers::engine::{Budget, Engine};
+use flexoffers::engine::{Budget, Engine, Kernel};
 use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
 use flexoffers::serving::batch::BatchBook;
 use flexoffers::serving::{parse_script, Event, LiveServer, QueryKind, ServeConfig};
@@ -69,17 +80,26 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   flexctl measure <file.json|-> [measure-name ...]
-  flexctl measure --portfolio <file.json|-> [--threads N] [--shards K] [--json]
-                  [measure-name ...]
-  flexctl measure --portfolio --city H [--seed S] [--threads N] [--shards K] [--json]
+  flexctl measure --portfolio <file.json|-> [--threads N] [--shards K]
+                  [--kernel scalar|columnar|auto] [--json] [measure-name ...]
+  flexctl measure --portfolio --city H [--seed S] [--threads N] [--shards K]
+                  [--kernel scalar|columnar|auto] [--json]
   flexctl simulate --scenario <schedule|market> [--city H] [--seed S]
-                   [--threads N] [--shards K] [--scheduler greedy|hillclimb] [--json]
-  flexctl serve --script <events.jsonl|-> [--shards K] [--threads N] [--seed S] [--batch]
+                   [--threads N] [--shards K] [--scheduler greedy|hillclimb]
+                   [--kernel scalar|columnar|auto] [--json]
+  flexctl serve --script <events.jsonl|-> [--shards K] [--threads N] [--seed S]
+                [--kernel scalar|columnar|auto] [--batch]
   flexctl events --city H [--seed S] [--churn PCT] [--queries N]
   flexctl render  <file.json|->
   flexctl count   <file.json|->
   flexctl names
-  flexctl template [--portfolio]";
+  flexctl template [--portfolio]
+
+--threads is one shared budget: with --shards K each shard worker gets
+N / K threads, floored at 1 (K > N degrades shard workers to sequential,
+it never errors). --kernel selects the measure/baseline kernel (default
+auto = columnar whenever every requested measure has a columnar form);
+scalar, columnar and auto produce bitwise-identical output.";
 
 fn run(cmd: &str, rest: &[String]) -> ExitCode {
     match cmd {
@@ -190,6 +210,16 @@ fn budget_for(threads: Option<usize>) -> Result<Budget, String> {
     }
 }
 
+/// Parses the value of a `--kernel` flag — the one spelling across
+/// `measure`/`simulate`/`serve`.
+fn kernel_flag(args: &mut std::slice::Iter<'_, String>) -> Result<Kernel, String> {
+    let Some(value) = args.next() else {
+        return Err("--kernel needs a value (scalar, columnar or auto)".to_owned());
+    };
+    Kernel::parse(value)
+        .ok_or_else(|| format!("unknown kernel {value}; expected scalar, columnar or auto"))
+}
+
 /// A loaded portfolio, flat or already partitioned into a sharded book.
 enum LoadedBook {
     Flat(Portfolio),
@@ -253,12 +283,22 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
     let mut shards: Option<usize> = None;
     let mut city: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut kernel = Kernel::Auto;
     let mut json = false;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--portfolio" => {}
             "--json" => json = true,
+            "--kernel" => {
+                kernel = match kernel_flag(&mut args) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             flag @ ("--threads" | "--shards" | "--city" | "--seed") => {
                 let n = match count_flag(flag, &mut args) {
                     Ok(n) => n,
@@ -295,7 +335,7 @@ fn measure_portfolio(rest: &[String]) -> ExitCode {
     let seed = seed.unwrap_or(7);
 
     let budget = match budget_for(threads) {
-        Ok(b) => b,
+        Ok(b) => b.with_kernel(kernel),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -363,12 +403,22 @@ fn simulate(rest: &[String]) -> ExitCode {
     let mut scheduler = SchedulerChoice::Greedy;
     let mut threads: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut kernel = Kernel::Auto;
     let mut json = false;
 
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--kernel" => {
+                kernel = match kernel_flag(&mut args) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--scenario" => {
                 let Some(value) = args.next() else {
                     eprintln!("error: --scenario needs a value (schedule or market)");
@@ -430,7 +480,7 @@ fn simulate(rest: &[String]) -> ExitCode {
         (None, None) => 3_000,
     };
     let budget = match budget_for(threads) {
-        Ok(b) => b,
+        Ok(b) => b.with_kernel(kernel),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -476,12 +526,22 @@ fn serve(rest: &[String]) -> ExitCode {
     let mut shards: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut kernel = Kernel::Auto;
     let mut batch = false;
 
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--batch" => batch = true,
+            "--kernel" => {
+                kernel = match kernel_flag(&mut args) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--script" => {
                 let Some(value) = args.next() else {
                     eprintln!("error: --script needs a path (or - for stdin)");
@@ -537,7 +597,7 @@ fn serve(rest: &[String]) -> ExitCode {
         }
     };
     let budget = match budget_for(threads) {
-        Ok(b) => b,
+        Ok(b) => b.with_kernel(kernel),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
