@@ -111,8 +111,8 @@ fn main() {
             for &shards in shard_counts {
                 let engine = Engine::new(Budget::with_threads(shards).expect("non-zero"));
                 let build = || {
-                    let mut book =
-                        LiveBook::new(config, shards, engine).expect("non-zero shard count");
+                    let mut book = LiveBook::new(config.clone(), shards, engine)
+                        .expect("non-zero shard count");
                     for event in &events {
                         book.apply_offer_event(event.clone()).expect("valid stream");
                     }

@@ -448,6 +448,27 @@ mod tests {
     }
 
     #[test]
+    fn committed_journal_baseline_feeds_the_same_gate() {
+        // BENCH_journal.json reuses the engine-bench schema (`sequential`
+        // records the journaling-off LiveBook replay, `engine` the
+        // journaling-on and recovery modes with extra `mode`/`events`/
+        // `sync_every` fields this mirror ignores; the headline is the
+        // off/on throughput ratio), so the one bench_check binary gates
+        // the durability baseline too.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_journal.json"
+        ))
+        .expect("committed journal baseline exists");
+        let baseline: EngineBenchReport = serde_json::from_str(&text).expect("baseline parses");
+        assert_eq!(baseline.schema, ENGINE_BENCH_SCHEMA);
+        assert!(!baseline.engine.is_empty());
+        assert!(!baseline.sequential.is_empty());
+        let verdict = check_regression(&baseline, &baseline, DEFAULT_MIN_RATIO).unwrap();
+        assert!(verdict.passed());
+    }
+
+    #[test]
     fn committed_sharded_baseline_feeds_the_same_gate() {
         // BENCH_sharded.json reuses the engine-bench schema (each run
         // carries an extra `shards` field this mirror ignores), so the one

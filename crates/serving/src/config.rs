@@ -1,7 +1,61 @@
 //! The serving tier's query configuration.
 
+use std::path::{Path, PathBuf};
+
 use flexoffers_aggregation::GroupingParams;
 use flexoffers_engine::{Scenario, ScenarioKind, SchedulerChoice};
+
+/// Where and how a serving loop persists its event stream.
+///
+/// The journal is the event wire format itself — each applied mutation is
+/// one [`Event::to_json_line`](crate::Event::to_json_line) appended to
+/// `journal`, so the journal is a replayable
+/// [`parse_script`](crate::parse_script) script. Snapshots (when enabled)
+/// bound replay time; recovery without one replays the whole journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurabilityConfig {
+    /// The append-only event journal path.
+    pub journal: PathBuf,
+    /// Snapshot path; `None` defaults to `journal` + `.snap`.
+    pub snapshot: Option<PathBuf>,
+    /// Write a snapshot every this many journaled mutations; `None`
+    /// disables periodic snapshots (one is still written at clean
+    /// shutdown).
+    pub snapshot_every: Option<u64>,
+    /// fsync the journal every this many mutations (and always before a
+    /// snapshot and at shutdown). 1 = sync every event.
+    pub sync_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Journals to `journal` with default batching: fsync every 64
+    /// mutations, snapshot only at clean shutdown.
+    pub fn new(journal: impl Into<PathBuf>) -> Self {
+        Self {
+            journal: journal.into(),
+            snapshot: None,
+            snapshot_every: None,
+            sync_every: 64,
+        }
+    }
+
+    /// The effective snapshot path (`snapshot`, or `journal` + `.snap`).
+    pub fn snapshot_path(&self) -> PathBuf {
+        match &self.snapshot {
+            Some(path) => path.clone(),
+            None => {
+                let mut name = self.journal.file_name().unwrap_or_default().to_owned();
+                name.push(".snap");
+                self.journal.with_file_name(name)
+            }
+        }
+    }
+
+    /// The journal path.
+    pub fn journal_path(&self) -> &Path {
+        &self.journal
+    }
+}
 
 /// Every knob a live book needs to answer its four query kinds — the
 /// [`Scenario`] fields minus the workload source (the portfolio arrives as
@@ -9,7 +63,7 @@ use flexoffers_engine::{Scenario, ScenarioKind, SchedulerChoice};
 /// spot prices) are pure functions of these fields plus the book's current
 /// offer count, so equal configs over equal logical portfolios answer with
 /// equal bytes.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServeConfig {
     /// Seed for the target and price traces (not for the portfolio — that
     /// is the event stream's business).
@@ -25,6 +79,9 @@ pub struct ServeConfig {
     /// Imbalance penalty for trade queries, as a multiple of the peak spot
     /// price.
     pub penalty_multiplier: f64,
+    /// Journal/snapshot persistence; `None` serves memory-only. Purely
+    /// operational — durability never changes an answer's bytes.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ServeConfig {
@@ -59,6 +116,7 @@ impl Default for ServeConfig {
             days: 2,
             min_lot: 25,
             penalty_multiplier: 2.0,
+            durability: None,
         }
     }
 }
@@ -72,6 +130,26 @@ mod tests {
         let config = ServeConfig::default();
         let reference = Scenario::city_portfolio(ScenarioKind::Schedule, 0);
         assert_eq!(config.scenario(ScenarioKind::Schedule), reference);
+    }
+
+    #[test]
+    fn snapshot_path_defaults_next_to_the_journal() {
+        let durability = DurabilityConfig::new("/var/lib/flex/events.jsonl");
+        assert_eq!(
+            durability.snapshot_path(),
+            PathBuf::from("/var/lib/flex/events.jsonl.snap")
+        );
+        assert_eq!(durability.sync_every, 64);
+        assert_eq!(durability.snapshot_every, None);
+
+        let explicit = DurabilityConfig {
+            snapshot: Some(PathBuf::from("/elsewhere/book.snap")),
+            ..DurabilityConfig::new("events.jsonl")
+        };
+        assert_eq!(
+            explicit.snapshot_path(),
+            PathBuf::from("/elsewhere/book.snap")
+        );
     }
 
     #[test]

@@ -152,10 +152,22 @@ impl Event {
             .get("event")
             .and_then(Value::as_str)
             .ok_or("event object needs a string `event` tag")?;
+        // Ids are strictly non-negative integers. The float and negative
+        // cases are named explicitly rather than left to the generic
+        // deserializer: the journal replays untrusted files, and
+        // `{"id":3.0}` must fail loudly instead of coercing through the
+        // vendored `Value`'s numeric tower.
         let id = |value: &Value| -> Result<u64, String> {
-            let raw = value.get("id").ok_or("missing `id`")?;
-            use serde::Deserialize;
-            u64::from_value(raw).map_err(|e| format!("bad `id`: {e}"))
+            match value.get("id").ok_or("missing `id`")? {
+                Value::U64(n) => Ok(*n),
+                Value::I64(n) if *n >= 0 => Ok(*n as u64),
+                Value::I64(n) => Err(format!("bad `id`: id must be non-negative, got {n}")),
+                Value::F64(f) => Err(format!("bad `id`: id must be an integer, got {f:?}")),
+                other => Err(format!(
+                    "bad `id`: expected integer, found {}",
+                    other.kind()
+                )),
+            }
         };
         let offer = |value: &Value| -> Result<FlexOffer, String> {
             let raw = value.get("offer").ok_or("missing `offer`")?;
@@ -212,9 +224,21 @@ impl Error for ScriptError {}
 /// the `k`-th add owns id `k`, updates must name a live id, removes kill
 /// one. Returns the events in script order, or the first offending line.
 pub fn parse_script(text: &str) -> Result<Vec<Event>, ScriptError> {
+    parse_script_from(text, Vec::new(), 0)
+}
+
+/// [`parse_script`] seeded with a book's current state — the validation a
+/// script that *continues* an existing history (a journaled serve being
+/// resumed) must pass: updates and removes may name ids the prior run
+/// added, and the first add of the new script owns `next_id`, not 0.
+pub fn parse_script_from(
+    text: &str,
+    live_ids: Vec<u64>,
+    start_id: u64,
+) -> Result<Vec<Event>, ScriptError> {
     let mut events = Vec::new();
-    let mut next_id: u64 = 0;
-    let mut live = std::collections::BTreeSet::new();
+    let mut next_id: u64 = start_id;
+    let mut live: std::collections::BTreeSet<u64> = live_ids.into_iter().collect();
     for (at, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -326,6 +350,35 @@ mod tests {
     }
 
     #[test]
+    fn seeded_parsing_validates_a_continuation_script() {
+        // Ids 0 and 2 live, next add takes id 3: exactly the state left
+        // by add,add,add,remove(1) — a resumed journal's continuation may
+        // touch the survivors but not the hole or the future.
+        let script = format!(
+            "{}\n{}\n{}\n",
+            Event::Update {
+                id: 2,
+                offer: offer()
+            }
+            .to_json_line(),
+            Event::Add(offer()).to_json_line(),
+            Event::Remove { id: 3 }.to_json_line(), // the add above owns 3
+        );
+        let events = parse_script_from(&script, vec![0, 2], 3).unwrap();
+        assert_eq!(events.len(), 3);
+        // The same script from a cold start fails on the first line.
+        let err = parse_script(&script).unwrap_err();
+        assert!(matches!(err, ScriptError::Line { line: 1, .. }), "{err}");
+        // The hole (removed id 1) stays dead in the seeded parse too.
+        let err =
+            parse_script_from("{\"event\":\"remove\",\"id\":1}\n", vec![0, 2], 3).unwrap_err();
+        assert!(
+            err.to_string().contains("remove of unknown offer id 1"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn unknown_tags_and_kinds_are_rejected() {
         let err = parse_script("{\"event\":\"upsert\",\"id\":0}\n").unwrap_err();
         assert!(err.to_string().contains("unknown event `upsert`"), "{err}");
@@ -342,6 +395,47 @@ mod tests {
         assert_eq!(parse_script("\n  \n\n"), Err(ScriptError::Empty));
         let script = format!("\n{}\n\n", Event::Query(QueryKind::Schedule).to_json_line());
         assert_eq!(parse_script(&script).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn float_and_negative_ids_are_rejected_with_line_numbers() {
+        // `3.0` is numerically integral, but an id position must hold an
+        // integer token — the journal replays untrusted files.
+        let script = format!(
+            "{}\n{{\"event\":\"remove\",\"id\":3.0}}\n",
+            Event::Add(offer()).to_json_line()
+        );
+        let err = parse_script(&script).unwrap_err();
+        assert!(matches!(err, ScriptError::Line { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("id must be an integer"), "{err}");
+
+        for bad in [
+            "{\"event\":\"remove\",\"id\":2.5}",
+            "{\"event\":\"remove\",\"id\":-3}",
+            "{\"event\":\"update\",\"id\":0.0,\"offer\":{}}",
+            "{\"event\":\"update\",\"id\":-1,\"offer\":{}}",
+            "{\"event\":\"remove\",\"id\":\"3\"}",
+        ] {
+            let err = Event::from_json_line(bad).unwrap_err();
+            assert!(err.starts_with("bad `id`"), "{bad} -> {err}");
+        }
+        let err = Event::from_json_line("{\"event\":\"remove\",\"id\":-3}").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn integral_floats_in_offer_fields_are_rejected() {
+        // The offer body goes through the vendored serde, which must be as
+        // strict as the id path: `"earliest_start":7.0` used to coerce to 7.
+        let line = Event::Add(offer()).to_json_line();
+        let fuzzed = line.replacen("\"earliest_start\":0", "\"earliest_start\":0.0", 1);
+        assert_ne!(
+            line, fuzzed,
+            "fixture offer should serialize earliest_start"
+        );
+        let err = Event::from_json_line(&fuzzed).unwrap_err();
+        assert!(err.starts_with("bad `offer`"), "{err}");
+        assert!(err.contains("expected integer"), "{err}");
     }
 
     #[test]

@@ -70,8 +70,10 @@ pub mod live;
 pub mod report;
 pub mod server;
 
-pub use config::ServeConfig;
-pub use event::{parse_script, Event, QueryKind, ScriptError};
-pub use live::{LiveBook, LiveError};
+pub use config::{DurabilityConfig, ServeConfig};
+pub use event::{parse_script, parse_script_from, Event, QueryKind, ScriptError};
+pub use live::{
+    BookExport, ImportError, LiveBook, LiveError, MeasureRow, ShardCacheExport, ShardExport,
+};
 pub use report::{AggregateReportJson, AggregateSummaryJson};
-pub use server::{LiveHandle, LiveServer, ServerGone};
+pub use server::{EventSink, LiveHandle, LiveServer, ServeError};

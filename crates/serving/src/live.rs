@@ -63,8 +63,12 @@ use crate::config::ServeConfig;
 use crate::event::{Event, QueryKind};
 use crate::report::{aggregate_report, answer_line, error_line};
 
-/// One per-offer row of measure values (all eight measures).
-type Row = Vec<Result<f64, MeasureError>>;
+/// One per-offer row of measure values (all eight measures) — what the
+/// per-shard cache stores and what a snapshot serializes.
+pub type MeasureRow = Vec<Result<f64, MeasureError>>;
+
+/// Local alias kept for brevity.
+type Row = MeasureRow;
 
 /// Errors applying a mutation to a live book.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,6 +91,119 @@ impl fmt::Display for LiveError {
 }
 
 impl Error for LiveError {}
+
+/// Why a [`BookExport`] could not be turned back into a [`LiveBook`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImportError {
+    /// The export held no shards.
+    ZeroShards,
+    /// The same logical id appeared twice.
+    DuplicateId {
+        /// The repeated id.
+        id: u64,
+    },
+    /// An id sat in a shard other than its `stable_shard` placement.
+    MisplacedId {
+        /// The misplaced id.
+        id: u64,
+    },
+    /// The id counter was not strictly past every live id — replaying a
+    /// journal suffix would reassign a live id.
+    StaleNextId {
+        /// The exported counter.
+        next_id: u64,
+        /// A live id it failed to clear.
+        id: u64,
+    },
+    /// A shard's stored key digest disagreed with its offers.
+    DigestMismatch {
+        /// The offending shard index.
+        shard: usize,
+    },
+    /// A shard's parallel arrays (ids/offers, or cached rows) disagreed in
+    /// length.
+    CacheShape {
+        /// The offending shard index.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::ZeroShards => f.write_str("export holds no shards"),
+            ImportError::DuplicateId { id } => write!(f, "duplicate offer id {id}"),
+            ImportError::MisplacedId { id } => {
+                write!(f, "offer id {id} is not in its stable shard")
+            }
+            ImportError::StaleNextId { next_id, id } => {
+                write!(f, "next id {next_id} does not clear live id {id}")
+            }
+            ImportError::DigestMismatch { shard } => {
+                write!(f, "shard {shard}: key digest disagrees with its offers")
+            }
+            ImportError::CacheShape { shard } => {
+                write!(f, "shard {shard}: parallel arrays disagree in length")
+            }
+        }
+    }
+}
+
+impl Error for ImportError {}
+
+/// A serializable image of one shard's cached evaluation state — the rows
+/// and baseline partial a clean shard would otherwise recompute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardCacheExport {
+    /// Per-offer measure rows, aligned with the shard's local offer order.
+    pub rows: Vec<MeasureRow>,
+    /// The shard's no-flexibility baseline partial.
+    pub baseline: Series<i64>,
+}
+
+/// A serializable image of one [`LiveBook`] shard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardExport {
+    /// The shard's live ids, in local (arrival/swap-remove) order.
+    pub ids: Vec<u64>,
+    /// The offers, aligned with `ids`.
+    pub offers: Vec<FlexOffer>,
+    /// The shard's commutative `(tes, tf)` key digest.
+    pub key_digest: u64,
+    /// The cached evaluation state, when the shard was clean.
+    pub cache: Option<ShardCacheExport>,
+}
+
+/// A full serializable image of a live book's incremental state — what a
+/// snapshot persists and [`LiveBook::from_export`] validates back into a
+/// book. Deliberately excludes the evaluation counters (observability,
+/// reset on import) and the scratch arenas (rebuilt on first refresh).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BookExport {
+    /// The monotone id counter (strictly past every live id).
+    pub next_id: u64,
+    /// Per-shard state, in shard order.
+    pub shards: Vec<ShardExport>,
+}
+
+/// Locks a scratch arena, recovering from poison: the arena holds no
+/// results — only reusable buffers that every pass overwrites before
+/// reading — so a worker panicking mid-fill leaves nothing worth
+/// preserving and nothing that can corrupt a later refresh.
+fn lock_scratch(arena: &Mutex<ColumnarBatch>) -> std::sync::MutexGuard<'_, ColumnarBatch> {
+    arena
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Unwraps a scratch arena back out of its fan-out wrapper, recovering
+/// from poison for the same reason as [`lock_scratch`].
+fn reclaim_scratch(arena: Mutex<ColumnarBatch>) -> ColumnarBatch {
+    arena
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The cached evaluation state of one shard, valid only while the shard is
 /// clean (any mutation of the shard drops the whole cache).
@@ -232,6 +349,13 @@ impl LiveBook {
         self.owners.keys().copied().collect()
     }
 
+    /// The id the next add will receive. Together with [`live_ids`]
+    /// this is the state [`parse_script_from`](crate::parse_script_from)
+    /// needs to validate a script that *continues* this book's history.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// The logical portfolio at this instant: live offers in id order —
     /// exactly what a from-scratch build would evaluate. Clones every
     /// offer; meant for oracles and tests, not the serving hot path.
@@ -240,6 +364,101 @@ impl LiveBook {
             .values()
             .map(|&(s, local)| self.shards[s].offers[local].clone())
             .collect()
+    }
+
+    /// A serializable image of the book's incremental state — per-shard
+    /// ids, offers, key digests, cached rows/baseline partials, and the id
+    /// counter. Clones everything; meant for the snapshot path, which runs
+    /// off the hot loop's cadence.
+    pub fn export(&self) -> BookExport {
+        BookExport {
+            next_id: self.next_id,
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| ShardExport {
+                    ids: shard.ids.clone(),
+                    offers: shard.offers.clone(),
+                    key_digest: shard.key_digest,
+                    cache: shard.cache.as_ref().map(|cache| ShardCacheExport {
+                        rows: cache.rows.clone(),
+                        baseline: cache.baseline.clone(),
+                    }),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a book from an export, revalidating every structural
+    /// invariant a fresh build would have established: unique ids in their
+    /// stable shards, an id counter strictly past every live id, key
+    /// digests that match the offers, and aligned parallel arrays. The
+    /// owner table and sorted key index are reconstructed (they are pure
+    /// functions of the shard arrays); evaluation counters reset and the
+    /// grouping cache starts cold.
+    pub fn from_export(
+        config: ServeConfig,
+        engine: Engine,
+        export: BookExport,
+    ) -> Result<Self, ImportError> {
+        if export.shards.is_empty() {
+            return Err(ImportError::ZeroShards);
+        }
+        let shard_count = export.shards.len();
+        let mut owners = BTreeMap::new();
+        let mut keys = KeyIndex::new();
+        let mut shards = Vec::with_capacity(shard_count);
+        for (s, shard) in export.shards.into_iter().enumerate() {
+            if shard.ids.len() != shard.offers.len() {
+                return Err(ImportError::CacheShape { shard: s });
+            }
+            if let Some(cache) = &shard.cache {
+                if cache.rows.len() != shard.offers.len() {
+                    return Err(ImportError::CacheShape { shard: s });
+                }
+            }
+            let mut digest = 0u64;
+            for (local, (&id, offer)) in shard.ids.iter().zip(&shard.offers).enumerate() {
+                if stable_shard(id, shard_count) != s {
+                    return Err(ImportError::MisplacedId { id });
+                }
+                if owners.insert(id, (s, local)).is_some() {
+                    return Err(ImportError::DuplicateId { id });
+                }
+                if id >= export.next_id {
+                    return Err(ImportError::StaleNextId {
+                        next_id: export.next_id,
+                        id,
+                    });
+                }
+                let key = grouping_key(offer);
+                digest = digest.wrapping_add(key_hash(key));
+                keys.insert(id, key);
+            }
+            if digest != shard.key_digest {
+                return Err(ImportError::DigestMismatch { shard: s });
+            }
+            shards.push(LiveShard {
+                ids: shard.ids,
+                offers: shard.offers,
+                cache: shard.cache.map(|cache| ShardCache {
+                    rows: cache.rows,
+                    baseline: cache.baseline,
+                }),
+                key_digest: shard.key_digest,
+                evaluations: 0,
+                arena: ColumnarBatch::new(),
+            });
+        }
+        Ok(Self {
+            config,
+            engine,
+            shards,
+            owners,
+            next_id: export.next_id,
+            keys,
+            groups_cache: None,
+        })
     }
 
     /// Applies one mutation or query. Mutations return `Ok(None)`; queries
@@ -490,7 +709,7 @@ impl LiveBook {
                 .map(|(&i, arena)| (&self.shards[i].offers[..], arena))
                 .collect();
             parallel_map(&work, self.engine.budget().threads(), |&(offers, arena)| {
-                let mut arena = arena.lock().expect("arena is uncontended per shard");
+                let mut arena = lock_scratch(arena);
                 ShardCache {
                     rows: worker.per_offer_rows_in(&mut arena, offers, &measures),
                     baseline: if offers.is_empty() {
@@ -504,7 +723,7 @@ impl LiveBook {
         for ((i, cache), arena) in dirty.into_iter().zip(computed).zip(arenas) {
             self.shards[i].cache = Some(cache);
             self.shards[i].evaluations += 1;
-            self.shards[i].arena = arena.into_inner().expect("arena is uncontended per shard");
+            self.shards[i].arena = reclaim_scratch(arena);
         }
     }
 
@@ -717,6 +936,153 @@ mod tests {
             let answer = book.answer(kind);
             assert!(answer.contains("\"error\":\"empty portfolio"), "{answer}");
         }
+    }
+
+    #[test]
+    fn a_panicking_worker_does_not_poison_subsequent_refreshes() {
+        let mut book = book(2);
+        book.add(offer(0, 2, 1));
+        book.add(offer(1, 3, -1));
+
+        // Simulate a measure kernel panicking while it holds a shard's
+        // scratch arena — the scenario that used to trip the refresh-time
+        // `expect` on the poisoned lock.
+        let arena = Mutex::new(std::mem::take(&mut book.shards[0].arena));
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| {
+                let _guard = lock_scratch(&arena);
+                panic!("custom measure panicked");
+            });
+            assert!(worker.join().is_err());
+        });
+        assert!(arena.is_poisoned());
+        drop(lock_scratch(&arena)); // the lock path recovers
+        book.shards[0].arena = reclaim_scratch(arena); // the reclaim path too
+
+        // Refreshes keep working on the recovered arena.
+        let answer = book.answer(QueryKind::Measure);
+        assert!(answer.contains("\"offers\":2"), "{answer}");
+        let again = book.answer(QueryKind::Measure);
+        assert_eq!(answer, again);
+    }
+
+    #[test]
+    fn export_round_trips_and_answers_identically() {
+        let mut book = book(3);
+        for i in 0..20 {
+            book.add(offer(i % 5, i % 3 + 1, -1));
+        }
+        book.remove(7).unwrap();
+        book.update(3, offer(9, 2, 2)).unwrap();
+        book.answer(QueryKind::Measure); // warm the caches
+
+        let export = book.export();
+        let mut revived =
+            LiveBook::from_export(ServeConfig::default(), Engine::sequential(), export.clone())
+                .unwrap();
+        assert_eq!(revived.live_ids(), book.live_ids());
+        assert_eq!(revived.key_digests(), book.key_digests());
+        for kind in QueryKind::all() {
+            assert_eq!(revived.answer(kind), book.answer(kind), "{kind}");
+        }
+        // A warm export revives with warm caches: the first measure query
+        // re-evaluates nothing.
+        assert!(revived.evaluations().iter().all(|&e| e == 0));
+        // And mutation after import keeps going where the export left off.
+        let id = revived.add(offer(1, 1, 0));
+        assert_eq!(id, 20, "ids continue past the exported counter");
+        assert_eq!(revived.export().next_id, 21);
+        // Round trip of the round trip is exact.
+        let again = LiveBook::from_export(
+            ServeConfig::default(),
+            Engine::sequential(),
+            revived.export(),
+        )
+        .unwrap()
+        .export();
+        assert_eq!(again, revived.export());
+        let _ = export;
+    }
+
+    #[test]
+    fn imports_revalidate_structural_invariants() {
+        let mut book = book(3);
+        for i in 0..9 {
+            book.add(offer(i, 2, 1));
+        }
+        book.answer(QueryKind::Measure); // warm the caches
+        let export = book.export();
+        let full = export
+            .shards
+            .iter()
+            .position(|s| !s.offers.is_empty())
+            .expect("nine offers fill some shard");
+        let config = ServeConfig::default;
+        let import = |e| LiveBook::from_export(config(), Engine::sequential(), e);
+
+        assert_eq!(
+            import(BookExport {
+                next_id: 0,
+                shards: Vec::new()
+            })
+            .unwrap_err(),
+            ImportError::ZeroShards
+        );
+
+        let mut stale = export.clone();
+        stale.next_id = 5;
+        assert!(matches!(
+            import(stale).unwrap_err(),
+            ImportError::StaleNextId { next_id: 5, .. }
+        ));
+
+        let mut tampered = export.clone();
+        tampered.shards[0].key_digest ^= 1;
+        assert_eq!(
+            import(tampered).unwrap_err(),
+            ImportError::DigestMismatch { shard: 0 }
+        );
+
+        let mut misplaced = export.clone();
+        let moved = misplaced.shards[0].ids[0];
+        let moved_offer = misplaced.shards[0].offers[0].clone();
+        let wrong = (stable_shard(moved, 3) + 1) % 3;
+        misplaced.shards[wrong].ids.push(moved);
+        misplaced.shards[wrong].offers.push(moved_offer);
+        misplaced.shards[wrong].cache = None;
+        let err = import(misplaced).unwrap_err();
+        assert_eq!(err, ImportError::MisplacedId { id: moved });
+
+        let mut duplicated = export.clone();
+        let dup = duplicated.shards[0].ids[0];
+        let dup_offer = duplicated.shards[0].offers[0].clone();
+        duplicated.shards[0].ids.push(dup);
+        duplicated.shards[0].offers.push(dup_offer);
+        duplicated.shards[0].cache = None;
+        assert_eq!(
+            import(duplicated).unwrap_err(),
+            ImportError::DuplicateId { id: dup }
+        );
+
+        let mut ragged = export.clone();
+        ragged.shards[full].offers.pop();
+        ragged.shards[full].ids.pop();
+        assert_eq!(
+            import(ragged).unwrap_err(),
+            ImportError::CacheShape { shard: full }
+        );
+
+        let mut short_rows = export;
+        short_rows.shards[full]
+            .cache
+            .as_mut()
+            .expect("caches were warmed")
+            .rows
+            .pop();
+        assert_eq!(
+            import(short_rows).unwrap_err(),
+            ImportError::CacheShape { shard: full }
+        );
     }
 
     #[test]

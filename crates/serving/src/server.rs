@@ -1,17 +1,22 @@
-//! The mpsc event loop: a [`LiveBook`] owned by a dedicated thread,
+//! The mpsc event loop: an [`EventSink`] owned by a dedicated thread,
 //! driven through a cloneable-free, ordered channel.
 //!
-//! [`LiveServer::spawn`] moves a fresh book onto a worker thread and hands
-//! back a [`LiveHandle`]. Mutations are fire-and-forget sends (the loop
-//! applies them in arrival order); queries carry a reply channel and block
-//! the *caller* — never the loop — until their answer line comes back.
-//! Because one thread owns all state, answers are linearisable: a query
-//! observes exactly the mutations sent before it.
+//! [`LiveServer::spawn`] moves a fresh [`LiveBook`] onto a worker thread
+//! and hands back a [`LiveHandle`]; [`LiveServer::spawn_sink`] does the
+//! same for any [`EventSink`] — the durability tier wraps the book in a
+//! journaling sink and drives it through this exact loop. Mutations are
+//! fire-and-forget sends (the loop applies them in arrival order); queries
+//! carry a reply channel and block the *caller* — never the loop — until
+//! their answer line comes back. Because one thread owns all state,
+//! answers are linearisable: a query observes exactly the mutations sent
+//! before it.
 //!
-//! A mutation error (an unknown id — impossible for scripts that went
-//! through [`parse_script`](crate::parse_script), which validates ids
-//! statically) stops the loop: subsequent sends report [`ServerGone`], and
-//! [`LiveHandle::shutdown`] surfaces the original [`LiveError`].
+//! A sink error (an unknown id — impossible for scripts that went through
+//! [`parse_script`](crate::parse_script), which validates ids statically —
+//! or a journal write failure) stops the loop: subsequent sends report
+//! [`ServeError::Gone`], and [`LiveHandle::shutdown`] surfaces the
+//! original error. Sends after `shutdown()` report [`ServeError::Closed`]
+//! instead of panicking.
 
 use std::error::Error;
 use std::fmt;
@@ -25,18 +30,56 @@ use crate::config::ServeConfig;
 use crate::event::{Event, QueryKind};
 use crate::live::{LiveBook, LiveError};
 
-/// The loop has terminated — either shut down, or stopped on a mutation
-/// error ([`LiveHandle::shutdown`] tells which).
+/// Why a handle could not deliver an event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ServerGone;
+#[non_exhaustive]
+pub enum ServeError {
+    /// This handle was shut down; events after [`LiveHandle::shutdown`]
+    /// are rejected, not panicked on.
+    Closed,
+    /// The loop terminated on its own — it stopped on a sink error
+    /// ([`LiveHandle::shutdown`] reports which).
+    Gone,
+}
 
-impl fmt::Display for ServerGone {
+impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serving loop terminated — shutdown() reports why")
+        match self {
+            ServeError::Closed => f.write_str("serving handle closed by shutdown()"),
+            ServeError::Gone => f.write_str("serving loop terminated — shutdown() reports why"),
+        }
     }
 }
 
-impl Error for ServerGone {}
+impl Error for ServeError {}
+
+/// A consumer of serving events — what the loop thread owns and drives.
+///
+/// [`LiveBook`] is the memory-only sink; the storage crate's durable book
+/// journals each mutation before delegating to an inner `LiveBook`, which
+/// is how "journal before apply" rides the unchanged serving loop.
+pub trait EventSink: Send + 'static {
+    /// What stops the loop (surfaced by [`LiveHandle::shutdown`]).
+    type Error: Send + 'static;
+
+    /// Applies one event: mutations return `Ok(None)`, queries
+    /// `Ok(Some(answer_line))`. An `Err` terminates the loop.
+    fn apply(&mut self, event: Event) -> Result<Option<String>, Self::Error>;
+
+    /// Called once when the channel drains cleanly (shutdown or last
+    /// handle dropped) — the sink's chance to flush.
+    fn finish(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+}
+
+impl EventSink for LiveBook {
+    type Error = LiveError;
+
+    fn apply(&mut self, event: Event) -> Result<Option<String>, LiveError> {
+        LiveBook::apply(self, event)
+    }
+}
 
 enum Request {
     Mutate(Event),
@@ -54,85 +97,98 @@ impl LiveServer {
         shards: usize,
         engine: Engine,
     ) -> Result<LiveHandle, EngineError> {
-        let mut book = LiveBook::new(config, shards, engine)?;
+        let book = LiveBook::new(config, shards, engine)?;
+        Ok(Self::spawn_sink(book))
+    }
+
+    /// Spawns the serving loop over an arbitrary [`EventSink`] — same
+    /// ordering and linearisability guarantees as [`spawn`](Self::spawn).
+    pub fn spawn_sink<S: EventSink>(mut sink: S) -> LiveHandle<S::Error> {
         let (tx, rx) = mpsc::channel::<Request>();
         let thread = std::thread::spawn(move || {
             for request in rx {
                 match request {
                     Request::Mutate(event) => {
-                        book.apply(event)?;
+                        sink.apply(event)?;
                     }
                     Request::Query(kind, reply) => {
+                        let answer = sink
+                            .apply(Event::Query(kind))?
+                            .expect("queries always answer");
                         // A dropped reply receiver just means the caller
                         // stopped waiting; the loop carries on.
-                        let _ = reply.send(book.answer(kind));
+                        let _ = reply.send(answer);
                     }
                 }
             }
-            Ok(())
+            sink.finish()
         });
-        Ok(LiveHandle {
+        LiveHandle {
             tx: Some(tx),
             thread: Some(thread),
-        })
+        }
     }
 }
 
 /// The caller's side of the serving loop.
 #[derive(Debug)]
-pub struct LiveHandle {
+pub struct LiveHandle<E = LiveError> {
     tx: Option<mpsc::Sender<Request>>,
-    thread: Option<JoinHandle<Result<(), LiveError>>>,
+    thread: Option<JoinHandle<Result<(), E>>>,
 }
 
-impl LiveHandle {
-    fn sender(&self) -> &mpsc::Sender<Request> {
-        self.tx.as_ref().expect("sender lives until shutdown/drop")
+impl<E> LiveHandle<E> {
+    fn sender(&self) -> Result<&mpsc::Sender<Request>, ServeError> {
+        self.tx.as_ref().ok_or(ServeError::Closed)
     }
 
     /// Sends one event: mutations return `Ok(None)` immediately (applied
     /// in order by the loop), queries block for their answer line.
-    pub fn send(&self, event: Event) -> Result<Option<String>, ServerGone> {
+    pub fn send(&self, event: Event) -> Result<Option<String>, ServeError> {
         match event {
             Event::Query(kind) => self.query(kind).map(Some),
             mutation => self
-                .sender()
+                .sender()?
                 .send(Request::Mutate(mutation))
                 .map(|()| None)
-                .map_err(|_| ServerGone),
+                .map_err(|_| ServeError::Gone),
         }
     }
 
     /// Enqueues an add (the loop assigns the next logical id).
-    pub fn add(&self, offer: FlexOffer) -> Result<(), ServerGone> {
+    pub fn add(&self, offer: FlexOffer) -> Result<(), ServeError> {
         self.send(Event::Add(offer)).map(|_| ())
     }
 
     /// Enqueues an in-place update of offer `id`.
-    pub fn update(&self, id: u64, offer: FlexOffer) -> Result<(), ServerGone> {
+    pub fn update(&self, id: u64, offer: FlexOffer) -> Result<(), ServeError> {
         self.send(Event::Update { id, offer }).map(|_| ())
     }
 
     /// Enqueues a removal of offer `id`.
-    pub fn remove(&self, id: u64) -> Result<(), ServerGone> {
+    pub fn remove(&self, id: u64) -> Result<(), ServeError> {
         self.send(Event::Remove { id }).map(|_| ())
     }
 
     /// Runs a query against the state after every previously sent event
     /// and blocks until its one-line JSON answer arrives.
-    pub fn query(&self, kind: QueryKind) -> Result<String, ServerGone> {
+    pub fn query(&self, kind: QueryKind) -> Result<String, ServeError> {
         let (reply_tx, reply_rx) = mpsc::channel();
-        self.sender()
+        self.sender()?
             .send(Request::Query(kind, reply_tx))
-            .map_err(|_| ServerGone)?;
-        reply_rx.recv().map_err(|_| ServerGone)
+            .map_err(|_| ServeError::Gone)?;
+        reply_rx.recv().map_err(|_| ServeError::Gone)
     }
 
     /// Closes the channel, drains the loop, and reports how it ended:
-    /// `Ok(())` after a clean drain, or the [`LiveError`] that stopped it.
-    pub fn shutdown(mut self) -> Result<(), LiveError> {
+    /// `Ok(())` after a clean drain, or the sink error that stopped it.
+    /// Idempotent — a second call returns `Ok(())`; sends after the first
+    /// call report [`ServeError::Closed`].
+    pub fn shutdown(&mut self) -> Result<(), E> {
         self.tx.take();
-        let thread = self.thread.take().expect("not yet joined");
+        let Some(thread) = self.thread.take() else {
+            return Ok(());
+        };
         match thread.join() {
             Ok(result) => result,
             Err(panic) => std::panic::resume_unwind(panic),
@@ -140,7 +196,7 @@ impl LiveHandle {
     }
 }
 
-impl Drop for LiveHandle {
+impl<E> Drop for LiveHandle<E> {
     fn drop(&mut self) {
         self.tx.take();
         if let Some(thread) = self.thread.take() {
@@ -166,7 +222,7 @@ mod tests {
 
     #[test]
     fn queries_observe_all_prior_events_in_order() {
-        let handle = spawn();
+        let mut handle = spawn();
         for tes in 0..10 {
             handle.add(offer(tes)).unwrap();
         }
@@ -194,12 +250,12 @@ mod tests {
 
     #[test]
     fn mutation_errors_stop_the_loop_and_surface_at_shutdown() {
-        let handle = spawn();
+        let mut handle = spawn();
         handle.remove(42).unwrap(); // enqueued fine; fails in the loop
                                     // The channel is ordered, so the loop hits the bad remove (and
                                     // exits) before it could ever answer this query.
         let gone = handle.query(QueryKind::Measure).unwrap_err();
-        assert_eq!(gone, ServerGone);
+        assert_eq!(gone, ServeError::Gone);
         assert!(gone.to_string().contains("terminated"));
         assert_eq!(
             handle.shutdown().unwrap_err(),
@@ -208,8 +264,86 @@ mod tests {
     }
 
     #[test]
+    fn sends_after_shutdown_report_closed_not_panic() {
+        let mut handle = spawn();
+        handle.add(offer(0)).unwrap();
+        handle.shutdown().unwrap();
+
+        assert_eq!(handle.add(offer(1)).unwrap_err(), ServeError::Closed);
+        assert_eq!(handle.update(0, offer(2)).unwrap_err(), ServeError::Closed);
+        assert_eq!(handle.remove(0).unwrap_err(), ServeError::Closed);
+        assert_eq!(
+            handle.query(QueryKind::Measure).unwrap_err(),
+            ServeError::Closed
+        );
+        assert_eq!(
+            handle.send(Event::Add(offer(3))).unwrap_err(),
+            ServeError::Closed
+        );
+        assert!(ServeError::Closed.to_string().contains("closed"));
+
+        // shutdown() is idempotent.
+        assert_eq!(handle.shutdown(), Ok(()));
+    }
+
+    #[test]
+    fn spawn_sink_drives_a_custom_sink_and_calls_finish() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        struct Recorder {
+            lines: Vec<String>,
+            finished: Arc<AtomicBool>,
+            fail_on_remove: bool,
+        }
+        #[derive(Debug, PartialEq)]
+        struct RecorderError;
+        impl EventSink for Recorder {
+            type Error = RecorderError;
+            fn apply(&mut self, event: Event) -> Result<Option<String>, RecorderError> {
+                if matches!(event, Event::Remove { .. }) && self.fail_on_remove {
+                    return Err(RecorderError);
+                }
+                self.lines.push(event.to_json_line());
+                Ok(match event {
+                    Event::Query(_) => Some(format!("answer {}", self.lines.len())),
+                    _ => None,
+                })
+            }
+            fn finish(&mut self) -> Result<(), RecorderError> {
+                self.finished.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        let finished = Arc::new(AtomicBool::new(false));
+        let mut handle = LiveServer::spawn_sink(Recorder {
+            lines: Vec::new(),
+            finished: Arc::clone(&finished),
+            fail_on_remove: false,
+        });
+        handle.add(offer(0)).unwrap();
+        assert_eq!(handle.query(QueryKind::Measure).unwrap(), "answer 2");
+        handle.shutdown().unwrap();
+        assert!(finished.load(Ordering::SeqCst), "clean drain flushes");
+
+        let failed_finish = Arc::new(AtomicBool::new(false));
+        let mut failing = LiveServer::spawn_sink(Recorder {
+            lines: Vec::new(),
+            finished: Arc::clone(&failed_finish),
+            fail_on_remove: true,
+        });
+        failing.remove(7).unwrap(); // enqueued; the sink rejects it
+        assert_eq!(failing.shutdown().unwrap_err(), RecorderError);
+        assert!(
+            !failed_finish.load(Ordering::SeqCst),
+            "an errored loop does not fake a clean flush"
+        );
+    }
+
+    #[test]
     fn send_routes_queries_and_mutations() {
-        let handle = spawn();
+        let mut handle = spawn();
         assert_eq!(handle.send(Event::Add(offer(1))).unwrap(), None);
         let answer = handle
             .send(Event::Query(QueryKind::Aggregate))

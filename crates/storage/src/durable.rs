@@ -1,0 +1,259 @@
+//! The durable book: a [`LiveBook`] behind a journal-before-apply
+//! [`EventSink`].
+//!
+//! [`DurableBook::open`] recovers (or starts empty), resumes the journal
+//! past any torn tail, and hands back a sink [`LiveServer::spawn_sink`]
+//! drives exactly like a memory-only book — same loop, same ordering, same
+//! answers. Each mutation is journaled *before* it touches the book, so a
+//! crash at any instant loses at most un-fsynced suffix events, never
+//! applied-but-unjournaled ones; queries are not journaled (they carry no
+//! state). Snapshots are written every `snapshot_every` mutations (journal
+//! synced first, so a snapshot never points past durable bytes) and at
+//! clean shutdown.
+//!
+//! [`LiveServer::spawn_sink`]: flexoffers_serving::LiveServer::spawn_sink
+
+use std::path::PathBuf;
+
+use flexoffers_engine::Engine;
+use flexoffers_serving::{Event, EventSink, LiveBook, ServeConfig};
+
+use crate::error::StorageError;
+use crate::journal::Journal;
+use crate::recover::{recover, RecoveryReport};
+use crate::snapshot::{save_snapshot, Snapshot};
+
+/// A live book whose mutations are journaled before they apply.
+#[derive(Debug)]
+pub struct DurableBook {
+    book: LiveBook,
+    journal: Journal,
+    snapshot_path: PathBuf,
+    snapshot_every: Option<u64>,
+    last_snapshot_seq: u64,
+}
+
+impl DurableBook {
+    /// Recovers from `config.durability`'s journal + snapshot (empty files
+    /// on first boot), truncates any torn journal tail, and opens the
+    /// journal for appending. Returns the book alongside what recovery
+    /// found.
+    pub fn open(
+        config: ServeConfig,
+        shards: usize,
+        engine: Engine,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        let durability = config
+            .durability
+            .clone()
+            .ok_or(StorageError::MissingDurability)?;
+        let (book, report) = recover(&config, shards, engine)?;
+        let journal = Journal::resume(
+            &durability.journal,
+            durability.sync_every,
+            report.committed_bytes,
+            report.journal_events,
+        )?;
+        Ok((
+            Self {
+                book,
+                journal,
+                snapshot_path: durability.snapshot_path(),
+                snapshot_every: durability.snapshot_every,
+                last_snapshot_seq: report.snapshot_seq.unwrap_or(0),
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped live book.
+    pub fn book(&self) -> &LiveBook {
+        &self.book
+    }
+
+    /// Mutable access to the wrapped book (answers queries off-loop).
+    pub fn book_mut(&mut self) -> &mut LiveBook {
+        &mut self.book
+    }
+
+    /// The journal sequence of the last journaled mutation.
+    pub fn seq(&self) -> u64 {
+        self.journal.seq()
+    }
+
+    /// Syncs the journal and writes a snapshot at the current sequence,
+    /// returning that sequence. The journal sync comes first so the
+    /// snapshot's `seq` never points past durable journal bytes.
+    pub fn snapshot_now(&mut self) -> Result<u64, StorageError> {
+        self.journal.sync()?;
+        let snapshot = Snapshot {
+            seq: self.journal.seq(),
+            export: self.book.export(),
+        };
+        save_snapshot(&self.snapshot_path, &snapshot)?;
+        self.last_snapshot_seq = snapshot.seq;
+        Ok(snapshot.seq)
+    }
+
+    fn maybe_snapshot(&mut self) -> Result<(), StorageError> {
+        if let Some(every) = self.snapshot_every {
+            if self.journal.seq() - self.last_snapshot_seq >= every.max(1) {
+                self.snapshot_now()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl EventSink for DurableBook {
+    type Error = StorageError;
+
+    fn apply(&mut self, event: Event) -> Result<Option<String>, StorageError> {
+        let mutation = !matches!(event, Event::Query(_));
+        if mutation {
+            self.journal.append(&event)?;
+        }
+        let answer = self.book.apply(event).map_err(|e| StorageError::Apply {
+            seq: self.journal.seq(),
+            source: e,
+        })?;
+        if mutation {
+            self.maybe_snapshot()?;
+        }
+        Ok(answer)
+    }
+
+    fn finish(&mut self) -> Result<(), StorageError> {
+        self.journal.sync()?;
+        self.snapshot_now().map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::read_journal;
+    use crate::snapshot::load_snapshot;
+    use crate::testutil::scratch_dir;
+    use flexoffers_model::{FlexOffer, Slice};
+    use flexoffers_serving::{DurabilityConfig, LiveServer, QueryKind};
+
+    fn offer(tes: i64) -> FlexOffer {
+        FlexOffer::new(tes, tes + 3, vec![Slice::new(-1, 2).unwrap()]).unwrap()
+    }
+
+    fn config_for(journal: &std::path::Path, snapshot_every: Option<u64>) -> ServeConfig {
+        ServeConfig {
+            durability: Some(DurabilityConfig {
+                snapshot_every,
+                ..DurabilityConfig::new(journal)
+            }),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn mutations_are_journaled_before_apply_and_queries_are_not() {
+        let dir = scratch_dir("durable_journal");
+        let config = config_for(&dir.path().join("events.jsonl"), None);
+        let journal_path = config.durability.as_ref().unwrap().journal.clone();
+
+        let (mut durable, report) = DurableBook::open(config, 2, Engine::sequential()).unwrap();
+        assert_eq!(report.journal_events, 0);
+        durable.apply(Event::Add(offer(0))).unwrap();
+        durable.apply(Event::Add(offer(1))).unwrap();
+        let answer = durable
+            .apply(Event::Query(QueryKind::Measure))
+            .unwrap()
+            .expect("queries answer");
+        assert!(answer.contains("\"offers\":2"), "{answer}");
+        durable.apply(Event::Remove { id: 0 }).unwrap();
+        durable.finish().unwrap();
+
+        let contents = read_journal(&journal_path).unwrap();
+        assert_eq!(contents.events.len(), 3, "queries are not journaled");
+        assert_eq!(durable.seq(), 3);
+    }
+
+    #[test]
+    fn periodic_snapshots_and_shutdown_snapshot_land_on_disk() {
+        let dir = scratch_dir("durable_snapshots");
+        let config = config_for(&dir.path().join("events.jsonl"), Some(4));
+        let snapshot_path = config.durability.as_ref().unwrap().snapshot_path();
+
+        let (mut durable, _) = DurableBook::open(config, 3, Engine::sequential()).unwrap();
+        for i in 0..6 {
+            durable.apply(Event::Add(offer(i))).unwrap();
+        }
+        // 6 mutations with snapshot_every=4: one periodic snapshot at 4.
+        let periodic = load_snapshot(&snapshot_path).unwrap().expect("periodic");
+        assert_eq!(periodic.seq, 4);
+        durable.finish().unwrap();
+        let final_snap = load_snapshot(&snapshot_path).unwrap().expect("final");
+        assert_eq!(final_snap.seq, 6);
+    }
+
+    #[test]
+    fn reopen_continues_the_same_history() {
+        let dir = scratch_dir("durable_reopen");
+        let config = config_for(&dir.path().join("events.jsonl"), Some(3));
+
+        let (mut durable, _) = DurableBook::open(config.clone(), 2, Engine::sequential()).unwrap();
+        for i in 0..5 {
+            durable.apply(Event::Add(offer(i))).unwrap();
+        }
+        durable.finish().unwrap();
+        let before = durable.book_mut().answer(QueryKind::Aggregate);
+        drop(durable);
+
+        let (mut reopened, report) = DurableBook::open(config, 2, Engine::sequential()).unwrap();
+        assert_eq!(report.journal_events, 5);
+        assert_eq!(report.snapshot_seq, Some(5), "shutdown snapshot used");
+        assert_eq!(report.replayed, 0);
+        assert_eq!(reopened.book_mut().answer(QueryKind::Aggregate), before);
+
+        // New mutations continue the id sequence.
+        reopened.apply(Event::Add(offer(9))).unwrap();
+        assert_eq!(reopened.seq(), 6);
+        assert_eq!(reopened.book().live_ids().last(), Some(&5));
+    }
+
+    #[test]
+    fn the_serving_loop_drives_a_durable_book() {
+        let dir = scratch_dir("durable_loop");
+        let config = config_for(&dir.path().join("events.jsonl"), Some(8));
+        let journal_path = config.durability.as_ref().unwrap().journal.clone();
+
+        let (durable, _) = DurableBook::open(config.clone(), 2, Engine::sequential()).unwrap();
+        let mut handle = LiveServer::spawn_sink(durable);
+        handle.add(offer(0)).unwrap();
+        handle.add(offer(1)).unwrap();
+        let live_answer = handle.query(QueryKind::Measure).unwrap();
+        handle.remove(0).unwrap();
+        handle.shutdown().unwrap();
+
+        // The loop's clean drain ran finish(): journal synced + snapshot.
+        let contents = read_journal(&journal_path).unwrap();
+        assert_eq!(contents.events.len(), 3);
+
+        // Recover and re-ask: byte-identical to the live answer's shape
+        // at the same point (re-run the query pre-remove via a fresh book).
+        let (mut replayed, _) = DurableBook::open(config, 2, Engine::sequential()).unwrap();
+        assert_eq!(replayed.book().len(), 1);
+        let mut check = LiveBook::new(ServeConfig::default(), 2, Engine::sequential()).unwrap();
+        check.add(offer(0));
+        check.add(offer(1));
+        assert_eq!(check.answer(QueryKind::Measure), live_answer);
+        let _ = replayed.book_mut();
+    }
+
+    #[test]
+    fn apply_errors_carry_their_sequence() {
+        let dir = scratch_dir("durable_apply_err");
+        let config = config_for(&dir.path().join("events.jsonl"), None);
+        let (mut durable, _) = DurableBook::open(config, 2, Engine::sequential()).unwrap();
+        durable.apply(Event::Add(offer(0))).unwrap();
+        let err = durable.apply(Event::Remove { id: 42 }).unwrap_err();
+        assert!(matches!(err, StorageError::Apply { seq: 2, .. }), "{err}");
+    }
+}

@@ -1,0 +1,155 @@
+//! The storage tier's error type.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use flexoffers_engine::EngineError;
+use flexoffers_serving::{ImportError, LiveError};
+
+/// Why a journal, snapshot, or recovery operation failed. Every failure
+/// mode is a named variant — recovery never panics on bad bytes.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// An I/O operation on a journal or snapshot file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A *terminated* journal line failed to parse or referenced a dead id
+    /// (an unterminated final line is torn-tail truncation, silently
+    /// dropped — this error means bytes before the tail are bad).
+    CorruptJournal {
+        /// The journal file.
+        path: PathBuf,
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The snapshot file exists but is not a valid snapshot (bad magic,
+    /// checksum mismatch, or undecodable body).
+    CorruptSnapshot {
+        /// The snapshot file.
+        path: PathBuf,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The snapshot decoded but failed the live book's structural
+    /// revalidation ([`flexoffers_serving::LiveBook::from_export`]).
+    BadSnapshotState(ImportError),
+    /// Applying a journaled mutation failed — the journal and snapshot
+    /// disagree about which ids are live.
+    Apply {
+        /// 1-based journal sequence number of the failing mutation.
+        seq: u64,
+        /// The book's rejection.
+        source: LiveError,
+    },
+    /// The engine rejected the requested topology (zero shards).
+    Engine(EngineError),
+    /// A durable book was requested from a [`ServeConfig`] whose
+    /// `durability` field is `None`.
+    ///
+    /// [`ServeConfig`]: flexoffers_serving::ServeConfig
+    MissingDurability,
+}
+
+impl StorageError {
+    /// Convenience constructor tagging an [`io::Error`] with its path.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StorageError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            StorageError::CorruptJournal {
+                path,
+                line,
+                message,
+            } => {
+                write!(
+                    f,
+                    "corrupt journal {} line {line}: {message}",
+                    path.display()
+                )
+            }
+            StorageError::CorruptSnapshot { path, message } => {
+                write!(f, "corrupt snapshot {}: {message}", path.display())
+            }
+            StorageError::BadSnapshotState(e) => write!(f, "snapshot failed revalidation: {e}"),
+            StorageError::Apply { seq, source } => {
+                write!(f, "journal event {seq} failed to apply: {source}")
+            }
+            StorageError::Engine(e) => write!(f, "{e}"),
+            StorageError::MissingDurability => {
+                f.write_str("serve config has no durability section")
+            }
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            StorageError::BadSnapshotState(e) => Some(e),
+            StorageError::Apply { source, .. } => Some(source),
+            StorageError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImportError> for StorageError {
+    fn from(e: ImportError) -> Self {
+        StorageError::BadSnapshotState(e)
+    }
+}
+
+impl From<EngineError> for StorageError {
+    fn from(e: EngineError) -> Self {
+        StorageError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_their_subject() {
+        let e = StorageError::CorruptJournal {
+            path: PathBuf::from("j.log"),
+            line: 7,
+            message: "bad `id`".into(),
+        };
+        assert_eq!(e.to_string(), "corrupt journal j.log line 7: bad `id`");
+        let e = StorageError::CorruptSnapshot {
+            path: PathBuf::from("j.log.snap"),
+            message: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("corrupt snapshot"), "{e}");
+        assert!(StorageError::MissingDurability
+            .to_string()
+            .contains("durability"));
+        let e = StorageError::Apply {
+            seq: 3,
+            source: LiveError::UnknownId { id: 9 },
+        };
+        assert!(e.to_string().contains("event 3"), "{e}");
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,423 @@
+//! Per-shard snapshots of the live book's incremental state.
+//!
+//! A snapshot is the [`BookExport`] — per-shard ids, offers, key digests,
+//! and cached measure rows / baseline partials — serialized at a recorded
+//! journal sequence number. Measure values are stored as `f64::to_bits`
+//! (exact, NaN-safe); everything else in the export is integers, so a
+//! snapshot round-trips bit for bit, which is what lets recovery answer
+//! queries byte-identically to a run that never crashed.
+//!
+//! The file layout is a magic+checksum header line over a single-line JSON
+//! body:
+//!
+//! ```text
+//! flexoffers-snapshot/1 <fnv1a64 of the body, 16 hex digits>
+//! {"seq":...,"next_id":...,"shards":[...]}
+//! ```
+//!
+//! Writes go through a temp file + fsync + atomic rename, so a crash
+//! mid-snapshot leaves the previous snapshot intact; any header or
+//! checksum mismatch on load is the named
+//! [`StorageError::CorruptSnapshot`], never a panic.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize, Value};
+
+use flexoffers_measures::{all_measures, MeasureError};
+use flexoffers_model::FlexOffer;
+use flexoffers_serving::{BookExport, MeasureRow, ShardCacheExport, ShardExport};
+use flexoffers_timeseries::Series;
+
+use crate::error::StorageError;
+
+/// The snapshot format tag (first token of the header line).
+pub const SNAPSHOT_FORMAT: &str = "flexoffers-snapshot/1";
+
+/// A book image pinned to the journal sequence it was taken at: replaying
+/// the journal suffix past `seq` on top of `export` reproduces the book.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Number of journal events applied when the snapshot was taken.
+    pub seq: u64,
+    /// The book image.
+    pub export: BookExport,
+}
+
+/// FNV-1a 64 over the body bytes — dependency-free and plenty to catch
+/// torn or tampered snapshot files.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn cell_to_value(cell: &Result<f64, MeasureError>) -> Value {
+    match cell {
+        Ok(v) => obj(vec![("bits", Value::U64(v.to_bits()))]),
+        Err(MeasureError::MixedNotSupported { measure }) => obj(vec![
+            ("err", Value::Str("mixed".to_owned())),
+            ("measure", Value::Str((*measure).to_owned())),
+        ]),
+        Err(MeasureError::UndefinedDenominator) => obj(vec![(
+            "err",
+            Value::Str("undefined_denominator".to_owned()),
+        )]),
+        Err(MeasureError::EmptySet { measure }) => obj(vec![
+            ("err", Value::Str("empty_set".to_owned())),
+            ("measure", Value::Str((*measure).to_owned())),
+        ]),
+        // `MeasureError` is non-exhaustive: a variant this build does not
+        // know gets a code the loader rejects by name — a snapshot must
+        // never silently drop error detail.
+        Err(other) => obj(vec![
+            ("err", Value::Str("other".to_owned())),
+            ("message", Value::Str(other.to_string())),
+        ]),
+    }
+}
+
+fn snapshot_to_value(snapshot: &Snapshot) -> Value {
+    let shards: Vec<Value> = snapshot
+        .export
+        .shards
+        .iter()
+        .map(|shard| {
+            let cache = match &shard.cache {
+                None => Value::Null,
+                Some(cache) => obj(vec![
+                    (
+                        "rows",
+                        Value::Array(
+                            cache
+                                .rows
+                                .iter()
+                                .map(|row| Value::Array(row.iter().map(cell_to_value).collect()))
+                                .collect(),
+                        ),
+                    ),
+                    ("baseline", cache.baseline.to_value()),
+                ]),
+            };
+            obj(vec![
+                (
+                    "ids",
+                    Value::Array(shard.ids.iter().map(|&id| Value::U64(id)).collect()),
+                ),
+                (
+                    "offers",
+                    Value::Array(shard.offers.iter().map(Serialize::to_value).collect()),
+                ),
+                ("key_digest", Value::U64(shard.key_digest)),
+                ("cache", cache),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("seq", Value::U64(snapshot.seq)),
+        ("next_id", Value::U64(snapshot.export.next_id)),
+        ("shards", Value::Array(shards)),
+    ])
+}
+
+// ---- decoding (every failure a message, never a panic) ----
+
+fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, String> {
+    v.get(name).ok_or_else(|| format!("missing `{name}`"))
+}
+
+fn as_u64(v: &Value, name: &str) -> Result<u64, String> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(format!(
+            "`{name}`: expected unsigned integer, found {}",
+            other.kind()
+        )),
+    }
+}
+
+fn as_array<'v>(v: &'v Value, name: &str) -> Result<&'v [Value], String> {
+    match v {
+        Value::Array(items) => Ok(items),
+        other => Err(format!("`{name}`: expected array, found {}", other.kind())),
+    }
+}
+
+/// Maps a snapshot's stored measure name back to the engine's own
+/// `&'static str` — the names form a closed set ([`all_measures`]).
+fn static_measure_name(name: &str) -> Result<&'static str, String> {
+    all_measures()
+        .iter()
+        .map(|m| m.short_name())
+        .find(|&short| short == name)
+        .ok_or_else(|| format!("unknown measure name `{name}`"))
+}
+
+fn value_to_cell(v: &Value) -> Result<Result<f64, MeasureError>, String> {
+    if let Some(bits) = v.get("bits") {
+        return Ok(Ok(f64::from_bits(as_u64(bits, "bits")?)));
+    }
+    let err = field(v, "err")?.as_str().ok_or("`err`: expected string")?;
+    let measure = || -> Result<&'static str, String> {
+        static_measure_name(
+            field(v, "measure")?
+                .as_str()
+                .ok_or("`measure`: expected string")?,
+        )
+    };
+    match err {
+        "mixed" => Ok(Err(MeasureError::MixedNotSupported {
+            measure: measure()?,
+        })),
+        "undefined_denominator" => Ok(Err(MeasureError::UndefinedDenominator)),
+        "empty_set" => Ok(Err(MeasureError::EmptySet {
+            measure: measure()?,
+        })),
+        other => Err(format!("unknown measure error code `{other}`")),
+    }
+}
+
+fn value_to_snapshot(v: &Value) -> Result<Snapshot, String> {
+    let seq = as_u64(field(v, "seq")?, "seq")?;
+    let next_id = as_u64(field(v, "next_id")?, "next_id")?;
+    let mut shards = Vec::new();
+    for (s, shard) in as_array(field(v, "shards")?, "shards")?.iter().enumerate() {
+        let at = |m: String| format!("shard {s}: {m}");
+        let ids = as_array(field(shard, "ids").map_err(at)?, "ids")
+            .map_err(at)?
+            .iter()
+            .map(|id| as_u64(id, "ids[]"))
+            .collect::<Result<Vec<u64>, String>>()
+            .map_err(at)?;
+        let offers = as_array(field(shard, "offers").map_err(at)?, "offers")
+            .map_err(at)?
+            .iter()
+            .map(|o| FlexOffer::from_value(o).map_err(|e| format!("offer: {e}")))
+            .collect::<Result<Vec<FlexOffer>, String>>()
+            .map_err(at)?;
+        let key_digest =
+            as_u64(field(shard, "key_digest").map_err(at)?, "key_digest").map_err(at)?;
+        let cache = match field(shard, "cache").map_err(at)? {
+            Value::Null => None,
+            cache => {
+                let rows = as_array(field(cache, "rows").map_err(at)?, "rows")
+                    .map_err(at)?
+                    .iter()
+                    .map(|row| {
+                        as_array(row, "rows[]")?
+                            .iter()
+                            .map(value_to_cell)
+                            .collect::<Result<MeasureRow, String>>()
+                    })
+                    .collect::<Result<Vec<MeasureRow>, String>>()
+                    .map_err(at)?;
+                let baseline = Series::<i64>::from_value(field(cache, "baseline").map_err(at)?)
+                    .map_err(|e| at(format!("baseline: {e}")))?;
+                Some(ShardCacheExport { rows, baseline })
+            }
+        };
+        shards.push(ShardExport {
+            ids,
+            offers,
+            key_digest,
+            cache,
+        });
+    }
+    Ok(Snapshot {
+        seq,
+        export: BookExport { next_id, shards },
+    })
+}
+
+/// Atomically writes `snapshot` to `path`: temp file, fsync, rename. A
+/// crash at any point leaves either the old snapshot or the new one —
+/// never a half-written file at `path`.
+pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), StorageError> {
+    let body =
+        serde_json::to_string(&snapshot_to_value(snapshot)).expect("snapshot values serialize");
+    let mut text = format!("{SNAPSHOT_FORMAT} {:016x}\n", fnv1a64(body.as_bytes()));
+    text.push_str(&body);
+    text.push('\n');
+
+    let mut tmp_name = path.file_name().unwrap_or_default().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut file = File::create(&tmp).map_err(|e| StorageError::io(&tmp, e))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| StorageError::io(&tmp, e))?;
+    file.sync_all().map_err(|e| StorageError::io(&tmp, e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| StorageError::io(path, e))?;
+    // Best-effort directory sync so the rename itself is durable; not all
+    // platforms allow fsync on a directory handle.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads a snapshot. A missing file is `Ok(None)` (recovery replays the
+/// whole journal); a present-but-invalid file is the named
+/// [`StorageError::CorruptSnapshot`].
+pub fn load_snapshot(path: &Path) -> Result<Option<Snapshot>, StorageError> {
+    let corrupt = |message: String| StorageError::CorruptSnapshot {
+        path: path.to_owned(),
+        message,
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StorageError::io(path, e)),
+    };
+    let text = std::str::from_utf8(&bytes).map_err(|e| corrupt(format!("invalid UTF-8: {e}")))?;
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| corrupt("missing header line".to_owned()))?;
+    let (magic, checksum) = header
+        .split_once(' ')
+        .ok_or_else(|| corrupt("malformed header".to_owned()))?;
+    if magic != SNAPSHOT_FORMAT {
+        return Err(corrupt(format!("unknown format `{magic}`")));
+    }
+    let body = body.strip_suffix('\n').unwrap_or(body);
+    let expect =
+        u64::from_str_radix(checksum, 16).map_err(|e| corrupt(format!("bad checksum: {e}")))?;
+    let actual = fnv1a64(body.as_bytes());
+    if actual != expect {
+        return Err(corrupt(format!(
+            "checksum mismatch (header {expect:016x}, body {actual:016x})"
+        )));
+    }
+    let value: Value =
+        serde_json::from_str(body).map_err(|e| corrupt(format!("malformed body: {e}")))?;
+    value_to_snapshot(&value).map(Some).map_err(corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_dir;
+    use flexoffers_engine::Engine;
+    use flexoffers_model::Slice;
+    use flexoffers_serving::{LiveBook, QueryKind, ServeConfig};
+
+    fn warm_export() -> BookExport {
+        let mut book = LiveBook::new(ServeConfig::default(), 3, Engine::sequential()).unwrap();
+        for i in 0..12 {
+            book.add(FlexOffer::new(i, i + 2, vec![Slice::new(-1, 2).unwrap()]).unwrap());
+        }
+        book.remove(5).unwrap();
+        book.answer(QueryKind::Measure);
+        book.export()
+    }
+
+    #[test]
+    fn snapshots_round_trip_exactly() {
+        let dir = scratch_dir("snapshot_roundtrip");
+        let path = dir.path().join("book.snap");
+        let snapshot = Snapshot {
+            seq: 13,
+            export: warm_export(),
+        };
+        save_snapshot(&path, &snapshot).unwrap();
+        let loaded = load_snapshot(&path).unwrap().expect("present");
+        assert_eq!(loaded, snapshot);
+
+        // Overwrite is atomic and the second image wins.
+        let newer = Snapshot {
+            seq: 14,
+            export: warm_export(),
+        };
+        save_snapshot(&path, &newer).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().unwrap().seq, 14);
+    }
+
+    #[test]
+    fn measure_cells_round_trip_bitwise_including_errors() {
+        for cell in [
+            Ok(0.1 + 0.2), // not representable exactly in decimal
+            Ok(-0.0),
+            Ok(f64::NAN),
+            Ok(f64::INFINITY),
+            Err(MeasureError::MixedNotSupported {
+                measure: "Abs. Area",
+            }),
+            Err(MeasureError::UndefinedDenominator),
+            Err(MeasureError::EmptySet {
+                measure: "Rel. Area",
+            }),
+        ] {
+            let back = value_to_cell(&cell_to_value(&cell)).unwrap();
+            match (&cell, &back) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(cell, back),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_snapshots_are_none_and_tampering_is_named() {
+        let dir = scratch_dir("snapshot_tamper");
+        let path = dir.path().join("book.snap");
+        assert_eq!(load_snapshot(&path).unwrap(), None);
+
+        let snapshot = Snapshot {
+            seq: 2,
+            export: warm_export(),
+        };
+        save_snapshot(&path, &snapshot).unwrap();
+
+        // Flip one body byte: checksum mismatch, named error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] = bytes[at].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(matches!(err, StorageError::CorruptSnapshot { .. }), "{err}");
+
+        // Wrong magic.
+        std::fs::write(&path, b"other-format/9 0000000000000000\n{}\n").unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(err.to_string().contains("unknown format"), "{err}");
+
+        // Truncated to nothing.
+        std::fs::write(&path, b"").unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(err.to_string().contains("missing header"), "{err}");
+
+        // No stray temp file lingers from successful saves.
+        let leftovers: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn unknown_measure_names_and_codes_are_rejected() {
+        let cell = obj(vec![
+            ("err", Value::Str("mixed".to_owned())),
+            ("measure", Value::Str("No Such Measure".to_owned())),
+        ]);
+        assert!(value_to_cell(&cell)
+            .unwrap_err()
+            .contains("unknown measure name"));
+        let cell = obj(vec![("err", Value::Str("out_of_cheese".to_owned()))]);
+        assert!(value_to_cell(&cell)
+            .unwrap_err()
+            .contains("unknown measure error code"));
+    }
+}

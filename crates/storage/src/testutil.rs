@@ -1,0 +1,32 @@
+//! Test-only scratch directories (no tempfile crate in the tree).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A per-test directory under the system temp dir, removed on drop.
+pub struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Creates a unique scratch directory tagged for the calling test.
+pub fn scratch_dir(tag: &str) -> ScratchDir {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "flexoffers_storage_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    ScratchDir(dir)
+}

@@ -16,6 +16,11 @@
 //! flexctl serve --script <events.jsonl|->            replay an event stream
 //!         [--shards K] [--threads N] [--seed S]      through the live book;
 //!         [--kernel scalar|columnar|auto] [--batch]  one JSON line per query
+//!         [--journal PATH [--snapshot-every N]       journal mutations +
+//!          [--sync-every N]]                         snapshot for recovery
+//! flexctl recover --journal PATH [--shards K]        recover a killed serve
+//!         [--threads N] [--seed S]                   and answer the four
+//!         [--kernel scalar|columnar|auto]            query kinds
 //! flexctl events --city H [--seed S] [--churn PCT]   generate such a script
 //!         [--queries N]                              from the city workload
 //! flexctl render  <file.json|->                      ASCII-render it
@@ -53,6 +58,17 @@
 //! deterministic JSON line per query. `--batch` answers every query by
 //! rebuilding the portfolio from scratch through the flat engine instead —
 //! the outputs are byte-identical, which CI `cmp`s.
+//!
+//! `serve --journal PATH` makes the run durable: every mutation is
+//! appended to the journal (itself a replayable serve script) *before* it
+//! is applied, the journal is fsynced every `--sync-every` events (default
+//! 64), and a checksummed snapshot of the live state lands next to the
+//! journal every `--snapshot-every` mutations and at clean shutdown. After
+//! a crash, `flexctl recover --journal PATH` rebuilds the book from the
+//! latest valid snapshot plus the journal suffix (a torn final line is
+//! truncated, never an error), prints a recovery summary to stderr, and
+//! answers the four query kinds in wire order on stdout — byte-identical
+//! to what an uninterrupted run would have answered.
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -61,7 +77,10 @@ use flexoffers::area::{render_flexoffer, render_union};
 use flexoffers::engine::{Budget, Engine, Kernel};
 use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
 use flexoffers::serving::batch::BatchBook;
-use flexoffers::serving::{parse_script, Event, LiveServer, QueryKind, ServeConfig};
+use flexoffers::serving::{
+    parse_script, parse_script_from, DurabilityConfig, Event, LiveServer, QueryKind, ServeConfig,
+};
+use flexoffers::storage::{recover as recover_book, DurableBook};
 use flexoffers::workloads::{city_stream, district, event_stream, event_stream_len, EvCharger};
 use flexoffers::{
     FlexOffer, Partitioner, Portfolio, Scenario, ScenarioKind, SchedulerChoice, ShardedBook,
@@ -89,6 +108,9 @@ const USAGE: &str = "usage:
                    [--kernel scalar|columnar|auto] [--json]
   flexctl serve --script <events.jsonl|-> [--shards K] [--threads N] [--seed S]
                 [--kernel scalar|columnar|auto] [--batch]
+                [--journal PATH [--snapshot-every N] [--sync-every N]]
+  flexctl recover --journal PATH [--shards K] [--threads N] [--seed S]
+                  [--kernel scalar|columnar|auto]
   flexctl events --city H [--seed S] [--churn PCT] [--queries N]
   flexctl render  <file.json|->
   flexctl count   <file.json|->
@@ -129,6 +151,7 @@ fn run(cmd: &str, rest: &[String]) -> ExitCode {
         }
         "simulate" => simulate(rest),
         "serve" => serve(rest),
+        "recover" => recover(rest),
         "events" => events(rest),
         "measure" if rest.iter().any(|a| a == "--portfolio") => measure_portfolio(rest),
         "measure" | "render" | "count" => {
@@ -528,6 +551,9 @@ fn serve(rest: &[String]) -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut kernel = Kernel::Auto;
     let mut batch = false;
+    let mut journal: Option<String> = None;
+    let mut snapshot_every: Option<u64> = None;
+    let mut sync_every: Option<u64> = None;
 
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
@@ -549,7 +575,14 @@ fn serve(rest: &[String]) -> ExitCode {
                 };
                 script = Some(value.clone());
             }
-            flag @ ("--shards" | "--threads" | "--seed") => {
+            "--journal" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --journal needs a path");
+                    return ExitCode::FAILURE;
+                };
+                journal = Some(value.clone());
+            }
+            flag @ ("--shards" | "--threads" | "--seed" | "--snapshot-every" | "--sync-every") => {
                 let n = match count_flag(flag, &mut args) {
                     Ok(n) => n,
                     Err(e) => {
@@ -560,6 +593,8 @@ fn serve(rest: &[String]) -> ExitCode {
                 match flag {
                     "--shards" => shards = Some(n as usize),
                     "--threads" => threads = Some(n as usize),
+                    "--snapshot-every" => snapshot_every = Some(n),
+                    "--sync-every" => sync_every = Some(n),
                     _ => seed = Some(n),
                 }
             }
@@ -568,6 +603,16 @@ fn serve(rest: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if batch && journal.is_some() {
+        // The batch oracle rebuilds from scratch per query; journaling it
+        // would record a history no recovery could resume.
+        eprintln!("error: --journal does not apply to --batch (durability is the live tier's)");
+        return ExitCode::FAILURE;
+    }
+    if journal.is_none() && (snapshot_every.is_some() || sync_every.is_some()) {
+        eprintln!("error: --snapshot-every/--sync-every need --journal PATH");
+        return ExitCode::FAILURE;
     }
     if batch && shards.is_some() {
         // The batch oracle is deliberately the *flat* engine; silently
@@ -589,13 +634,6 @@ fn serve(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let events = match parse_script(&text) {
-        Ok(events) => events,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let budget = match budget_for(threads) {
         Ok(b) => b.with_kernel(kernel),
         Err(e) => {
@@ -607,9 +645,24 @@ fn serve(rest: &[String]) -> ExitCode {
     if let Some(seed) = seed {
         config.seed = seed;
     }
+    if let Some(journal) = journal {
+        let mut durability = DurabilityConfig::new(journal);
+        durability.snapshot_every = snapshot_every;
+        if let Some(n) = sync_every {
+            durability.sync_every = n;
+        }
+        config.durability = Some(durability);
+    }
     let engine = Engine::new(budget);
 
     if batch {
+        let events = match parse_script(&text) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let mut book = BatchBook::new(config, engine);
         for event in events {
             match book.apply(event) {
@@ -625,6 +678,47 @@ fn serve(rest: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // The durable and memory-only paths ride the same serving loop; the
+    // only difference is which sink the loop drives — and that a durable
+    // script is validated against the *recovered* state, so a resumed
+    // journal accepts updates of ids the prior run added.
+    if config.durability.is_some() {
+        let (durable, report) = match DurableBook::open(config, shards, engine) {
+            Ok(opened) => opened,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if report.journal_events > 0 {
+            eprintln!(
+                "resumed journal at seq {} ({} replayed on top of {})",
+                report.journal_events,
+                report.replayed,
+                match report.snapshot_seq {
+                    Some(seq) => format!("snapshot seq {seq}"),
+                    None => "the empty book".to_owned(),
+                }
+            );
+        }
+        let events =
+            match parse_script_from(&text, durable.book().live_ids(), durable.book().next_id()) {
+                Ok(events) => events,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        return drive(LiveServer::spawn_sink(durable), events);
+    }
+
+    let events = match parse_script(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let handle = match LiveServer::spawn(config, shards, engine) {
         Ok(handle) => handle,
         Err(e) => {
@@ -632,6 +726,15 @@ fn serve(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    drive(handle, events)
+}
+
+/// Feeds a parsed script through a spawned serving loop, printing one line
+/// per query, and reports how the loop shut down.
+fn drive<E: std::fmt::Display>(
+    mut handle: flexoffers::serving::LiveHandle<E>,
+    events: Vec<Event>,
+) -> ExitCode {
     for event in events {
         match handle.send(event) {
             Ok(Some(line)) => println!("{line}"),
@@ -646,6 +749,101 @@ fn serve(rest: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `recover` path: rebuild a killed `serve --journal` run from its
+/// snapshot + journal suffix, print a recovery summary to stderr, and
+/// answer the four query kinds in wire order on stdout — byte-identical
+/// to what the uninterrupted run would have answered.
+fn recover(rest: &[String]) -> ExitCode {
+    let mut journal: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut kernel = Kernel::Auto;
+
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--kernel" => {
+                kernel = match kernel_flag(&mut args) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--journal" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --journal needs a path");
+                    return ExitCode::FAILURE;
+                };
+                journal = Some(value.clone());
+            }
+            flag @ ("--shards" | "--threads" | "--seed") => {
+                let n = match count_flag(flag, &mut args) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match flag {
+                    "--shards" => shards = Some(n as usize),
+                    "--threads" => threads = Some(n as usize),
+                    _ => seed = Some(n),
+                }
+            }
+            other => {
+                eprintln!("error: unknown recover argument {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(journal) = journal else {
+        eprintln!("error: recover needs --journal PATH\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let budget = match budget_for(threads) {
+        Ok(b) => b.with_kernel(kernel),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = ServeConfig::default();
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    config.durability = Some(DurabilityConfig::new(journal));
+
+    let (mut book, report) = match recover_book(&config, shards.unwrap_or(1), Engine::new(budget)) {
+        Ok(recovered) => recovered,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "recovered {} events ({} bytes{}) from {}; replayed {}",
+        report.journal_events,
+        report.committed_bytes,
+        if report.dropped_torn_tail {
+            ", torn tail dropped"
+        } else {
+            ""
+        },
+        match report.snapshot_seq {
+            Some(seq) => format!("snapshot seq {seq}"),
+            None => "the empty book".to_owned(),
+        },
+        report.replayed,
+    );
+    for kind in QueryKind::all() {
+        println!("{}", book.answer(kind));
+    }
+    ExitCode::SUCCESS
 }
 
 /// The `events` path: generate a deterministic JSONL event script from

@@ -27,7 +27,12 @@
 //!   [`LiveBook`](serving::LiveBook) over per-shard incremental state
 //!   (cached measure rows, baseline partials, group-key digests) answering
 //!   measure/aggregate/schedule/trade queries between updates, byte-
-//!   identical to a from-scratch batch rebuild.
+//!   identical to a from-scratch batch rebuild;
+//! * [`storage`] — durability for the serving tier: an append-only event
+//!   journal (itself a replayable event script), checksummed atomic
+//!   per-shard snapshots of the live cache export, and crash recovery
+//!   ([`storage::recover`]) that truncates torn journal tails and
+//!   preserves byte-identity at any crash point.
 //!
 //! The most common types are re-exported at the crate root.
 //!
@@ -64,6 +69,7 @@ pub use flexoffers_measures as measures;
 pub use flexoffers_model as model;
 pub use flexoffers_scheduling as scheduling;
 pub use flexoffers_serving as serving;
+pub use flexoffers_storage as storage;
 pub use flexoffers_timeseries as timeseries;
 pub use flexoffers_workloads as workloads;
 

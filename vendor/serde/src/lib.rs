@@ -64,9 +64,25 @@ macro_rules! ser_de_int {
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, DeError> {
-                let n = v.as_i64().ok_or_else(|| {
-                    DeError::custom(format!("expected integer, found {}", v.kind()))
-                })?;
+                // Strictly integer-typed: a float in an integer position is
+                // rejected even when its value is integral (`7.0` used to
+                // coerce silently through `Value::as_i64` — a correctness
+                // hazard once untrusted files are deserialized).
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {n} out of range for {}",
+                            stringify!($t)
+                        ))
+                    })?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
                 <$t>::try_from(n).map_err(|_| {
                     DeError::custom(format!("integer {n} out of range for {}", stringify!($t)))
                 })
@@ -250,4 +266,28 @@ ser_de_tuple! {
     (0 A, 1 B)
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_positions_reject_floats_even_when_integral() {
+        for float in [Value::F64(7.0), Value::F64(0.5)] {
+            let err = i64::from_value(&float).unwrap_err();
+            assert!(err.to_string().contains("expected integer"), "{err}");
+            let err = usize::from_value(&float).unwrap_err();
+            assert!(err.to_string().contains("expected integer"), "{err}");
+        }
+        assert_eq!(i64::from_value(&Value::I64(7)).unwrap(), 7);
+        assert_eq!(usize::from_value(&Value::U64(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn u64_rejects_negatives_and_floats() {
+        assert!(u64::from_value(&Value::I64(-3)).is_err());
+        assert!(u64::from_value(&Value::F64(3.0)).is_err());
+        assert_eq!(u64::from_value(&Value::U64(u64::MAX)).unwrap(), u64::MAX);
+    }
 }
