@@ -469,6 +469,28 @@ mod tests {
     }
 
     #[test]
+    fn committed_net_baseline_feeds_the_same_gate() {
+        // BENCH_net.json reuses the engine-bench schema (`threads` records
+        // the connection count; runs carry extra `conns`/`queries`/
+        // `query_p*_ms` latency fields this mirror ignores; `sequential`
+        // is the same events applied in process without the network), so
+        // the one bench_check binary gates the network baseline too.
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json"))
+                .expect("committed net baseline exists");
+        let baseline: EngineBenchReport = serde_json::from_str(&text).expect("baseline parses");
+        assert_eq!(baseline.schema, ENGINE_BENCH_SCHEMA);
+        assert!(!baseline.engine.is_empty());
+        assert!(!baseline.sequential.is_empty());
+        assert!(
+            baseline.engine.iter().any(|run| run.threads >= 4),
+            "the committed net baseline must cover >= 4 concurrent connections"
+        );
+        let verdict = check_regression(&baseline, &baseline, DEFAULT_MIN_RATIO).unwrap();
+        assert!(verdict.passed());
+    }
+
+    #[test]
     fn committed_sharded_baseline_feeds_the_same_gate() {
         // BENCH_sharded.json reuses the engine-bench schema (each run
         // carries an extra `shards` field this mirror ignores), so the one

@@ -1,0 +1,70 @@
+//! Stop-aware line reading off a `TcpStream`.
+//!
+//! `BufReader::read_line` cannot resume cleanly across read timeouts, so
+//! the server keeps its own buffer: reads append, complete LF-terminated
+//! lines pop off the front. When a `stop` flag is supplied (the server
+//! side sets a short socket read timeout), the reader polls it between
+//! reads — after stop, lines already buffered still come out (the drain),
+//! then `Eof` without touching the socket again.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::frame::MAX_LINE_BYTES;
+
+pub(crate) enum Line {
+    Data(String),
+    Eof,
+    Oversize,
+}
+
+pub(crate) struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    scanned: usize,
+}
+
+impl LineReader {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            scanned: 0,
+        }
+    }
+
+    pub(crate) fn next_line(&mut self, stop: Option<&AtomicBool>) -> Line {
+        loop {
+            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=self.scanned + pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                return Line::Data(String::from_utf8_lossy(&line).into_owned());
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Line::Oversize;
+            }
+            if stop.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+                return Line::Eof;
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Line::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => return Line::Eof,
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! A process-wide SIGINT/SIGTERM latch with no libc-crate dependency.
+//!
+//! [`install`] registers a minimal handler — libc `signal(2)` through a
+//! raw FFI declaration; libc itself is already linked on every supported
+//! target — that flips one static [`AtomicBool`]; [`fired`] polls it.
+//! `flexctl serve --listen` runs a watcher thread that translates the
+//! latch into the server's stop flag, so SIGTERM and ctrl-c drain
+//! in-flight requests and run the durable sink's `finish()` instead of
+//! killing the process mid-write.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FIRED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    FIRED.store(true, Ordering::SeqCst);
+}
+
+/// Registers the latch for SIGINT and SIGTERM. Returns `false` when the
+/// platform refused (non-unix, or `signal(2)` reported `SIG_ERR`) — the
+/// caller keeps serving, it just cannot promise graceful signal handling.
+pub fn install() -> bool {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        const SIG_ERR: usize = usize::MAX;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: `signal(2)` with a handler that only stores to an
+        // AtomicBool is async-signal-safe; the constants match POSIX.
+        unsafe { signal(SIGINT, on_signal) != SIG_ERR && signal(SIGTERM, on_signal) != SIG_ERR }
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Whether a registered signal has fired since the last [`reset`].
+pub fn fired() -> bool {
+    FIRED.load(Ordering::SeqCst)
+}
+
+/// Clears the latch (tests; a server that wants to survive one signal).
+pub fn reset() {
+    FIRED.store(false, Ordering::SeqCst)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    #[test]
+    fn a_raised_sigterm_flips_the_latch() {
+        assert!(super::install());
+        super::reset();
+        assert!(!super::fired());
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // SAFETY: raise(SIGTERM) delivers synchronously to this thread;
+        // the installed handler only flips the latch.
+        unsafe {
+            raise(15);
+        }
+        assert!(super::fired());
+        super::reset();
+    }
+}

@@ -1,0 +1,39 @@
+//! Tiny sample statistics shared by `flexctl bomb` and `bench_net`.
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) over unsorted samples;
+/// `None` on an empty slice. `p = 50` is the median sample, `p = 100` the
+/// maximum; NaNs sort last under the IEEE total order.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    // The epsilon keeps FP noise (0.999 * 1000 = 999.0000000000001) from
+    // pushing an exact rank over its ceiling.
+    let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn nearest_rank_matches_by_hand() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&samples, 50.0), Some(50.0));
+        assert_eq!(percentile(&samples, 99.0), Some(99.0));
+        assert_eq!(percentile(&samples, 100.0), Some(100.0));
+        assert_eq!(percentile(&samples, 0.0), Some(1.0));
+
+        let thousand: Vec<f64> = (1..=1000).map(f64::from).collect();
+        assert_eq!(percentile(&thousand, 99.9), Some(999.0));
+
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.5], 99.9), Some(7.5));
+        // Order must not matter.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), Some(2.0));
+    }
+}

@@ -16,6 +16,11 @@
 //! the whole script statically — malformed lines, unknown event/kind tags,
 //! and references to ids that are not live at that point all fail with the
 //! offending line number before any replay starts.
+//!
+//! The normative specification of this format — shared by serve scripts,
+//! the journal file, and the network tier's request framing — lives in
+//! `docs/PROTOCOL.md` at the repository root (`flexoffers-jsonl/1`). This
+//! module is its reference implementation.
 
 use std::error::Error;
 use std::fmt;
@@ -148,6 +153,16 @@ impl Event {
     pub fn from_json_line(line: &str) -> Result<Self, String> {
         let value: Value =
             serde_json::from_str(line).map_err(|e| format!("malformed event JSON: {e}"))?;
+        Self::from_value(&value)
+    }
+
+    /// Parses an already-decoded event object — what [`from_json_line`]
+    /// does after JSON decoding, split out so embedders (the network
+    /// tier's `{"id":…,"event":{…}}` framing) can validate an event
+    /// nested inside a larger value without re-serializing it.
+    ///
+    /// [`from_json_line`]: Self::from_json_line
+    pub fn from_value(value: &Value) -> Result<Self, String> {
         let tag = value
             .get("event")
             .and_then(Value::as_str)
@@ -175,12 +190,12 @@ impl Event {
             FlexOffer::from_value(raw).map_err(|e| format!("bad `offer`: {e}"))
         };
         match tag {
-            "add" => Ok(Event::Add(offer(&value)?)),
+            "add" => Ok(Event::Add(offer(value)?)),
             "update" => Ok(Event::Update {
-                id: id(&value)?,
-                offer: offer(&value)?,
+                id: id(value)?,
+                offer: offer(value)?,
             }),
-            "remove" => Ok(Event::Remove { id: id(&value)? }),
+            "remove" => Ok(Event::Remove { id: id(value)? }),
             "query" => {
                 let kind = value
                     .get("kind")
@@ -223,6 +238,7 @@ impl Error for ScriptError {}
 /// Parses a whole JSONL script and statically validates its id references:
 /// the `k`-th add owns id `k`, updates must name a live id, removes kill
 /// one. Returns the events in script order, or the first offending line.
+/// The script format is specified normatively in `docs/PROTOCOL.md`.
 pub fn parse_script(text: &str) -> Result<Vec<Event>, ScriptError> {
     parse_script_from(text, Vec::new(), 0)
 }

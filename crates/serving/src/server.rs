@@ -40,6 +40,11 @@ pub enum ServeError {
     /// The loop terminated on its own — it stopped on a sink error
     /// ([`LiveHandle::shutdown`] reports which).
     Gone,
+    /// A [`LiveHandle::query_deadline`] wait expired before the answer
+    /// arrived. The query still runs to completion inside the loop (its
+    /// slot in the serialization order is already taken); only the wait
+    /// for its answer was abandoned.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServeError {
@@ -47,6 +52,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Closed => f.write_str("serving handle closed by shutdown()"),
             ServeError::Gone => f.write_str("serving loop terminated — shutdown() reports why"),
+            ServeError::DeadlineExceeded => {
+                f.write_str("query deadline exceeded — the answer wait was abandoned")
+            }
         }
     }
 }
@@ -178,6 +186,28 @@ impl<E> LiveHandle<E> {
             .send(Request::Query(kind, reply_tx))
             .map_err(|_| ServeError::Gone)?;
         reply_rx.recv().map_err(|_| ServeError::Gone)
+    }
+
+    /// [`query`](Self::query), but waits at most `deadline` for the
+    /// answer. On [`ServeError::DeadlineExceeded`] the query itself still
+    /// runs (it was already enqueued in serialization order; dropping the
+    /// reply receiver just discards the answer) — because queries never
+    /// mutate the book, an abandoned answer leaves the event history
+    /// exactly as if the query had been answered.
+    pub fn query_deadline(
+        &self,
+        kind: QueryKind,
+        deadline: std::time::Duration,
+    ) -> Result<String, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.sender()?
+            .send(Request::Query(kind, reply_tx))
+            .map_err(|_| ServeError::Gone)?;
+        match reply_rx.recv_timeout(deadline) {
+            Ok(answer) => Ok(answer),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Gone),
+        }
     }
 
     /// Closes the channel, drains the loop, and reports how it ended:
@@ -351,6 +381,57 @@ mod tests {
             .expect("queries answer");
         assert!(answer.contains("\"offers\":1"), "{answer}");
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn query_deadline_abandons_slow_answers_but_not_fast_ones() {
+        use std::time::Duration;
+
+        struct SlowSink;
+        impl EventSink for SlowSink {
+            type Error = LiveError;
+            fn apply(&mut self, event: Event) -> Result<Option<String>, LiveError> {
+                Ok(match event {
+                    Event::Query(_) => {
+                        std::thread::sleep(Duration::from_millis(200));
+                        Some("slow answer".to_owned())
+                    }
+                    _ => None,
+                })
+            }
+        }
+
+        let mut slow = LiveServer::spawn_sink(SlowSink);
+        assert_eq!(
+            slow.query_deadline(QueryKind::Measure, Duration::from_millis(1))
+                .unwrap_err(),
+            ServeError::DeadlineExceeded
+        );
+        // The abandoned query still ran; the loop survives and later
+        // queries with room to breathe succeed.
+        assert_eq!(
+            slow.query_deadline(QueryKind::Measure, Duration::from_secs(30))
+                .unwrap(),
+            "slow answer"
+        );
+        slow.shutdown().unwrap();
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+
+        let mut handle = spawn();
+        handle.add(offer(0)).unwrap();
+        let timed = handle
+            .query_deadline(QueryKind::Measure, Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(timed, handle.query(QueryKind::Measure).unwrap());
+        handle.shutdown().unwrap();
+        assert_eq!(
+            handle
+                .query_deadline(QueryKind::Measure, Duration::from_secs(1))
+                .unwrap_err(),
+            ServeError::Closed
+        );
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //!         [--kernel scalar|columnar|auto] [--batch]  one JSON line per query
 //!         [--journal PATH [--snapshot-every N]       journal mutations +
 //!          [--sync-every N]]                         snapshot for recovery
+//! flexctl serve --listen ADDR [--max-conns N]        serve the framed JSONL
+//!         [--deadline-ms D] [--record PATH]          protocol over TCP
+//!         [--shards K] [--threads N] [--seed S]      (docs/PROTOCOL.md);
+//!         [--kernel scalar|columnar|auto]            SIGTERM/ctrl-c drains
+//!         [--journal PATH [--snapshot-every N]       and snapshots cleanly
+//!          [--sync-every N]]
+//! flexctl bomb --addr HOST:PORT [--conns N]          load-generate against a
+//!         [--events M] [--seed S]                    --listen server
 //! flexctl recover --journal PATH [--shards K]        recover a killed serve
 //!         [--threads N] [--seed S]                   and answer the four
 //!         [--kernel scalar|columnar|auto]            query kinds
@@ -69,6 +77,20 @@
 //! truncated, never an error), prints a recovery summary to stderr, and
 //! answers the four query kinds in wire order on stdout — byte-identical
 //! to what an uninterrupted run would have answered.
+//!
+//! `serve --listen ADDR` swaps the script for a TCP socket: the same
+//! events arrive framed as `{"id":…,"event":{…}}` request lines over any
+//! number of connections (the wire spec is `docs/PROTOCOL.md`), answered
+//! queries print to stdout exactly as `--script` would, and `--record
+//! PATH` writes the serialized history as a canonical script — replaying
+//! that record through `serve --script --batch` reproduces the answers
+//! byte-for-byte, which CI asserts. `--max-conns` sizes the worker pool,
+//! `--deadline-ms` bounds each query's answer wait (expiries return a
+//! structured `deadline` error), and SIGTERM/ctrl-c drains in-flight
+//! requests before the durable sink's final sync + snapshot. `flexctl
+//! bomb` is the matching load generator: `--conns` concurrent connections
+//! each sending `--events` add/update/remove/query requests, reporting
+//! throughput and latency percentiles.
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -76,6 +98,7 @@ use std::process::ExitCode;
 use flexoffers::area::{render_flexoffer, render_union};
 use flexoffers::engine::{Budget, Engine, Kernel};
 use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
+use flexoffers::net::{percentile, signal, NetClient, NetConfig, NetServer, Reply};
 use flexoffers::serving::batch::BatchBook;
 use flexoffers::serving::{
     parse_script, parse_script_from, DurabilityConfig, Event, LiveServer, QueryKind, ServeConfig,
@@ -109,6 +132,11 @@ const USAGE: &str = "usage:
   flexctl serve --script <events.jsonl|-> [--shards K] [--threads N] [--seed S]
                 [--kernel scalar|columnar|auto] [--batch]
                 [--journal PATH [--snapshot-every N] [--sync-every N]]
+  flexctl serve --listen ADDR [--max-conns N] [--deadline-ms D] [--record PATH]
+                [--shards K] [--threads N] [--seed S]
+                [--kernel scalar|columnar|auto]
+                [--journal PATH [--snapshot-every N] [--sync-every N]]
+  flexctl bomb --addr HOST:PORT [--conns N] [--events M] [--seed S]
   flexctl recover --journal PATH [--shards K] [--threads N] [--seed S]
                   [--kernel scalar|columnar|auto]
   flexctl events --city H [--seed S] [--churn PCT] [--queries N]
@@ -121,7 +149,16 @@ const USAGE: &str = "usage:
 N / K threads, floored at 1 (K > N degrades shard workers to sequential,
 it never errors). --kernel selects the measure/baseline kernel (default
 auto = columnar whenever every requested measure has a columnar form);
-scalar, columnar and auto produce bitwise-identical output.";
+scalar, columnar and auto produce bitwise-identical output.
+
+serve flag combinations: --script and --listen are exclusive modes — give
+exactly one. --batch applies only to --script (the from-scratch oracle);
+it excludes --journal (nothing durable to resume) and --shards (the
+oracle is deliberately the flat engine). --record, --max-conns and
+--deadline-ms apply only to --listen. --journal composes with --script
+and --listen alike; --snapshot-every/--sync-every need --journal.
+--shards, --threads, --seed and --kernel apply to every serve mode
+(except --shards under --batch, as above).";
 
 fn run(cmd: &str, rest: &[String]) -> ExitCode {
     match cmd {
@@ -153,6 +190,7 @@ fn run(cmd: &str, rest: &[String]) -> ExitCode {
         "serve" => serve(rest),
         "recover" => recover(rest),
         "events" => events(rest),
+        "bomb" => bomb(rest),
         "measure" if rest.iter().any(|a| a == "--portfolio") => measure_portfolio(rest),
         "measure" | "render" | "count" => {
             let Some(path) = rest.first() else {
@@ -546,6 +584,10 @@ fn simulate(rest: &[String]) -> ExitCode {
 /// one JSON line; the two modes are byte-identical.
 fn serve(rest: &[String]) -> ExitCode {
     let mut script: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut shards: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
@@ -575,6 +617,20 @@ fn serve(rest: &[String]) -> ExitCode {
                 };
                 script = Some(value.clone());
             }
+            "--listen" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --listen needs an address (e.g. 127.0.0.1:7070)");
+                    return ExitCode::FAILURE;
+                };
+                listen = Some(value.clone());
+            }
+            "--record" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --record needs a path");
+                    return ExitCode::FAILURE;
+                };
+                record = Some(value.clone());
+            }
             "--journal" => {
                 let Some(value) = args.next() else {
                     eprintln!("error: --journal needs a path");
@@ -582,7 +638,8 @@ fn serve(rest: &[String]) -> ExitCode {
                 };
                 journal = Some(value.clone());
             }
-            flag @ ("--shards" | "--threads" | "--seed" | "--snapshot-every" | "--sync-every") => {
+            flag @ ("--shards" | "--threads" | "--seed" | "--snapshot-every" | "--sync-every"
+            | "--max-conns" | "--deadline-ms") => {
                 let n = match count_flag(flag, &mut args) {
                     Ok(n) => n,
                     Err(e) => {
@@ -595,6 +652,8 @@ fn serve(rest: &[String]) -> ExitCode {
                     "--threads" => threads = Some(n as usize),
                     "--snapshot-every" => snapshot_every = Some(n),
                     "--sync-every" => sync_every = Some(n),
+                    "--max-conns" => max_conns = Some(n as usize),
+                    "--deadline-ms" => deadline_ms = Some(n),
                     _ => seed = Some(n),
                 }
             }
@@ -603,6 +662,21 @@ fn serve(rest: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if script.is_some() && listen.is_some() {
+        eprintln!("error: --script and --listen are exclusive serve modes; give exactly one");
+        return ExitCode::FAILURE;
+    }
+    if batch && listen.is_some() {
+        // The batch oracle replays a finished script; a live socket has no
+        // script until it is recorded (serve --listen --record, then
+        // replay that through --script --batch).
+        eprintln!("error: --batch does not apply to --listen (record a session with --record and replay it through --script --batch)");
+        return ExitCode::FAILURE;
+    }
+    if listen.is_none() && (record.is_some() || max_conns.is_some() || deadline_ms.is_some()) {
+        eprintln!("error: --record/--max-conns/--deadline-ms need --listen ADDR");
+        return ExitCode::FAILURE;
     }
     if batch && journal.is_some() {
         // The batch oracle rebuilds from scratch per query; journaling it
@@ -623,17 +697,10 @@ fn serve(rest: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let shards = shards.unwrap_or(1);
-    let Some(script) = script else {
-        eprintln!("error: serve needs --script <events.jsonl|->\n{USAGE}");
+    if script.is_none() && listen.is_none() {
+        eprintln!("error: serve needs --script <events.jsonl|-> or --listen ADDR\n{USAGE}");
         return ExitCode::FAILURE;
-    };
-    let text = match read_input(&script) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    }
     let budget = match budget_for(threads) {
         Ok(b) => b.with_kernel(kernel),
         Err(e) => {
@@ -654,6 +721,60 @@ fn serve(rest: &[String]) -> ExitCode {
         config.durability = Some(durability);
     }
     let engine = Engine::new(budget);
+
+    if let Some(addr) = listen {
+        let net_config = NetConfig {
+            max_conns: max_conns.unwrap_or(4).max(1),
+            deadline: deadline_ms.map(std::time::Duration::from_millis),
+            record: record.map(std::path::PathBuf::from),
+        };
+        if config.durability.is_some() {
+            let (durable, report) = match DurableBook::open(config, shards, engine) {
+                Ok(opened) => opened,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if report.journal_events > 0 {
+                eprintln!(
+                    "resumed journal at seq {} ({} replayed on top of {})",
+                    report.journal_events,
+                    report.replayed,
+                    match report.snapshot_seq {
+                        Some(seq) => format!("snapshot seq {seq}"),
+                        None => "the empty book".to_owned(),
+                    }
+                );
+            }
+            let live_ids = durable.book().live_ids();
+            let next_id = durable.book().next_id();
+            return listen_serve(
+                &addr,
+                net_config,
+                LiveServer::spawn_sink(durable),
+                live_ids,
+                next_id,
+            );
+        }
+        let handle = match LiveServer::spawn(config, shards, engine) {
+            Ok(handle) => handle,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return listen_serve(&addr, net_config, handle, Vec::new(), 0);
+    }
+
+    let script = script.expect("checked above");
+    let text = match read_input(&script) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if batch {
         let events = match parse_script(&text) {
@@ -749,6 +870,218 @@ fn drive<E: std::fmt::Display>(
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `serve --listen` path: bind the TCP front over a spawned serving
+/// loop, install the SIGINT/SIGTERM latch, and serve until a signal fires.
+/// Answer lines stream to stdout in serialization order (the bytes a
+/// `--record` replay through `--script` reproduces); the bound address,
+/// lifecycle notes and the final summary go to stderr.
+fn listen_serve<E: std::fmt::Debug + std::fmt::Display + Send + 'static>(
+    addr: &str,
+    config: NetConfig,
+    handle: flexoffers::serving::LiveHandle<E>,
+    live_ids: Vec<u64>,
+    next_id: u64,
+) -> ExitCode {
+    let server = match NetServer::bind(addr, config, handle, live_ids, next_id) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Flushed line-by-line so a harness can scrape the bound port even
+    // when --listen 127.0.0.1:0 picked it.
+    eprintln!("listening on {}", server.local_addr());
+    if !signal::install() {
+        eprintln!(
+            "warning: no SIGINT/SIGTERM handler on this platform; graceful drain unavailable"
+        );
+    }
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                if signal::fired() {
+                    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        })
+    };
+    let result = server.run(&stop, std::io::stdout());
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let _ = watcher.join();
+    match result {
+        Ok(summary) => {
+            eprintln!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// What one `bomb` connection observed: per-request wall latencies plus
+/// how many replies came back as protocol errors.
+struct BombReport {
+    latencies_ms: Vec<f64>,
+    errors: u64,
+}
+
+/// The `bomb` load generator: N concurrent connections, each sending a
+/// deterministic seeded mix of adds, updates/removes of its own offers,
+/// and queries, timing every request round trip.
+fn bomb(rest: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut conns: usize = 4;
+    let mut events_per_conn: u64 = 256;
+    let mut seed: u64 = 7;
+
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --addr needs HOST:PORT");
+                    return ExitCode::FAILURE;
+                };
+                addr = Some(value.clone());
+            }
+            flag @ ("--conns" | "--events" | "--seed") => {
+                let n = match count_flag(flag, &mut args) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match flag {
+                    "--conns" => conns = n as usize,
+                    "--events" => events_per_conn = n,
+                    _ => seed = n,
+                }
+            }
+            other => {
+                eprintln!("error: unknown bomb argument {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: bomb needs --addr HOST:PORT\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if conns == 0 || events_per_conn == 0 {
+        eprintln!("error: --conns and --events must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    let started = std::time::Instant::now();
+    let reports: Vec<Result<BombReport, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    bomb_connection(&addr, seed.wrapping_add(c as u64), events_per_conn)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("connection thread panicked".to_owned()))
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    let mut failed = false;
+    for (c, report) in reports.into_iter().enumerate() {
+        match report {
+            Ok(report) => {
+                latencies.extend(report.latencies_ms);
+                errors += report.errors;
+            }
+            Err(e) => {
+                eprintln!("error: connection {c}: {e}");
+                failed = true;
+            }
+        }
+    }
+    let requests = latencies.len();
+    let rate = if elapsed > 0.0 {
+        requests as f64 / elapsed
+    } else {
+        0.0
+    };
+    println!(
+        "bomb: {conns} conns x {events_per_conn} events -> {requests} requests in {elapsed:.3}s ({rate:.0} req/s), {errors} error replies"
+    );
+    for (label, p) in [("p50", 50.0), ("p99", 99.0), ("p999", 99.9)] {
+        if let Some(ms) = percentile(&latencies, p) {
+            println!("  {label} {ms:.3} ms");
+        }
+    }
+    if failed || errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// One bomb connection: adds dominate; every 8th request updates and
+/// every 12th removes an offer this connection itself added (so ids are
+/// always valid regardless of interleaving); every 16th queries, cycling
+/// the four kinds in wire order.
+fn bomb_connection(addr: &str, seed: u64, events: u64) -> Result<BombReport, String> {
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let offers: Vec<FlexOffer> = city_stream(seed, 8).collect();
+    let mut owned: Vec<u64> = Vec::new();
+    let mut latencies_ms = Vec::with_capacity(events as usize);
+    let mut errors = 0u64;
+    let mut queries = 0usize;
+    for i in 0..events {
+        let event = if i % 16 == 9 {
+            let kind = QueryKind::all()[queries % 4];
+            queries += 1;
+            Event::Query(kind)
+        } else if i % 8 == 5 && !owned.is_empty() {
+            let id = owned[i as usize % owned.len()];
+            let offer = offers[(i as usize + 3) % offers.len()].clone();
+            Event::Update { id, offer }
+        } else if i % 12 == 7 && !owned.is_empty() {
+            let id = owned.remove(i as usize % owned.len());
+            Event::Remove { id }
+        } else {
+            Event::Add(offers[i as usize % offers.len()].clone())
+        };
+        let was_add = matches!(event, Event::Add(_));
+        let sent = std::time::Instant::now();
+        let reply = client
+            .send_event(&event)
+            .map_err(|e| format!("request {i}: {e}"))?;
+        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        match reply {
+            Reply::Ok { .. } if was_add => match reply.assigned_id() {
+                Some(id) => owned.push(id),
+                None => errors += 1,
+            },
+            Reply::Ok { .. } => {}
+            Reply::Err { .. } => errors += 1,
+        }
+    }
+    Ok(BombReport {
+        latencies_ms,
+        errors,
+    })
 }
 
 /// The `recover` path: rebuild a killed `serve --journal` run from its

@@ -32,7 +32,11 @@
 //!   journal (itself a replayable event script), checksummed atomic
 //!   per-shard snapshots of the live cache export, and crash recovery
 //!   ([`storage::recover`]) that truncates torn journal tails and
-//!   preserves byte-identity at any crash point.
+//!   preserves byte-identity at any crash point;
+//! * [`net`] — the TCP front of the serving tier: request-id framed JSONL
+//!   over a fixed worker pool ([`net::NetServer`]), per-query deadlines,
+//!   graceful SIGTERM drain, and a recording byte-identity oracle (the
+//!   wire format is specified in `docs/PROTOCOL.md`).
 //!
 //! The most common types are re-exported at the crate root.
 //!
@@ -67,6 +71,7 @@ pub use flexoffers_engine as engine;
 pub use flexoffers_market as market;
 pub use flexoffers_measures as measures;
 pub use flexoffers_model as model;
+pub use flexoffers_net as net;
 pub use flexoffers_scheduling as scheduling;
 pub use flexoffers_serving as serving;
 pub use flexoffers_storage as storage;

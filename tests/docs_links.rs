@@ -1,0 +1,101 @@
+//! Intra-repo link checker for the prose docs: every relative
+//! `[text](path)` target in `README.md` and `docs/*.md` must exist in the
+//! working tree (anchors and external URLs are out of scope). Keeps the
+//! crate-map pointer in `README.md` and the cross-references between
+//! `docs/PROTOCOL.md` and `docs/ARCHITECTURE.md` from rotting.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts the `(target)` of every inline markdown link in `text`,
+/// skipping images, external URLs, and pure-anchor links.
+fn relative_link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // An inline link is `](target)`; images (`![alt](target)`) reuse
+        // the same shape and are checked identically.
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(len) = text[start..].find(')') {
+                let target = &text[start..start + len];
+                let target = target.split('#').next().unwrap_or("");
+                let external = target.contains("://") || target.starts_with("mailto:");
+                if !target.is_empty() && !external {
+                    targets.push(target.to_owned());
+                }
+                i = start + len;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Checks every relative link in `doc` (a repo-root-relative markdown
+/// file), resolving targets against the doc's own directory.
+fn check_doc(doc: &Path, broken: &mut Vec<String>) {
+    let text =
+        std::fs::read_to_string(doc).unwrap_or_else(|e| panic!("reading {}: {e}", doc.display()));
+    let base = doc.parent().expect("docs live in a directory");
+    for target in relative_link_targets(&text) {
+        let resolved = base.join(&target);
+        if !resolved.exists() {
+            broken.push(format!(
+                "{} -> {target} (missing {})",
+                doc.display(),
+                resolved.display()
+            ));
+        }
+    }
+}
+
+#[test]
+fn intra_repo_doc_links_resolve() {
+    let root = repo_root();
+    let mut docs = vec![root.join("README.md")];
+    let docs_dir = root.join("docs");
+    assert!(
+        docs_dir.is_dir(),
+        "docs/ must exist (PROTOCOL.md and ARCHITECTURE.md live there)"
+    );
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&docs_dir)
+        .expect("docs/ is readable")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.iter().any(|p| p.ends_with("PROTOCOL.md")),
+        "docs/PROTOCOL.md is the normative wire spec"
+    );
+    assert!(
+        entries.iter().any(|p| p.ends_with("ARCHITECTURE.md")),
+        "docs/ARCHITECTURE.md is the crate map"
+    );
+    docs.extend(entries);
+
+    let mut broken = Vec::new();
+    for doc in &docs {
+        check_doc(doc, &mut broken);
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_understands_markdown() {
+    let text = "see [spec](docs/PROTOCOL.md#framing), [ext](https://example.com/x.md), \
+                ![img](fig.png), [anchor](#here), and [rel](../README.md).";
+    assert_eq!(
+        relative_link_targets(text),
+        vec!["docs/PROTOCOL.md", "fig.png", "../README.md"]
+    );
+}
