@@ -1,0 +1,239 @@
+//! Persists the cross-process cluster tier's throughput baseline:
+//! `BENCH_cluster.json`.
+//!
+//! Drives a [`flexoffers_cluster::ClusterBook`] — one shard-worker OS
+//! process per shard behind the scatter/gather supervisor — with a seeded
+//! adds-plus-measure-queries mix at 1/2/4 workers. Every mutation is one
+//! pipe round trip to the owning worker; every query is a full gather
+//! (each worker refreshes and ships its warmed shard export) plus the
+//! in-process merge, so the numbers price the cluster's serialization and
+//! process-hop overhead against the `sequential` section, which applies
+//! the same events to an in-process one-shard
+//! [`flexoffers_serving::LiveBook`].
+//!
+//! The workers are this binary re-invoked with the internal `--worker`
+//! flag, so the bench is self-contained — no other binary needs building.
+//!
+//! The emitted JSON uses the `flexoffers-engine-bench/1` schema, so the
+//! existing `bench_check` regression gate consumes it unchanged (`threads`
+//! records the worker count; `offers_per_sec` is events acknowledged per
+//! second; the extra `workers`/`queries` fields are ignored by the gate).
+//! The headline is the events/s scaling from 1 worker to the largest
+//! worker count — expect it below 1.0: queries gather the whole book, so
+//! more workers means more pipe traffic per query, and the point of the
+//! committed baseline is pinning that overhead, not advertising speedup.
+//!
+//! ```text
+//! cargo run --release -p flexoffers_bench --bin bench_cluster            # full sweep
+//! cargo run --release -p flexoffers_bench --bin bench_cluster -- --quick # smaller (CI)
+//! cargo run ... -- --out path/to.json                                    # custom output
+//! ```
+
+use std::time::Instant;
+
+use flexoffers_bench::timing::time_best;
+use flexoffers_cluster::{ClusterBook, WorkerSpec};
+use flexoffers_engine::{Budget, Engine};
+use flexoffers_measures::all_measures;
+use flexoffers_model::FlexOffer;
+use flexoffers_serving::{Event, LiveBook, QueryKind, ServeConfig};
+use flexoffers_workloads::city_stream;
+use serde::Serialize;
+
+const SEED: u64 = 7;
+/// Every 32nd event is a measure query (a full gather + merge).
+const QUERY_STRIDE: u64 = 32;
+
+#[derive(Serialize)]
+struct Run {
+    offers: usize,
+    /// Mirrors the gate's `threads` field: worker process count.
+    threads: usize,
+    workers: usize,
+    queries: usize,
+    secs: f64,
+    /// Events acknowledged per second — the field the per-core gate
+    /// normalises.
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SequentialRun {
+    offers: usize,
+    secs: f64,
+    offers_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ClusterBenchReport {
+    schema: &'static str,
+    workload: String,
+    measures: usize,
+    host_cpus: usize,
+    /// The no-pipe ceiling: the same events applied in process.
+    sequential: Vec<SequentialRun>,
+    /// Cluster runs at increasing worker counts.
+    engine: Vec<Run>,
+    /// Events/s at the largest worker count over 1 worker.
+    speedup_8_threads_largest: f64,
+}
+
+/// The event script: seeded city adds, a measure query every
+/// [`QUERY_STRIDE`]th event.
+fn events(total: u64) -> Vec<Event> {
+    let offers: Vec<FlexOffer> = city_stream(SEED, 8).collect();
+    (0..total)
+        .map(|i| {
+            if i % QUERY_STRIDE == QUERY_STRIDE - 1 {
+                Event::Query(QueryKind::Measure)
+            } else {
+                Event::Add(offers[i as usize % offers.len()].clone())
+            }
+        })
+        .collect()
+}
+
+/// One fresh cluster fed the whole script; wall time covers the event
+/// phase only, not spawn or shutdown.
+fn cluster_pass(workers: usize, script: &[Event]) -> (f64, usize) {
+    let exe = std::env::current_exe().expect("bench binary path");
+    let spec = WorkerSpec::new(exe).arg("--worker");
+    let mut cluster =
+        ClusterBook::spawn(ServeConfig::default(), Budget::sequential(), workers, spec)
+            .expect("cluster spawns");
+    let mut queries = 0usize;
+    let started = Instant::now();
+    for event in script {
+        let answer = cluster.apply(event.clone()).expect("valid stream");
+        if answer.is_some() {
+            queries += 1;
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(cluster.respawns(), 0, "no worker died during the bench");
+    cluster.shutdown();
+    (secs, queries)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Internal: `bench_cluster --worker` IS the shard-worker process.
+    if args.first().map(String::as_str) == Some("--worker") {
+        if let Err(e) = flexoffers_cluster::run_stdio_worker() {
+            eprintln!("error: shard worker io: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_cluster.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) if !path.starts_with("--") => out_path = path.clone(),
+                _ => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown argument {other}\nusage: bench_cluster [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let total_events: u64 = if quick { 512 } else { 2_048 };
+    let worker_counts: &[usize] = &[1, 2, 4];
+    let passes = if quick { 1 } else { 2 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_cluster: {total_events} events through cross-process shard workers · workers \
+         {worker_counts:?} · {host_cpus} host cpu(s)"
+    );
+
+    let script = events(total_events);
+
+    // The no-pipe ceiling: the same events applied in process.
+    let seq_secs = time_best(|| {
+        let mut book =
+            LiveBook::new(ServeConfig::default(), 1, Engine::sequential()).expect("one shard");
+        for event in &script {
+            book.apply(event.clone()).expect("valid stream");
+        }
+        std::hint::black_box(&book);
+    });
+    let seq_rate = script.len() as f64 / seq_secs;
+    println!(
+        "  in-process               {total_events:>7} events  {seq_secs:>9.4}s \
+         ({seq_rate:>9.0} events/s)"
+    );
+    let sequential = vec![SequentialRun {
+        offers: total_events as usize,
+        secs: seq_secs,
+        offers_per_sec: seq_rate,
+    }];
+
+    let mut engine_runs = Vec::new();
+    let mut rate_at_1 = 0.0f64;
+    let mut rate_at_max = 0.0f64;
+    for &workers in worker_counts {
+        let mut best: Option<(f64, usize)> = None;
+        for _ in 0..passes {
+            let pass = cluster_pass(workers, &script);
+            if best.is_none_or(|b| pass.0 < b.0) {
+                best = Some(pass);
+            }
+        }
+        let (secs, queries) = best.expect("at least one pass");
+        let rate = script.len() as f64 / secs;
+        println!(
+            "  {workers} worker(s)              {total_events:>7} events  {secs:>9.4}s \
+             ({rate:>9.0} events/s, {queries} gathers)"
+        );
+        if workers == 1 {
+            rate_at_1 = rate;
+        }
+        rate_at_max = rate;
+        engine_runs.push(Run {
+            offers: script.len(),
+            threads: workers,
+            workers,
+            queries,
+            secs,
+            offers_per_sec: rate,
+        });
+    }
+    let headline = if rate_at_1 > 0.0 {
+        rate_at_max / rate_at_1
+    } else {
+        1.0
+    };
+
+    let report = ClusterBenchReport {
+        schema: "flexoffers-engine-bench/1",
+        workload: format!(
+            "cross-process ClusterBook (one shard-worker OS process per shard over stdio \
+             pipes, sequential engine per worker); city_stream adds with a measure query \
+             every {QUERY_STRIDE}th event; every query gathers all warmed shard exports and \
+             merges in process; offers_per_sec = events acknowledged/s; threads = worker \
+             count; sequential = the same events on an in-process one-shard LiveBook (no \
+             pipes); speedup = events/s at the largest worker count over 1 worker (expected \
+             below 1.0 — it prices the gather overhead)"
+        ),
+        measures: all_measures().len(),
+        host_cpus,
+        sequential,
+        engine: engine_runs,
+        speedup_8_threads_largest: headline,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,20 @@
+//! `flex_shard_worker` — a standalone shard-worker process.
+//!
+//! Speaks the `flexoffers-worker/1` protocol over stdin/stdout and exits
+//! when its supervisor shuts it down or closes the pipe. Normally spawned
+//! by a [`ClusterBook`](flexoffers_cluster::ClusterBook) (production uses
+//! `flexctl shard-worker` via the current executable; tests and benches
+//! use this binary directly) — there is nothing useful to do with it
+//! interactively.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match flexoffers_cluster::run_stdio_worker() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: shard worker io: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

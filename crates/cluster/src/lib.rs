@@ -1,0 +1,45 @@
+//! `flexoffers_cluster` — cross-process shard workers for the serving
+//! tier.
+//!
+//! The in-process [`LiveBook`](flexoffers_serving::LiveBook) already
+//! partitions its offers into shards by a stable hash; this crate moves
+//! those shards into separate OS processes without moving the answer
+//! bytes by a single bit:
+//!
+//! * [`wire`] — the supervisor ↔ worker JSONL protocol over stdio pipes,
+//!   reusing the stack's event and snapshot codecs so the wire format and
+//!   the persistence format are the same bytes.
+//! * [`worker`] ([`run_stdio_worker`]) — the shard executor loop: a full
+//!   K-shard book in which only the worker's own shard is ever populated.
+//! * [`supervisor`] ([`ClusterBook`]) — scatter mutations by the owner
+//!   hash, gather warmed shard exports per query, and merge them through
+//!   [`LiveBook::from_export`](flexoffers_serving::LiveBook::from_export)
+//!   so the answer comes from the same code as the in-process tier.
+//!   Worker death is repaired by respawn + snapshot-and-suffix replay,
+//!   invisibly to the answer stream.
+//! * [`durable`] ([`DurableCluster`]) — the journal-before-apply sink
+//!   composing cross-process sharding with the storage tier: recover
+//!   in-process, seed the fleet, journal every mutation before it
+//!   scatters, snapshot from the gathered merged export.
+//!
+//! # Byte identity
+//!
+//! The cluster inherits the serving tier's contract: `serve --workers N`
+//! answers bitwise equal to the in-process book and to the batch oracle,
+//! at any workers × threads × kernel budget, with or without a worker
+//! being killed mid-stream. This is pinned by the crate's proptests
+//! (random event interleavings × worker counts × kernels, plus a
+//! kill-a-worker-at-a-random-event case).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod durable;
+pub mod supervisor;
+pub mod wire;
+pub mod worker;
+
+pub use durable::{DurableCluster, DurableClusterError};
+pub use supervisor::{ClusterBook, ClusterError, WorkerSpec, RESPAWN_ATTEMPTS};
+pub use wire::{WorkerReply, WorkerRequest, WORKER_PROTOCOL};
+pub use worker::{run_stdio_worker, run_worker};

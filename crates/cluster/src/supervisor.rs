@@ -1,0 +1,783 @@
+//! The cluster supervisor: scatter mutations, gather shard exports,
+//! merge through the flat engine.
+//!
+//! A [`ClusterBook`] owns one OS process per shard. Each worker holds a
+//! full K-shard [`LiveBook`] in which only its own shard is populated, so
+//! the supervisor's routing — the same
+//! [`stable_shard`](flexoffers_engine::stable_shard) placement the
+//! in-process book uses — keeps worker `w`'s shard `w` byte-equal to
+//! shard `w` of an in-process K-shard book fed the same serialized
+//! mutation stream. Queries gather every worker's export, splice the
+//! populated shards into one [`BookExport`], and push it through
+//! [`LiveBook::from_export`] + [`LiveBook::answer`] — the merge and the
+//! answer bytes come from the *same code* as the in-process tier, which
+//! is what makes cross-process answers byte-identical at any
+//! workers × threads × kernel budget. `from_export`'s structural
+//! validation (placement, duplicate ids, digests, cache shapes) doubles
+//! as wire-integrity checking on everything a worker ships back.
+//!
+//! # Failure handling
+//!
+//! Worker death is detected on the pipe (a failed write or an EOF read)
+//! and repaired in place: the supervisor respawns the process, rehydrates
+//! it from the worker's last gathered shard export plus a replay of the
+//! mutation suffix routed to it since, and retries the in-flight
+//! operation. The suffix is recorded *before* the pipe round-trip, so an
+//! op that killed the pipe mid-flight is replayed into the fresh process
+//! exactly once — the dead process took its copy of the book with it, so
+//! there is nothing to double-apply against. Respawn attempts are
+//! bounded; exhaustion surfaces as the structured
+//! [`ClusterError::WorkerLost`], never a panic or a hang.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use flexoffers_engine::{stable_shard, Budget, Engine};
+use flexoffers_model::FlexOffer;
+use flexoffers_serving::{
+    BookExport, Event, EventSink, ImportError, LiveBook, QueryKind, ServeConfig, ShardExport,
+};
+use flexoffers_storage::value_to_export;
+use serde::Value;
+
+use crate::wire::{parse_reply, request_line, WorkerReply, WorkerRequest};
+
+/// How many consecutive boot attempts a single respawn may make before
+/// the worker is declared lost.
+pub const RESPAWN_ATTEMPTS: usize = 3;
+
+/// What a cluster operation can fail with. Every variant is a named,
+/// structured condition — worker death mid-operation is repaired
+/// internally and only surfaces here once repair itself is exhausted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A worker count of zero was requested; the cluster always needs at
+    /// least one shard process.
+    ZeroWorkers,
+    /// A worker process could not be started at all (bad program path,
+    /// exec failure).
+    Spawn {
+        /// The worker index.
+        worker: usize,
+        /// The spawn failure detail.
+        message: String,
+    },
+    /// A worker died and every respawn attempt failed — the cluster can
+    /// no longer answer for its shard.
+    WorkerLost {
+        /// The lost worker's index (== its shard).
+        worker: usize,
+    },
+    /// A worker answered with a coded protocol error. These are
+    /// deterministic (a replay would hit them again), so they are fatal
+    /// rather than respawn-and-retried.
+    Worker {
+        /// The worker index.
+        worker: usize,
+        /// The machine-readable error code.
+        code: String,
+        /// The human-readable detail.
+        message: String,
+    },
+    /// The merged shard exports failed [`LiveBook::from_export`]
+    /// validation — a worker shipped a structurally corrupt shard.
+    Import(ImportError),
+    /// An update or remove referenced an id that is not live.
+    UnknownId {
+        /// The dead id.
+        id: u64,
+    },
+    /// A seeded add named an id that is already live.
+    IdTaken {
+        /// The live id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::ZeroWorkers => f.write_str("worker count must be at least 1"),
+            ClusterError::Spawn { worker, message } => {
+                write!(f, "failed to start cluster worker {worker}: {message}")
+            }
+            ClusterError::WorkerLost { worker } => {
+                write!(
+                    f,
+                    "cluster worker {worker} lost — {RESPAWN_ATTEMPTS} respawn attempts exhausted"
+                )
+            }
+            ClusterError::Worker {
+                worker,
+                code,
+                message,
+            } => write!(f, "cluster worker {worker} failed [{code}]: {message}"),
+            ClusterError::Import(e) => write!(f, "merged shard export rejected: {e}"),
+            ClusterError::UnknownId { id } => write!(f, "unknown offer id {id} — not live"),
+            ClusterError::IdTaken { id } => {
+                write!(
+                    f,
+                    "offer id {id} is already live — seeded ids must be fresh"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Import(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// How to start one worker process. The supervisor spawns `program` with
+/// `args`, a piped stdin/stdout, and an inherited stderr (worker logs
+/// land in the supervisor's stderr stream).
+#[derive(Clone, Debug)]
+pub struct WorkerSpec {
+    /// The program to execute — `flexctl` (whose hidden `shard-worker`
+    /// subcommand runs the loop) or the standalone `flex_shard_worker`.
+    pub program: PathBuf,
+    /// Arguments to pass before the worker takes over stdio.
+    pub args: Vec<String>,
+}
+
+impl WorkerSpec {
+    /// A spec running `program` with no arguments.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        Self {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends one argument.
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+}
+
+/// Why one pipe round-trip failed — drives the repair decision.
+enum ConnFailure {
+    /// The pipe broke (EPIPE, EOF, or an unreadable reply stream): the
+    /// process is dead or poisoned. Repairable by respawn.
+    Io(String),
+    /// The worker answered with a coded error: deterministic, fatal.
+    Fault {
+        /// The machine-readable code.
+        code: String,
+        /// The human-readable detail.
+        message: String,
+    },
+}
+
+/// One live worker process and its pipes.
+struct WorkerConn {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    next_request: u64,
+}
+
+impl WorkerConn {
+    fn spawn(spec: &WorkerSpec) -> io::Result<Self> {
+        let mut child = Command::new(&spec.program)
+            .args(&spec.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(Self {
+            child,
+            stdin,
+            stdout,
+            next_request: 0,
+        })
+    }
+
+    fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Writes one request line; returns its id for the matching read.
+    fn send(&mut self, request: &WorkerRequest) -> io::Result<u64> {
+        let id = self.next_request;
+        self.next_request += 1;
+        writeln!(self.stdin, "{}", request_line(id, request))?;
+        self.stdin.flush()?;
+        Ok(id)
+    }
+
+    /// Reads one reply line and checks it echoes `expect`. Anything that
+    /// breaks the strict request/reply cadence — EOF, garbage, a stray
+    /// id — means the stream can no longer be trusted and reads as a
+    /// repairable [`ConnFailure::Io`].
+    fn read_reply(&mut self, expect: u64) -> Result<Value, ConnFailure> {
+        let mut line = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut line)
+            .map_err(|e| ConnFailure::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ConnFailure::Io("worker closed its pipe".to_owned()));
+        }
+        let (id, reply) = parse_reply(line.trim_end()).map_err(ConnFailure::Io)?;
+        if id != Some(expect) {
+            return Err(ConnFailure::Io(format!(
+                "reply id {id:?} does not echo request {expect}"
+            )));
+        }
+        match reply {
+            WorkerReply::Ok(payload) => Ok(payload),
+            WorkerReply::Err { code, message } => Err(ConnFailure::Fault { code, message }),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &WorkerRequest) -> Result<Value, ConnFailure> {
+        let id = self
+            .send(request)
+            .map_err(|e| ConnFailure::Io(e.to_string()))?;
+        self.read_reply(id)
+    }
+}
+
+impl Drop for WorkerConn {
+    fn drop(&mut self) {
+        // Best effort: a replaced or abandoned connection must not leak
+        // its process or leave a zombie.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One mutation as routed to a worker — the replay unit for respawn.
+#[derive(Clone, Debug)]
+enum RoutedOp {
+    Add { id: u64, offer: FlexOffer },
+    Update { id: u64, offer: FlexOffer },
+    Remove { id: u64 },
+}
+
+impl RoutedOp {
+    fn id(&self) -> u64 {
+        match self {
+            RoutedOp::Add { id, .. } | RoutedOp::Update { id, .. } | RoutedOp::Remove { id } => *id,
+        }
+    }
+
+    fn request(&self) -> WorkerRequest {
+        match self {
+            RoutedOp::Add { id, offer } => WorkerRequest::Add {
+                offer_id: *id,
+                offer: offer.clone(),
+            },
+            RoutedOp::Update { id, offer } => WorkerRequest::Update {
+                offer_id: *id,
+                offer: offer.clone(),
+            },
+            RoutedOp::Remove { id } => WorkerRequest::Remove { offer_id: *id },
+        }
+    }
+}
+
+fn empty_shard() -> ShardExport {
+    ShardExport {
+        ids: Vec::new(),
+        offers: Vec::new(),
+        key_digest: 0,
+        cache: None,
+    }
+}
+
+/// One worker slot: the live connection plus everything needed to rebuild
+/// the process from scratch — its shard as of the last gather, and the
+/// mutation suffix routed to it since.
+struct Slot {
+    conn: WorkerConn,
+    snapshot: ShardExport,
+    suffix: Vec<RoutedOp>,
+}
+
+/// Boots one worker process to operational state: spawn, `init`, `load`
+/// the shard image, replay the suffix. Free function so `respawn` can
+/// call it while borrowing slot state immutably.
+fn try_boot(
+    spec: &WorkerSpec,
+    workers: usize,
+    budget: Budget,
+    w: usize,
+    snapshot: &ShardExport,
+    suffix: &[RoutedOp],
+    next_id: u64,
+) -> Result<WorkerConn, ConnFailure> {
+    let mut conn = WorkerConn::spawn(spec).map_err(|e| ConnFailure::Io(e.to_string()))?;
+    conn.roundtrip(&WorkerRequest::Init {
+        shards: workers,
+        threads: budget.threads(),
+        kernel: budget.kernel(),
+    })?;
+    let shards = (0..workers)
+        .map(|s| {
+            if s == w {
+                snapshot.clone()
+            } else {
+                empty_shard()
+            }
+        })
+        .collect();
+    conn.roundtrip(&WorkerRequest::Load {
+        book: BookExport { next_id, shards },
+    })?;
+    for op in suffix {
+        conn.roundtrip(&op.request())?;
+    }
+    Ok(conn)
+}
+
+/// Splits a worker's gathered export into its populated shard, rejecting
+/// exports whose shape or placement is off. (Value-level corruption —
+/// digests, duplicate ids, cache shapes — is caught later by the merged
+/// [`LiveBook::from_export`].)
+fn own_shard(w: usize, workers: usize, export: BookExport) -> Result<ShardExport, ClusterError> {
+    let fault = |message: String| ClusterError::Worker {
+        worker: w,
+        code: "bad_export".to_owned(),
+        message,
+    };
+    if export.shards.len() != workers {
+        return Err(fault(format!(
+            "export has {} shards, cluster has {workers}",
+            export.shards.len()
+        )));
+    }
+    for (s, shard) in export.shards.iter().enumerate() {
+        if s != w && !shard.ids.is_empty() {
+            return Err(fault(format!(
+                "worker for shard {w} shipped {} offers in foreign shard {s}",
+                shard.ids.len()
+            )));
+        }
+    }
+    let mut shards = export.shards;
+    Ok(shards.swap_remove(w))
+}
+
+/// The supervisor: a live book whose shards are worker processes.
+///
+/// Mutations scatter to the owning worker synchronously (one pipe
+/// round-trip); queries gather every worker's warmed shard export and
+/// merge them through the in-process engine. The public surface mirrors
+/// [`LiveBook`] — [`apply`](ClusterBook::apply) speaks the same
+/// [`Event`] stream, and [`EventSink`] lets
+/// [`LiveServer::spawn_sink`](flexoffers_serving::LiveServer::spawn_sink)
+/// and the TCP tier drive a cluster exactly like a local book.
+pub struct ClusterBook {
+    config: ServeConfig,
+    budget: Budget,
+    spec: WorkerSpec,
+    slots: Vec<Slot>,
+    live: BTreeSet<u64>,
+    next_id: u64,
+    respawns: u64,
+}
+
+impl ClusterBook {
+    /// Spawns `workers` shard processes and initializes each with the
+    /// full cluster shard count and the given evaluation budget.
+    pub fn spawn(
+        config: ServeConfig,
+        budget: Budget,
+        workers: usize,
+        spec: WorkerSpec,
+    ) -> Result<Self, ClusterError> {
+        if workers == 0 {
+            return Err(ClusterError::ZeroWorkers);
+        }
+        let mut slots = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let snapshot = empty_shard();
+            let conn =
+                try_boot(&spec, workers, budget, w, &snapshot, &[], 0).map_err(|e| match e {
+                    ConnFailure::Io(message) => ClusterError::Spawn { worker: w, message },
+                    ConnFailure::Fault { code, message } => ClusterError::Worker {
+                        worker: w,
+                        code,
+                        message,
+                    },
+                })?;
+            eprintln!("cluster worker {w} started (pid {})", conn.pid());
+            slots.push(Slot {
+                conn,
+                snapshot,
+                suffix: Vec::new(),
+            });
+        }
+        Ok(Self {
+            config,
+            budget,
+            spec,
+            slots,
+            live: BTreeSet::new(),
+            next_id: 0,
+            respawns: 0,
+        })
+    }
+
+    /// The number of worker processes (== the cluster shard count).
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The number of live offers.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no offers are live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Every live id, ascending.
+    pub fn live_ids(&self) -> Vec<u64> {
+        self.live.iter().copied().collect()
+    }
+
+    /// The next id [`add`](ClusterBook::add) will assign.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// How many worker respawns the supervisor has performed.
+    pub fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    /// The current worker process ids, by shard.
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.slots.iter().map(|s| s.conn.pid()).collect()
+    }
+
+    /// Kills worker `w`'s process outright (SIGKILL) without telling the
+    /// supervisor — a failure-injection hook for tests and the CI smoke
+    /// script. The next operation touching the shard detects the broken
+    /// pipe and respawns.
+    pub fn kill_worker(&mut self, w: usize) {
+        let _ = self.slots[w].conn.child.kill();
+        let _ = self.slots[w].conn.child.wait();
+    }
+
+    /// Rebuilds worker `w` from its slot's snapshot + suffix. Bounded
+    /// attempts; exhaustion is [`ClusterError::WorkerLost`].
+    fn respawn(&mut self, w: usize) -> Result<(), ClusterError> {
+        for _ in 0..RESPAWN_ATTEMPTS {
+            let boot = try_boot(
+                &self.spec,
+                self.slots.len(),
+                self.budget,
+                w,
+                &self.slots[w].snapshot,
+                &self.slots[w].suffix,
+                self.next_id,
+            );
+            match boot {
+                Ok(conn) => {
+                    eprintln!("cluster worker {w} respawned (pid {})", conn.pid());
+                    self.slots[w].conn = conn;
+                    self.respawns += 1;
+                    return Ok(());
+                }
+                // A fresh process failing with an I/O error may be bad
+                // luck (it died again); try the next attempt.
+                Err(ConnFailure::Io(_)) => continue,
+                // A coded error replaying known-good state is a bug a
+                // retry cannot fix.
+                Err(ConnFailure::Fault { code, message }) => {
+                    return Err(ClusterError::Worker {
+                        worker: w,
+                        code,
+                        message,
+                    })
+                }
+            }
+        }
+        Err(ClusterError::WorkerLost { worker: w })
+    }
+
+    /// Routes one mutation to its owning worker. The suffix entry is
+    /// recorded *before* the round-trip so a pipe failure respawns into a
+    /// state that already includes this op.
+    fn route(&mut self, op: RoutedOp) -> Result<(), ClusterError> {
+        let w = stable_shard(op.id(), self.slots.len());
+        let request = op.request();
+        self.slots[w].suffix.push(op);
+        match self.slots[w].conn.roundtrip(&request) {
+            Ok(_) => Ok(()),
+            Err(ConnFailure::Io(_)) => self.respawn(w),
+            Err(ConnFailure::Fault { code, message }) => Err(ClusterError::Worker {
+                worker: w,
+                code,
+                message,
+            }),
+        }
+    }
+
+    /// Inserts an offer under a caller-assigned id (the journal-replay
+    /// seeding path); the id must be fresh.
+    pub fn add_at(&mut self, id: u64, offer: FlexOffer) -> Result<(), ClusterError> {
+        if self.live.contains(&id) {
+            return Err(ClusterError::IdTaken { id });
+        }
+        self.route(RoutedOp::Add { id, offer })?;
+        self.live.insert(id);
+        self.next_id = self.next_id.max(id.saturating_add(1));
+        Ok(())
+    }
+
+    /// Inserts an offer and returns its assigned id.
+    pub fn add(&mut self, offer: FlexOffer) -> Result<u64, ClusterError> {
+        let id = self.next_id;
+        self.add_at(id, offer)?;
+        Ok(id)
+    }
+
+    /// Replaces the offer with the given id.
+    pub fn update(&mut self, id: u64, offer: FlexOffer) -> Result<(), ClusterError> {
+        if !self.live.contains(&id) {
+            return Err(ClusterError::UnknownId { id });
+        }
+        self.route(RoutedOp::Update { id, offer })
+    }
+
+    /// Removes the offer with the given id.
+    pub fn remove(&mut self, id: u64) -> Result<(), ClusterError> {
+        if !self.live.contains(&id) {
+            return Err(ClusterError::UnknownId { id });
+        }
+        self.route(RoutedOp::Remove { id })?;
+        self.live.remove(&id);
+        Ok(())
+    }
+
+    /// Collects worker `w`'s export on a connection that just failed:
+    /// respawn, then one retry on the fresh process.
+    fn regather_one(&mut self, w: usize) -> Result<Value, ClusterError> {
+        self.respawn(w)?;
+        match self.slots[w].conn.roundtrip(&WorkerRequest::Export) {
+            Ok(value) => Ok(value),
+            Err(ConnFailure::Io(_)) => Err(ClusterError::WorkerLost { worker: w }),
+            Err(ConnFailure::Fault { code, message }) => Err(ClusterError::Worker {
+                worker: w,
+                code,
+                message,
+            }),
+        }
+    }
+
+    /// Gathers every worker's warmed shard and splices them into one
+    /// merged export under the supervisor's id counter. A successful
+    /// gather also advances each slot's respawn baseline (snapshot :=
+    /// gathered shard, suffix := empty), keeping replay suffixes bounded
+    /// by the inter-query mutation rate.
+    fn gather(&mut self) -> Result<BookExport, ClusterError> {
+        let workers = self.slots.len();
+        // Scatter the export requests first so workers refresh their
+        // caches in parallel; replies are drained in shard order.
+        let mut pending: Vec<Option<u64>> = Vec::with_capacity(workers);
+        for slot in &mut self.slots {
+            pending.push(slot.conn.send(&WorkerRequest::Export).ok());
+        }
+        let mut shards = Vec::with_capacity(workers);
+        for (w, request) in pending.into_iter().enumerate() {
+            let first = match request {
+                Some(id) => self.slots[w].conn.read_reply(id),
+                None => Err(ConnFailure::Io("export request write failed".to_owned())),
+            };
+            let value = match first {
+                Ok(value) => value,
+                Err(ConnFailure::Io(_)) => self.regather_one(w)?,
+                Err(ConnFailure::Fault { code, message }) => {
+                    return Err(ClusterError::Worker {
+                        worker: w,
+                        code,
+                        message,
+                    })
+                }
+            };
+            let export = value_to_export(&value).map_err(|message| ClusterError::Worker {
+                worker: w,
+                code: "bad_export".to_owned(),
+                message,
+            })?;
+            let shard = own_shard(w, workers, export)?;
+            self.slots[w].snapshot = shard.clone();
+            self.slots[w].suffix.clear();
+            shards.push(shard);
+        }
+        Ok(BookExport {
+            next_id: self.next_id,
+            shards,
+        })
+    }
+
+    /// Gathers and merges the cluster's current state into one
+    /// [`BookExport`] — what a snapshot of the cluster persists. Shards
+    /// arrive warm (workers refresh before exporting), so the export is
+    /// as query-ready as an in-process book's.
+    pub fn export(&mut self) -> Result<BookExport, ClusterError> {
+        self.gather()
+    }
+
+    /// Raises the id counter to at least `next_id` — the journal-replay
+    /// seeding path, where ids past the last live offer (removed tail
+    /// ids) must not be reassigned.
+    pub fn reserve_ids(&mut self, next_id: u64) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    /// Answers one query: gather, merge, and answer through the very same
+    /// [`LiveBook`] code the in-process tier runs — this is where the
+    /// byte-identity contract is enforced rather than re-implemented.
+    pub fn answer(&mut self, kind: QueryKind) -> Result<String, ClusterError> {
+        let merged = self.gather()?;
+        let mut book = LiveBook::from_export(self.config.clone(), Engine::new(self.budget), merged)
+            .map_err(ClusterError::Import)?;
+        Ok(book.answer(kind))
+    }
+
+    /// Applies one event — the cluster-side mirror of
+    /// [`LiveBook::apply`]: mutations answer `Ok(None)`, queries
+    /// `Ok(Some(answer_line))`.
+    pub fn apply(&mut self, event: Event) -> Result<Option<String>, ClusterError> {
+        match event {
+            Event::Add(offer) => {
+                self.add(offer)?;
+                Ok(None)
+            }
+            Event::Update { id, offer } => {
+                self.update(id, offer)?;
+                Ok(None)
+            }
+            Event::Remove { id } => {
+                self.remove(id)?;
+                Ok(None)
+            }
+            Event::Query(kind) => Ok(Some(self.answer(kind)?)),
+        }
+    }
+
+    /// Shuts every worker down gracefully (best effort — a worker that is
+    /// already dead is simply reaped by the connection's drop).
+    pub fn shutdown(&mut self) {
+        for slot in &mut self.slots {
+            if slot.conn.roundtrip(&WorkerRequest::Shutdown).is_ok() {
+                let _ = slot.conn.child.wait();
+            }
+        }
+    }
+}
+
+impl EventSink for ClusterBook {
+    type Error = ClusterError;
+
+    fn apply(&mut self, event: Event) -> Result<Option<String>, ClusterError> {
+        ClusterBook::apply(self, event)
+    }
+
+    fn finish(&mut self) -> Result<(), ClusterError> {
+        self.shutdown();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn offer() -> FlexOffer {
+        FlexOffer::new(0, 4, vec![Slice::new(0, 2).unwrap()]).unwrap()
+    }
+
+    fn shard_with(ids: Vec<u64>) -> ShardExport {
+        let offers = ids.iter().map(|_| offer()).collect();
+        ShardExport {
+            ids,
+            offers,
+            key_digest: 0,
+            cache: None,
+        }
+    }
+
+    #[test]
+    fn own_shard_rejects_misshapen_and_misrouted_exports() {
+        let good = BookExport {
+            next_id: 9,
+            shards: vec![shard_with(vec![]), shard_with(vec![1, 3])],
+        };
+        let shard = own_shard(1, 2, good).expect("well-shaped export");
+        assert_eq!(shard.ids, vec![1, 3]);
+
+        let short = BookExport {
+            next_id: 9,
+            shards: vec![shard_with(vec![])],
+        };
+        assert!(matches!(
+            own_shard(1, 2, short),
+            Err(ClusterError::Worker { worker: 1, .. })
+        ));
+
+        let foreign = BookExport {
+            next_id: 9,
+            shards: vec![shard_with(vec![0]), shard_with(vec![1])],
+        };
+        assert!(matches!(
+            own_shard(1, 2, foreign),
+            Err(ClusterError::Worker { worker: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn routed_ops_render_their_wire_requests() {
+        let add = RoutedOp::Add {
+            id: 7,
+            offer: offer(),
+        };
+        assert_eq!(add.id(), 7);
+        assert!(matches!(
+            add.request(),
+            WorkerRequest::Add { offer_id: 7, .. }
+        ));
+        assert!(matches!(
+            RoutedOp::Remove { id: 3 }.request(),
+            WorkerRequest::Remove { offer_id: 3 }
+        ));
+    }
+
+    #[test]
+    fn cluster_errors_display_their_structure() {
+        let e = ClusterError::Worker {
+            worker: 2,
+            code: "bad_event".to_owned(),
+            message: "nope".to_owned(),
+        };
+        assert_eq!(e.to_string(), "cluster worker 2 failed [bad_event]: nope");
+        assert!(ClusterError::WorkerLost { worker: 1 }
+            .to_string()
+            .contains("respawn attempts exhausted"));
+        assert!(ClusterError::Import(ImportError::ZeroShards)
+            .source()
+            .is_some());
+    }
+}

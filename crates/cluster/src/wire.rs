@@ -1,0 +1,326 @@
+//! The supervisor ↔ worker wire protocol.
+//!
+//! One request per line over the worker's stdin, one reply per line over
+//! its stdout — the same envelope conventions as the TCP tier's
+//! `flexoffers-jsonl/1` framing (`docs/PROTOCOL.md`): requests carry a
+//! strictly increasing integer `id` that every reply echoes, success is
+//! `{"id":N,"ok":…}`, failure is
+//! `{"id":N,"error":{"code":…,"message":…}}`. The payloads reuse the
+//! stack's existing codecs — offers serialize exactly as they do in serve
+//! scripts and the journal, and a shipped book image is byte-for-byte the
+//! snapshot body ([`flexoffers_storage::export_to_value`]), so the wire
+//! format cannot drift from the persistence format.
+//!
+//! The request set is deliberately tiny — the supervisor owns all policy
+//! (id assignment, routing, validation, retry) and a worker is a dumb
+//! shard executor:
+//!
+//! ```text
+//! {"id":N,"op":"init","shards":K,"threads":T,"kernel":"auto"}
+//! {"id":N,"op":"add","offer_id":I,"offer":{…}}
+//! {"id":N,"op":"update","offer_id":I,"offer":{…}}
+//! {"id":N,"op":"remove","offer_id":I}
+//! {"id":N,"op":"export"}
+//! {"id":N,"op":"load","book":{…}}
+//! {"id":N,"op":"shutdown"}
+//! ```
+
+use flexoffers_engine::Kernel;
+use flexoffers_model::FlexOffer;
+use flexoffers_serving::BookExport;
+use flexoffers_storage::{export_to_value, value_to_export};
+use serde::{Deserialize, Serialize, Value};
+
+/// The worker wire-format version (reported in errors and docs; the
+/// framing itself carries no version field — supervisor and workers are
+/// always the same build, spawned from the same binary).
+pub const WORKER_PROTOCOL: &str = "flexoffers-worker/1";
+
+/// One supervisor → worker request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerRequest {
+    /// Create the worker's book: `shards` is the *total* cluster shard
+    /// count (the worker populates only its own), `threads`/`kernel` its
+    /// evaluation budget.
+    Init {
+        /// Total shard count across the cluster.
+        shards: usize,
+        /// Worker-local thread budget.
+        threads: usize,
+        /// Worker-local kernel selector.
+        kernel: Kernel,
+    },
+    /// Insert an offer under a supervisor-assigned global id.
+    Add {
+        /// The global logical id.
+        offer_id: u64,
+        /// The offer.
+        offer: FlexOffer,
+    },
+    /// Replace the offer with global id `offer_id` in place.
+    Update {
+        /// The global logical id.
+        offer_id: u64,
+        /// The replacement offer.
+        offer: FlexOffer,
+    },
+    /// Remove the offer with global id `offer_id`.
+    Remove {
+        /// The global logical id.
+        offer_id: u64,
+    },
+    /// Refresh caches and reply with the worker's full book export.
+    Export,
+    /// Replace the worker's book with this image (respawn rehydration).
+    Load {
+        /// The book image; every shard except the worker's own is empty.
+        book: BookExport,
+    },
+    /// Acknowledge and exit the worker loop.
+    Shutdown,
+}
+
+/// One worker → supervisor reply (without its echoed request id).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerReply {
+    /// Success; `export` replies carry the book value, everything else
+    /// `true`.
+    Ok(Value),
+    /// Failure, with a machine-readable code — any error is a supervisor
+    /// bug or a poisoned worker, and the supervisor treats it as fatal for
+    /// that worker.
+    Err {
+        /// Machine-readable code (`bad_frame`, `bad_request`, `no_book`,
+        /// `bad_event`, `bad_book`).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Renders one request line (no trailing newline).
+pub fn request_line(id: u64, request: &WorkerRequest) -> String {
+    let mut fields = vec![("id", Value::U64(id))];
+    let op = |name: &str| Value::Str(name.to_owned());
+    match request {
+        WorkerRequest::Init {
+            shards,
+            threads,
+            kernel,
+        } => {
+            fields.push(("op", op("init")));
+            fields.push(("shards", Value::U64(*shards as u64)));
+            fields.push(("threads", Value::U64(*threads as u64)));
+            fields.push(("kernel", Value::Str(kernel.label().to_owned())));
+        }
+        WorkerRequest::Add { offer_id, offer } => {
+            fields.push(("op", op("add")));
+            fields.push(("offer_id", Value::U64(*offer_id)));
+            fields.push(("offer", offer.to_value()));
+        }
+        WorkerRequest::Update { offer_id, offer } => {
+            fields.push(("op", op("update")));
+            fields.push(("offer_id", Value::U64(*offer_id)));
+            fields.push(("offer", offer.to_value()));
+        }
+        WorkerRequest::Remove { offer_id } => {
+            fields.push(("op", op("remove")));
+            fields.push(("offer_id", Value::U64(*offer_id)));
+        }
+        WorkerRequest::Export => fields.push(("op", op("export"))),
+        WorkerRequest::Load { book } => {
+            fields.push(("op", op("load")));
+            fields.push(("book", export_to_value(book)));
+        }
+        WorkerRequest::Shutdown => fields.push(("op", op("shutdown"))),
+    }
+    serde_json::to_string(&obj(fields)).expect("request values serialize")
+}
+
+fn get_u64(v: &Value, name: &str) -> Result<u64, String> {
+    let field = v.get(name).ok_or_else(|| format!("missing `{name}`"))?;
+    u64::from_value(field).map_err(|e| format!("`{name}`: {e}"))
+}
+
+fn get_usize(v: &Value, name: &str) -> Result<usize, String> {
+    usize::try_from(get_u64(v, name)?).map_err(|_| format!("`{name}` out of range"))
+}
+
+fn get_offer(v: &Value) -> Result<FlexOffer, String> {
+    let field = v.get("offer").ok_or("missing `offer`")?;
+    FlexOffer::from_value(field).map_err(|e| format!("`offer`: {e}"))
+}
+
+/// Parses one request line into its id and request. A missing/invalid id
+/// still fails with a message — the worker answers `{"id":null,…}` then.
+pub fn parse_request(line: &str) -> Result<(u64, WorkerRequest), String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed request JSON: {e}"))?;
+    let id = get_u64(&value, "id")?;
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing or non-string `op`")?;
+    let request = match op {
+        "init" => {
+            let kernel_label = value
+                .get("kernel")
+                .and_then(Value::as_str)
+                .ok_or("missing or non-string `kernel`")?;
+            WorkerRequest::Init {
+                shards: get_usize(&value, "shards")?,
+                threads: get_usize(&value, "threads")?,
+                kernel: Kernel::parse(kernel_label)
+                    .ok_or_else(|| format!("unknown kernel `{kernel_label}`"))?,
+            }
+        }
+        "add" => WorkerRequest::Add {
+            offer_id: get_u64(&value, "offer_id")?,
+            offer: get_offer(&value)?,
+        },
+        "update" => WorkerRequest::Update {
+            offer_id: get_u64(&value, "offer_id")?,
+            offer: get_offer(&value)?,
+        },
+        "remove" => WorkerRequest::Remove {
+            offer_id: get_u64(&value, "offer_id")?,
+        },
+        "export" => WorkerRequest::Export,
+        "load" => {
+            let book = value.get("book").ok_or("missing `book`")?;
+            WorkerRequest::Load {
+                book: value_to_export(book).map_err(|e| format!("`book`: {e}"))?,
+            }
+        }
+        "shutdown" => WorkerRequest::Shutdown,
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    Ok((id, request))
+}
+
+/// Renders a success reply line.
+pub fn ok_line(id: u64, payload: Value) -> String {
+    serde_json::to_string(&obj(vec![("id", Value::U64(id)), ("ok", payload)]))
+        .expect("reply values serialize")
+}
+
+/// Renders an error reply line; `id` is `None` when the request line was
+/// unreadable.
+pub fn error_line(id: Option<u64>, code: &str, message: &str) -> String {
+    let id = id.map_or(Value::Null, Value::U64);
+    let error = obj(vec![
+        ("code", Value::Str(code.to_owned())),
+        ("message", Value::Str(message.to_owned())),
+    ]);
+    serde_json::to_string(&obj(vec![("id", id), ("error", error)])).expect("reply values serialize")
+}
+
+/// Parses one reply line into its echoed id (None for `null`) and payload.
+pub fn parse_reply(line: &str) -> Result<(Option<u64>, WorkerReply), String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed reply JSON: {e}"))?;
+    let id = match value.get("id").ok_or("missing `id`")? {
+        Value::Null => None,
+        other => Some(u64::from_value(other).map_err(|e| format!("`id`: {e}"))?),
+    };
+    if let Some(payload) = value.get("ok") {
+        return Ok((id, WorkerReply::Ok(payload.clone())));
+    }
+    let error = value.get("error").ok_or("neither `ok` nor `error`")?;
+    let text = |name: &str| -> Result<String, String> {
+        Ok(error
+            .get(name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("`error.{name}`: expected string"))?
+            .to_owned())
+    };
+    Ok((
+        id,
+        WorkerReply::Err {
+            code: text("code")?,
+            message: text("message")?,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexoffers_model::Slice;
+
+    fn offer() -> FlexOffer {
+        FlexOffer::new(1, 4, vec![Slice::new(-1, 2).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip_through_their_lines() {
+        let book = BookExport {
+            next_id: 3,
+            shards: vec![flexoffers_serving::ShardExport {
+                ids: vec![0, 2],
+                offers: vec![offer(), offer()],
+                key_digest: 7,
+                cache: None,
+            }],
+        };
+        for (id, request) in [
+            (
+                0,
+                WorkerRequest::Init {
+                    shards: 4,
+                    threads: 2,
+                    kernel: Kernel::Columnar,
+                },
+            ),
+            (
+                1,
+                WorkerRequest::Add {
+                    offer_id: 9,
+                    offer: offer(),
+                },
+            ),
+            (
+                2,
+                WorkerRequest::Update {
+                    offer_id: 9,
+                    offer: offer(),
+                },
+            ),
+            (3, WorkerRequest::Remove { offer_id: 9 }),
+            (4, WorkerRequest::Export),
+            (5, WorkerRequest::Load { book }),
+            (6, WorkerRequest::Shutdown),
+        ] {
+            let line = request_line(id, &request);
+            let (back_id, back) = parse_request(&line).expect(&line);
+            assert_eq!(back_id, id, "{line}");
+            assert_eq!(back, request, "{line}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_and_malformed_lines_are_messages() {
+        let (id, reply) = parse_reply(&ok_line(7, Value::Bool(true))).unwrap();
+        assert_eq!(id, Some(7));
+        assert_eq!(reply, WorkerReply::Ok(Value::Bool(true)));
+
+        let (id, reply) = parse_reply(&error_line(None, "bad_frame", "nope")).unwrap();
+        assert_eq!(id, None);
+        assert_eq!(
+            reply,
+            WorkerReply::Err {
+                code: "bad_frame".to_owned(),
+                message: "nope".to_owned()
+            }
+        );
+
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"id\":1,\"op\":\"sing\"}").is_err());
+        assert!(parse_request("{\"op\":\"export\"}").is_err(), "id required");
+        assert!(parse_reply("{\"id\":1}").is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! The shard-worker loop: a dumb shard executor driven over stdio.
+//!
+//! A worker holds a full K-shard [`LiveBook`] in which only its own shard
+//! ever receives offers — the supervisor routes each mutation to the
+//! worker that owns `stable_shard(id, K)`, so the ids land in their stable
+//! shard *by construction* and the worker's populated shard stays
+//! byte-equal to the corresponding shard of an in-process K-shard book fed
+//! the same serialized mutation stream. The worker never answers queries
+//! itself: `export` refreshes its caches and ships the book image, and the
+//! supervisor merges the gathered shards through
+//! [`LiveBook::from_export`] so answer bytes come from the same code path
+//! as the in-process tier.
+//!
+//! The loop is strictly sequential request/reply (the supervisor pipelines
+//! at most one outstanding request per worker per operation), flushes
+//! after every reply, and exits cleanly on `shutdown` or stdin EOF — a
+//! supervisor crash tears the pipe and reaps the whole tree.
+
+use std::io::{self, BufRead, Write};
+
+use flexoffers_engine::{Budget, Engine};
+use flexoffers_serving::{LiveBook, ServeConfig};
+use flexoffers_storage::export_to_value;
+use serde::Value;
+
+use crate::wire::{error_line, ok_line, parse_request, WorkerRequest};
+
+/// Runs the worker loop over arbitrary reader/writer pairs (the stdio
+/// binary passes locked stdin/stdout; tests pass in-memory pipes).
+///
+/// Returns when the input reaches EOF or a `shutdown` request is
+/// acknowledged. I/O errors on the reply channel propagate — with a dead
+/// supervisor there is nobody left to serve.
+pub fn run_worker<R: BufRead, W: Write>(input: R, mut output: W) -> io::Result<()> {
+    // The book only exists after `init`; the config is irrelevant to a
+    // worker (it shapes query *answers*, and answers happen at the
+    // supervisor merge), so the default serves. The budget rides along so
+    // `load` can rebuild a book under the same engine settings.
+    let mut book: Option<(Budget, LiveBook)> = None;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (id, request) = match parse_request(&line) {
+            Ok(parsed) => parsed,
+            Err(message) => {
+                writeln!(output, "{}", error_line(None, "bad_frame", &message))?;
+                output.flush()?;
+                continue;
+            }
+        };
+        let reply = match handle(&mut book, request) {
+            Ok(Some(payload)) => ok_line(id, payload),
+            Ok(None) => {
+                writeln!(output, "{}", ok_line(id, Value::Bool(true)))?;
+                output.flush()?;
+                return Ok(());
+            }
+            Err((code, message)) => error_line(Some(id), code, &message),
+        };
+        writeln!(output, "{reply}")?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// Handles one request against the worker's book. `Ok(None)` means
+/// `shutdown` — acknowledge and exit.
+fn handle(
+    state: &mut Option<(Budget, LiveBook)>,
+    request: WorkerRequest,
+) -> Result<Option<Value>, (&'static str, String)> {
+    let ok = || Ok(Some(Value::Bool(true)));
+    match request {
+        WorkerRequest::Init {
+            shards,
+            threads,
+            kernel,
+        } => {
+            let budget = Budget::with_threads(threads)
+                .map_err(|e| ("bad_request", e.to_string()))?
+                .with_kernel(kernel);
+            let fresh = LiveBook::new(ServeConfig::default(), shards, Engine::new(budget))
+                .map_err(|e| ("bad_request", e.to_string()))?;
+            *state = Some((budget, fresh));
+            ok()
+        }
+        WorkerRequest::Add { offer_id, offer } => {
+            let (_, book) = state.as_mut().ok_or_else(no_book)?;
+            book.add_at(offer_id, offer)
+                .map_err(|e| ("bad_event", e.to_string()))?;
+            ok()
+        }
+        WorkerRequest::Update { offer_id, offer } => {
+            let (_, book) = state.as_mut().ok_or_else(no_book)?;
+            book.update(offer_id, offer)
+                .map_err(|e| ("bad_event", e.to_string()))?;
+            ok()
+        }
+        WorkerRequest::Remove { offer_id } => {
+            let (_, book) = state.as_mut().ok_or_else(no_book)?;
+            book.remove(offer_id)
+                .map_err(|e| ("bad_event", e.to_string()))?;
+            ok()
+        }
+        WorkerRequest::Export => {
+            let (_, book) = state.as_mut().ok_or_else(no_book)?;
+            // Warm the caches first so the supervisor's merged book
+            // re-evaluates nothing — the evaluation work happens here, in
+            // parallel across workers.
+            book.refresh();
+            Ok(Some(export_to_value(&book.export())))
+        }
+        WorkerRequest::Load { book: image } => {
+            let (budget, book) = state.as_mut().ok_or_else(no_book)?;
+            let loaded = LiveBook::from_export(ServeConfig::default(), Engine::new(*budget), image)
+                .map_err(|e| ("bad_book", e.to_string()))?;
+            *book = loaded;
+            ok()
+        }
+        WorkerRequest::Shutdown => Ok(None),
+    }
+}
+
+fn no_book() -> (&'static str, String) {
+    (
+        "no_book",
+        "no book — the first request must be `init`".to_owned(),
+    )
+}
+
+/// Runs the worker loop over this process's stdin/stdout — the body of the
+/// `flex_shard_worker` binary and of `flexctl shard-worker`.
+pub fn run_stdio_worker() -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    run_worker(stdin.lock(), stdout.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{parse_reply, request_line, WorkerReply};
+    use flexoffers_engine::Kernel;
+    use flexoffers_model::{FlexOffer, Slice};
+
+    fn offer(tes: i64) -> FlexOffer {
+        FlexOffer::new(tes, tes + 4, vec![Slice::new(0, 3).unwrap()]).unwrap()
+    }
+
+    /// Drives a scripted request sequence through an in-memory worker and
+    /// returns the parsed replies.
+    fn drive(requests: &[WorkerRequest]) -> Vec<WorkerReply> {
+        let script: String = requests
+            .iter()
+            .enumerate()
+            .map(|(id, r)| request_line(id as u64, &r.clone()) + "\n")
+            .collect();
+        let mut out = Vec::new();
+        run_worker(script.as_bytes(), &mut out).expect("in-memory worker io");
+        let text = String::from_utf8(out).expect("replies are utf-8");
+        text.lines()
+            .map(|line| {
+                let (_, reply) = parse_reply(line).expect(line);
+                reply
+            })
+            .collect()
+    }
+
+    #[test]
+    fn a_worker_populates_only_its_routed_shard_and_exports_it_warm() {
+        // Two ids the supervisor would route to the same worker: the
+        // placement is a hash, so find a collision with the real function.
+        let first = 1u64;
+        let home = flexoffers_engine::stable_shard(first, 4);
+        let second = (2..)
+            .find(|&id| flexoffers_engine::stable_shard(id, 4) == home)
+            .unwrap();
+        let replies = drive(&[
+            WorkerRequest::Init {
+                shards: 4,
+                threads: 1,
+                kernel: Kernel::Auto,
+            },
+            WorkerRequest::Add {
+                offer_id: first,
+                offer: offer(0),
+            },
+            WorkerRequest::Add {
+                offer_id: second,
+                offer: offer(8),
+            },
+            WorkerRequest::Update {
+                offer_id: second,
+                offer: offer(9),
+            },
+            WorkerRequest::Export,
+            WorkerRequest::Remove { offer_id: first },
+            WorkerRequest::Export,
+        ]);
+        assert_eq!(replies.len(), 7);
+        let WorkerReply::Ok(export) = &replies[4] else {
+            panic!("export failed: {:?}", replies[4]);
+        };
+        let book = flexoffers_storage::value_to_export(export).expect("export parses");
+        assert_eq!(book.shards.len(), 4);
+        let populated: Vec<usize> = (0..4).filter(|&s| !book.shards[s].ids.is_empty()).collect();
+        assert_eq!(populated, vec![home], "exactly the routed shard");
+        assert_eq!(book.shards[home].ids, vec![first, second]);
+        assert!(
+            book.shards[home].cache.is_some(),
+            "export refreshes before shipping, so the shard arrives warm"
+        );
+        let WorkerReply::Ok(after_remove) = &replies[6] else {
+            panic!("second export failed: {:?}", replies[6]);
+        };
+        let book = flexoffers_storage::value_to_export(after_remove).expect("export parses");
+        assert_eq!(book.shards[home].ids, vec![second]);
+    }
+
+    #[test]
+    fn protocol_errors_are_replies_not_exits() {
+        // Mutating before init, a dead id, and a taken id all answer with
+        // coded errors and leave the loop alive for the next request.
+        let mut out = Vec::new();
+        let script = [
+            request_line(0, &WorkerRequest::Remove { offer_id: 3 }),
+            "this is not json".to_owned(),
+            request_line(
+                1,
+                &WorkerRequest::Init {
+                    shards: 2,
+                    threads: 1,
+                    kernel: Kernel::Scalar,
+                },
+            ),
+            request_line(
+                2,
+                &WorkerRequest::Add {
+                    offer_id: 4,
+                    offer: offer(0),
+                },
+            ),
+            request_line(
+                3,
+                &WorkerRequest::Add {
+                    offer_id: 4,
+                    offer: offer(0),
+                },
+            ),
+            request_line(4, &WorkerRequest::Remove { offer_id: 9 }),
+            request_line(5, &WorkerRequest::Export),
+        ]
+        .join("\n");
+        run_worker(script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let replies: Vec<(Option<u64>, WorkerReply)> =
+            text.lines().map(|l| parse_reply(l).expect(l)).collect();
+        let code = |i: usize| match &replies[i].1 {
+            WorkerReply::Err { code, .. } => code.as_str(),
+            ok => panic!("expected error at {i}, got {ok:?}"),
+        };
+        assert_eq!(code(0), "no_book");
+        assert_eq!(replies[1].0, None, "unreadable line answers id:null");
+        assert_eq!(code(1), "bad_frame");
+        assert!(matches!(replies[2].1, WorkerReply::Ok(_)), "init");
+        assert!(matches!(replies[3].1, WorkerReply::Ok(_)), "add");
+        assert_eq!(code(4), "bad_event");
+        assert_eq!(code(5), "bad_event");
+        assert!(
+            matches!(replies[6].1, WorkerReply::Ok(_)),
+            "the loop survives every error"
+        );
+    }
+
+    #[test]
+    fn shutdown_acknowledges_then_exits_ignoring_later_lines() {
+        let script = [
+            request_line(
+                0,
+                &WorkerRequest::Init {
+                    shards: 1,
+                    threads: 1,
+                    kernel: Kernel::Auto,
+                },
+            ),
+            request_line(1, &WorkerRequest::Shutdown),
+            request_line(2, &WorkerRequest::Export),
+        ]
+        .join("\n");
+        let mut out = Vec::new();
+        run_worker(script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 2, "nothing after the shutdown ack");
+    }
+}

@@ -702,6 +702,66 @@ mod tests {
     }
 
     #[test]
+    fn back_to_back_expired_queries_do_not_wedge_the_pool() {
+        // A sink whose queries always outlive the deadline: every query
+        // expires, every reply lands in a dropped channel. The regression
+        // being pinned: N such expiries must not leave workers wedged —
+        // the pool keeps serving mutations and fresh connections.
+        struct SlowSink;
+        impl flexoffers_serving::EventSink for SlowSink {
+            type Error = flexoffers_serving::LiveError;
+            fn apply(
+                &mut self,
+                event: Event,
+            ) -> Result<Option<String>, flexoffers_serving::LiveError> {
+                Ok(match event {
+                    Event::Query(_) => {
+                        std::thread::sleep(Duration::from_millis(15));
+                        Some("{\"slow\":true}".to_owned())
+                    }
+                    _ => None,
+                })
+            }
+        }
+
+        let handle = LiveServer::spawn_sink(SlowSink);
+        let config = NetConfig {
+            max_conns: 2,
+            deadline: Some(Duration::from_millis(1)),
+            record: None,
+        };
+        let server = NetServer::bind("127.0.0.1:0", config, handle, Vec::new(), 0).unwrap();
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let run_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || server.run(&run_stop, std::io::sink()));
+
+        let n = 6;
+        let mut client = NetClient::connect(addr).unwrap();
+        for i in 0..n {
+            let Reply::Err { code, .. } = client
+                .send_event(&Event::Query(QueryKind::Measure))
+                .unwrap()
+            else {
+                panic!("query #{i} must expire")
+            };
+            assert_eq!(code, "deadline", "query #{i}");
+        }
+        // The pool is still alive: the same connection takes a mutation,
+        // and a brand-new connection gets a worker slot.
+        assert!(client.send_event(&Event::Add(offer(0))).unwrap().is_ok());
+        let mut fresh = NetClient::connect(addr).unwrap();
+        assert!(fresh.send_event(&Event::Add(offer(1))).unwrap().is_ok());
+
+        drop(client);
+        drop(fresh);
+        stop.store(true, Ordering::SeqCst);
+        let summary = thread.join().unwrap().unwrap();
+        assert_eq!(summary.deadline_expired, n);
+        assert_eq!(summary.mutations, 2);
+    }
+
+    #[test]
     fn the_record_log_is_a_valid_continuation_script() {
         let path = std::env::temp_dir().join(format!(
             "flexoffers_net_record_{}.jsonl",

@@ -80,12 +80,24 @@ pub enum LiveError {
         /// The dead id.
         id: u64,
     },
+    /// An [`add_at`](LiveBook::add_at) named an id that is already live —
+    /// caller-assigned ids must be fresh.
+    IdTaken {
+        /// The live id.
+        id: u64,
+    },
 }
 
 impl fmt::Display for LiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LiveError::UnknownId { id } => write!(f, "unknown offer id {id} — not live"),
+            LiveError::IdTaken { id } => {
+                write!(
+                    f,
+                    "offer id {id} is already live — caller-assigned ids must be fresh"
+                )
+            }
         }
     }
 }
@@ -490,7 +502,26 @@ impl LiveBook {
     /// load.
     pub fn add(&mut self, offer: FlexOffer) -> u64 {
         let id = self.next_id;
-        self.next_id += 1;
+        self.add_at(id, offer)
+            .expect("next_id is strictly past every live id");
+        id
+    }
+
+    /// Adds an offer under a *caller-assigned* logical id — the
+    /// cross-process shard worker's entry point: the supervisor owns the
+    /// monotone id counter, and a worker inserts each routed offer under
+    /// the global id it arrived with, so the worker's shard arrays stay
+    /// byte-equal to the in-process book's. The id must not be live
+    /// ([`LiveError::IdTaken`] otherwise) but *may* sit below
+    /// [`next_id`](Self::next_id): a respawned worker replays journal
+    /// events whose ids its counter already passed. The counter only ever
+    /// advances (`next_id = max(next_id, id + 1)`, saturating), keeping
+    /// the export invariant that it strictly clears every live id.
+    pub fn add_at(&mut self, id: u64, offer: FlexOffer) -> Result<(), LiveError> {
+        if self.owners.contains_key(&id) {
+            return Err(LiveError::IdTaken { id });
+        }
+        self.next_id = self.next_id.max(id.saturating_add(1));
         let s = stable_shard(id, self.shards.len());
         let key = grouping_key(&offer);
         let shard = &mut self.shards[s];
@@ -501,7 +532,7 @@ impl LiveBook {
         shard.key_digest = shard.key_digest.wrapping_add(key_hash(key));
         self.keys.insert(id, key);
         self.groups_cache = None;
-        id
+        Ok(())
     }
 
     /// Replaces the offer with logical id `id` in place. Dirties exactly
@@ -670,6 +701,16 @@ impl LiveBook {
             self.engine
                 .market_report(&scenario, self.len(), &aggregates, &baseline, started);
         answer_line(kind, &report.json())
+    }
+
+    /// Refreshes every dirty shard's cached rows and baseline partial —
+    /// the public face of the per-query refresh, for callers that need a
+    /// warm [`export`](Self::export) *without* answering a query: a
+    /// cross-process shard worker refreshes before shipping its state, so
+    /// the supervisor's merge gathers only clean caches and re-evaluates
+    /// nothing.
+    pub fn refresh(&mut self) {
+        self.refresh_dirty();
     }
 
     /// Re-runs the measure pass and the baseline partial on every dirty
@@ -964,6 +1005,49 @@ mod tests {
         assert!(answer.contains("\"offers\":2"), "{answer}");
         let again = book.answer(QueryKind::Measure);
         assert_eq!(answer, again);
+    }
+
+    #[test]
+    fn add_at_inserts_under_caller_ids_and_rejects_live_ones() {
+        let mut routed = book(3);
+        let mut direct = book(3);
+        for i in 0..12 {
+            direct.add(offer(i, 2, 1));
+            routed.add_at(i as u64, offer(i, 2, 1)).unwrap();
+        }
+        // Same ids in the same order → byte-equal shard state.
+        assert_eq!(routed.export(), direct.export());
+
+        let taken = routed.add_at(3, offer(0, 1, 0)).unwrap_err();
+        assert_eq!(taken, LiveError::IdTaken { id: 3 });
+        assert!(taken.to_string().contains("already live"));
+
+        // A dead below-counter id is insertable again — exactly what a
+        // respawned worker's journal replay does — without rewinding the
+        // counter.
+        routed.remove(3).unwrap();
+        routed.add_at(3, offer(3, 2, 1)).unwrap();
+        assert_eq!(routed.next_id(), 12, "counter already cleared id 3");
+
+        // Gaps advance the counter past the id.
+        routed.add_at(100, offer(0, 2, 1)).unwrap();
+        assert_eq!(routed.next_id(), 101);
+        assert_eq!(routed.add(offer(1, 1, 1)), 101);
+    }
+
+    #[test]
+    fn refresh_warms_the_export_without_a_query() {
+        let mut book = book(2);
+        for i in 0..8 {
+            book.add(offer(i, 2, 1));
+        }
+        assert!(book.export().shards.iter().all(|s| s.cache.is_none()));
+        book.refresh();
+        assert!(book.export().shards.iter().all(|s| s.cache.is_some()));
+        // The refreshed caches are the ones a query would have computed.
+        let evals = book.evaluations();
+        book.answer(QueryKind::Measure);
+        assert_eq!(book.evaluations(), evals, "query found everything warm");
     }
 
     #[test]

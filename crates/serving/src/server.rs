@@ -123,8 +123,12 @@ impl LiveServer {
                         let answer = sink
                             .apply(Event::Query(kind))?
                             .expect("queries always answer");
-                        // A dropped reply receiver just means the caller
-                        // stopped waiting; the loop carries on.
+                        // Explicitly ignored: the receiver is gone when a
+                        // `query_deadline` wait already expired (or the
+                        // caller hung up). `send` into a dropped channel
+                        // returns `Err` — it cannot panic — and the loop
+                        // carries on, so an abandoned answer never wedges
+                        // the worker that served it.
                         let _ = reply.send(answer);
                     }
                 }
@@ -432,6 +436,45 @@ mod tests {
                 .unwrap_err(),
             ServeError::Closed
         );
+    }
+
+    #[test]
+    fn back_to_back_expired_queries_do_not_wedge_the_loop() {
+        use std::time::Duration;
+
+        struct SlowSink;
+        impl EventSink for SlowSink {
+            type Error = LiveError;
+            fn apply(&mut self, event: Event) -> Result<Option<String>, LiveError> {
+                Ok(match event {
+                    Event::Query(_) => {
+                        std::thread::sleep(Duration::from_millis(20));
+                        Some("slow answer".to_owned())
+                    }
+                    _ => None,
+                })
+            }
+        }
+
+        // Every expired wait drops its reply receiver while the query is
+        // still queued (or running) in the loop; the loop's send into the
+        // dropped channel must be a no-op, not a panic, N times in a row.
+        let mut slow = LiveServer::spawn_sink(SlowSink);
+        for i in 0..8 {
+            assert_eq!(
+                slow.query_deadline(QueryKind::Measure, Duration::from_millis(1))
+                    .unwrap_err(),
+                ServeError::DeadlineExceeded,
+                "expiry #{i}"
+            );
+        }
+        // The loop drained all eight abandoned queries and still answers.
+        assert_eq!(
+            slow.query_deadline(QueryKind::Measure, Duration::from_secs(30))
+                .unwrap(),
+            "slow answer"
+        );
+        slow.shutdown().unwrap();
     }
 
     #[test]

@@ -48,4 +48,6 @@ pub use durable::DurableBook;
 pub use error::StorageError;
 pub use journal::{read_journal, Journal, JournalContents};
 pub use recover::{recover, RecoveryReport};
-pub use snapshot::{load_snapshot, save_snapshot, Snapshot, SNAPSHOT_FORMAT};
+pub use snapshot::{
+    export_to_value, load_snapshot, save_snapshot, value_to_export, Snapshot, SNAPSHOT_FORMAT,
+};

@@ -58,8 +58,12 @@ pub fn recover(
     let contents = read_journal(&durability.journal)?;
     let snapshot = load_snapshot(&durability.snapshot_path())?;
 
+    // The guard compares in `u64`: casting `snapshot.seq` to `usize` first
+    // would truncate a huge/corrupt seq on 32-bit targets and could let it
+    // slip past the `<=` check. Once the guard holds, `seq` fits in
+    // `usize` (it is bounded by `events.len()`), so the cast below is safe.
     let (mut book, start, snapshot_seq) = match snapshot {
-        Some(snapshot) if snapshot.seq as usize <= contents.events.len() => {
+        Some(snapshot) if snapshot.seq <= contents.events.len() as u64 => {
             let book = LiveBook::from_export(config.clone(), engine, snapshot.export)?;
             (book, snapshot.seq as usize, Some(snapshot.seq))
         }
@@ -223,6 +227,44 @@ mod tests {
         assert_eq!(
             recovered.answer(QueryKind::Measure),
             expected.answer(QueryKind::Measure)
+        );
+    }
+
+    #[test]
+    fn a_corrupt_huge_seq_falls_back_instead_of_truncating() {
+        let dir = scratch_dir("recover_huge_seq");
+        let journal_path = dir.path().join("events.jsonl");
+        let config = config_for(&journal_path);
+        let durability = config.durability.clone().unwrap();
+
+        let mut journal = Journal::create(&journal_path, 1).unwrap();
+        let mut book = LiveBook::new(config.clone(), 2, Engine::sequential()).unwrap();
+        for i in 0..5 {
+            let event = Event::Add(offer(i));
+            journal.append(&event).unwrap();
+            book.apply(event).unwrap();
+        }
+        drop(journal);
+        // A corrupt seq whose low 32 bits are small: `seq as usize` would
+        // truncate to 2 on a 32-bit target and wrongly pass the guard,
+        // skipping most of the journal. The u64 comparison must instead
+        // treat it as ahead-of-journal and fall back to a full replay.
+        save_snapshot(
+            &durability.snapshot_path(),
+            &Snapshot {
+                seq: (1u64 << 32) + 2,
+                export: book.export(),
+            },
+        )
+        .unwrap();
+
+        let (mut recovered, report) = recover(&config, 2, Engine::sequential()).unwrap();
+        assert_eq!(report.snapshot_seq, None, "corrupt snapshot ignored");
+        assert_eq!(report.replayed, 5);
+        assert_eq!(recovered.len(), 5);
+        assert_eq!(
+            recovered.answer(QueryKind::Measure),
+            book.answer(QueryKind::Measure)
         );
     }
 

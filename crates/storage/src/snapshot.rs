@@ -86,9 +86,13 @@ fn cell_to_value(cell: &Result<f64, MeasureError>) -> Value {
     }
 }
 
-fn snapshot_to_value(snapshot: &Snapshot) -> Value {
-    let shards: Vec<Value> = snapshot
-        .export
+/// Encodes a [`BookExport`] as the snapshot body's JSON value
+/// (`{"next_id":…,"shards":[…]}`, measure cells as `f64::to_bits`) —
+/// public because this *is* the shard wire format: a snapshot pins it to
+/// a journal seq on disk, and a cluster shard worker ships the same value
+/// over its pipe. One codec, so the two cannot drift.
+pub fn export_to_value(export: &BookExport) -> Value {
+    let shards: Vec<Value> = export
         .shards
         .iter()
         .map(|shard| {
@@ -123,10 +127,20 @@ fn snapshot_to_value(snapshot: &Snapshot) -> Value {
         })
         .collect();
     obj(vec![
-        ("seq", Value::U64(snapshot.seq)),
-        ("next_id", Value::U64(snapshot.export.next_id)),
+        ("next_id", Value::U64(export.next_id)),
         ("shards", Value::Array(shards)),
     ])
+}
+
+fn snapshot_to_value(snapshot: &Snapshot) -> Value {
+    // `seq` leads, then the export's own fields — the body stays exactly
+    // the documented `{"seq":…,"next_id":…,"shards":[…]}` layout.
+    let Value::Object(export_fields) = export_to_value(&snapshot.export) else {
+        unreachable!("export_to_value builds an object")
+    };
+    let mut fields = vec![("seq".to_owned(), Value::U64(snapshot.seq))];
+    fields.extend(export_fields);
+    Value::Object(fields)
 }
 
 // ---- decoding (every failure a message, never a panic) ----
@@ -187,8 +201,13 @@ fn value_to_cell(v: &Value) -> Result<Result<f64, MeasureError>, String> {
     }
 }
 
-fn value_to_snapshot(v: &Value) -> Result<Snapshot, String> {
-    let seq = as_u64(field(v, "seq")?, "seq")?;
+/// Decodes a [`BookExport`] from its [`export_to_value`] encoding; every
+/// failure is a message, never a panic — the input may be a tampered
+/// snapshot body or a worker's wire frame. Structural invariants (shard
+/// placement, digests, …) are *not* checked here: that is
+/// [`LiveBook::from_export`](flexoffers_serving::LiveBook::from_export)'s
+/// job, and the cluster tier relies on it.
+pub fn value_to_export(v: &Value) -> Result<BookExport, String> {
     let next_id = as_u64(field(v, "next_id")?, "next_id")?;
     let mut shards = Vec::new();
     for (s, shard) in as_array(field(v, "shards")?, "shards")?.iter().enumerate() {
@@ -233,10 +252,13 @@ fn value_to_snapshot(v: &Value) -> Result<Snapshot, String> {
             cache,
         });
     }
-    Ok(Snapshot {
-        seq,
-        export: BookExport { next_id, shards },
-    })
+    Ok(BookExport { next_id, shards })
+}
+
+fn value_to_snapshot(v: &Value) -> Result<Snapshot, String> {
+    let seq = as_u64(field(v, "seq")?, "seq")?;
+    let export = value_to_export(v)?;
+    Ok(Snapshot { seq, export })
 }
 
 /// Atomically writes `snapshot` to `path`: temp file, fsync, rename. A
@@ -342,6 +364,23 @@ mod tests {
         };
         save_snapshot(&path, &newer).unwrap();
         assert_eq!(load_snapshot(&path).unwrap().unwrap().seq, 14);
+    }
+
+    #[test]
+    fn the_export_codec_round_trips_standalone() {
+        let export = warm_export();
+        let value = export_to_value(&export);
+        assert_eq!(value_to_export(&value).unwrap(), export);
+        // Through JSON text, exactly as a worker's pipe would carry it.
+        let text = serde_json::to_string(&value).unwrap();
+        let reparsed: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value_to_export(&reparsed).unwrap(), export);
+        // A snapshot is the same value with `seq` prepended.
+        assert!(value_to_export(&snapshot_to_value(&Snapshot {
+            seq: 9,
+            export: export.clone(),
+        }))
+        .is_ok());
     }
 
     #[test]

@@ -14,14 +14,15 @@
 //!         [--shards K] [--scheduler greedy|hillclimb] (--households is an
 //!         [--kernel scalar|columnar|auto] [--json]    alias of --city)
 //! flexctl serve --script <events.jsonl|->            replay an event stream
-//!         [--shards K] [--threads N] [--seed S]      through the live book;
-//!         [--kernel scalar|columnar|auto] [--batch]  one JSON line per query
-//!         [--journal PATH [--snapshot-every N]       journal mutations +
-//!          [--sync-every N]]                         snapshot for recovery
+//!         [--shards K | --workers W] [--threads N]   through the live book;
+//!         [--seed S] [--kernel scalar|columnar|auto] one JSON line per query
+//!         [--batch]                                  (--workers W shards the
+//!         [--journal PATH [--snapshot-every N]       book across W worker
+//!          [--sync-every N]]                         OS processes)
 //! flexctl serve --listen ADDR [--max-conns N]        serve the framed JSONL
 //!         [--deadline-ms D] [--record PATH]          protocol over TCP
-//!         [--shards K] [--threads N] [--seed S]      (docs/PROTOCOL.md);
-//!         [--kernel scalar|columnar|auto]            SIGTERM/ctrl-c drains
+//!         [--shards K | --workers W] [--threads N]   (docs/PROTOCOL.md);
+//!         [--seed S] [--kernel scalar|columnar|auto] SIGTERM/ctrl-c drains
 //!         [--journal PATH [--snapshot-every N]       and snapshots cleanly
 //!          [--sync-every N]]
 //! flexctl bomb --addr HOST:PORT [--conns N]          load-generate against a
@@ -78,6 +79,18 @@
 //! answers the four query kinds in wire order on stdout — byte-identical
 //! to what an uninterrupted run would have answered.
 //!
+//! `serve --workers W` runs the book as W shard worker OS processes
+//! behind a supervisor (`flexoffers::cluster`): mutations scatter to the
+//! owning worker over stdio pipes, queries gather per-shard exports and
+//! merge them through the in-process engine, so the answers stay
+//! byte-identical to plain `serve` at any workers × threads × kernel. A
+//! worker that dies is respawned and replayed invisibly (watch for
+//! `cluster worker W respawned` on stderr). `--workers` *is* the shard
+//! count, so it excludes `--shards`; it composes with `--script`,
+//! `--listen`, `--journal`, `--record` and `--deadline-ms` alike. The
+//! workers are spawned from the current `flexctl` executable (an internal
+//! `shard-worker` subcommand speaks the supervisor protocol on stdio).
+//!
 //! `serve --listen ADDR` swaps the script for a TCP socket: the same
 //! events arrive framed as `{"id":…,"event":{…}}` request lines over any
 //! number of connections (the wire spec is `docs/PROTOCOL.md`), answered
@@ -96,6 +109,7 @@ use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use flexoffers::area::{render_flexoffer, render_union};
+use flexoffers::cluster::{ClusterBook, DurableCluster, WorkerSpec};
 use flexoffers::engine::{Budget, Engine, Kernel};
 use flexoffers::measures::{all_measures, available_names, measure_by_name, Measure};
 use flexoffers::net::{percentile, signal, NetClient, NetConfig, NetServer, Reply};
@@ -103,7 +117,7 @@ use flexoffers::serving::batch::BatchBook;
 use flexoffers::serving::{
     parse_script, parse_script_from, DurabilityConfig, Event, LiveServer, QueryKind, ServeConfig,
 };
-use flexoffers::storage::{recover as recover_book, DurableBook};
+use flexoffers::storage::{recover as recover_book, DurableBook, RecoveryReport};
 use flexoffers::workloads::{city_stream, district, event_stream, event_stream_len, EvCharger};
 use flexoffers::{
     FlexOffer, Partitioner, Portfolio, Scenario, ScenarioKind, SchedulerChoice, ShardedBook,
@@ -129,11 +143,11 @@ const USAGE: &str = "usage:
   flexctl simulate --scenario <schedule|market> [--city H] [--seed S]
                    [--threads N] [--shards K] [--scheduler greedy|hillclimb]
                    [--kernel scalar|columnar|auto] [--json]
-  flexctl serve --script <events.jsonl|-> [--shards K] [--threads N] [--seed S]
-                [--kernel scalar|columnar|auto] [--batch]
-                [--journal PATH [--snapshot-every N] [--sync-every N]]
+  flexctl serve --script <events.jsonl|-> [--shards K | --workers W]
+                [--threads N] [--seed S] [--kernel scalar|columnar|auto]
+                [--batch] [--journal PATH [--snapshot-every N] [--sync-every N]]
   flexctl serve --listen ADDR [--max-conns N] [--deadline-ms D] [--record PATH]
-                [--shards K] [--threads N] [--seed S]
+                [--shards K | --workers W] [--threads N] [--seed S]
                 [--kernel scalar|columnar|auto]
                 [--journal PATH [--snapshot-every N] [--sync-every N]]
   flexctl bomb --addr HOST:PORT [--conns N] [--events M] [--seed S]
@@ -153,12 +167,17 @@ scalar, columnar and auto produce bitwise-identical output.
 
 serve flag combinations: --script and --listen are exclusive modes — give
 exactly one. --batch applies only to --script (the from-scratch oracle);
-it excludes --journal (nothing durable to resume) and --shards (the
-oracle is deliberately the flat engine). --record, --max-conns and
+it excludes --journal (nothing durable to resume), --shards (the oracle
+is deliberately the flat engine) and --workers. --record, --max-conns and
 --deadline-ms apply only to --listen. --journal composes with --script
-and --listen alike; --snapshot-every/--sync-every need --journal.
---shards, --threads, --seed and --kernel apply to every serve mode
-(except --shards under --batch, as above).";
+and --listen alike; --snapshot-every/--sync-every need --journal, and
+both take N >= 1 (--sync-every N fsyncs every Nth mutation, 1 = every
+mutation; --snapshot-every N snapshots every Nth mutation — omit it for
+shutdown-only snapshots). --workers W (W >= 1) runs the book as W shard
+worker OS processes; it excludes --shards (the worker count is the shard
+count) and composes with every other serve flag. --shards, --threads,
+--seed and --kernel apply to every serve mode (except --shards under
+--batch and --workers, as above).";
 
 fn run(cmd: &str, rest: &[String]) -> ExitCode {
     match cmd {
@@ -186,6 +205,16 @@ fn run(cmd: &str, rest: &[String]) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        // Internal (not in USAGE): the shard-worker loop `serve --workers`
+        // spawns via the current executable. Speaks the supervisor wire
+        // protocol on stdin/stdout; useless interactively.
+        "shard-worker" => match flexoffers::cluster::run_stdio_worker() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: shard worker io: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "simulate" => simulate(rest),
         "serve" => serve(rest),
         "recover" => recover(rest),
@@ -589,6 +618,7 @@ fn serve(rest: &[String]) -> ExitCode {
     let mut max_conns: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut shards: Option<usize> = None;
+    let mut workers: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut kernel = Kernel::Auto;
@@ -638,8 +668,8 @@ fn serve(rest: &[String]) -> ExitCode {
                 };
                 journal = Some(value.clone());
             }
-            flag @ ("--shards" | "--threads" | "--seed" | "--snapshot-every" | "--sync-every"
-            | "--max-conns" | "--deadline-ms") => {
+            flag @ ("--shards" | "--workers" | "--threads" | "--seed" | "--snapshot-every"
+            | "--sync-every" | "--max-conns" | "--deadline-ms") => {
                 let n = match count_flag(flag, &mut args) {
                     Ok(n) => n,
                     Err(e) => {
@@ -649,6 +679,7 @@ fn serve(rest: &[String]) -> ExitCode {
                 };
                 match flag {
                     "--shards" => shards = Some(n as usize),
+                    "--workers" => workers = Some(n as usize),
                     "--threads" => threads = Some(n as usize),
                     "--snapshot-every" => snapshot_every = Some(n),
                     "--sync-every" => sync_every = Some(n),
@@ -696,6 +727,32 @@ fn serve(rest: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if batch && workers.is_some() {
+        eprintln!(
+            "error: --workers does not apply to --batch (the batch oracle is the flat in-process engine)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if workers.is_some() && shards.is_some() {
+        eprintln!(
+            "error: --workers and --shards are exclusive (the worker count is the cluster's shard count)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if workers == Some(0) {
+        eprintln!("error: --workers must be at least 1 (each worker is one shard process)");
+        return ExitCode::FAILURE;
+    }
+    if sync_every == Some(0) {
+        eprintln!("error: --sync-every must be at least 1 (1 fsyncs every mutation)");
+        return ExitCode::FAILURE;
+    }
+    if snapshot_every == Some(0) {
+        eprintln!(
+            "error: --snapshot-every must be at least 1 (omit it for shutdown-only snapshots)"
+        );
+        return ExitCode::FAILURE;
+    }
     let shards = shards.unwrap_or(1);
     if script.is_none() && listen.is_none() {
         eprintln!("error: serve needs --script <events.jsonl|-> or --listen ADDR\n{USAGE}");
@@ -728,6 +785,48 @@ fn serve(rest: &[String]) -> ExitCode {
             deadline: deadline_ms.map(std::time::Duration::from_millis),
             record: record.map(std::path::PathBuf::from),
         };
+        if let Some(workers) = workers {
+            let spec = match shard_worker_spec() {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if config.durability.is_some() {
+                let (durable, report) = match DurableCluster::open(config, budget, workers, spec) {
+                    Ok(opened) => opened,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                report_resume(&report);
+                let live_ids = durable.cluster().live_ids();
+                let next_id = durable.cluster().next_id();
+                return listen_serve(
+                    &addr,
+                    net_config,
+                    LiveServer::spawn_sink(durable),
+                    live_ids,
+                    next_id,
+                );
+            }
+            let cluster = match ClusterBook::spawn(config, budget, workers, spec) {
+                Ok(cluster) => cluster,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            return listen_serve(
+                &addr,
+                net_config,
+                LiveServer::spawn_sink(cluster),
+                Vec::new(),
+                0,
+            );
+        }
         if config.durability.is_some() {
             let (durable, report) = match DurableBook::open(config, shards, engine) {
                 Ok(opened) => opened,
@@ -736,17 +835,7 @@ fn serve(rest: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if report.journal_events > 0 {
-                eprintln!(
-                    "resumed journal at seq {} ({} replayed on top of {})",
-                    report.journal_events,
-                    report.replayed,
-                    match report.snapshot_seq {
-                        Some(seq) => format!("snapshot seq {seq}"),
-                        None => "the empty book".to_owned(),
-                    }
-                );
-            }
+            report_resume(&report);
             let live_ids = durable.book().live_ids();
             let next_id = durable.book().next_id();
             return listen_serve(
@@ -799,6 +888,56 @@ fn serve(rest: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // The cluster paths mirror the in-process ones below: same serving
+    // loop, same script validation against recovered state — the sink is a
+    // supervisor over worker processes instead of a book in this process.
+    if let Some(workers) = workers {
+        let spec = match shard_worker_spec() {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if config.durability.is_some() {
+            let (durable, report) = match DurableCluster::open(config, budget, workers, spec) {
+                Ok(opened) => opened,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            report_resume(&report);
+            let events = match parse_script_from(
+                &text,
+                durable.cluster().live_ids(),
+                durable.cluster().next_id(),
+            ) {
+                Ok(events) => events,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            return drive(LiveServer::spawn_sink(durable), events);
+        }
+        let events = match parse_script(&text) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cluster = match ClusterBook::spawn(config, budget, workers, spec) {
+            Ok(cluster) => cluster,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return drive(LiveServer::spawn_sink(cluster), events);
+    }
+
     // The durable and memory-only paths ride the same serving loop; the
     // only difference is which sink the loop drives — and that a durable
     // script is validated against the *recovered* state, so a resumed
@@ -811,17 +950,7 @@ fn serve(rest: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if report.journal_events > 0 {
-            eprintln!(
-                "resumed journal at seq {} ({} replayed on top of {})",
-                report.journal_events,
-                report.replayed,
-                match report.snapshot_seq {
-                    Some(seq) => format!("snapshot seq {seq}"),
-                    None => "the empty book".to_owned(),
-                }
-            );
-        }
+        report_resume(&report);
         let events =
             match parse_script_from(&text, durable.book().live_ids(), durable.book().next_id()) {
                 Ok(events) => events,
@@ -848,6 +977,31 @@ fn serve(rest: &[String]) -> ExitCode {
         }
     };
     drive(handle, events)
+}
+
+/// The spec `serve --workers` spawns shard workers from: this same
+/// `flexctl` executable re-invoked with the internal `shard-worker`
+/// subcommand, so a deployed cluster is still a single binary.
+fn shard_worker_spec() -> Result<WorkerSpec, String> {
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the flexctl executable to spawn shard workers: {e}"))?;
+    Ok(WorkerSpec::new(exe).arg("shard-worker"))
+}
+
+/// Announces a resumed journal on stderr (silent for a fresh one) — shared
+/// by every durable serve path, in-process and cluster alike.
+fn report_resume(report: &RecoveryReport) {
+    if report.journal_events > 0 {
+        eprintln!(
+            "resumed journal at seq {} ({} replayed on top of {})",
+            report.journal_events,
+            report.replayed,
+            match report.snapshot_seq {
+                Some(seq) => format!("snapshot seq {seq}"),
+                None => "the empty book".to_owned(),
+            }
+        );
+    }
 }
 
 /// Feeds a parsed script through a spawned serving loop, printing one line

@@ -36,7 +36,12 @@
 //! * [`net`] — the TCP front of the serving tier: request-id framed JSONL
 //!   over a fixed worker pool ([`net::NetServer`]), per-query deadlines,
 //!   graceful SIGTERM drain, and a recording byte-identity oracle (the
-//!   wire format is specified in `docs/PROTOCOL.md`).
+//!   wire format is specified in `docs/PROTOCOL.md`);
+//! * [`cluster`] — cross-process shard workers: a supervisor
+//!   ([`cluster::ClusterBook`]) that scatters mutations to one OS process
+//!   per shard over stdio pipes, gathers warmed shard exports per query,
+//!   merges them through the in-process engine (byte-identical answers),
+//!   and repairs worker death by respawn-and-replay.
 //!
 //! The most common types are re-exported at the crate root.
 //!
@@ -67,6 +72,7 @@
 
 pub use flexoffers_aggregation as aggregation;
 pub use flexoffers_area as area;
+pub use flexoffers_cluster as cluster;
 pub use flexoffers_engine as engine;
 pub use flexoffers_market as market;
 pub use flexoffers_measures as measures;
