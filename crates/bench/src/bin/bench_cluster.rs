@@ -4,12 +4,20 @@
 //! Drives a [`flexoffers_cluster::ClusterBook`] — one shard-worker OS
 //! process per shard behind the scatter/gather supervisor — with a seeded
 //! adds-plus-measure-queries mix at 1/2/4 workers. Every mutation is one
-//! pipe round trip to the owning worker; every query is a full gather
-//! (each worker refreshes and ships its warmed shard export) plus the
-//! in-process merge, so the numbers price the cluster's serialization and
-//! process-hop overhead against the `sequential` section, which applies
-//! the same events to an in-process one-shard
-//! [`flexoffers_serving::LiveBook`].
+//! pipe round trip to the owning worker; every query is a delta gather
+//! (conditional exports confirm clean shards by digest, only dirty shards
+//! ship and splice into the supervisor's persistent merged book), so the
+//! numbers price the cluster's serialization and process-hop overhead
+//! against the `sequential` section, which applies the same events to an
+//! in-process one-shard [`flexoffers_serving::LiveBook`].
+//!
+//! The `warm` section is the delta path's headline: a preloaded book at 4
+//! workers where each round dirties exactly **one** shard (a
+//! key-preserving update to a fixed victim id) and then answers a burst
+//! of measure queries — the steady state the digest gate is built for. It
+//! records delta queries/s against the full-gather oracle
+//! ([`ClusterBook::answer_full`], the pre-delta path) timed on the same
+//! book, plus the gather hit rate and the dirty-shard bytes shipped.
 //!
 //! The workers are this binary re-invoked with the internal `--worker`
 //! flag, so the bench is self-contained — no other binary needs building.
@@ -35,14 +43,18 @@ use flexoffers_bench::timing::time_best;
 use flexoffers_cluster::{ClusterBook, WorkerSpec};
 use flexoffers_engine::{Budget, Engine};
 use flexoffers_measures::all_measures;
-use flexoffers_model::FlexOffer;
+use flexoffers_model::{FlexOffer, Slice};
 use flexoffers_serving::{Event, LiveBook, QueryKind, ServeConfig};
 use flexoffers_workloads::city_stream;
 use serde::Serialize;
 
 const SEED: u64 = 7;
-/// Every 32nd event is a measure query (a full gather + merge).
+/// Every 32nd event is a measure query (a gather + merge).
 const QUERY_STRIDE: u64 = 32;
+/// Worker count of the warm-query sweep (1 dirty shard of this many).
+const WARM_WORKERS: usize = 4;
+/// Measure queries answered after each warm-sweep update.
+const WARM_QUERIES_PER_ROUND: usize = 8;
 
 #[derive(Serialize)]
 struct Run {
@@ -65,6 +77,29 @@ struct SequentialRun {
 }
 
 #[derive(Serialize)]
+struct WarmRun {
+    workers: usize,
+    offers: usize,
+    rounds: usize,
+    /// Measure queries timed per mode (rounds × queries-per-round).
+    queries: usize,
+    delta_secs: f64,
+    delta_queries_per_sec: f64,
+    full_secs: f64,
+    full_queries_per_sec: f64,
+    /// Delta queries/s over full-gather queries/s on the same book —
+    /// the acceptance headline, pinned by the regression tests.
+    speedup_vs_full_gather: f64,
+    /// Cached shard confirmations over all shard exports in the delta
+    /// phase (expected (K-1 + (Q-1)·K)/(Q·K) for 1 dirty shard of K).
+    gather_hit_rate: f64,
+    dirty_shards: u64,
+    cached_shards: u64,
+    /// Reply-line bytes of the full exports the delta phase shipped.
+    dirty_bytes: u64,
+}
+
+#[derive(Serialize)]
 struct ClusterBenchReport {
     schema: &'static str,
     workload: String,
@@ -76,6 +111,9 @@ struct ClusterBenchReport {
     engine: Vec<Run>,
     /// Events/s at the largest worker count over 1 worker.
     speedup_8_threads_largest: f64,
+    /// The warm-query sweep: delta gather vs the full-gather oracle on a
+    /// mostly-clean book (1 dirty shard of [`WARM_WORKERS`] per round).
+    warm: WarmRun,
 }
 
 /// The event script: seeded city adds, a measure query every
@@ -113,6 +151,108 @@ fn cluster_pass(workers: usize, script: &[Event]) -> (f64, usize) {
     assert_eq!(cluster.respawns(), 0, "no worker died during the bench");
     cluster.shutdown();
     (secs, queries)
+}
+
+/// The warm-query sweep: preload a book at [`WARM_WORKERS`] workers, then
+/// time rounds of one key-preserving update to a fixed victim id (exactly
+/// one dirty shard) followed by [`WARM_QUERIES_PER_ROUND`] measure
+/// queries — once through the delta gather, once through the full-gather
+/// oracle on the same book. A byte-identity preflight over every query
+/// kind guards the comparison before anything is timed.
+fn warm_sweep(quick: bool) -> WarmRun {
+    let offers_n = if quick { 256 } else { 1024 };
+    let rounds = if quick { 8 } else { 32 };
+    let exe = std::env::current_exe().expect("bench binary path");
+    let spec = WorkerSpec::new(exe).arg("--worker");
+    let mut cluster = ClusterBook::spawn(
+        ServeConfig::default(),
+        Budget::sequential(),
+        WARM_WORKERS,
+        spec,
+    )
+    .expect("cluster spawns");
+    let offers: Vec<FlexOffer> = city_stream(SEED, 8).collect();
+    for i in 0..offers_n {
+        cluster
+            .add(offers[i % offers.len()].clone())
+            .expect("preload add");
+    }
+    // Two victim variants with identical time bounds (the grouping key),
+    // so each round's update dirties the victim's shard without touching
+    // the merged book's grouping index.
+    let victim = 0u64;
+    let variant_a = FlexOffer::new(0, 6, vec![Slice::new(0, 2).unwrap()]).unwrap();
+    let variant_b = FlexOffer::new(0, 6, vec![Slice::new(1, 3).unwrap()]).unwrap();
+    cluster
+        .update(victim, variant_a.clone())
+        .expect("victim is live");
+
+    // Byte-identity preflight: the delta path and the full-gather oracle
+    // must agree on every query kind before their speeds are compared.
+    for kind in QueryKind::all() {
+        assert_eq!(
+            cluster.answer(kind).expect("delta answers"),
+            cluster.answer_full(kind).expect("oracle answers"),
+            "delta gather diverged from the full-gather oracle on {kind}"
+        );
+    }
+
+    let queries = rounds * WARM_QUERIES_PER_ROUND;
+    // The full-gather oracle first: it leaves the delta path's digests
+    // and merged book untouched, so the delta phase still starts from the
+    // same mostly-clean steady state.
+    let started = Instant::now();
+    for r in 0..rounds {
+        let variant = if r % 2 == 0 { &variant_b } else { &variant_a };
+        cluster
+            .update(victim, variant.clone())
+            .expect("victim update");
+        for _ in 0..WARM_QUERIES_PER_ROUND {
+            std::hint::black_box(cluster.answer_full(QueryKind::Measure).expect("oracle"));
+        }
+    }
+    let full_secs = started.elapsed().as_secs_f64();
+
+    // Same variant order as the oracle phase: that phase ended on
+    // `variant_a` (rounds is even), so starting from `variant_b` keeps
+    // every round's update a genuine content change — exactly one dirty
+    // shard per round, never zero.
+    let stats_before = cluster.gather_stats();
+    let started = Instant::now();
+    for r in 0..rounds {
+        let variant = if r % 2 == 0 { &variant_b } else { &variant_a };
+        cluster
+            .update(victim, variant.clone())
+            .expect("victim update");
+        for _ in 0..WARM_QUERIES_PER_ROUND {
+            std::hint::black_box(cluster.answer(QueryKind::Measure).expect("delta"));
+        }
+    }
+    let delta_secs = started.elapsed().as_secs_f64();
+    let stats_after = cluster.gather_stats();
+    assert_eq!(cluster.respawns(), 0, "no worker died during the sweep");
+    cluster.shutdown();
+
+    let dirty = stats_after.dirty_shards - stats_before.dirty_shards;
+    let cached = stats_after.cached_shards - stats_before.cached_shards;
+    let dirty_bytes = stats_after.dirty_bytes - stats_before.dirty_bytes;
+    let delta_qps = queries as f64 / delta_secs;
+    let full_qps = queries as f64 / full_secs;
+    WarmRun {
+        workers: WARM_WORKERS,
+        offers: offers_n,
+        rounds,
+        queries,
+        delta_secs,
+        delta_queries_per_sec: delta_qps,
+        full_secs,
+        full_queries_per_sec: full_qps,
+        speedup_vs_full_gather: delta_qps / full_qps,
+        gather_hit_rate: cached as f64 / (cached + dirty).max(1) as f64,
+        dirty_shards: dirty,
+        cached_shards: cached,
+        dirty_bytes,
+    }
 }
 
 fn main() {
@@ -213,22 +353,39 @@ fn main() {
         1.0
     };
 
+    let warm = warm_sweep(quick);
+    println!(
+        "  warm ({} workers, 1 dirty/round) {:>5} queries  delta {:>8.0} q/s · full-gather \
+         {:>6.0} q/s · {:.1}x · hit rate {:.1}% · {} dirty bytes",
+        warm.workers,
+        warm.queries,
+        warm.delta_queries_per_sec,
+        warm.full_queries_per_sec,
+        warm.speedup_vs_full_gather,
+        warm.gather_hit_rate * 100.0,
+        warm.dirty_bytes,
+    );
+
     let report = ClusterBenchReport {
         schema: "flexoffers-engine-bench/1",
         workload: format!(
             "cross-process ClusterBook (one shard-worker OS process per shard over stdio \
              pipes, sequential engine per worker); city_stream adds with a measure query \
-             every {QUERY_STRIDE}th event; every query gathers all warmed shard exports and \
-             merges in process; offers_per_sec = events acknowledged/s; threads = worker \
-             count; sequential = the same events on an in-process one-shard LiveBook (no \
-             pipes); speedup = events/s at the largest worker count over 1 worker (expected \
-             below 1.0 — it prices the gather overhead)"
+             every {QUERY_STRIDE}th event; every query delta-gathers (digest-gated \
+             conditional exports, dirty shards spliced into a persistent merged book); \
+             offers_per_sec = events acknowledged/s; threads = worker count; sequential = \
+             the same events on an in-process one-shard LiveBook (no pipes); speedup = \
+             events/s at the largest worker count over 1 worker; warm = rounds of one \
+             key-preserving update (1 dirty shard of {WARM_WORKERS}) + \
+             {WARM_QUERIES_PER_ROUND} measure queries, delta vs the full-gather oracle on \
+             the same book"
         ),
         measures: all_measures().len(),
         host_cpus,
         sequential,
         engine: engine_runs,
         speedup_8_threads_largest: headline,
+        warm,
     };
     std::fs::write(
         &out_path,

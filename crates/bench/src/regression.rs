@@ -491,6 +491,51 @@ mod tests {
     }
 
     #[test]
+    fn committed_cluster_baseline_feeds_the_same_gate_and_pins_delta_gather() {
+        // BENCH_cluster.json reuses the engine-bench schema (`threads`
+        // records the worker process count; runs carry extra
+        // `workers`/`queries` fields this mirror ignores), so the one
+        // bench_check binary gates the cluster baseline too. On top of
+        // the gate, the `warm` section pins the delta-gather acceptance
+        // headline: on a mostly-clean book (1 dirty shard of 4 workers),
+        // digest-gated gathers must answer at >= 10x the full-gather
+        // oracle's throughput, with a hit rate that shows the digest gate
+        // actually engaging.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_cluster.json"
+        ))
+        .expect("committed cluster baseline exists");
+        let baseline: EngineBenchReport = serde_json::from_str(&text).expect("baseline parses");
+        assert_eq!(baseline.schema, ENGINE_BENCH_SCHEMA);
+        assert!(!baseline.engine.is_empty());
+        assert!(!baseline.sequential.is_empty());
+        let verdict = check_regression(&baseline, &baseline, DEFAULT_MIN_RATIO).unwrap();
+        assert!(verdict.passed());
+
+        let raw: serde::Value = serde_json::from_str(&text).expect("baseline is JSON");
+        let warm = raw
+            .get("warm")
+            .expect("baseline records the warm-query sweep");
+        let number = |name: &str| {
+            warm.get(name)
+                .and_then(serde::Value::as_f64)
+                .unwrap_or_else(|| panic!("warm section records `{name}`"))
+        };
+        assert!(
+            number("speedup_vs_full_gather") >= 10.0,
+            "warm delta-gather throughput must stay >= 10x the full-gather oracle, got {:.1}x",
+            number("speedup_vs_full_gather")
+        );
+        assert!(
+            number("gather_hit_rate") > 0.9,
+            "a 1-dirty-of-4 warm sweep must confirm most shards by digest, got {:.3}",
+            number("gather_hit_rate")
+        );
+        assert!(number("dirty_bytes") > 0.0, "dirty shards still ship bytes");
+    }
+
+    #[test]
     fn committed_sharded_baseline_feeds_the_same_gate() {
         // BENCH_sharded.json reuses the engine-bench schema (each run
         // carries an extra `shards` field this mirror ignores), so the one

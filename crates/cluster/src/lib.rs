@@ -12,11 +12,13 @@
 //! * [`worker`] ([`run_stdio_worker`]) — the shard executor loop: a full
 //!   K-shard book in which only the worker's own shard is ever populated.
 //! * [`supervisor`] ([`ClusterBook`]) — scatter mutations by the owner
-//!   hash, gather warmed shard exports per query, and merge them through
-//!   [`LiveBook::from_export`](flexoffers_serving::LiveBook::from_export)
+//!   hash, delta-gather per query (conditional exports confirm clean
+//!   shards by state digest; only dirty shards ship), and splice the
+//!   dirty shards into a persistent merged book via
+//!   [`LiveBook::import_shard`](flexoffers_serving::LiveBook::import_shard)
 //!   so the answer comes from the same code as the in-process tier.
-//!   Worker death is repaired by respawn + snapshot-and-suffix replay,
-//!   invisibly to the answer stream.
+//!   Worker death is repaired by respawn + merged-shard-and-suffix
+//!   replay, invisibly to the answer stream.
 //! * [`durable`] ([`DurableCluster`]) — the journal-before-apply sink
 //!   composing cross-process sharding with the storage tier: recover
 //!   in-process, seed the fleet, journal every mutation before it
@@ -40,6 +42,6 @@ pub mod wire;
 pub mod worker;
 
 pub use durable::{DurableCluster, DurableClusterError};
-pub use supervisor::{ClusterBook, ClusterError, WorkerSpec, RESPAWN_ATTEMPTS};
+pub use supervisor::{ClusterBook, ClusterError, GatherStats, WorkerSpec, RESPAWN_ATTEMPTS};
 pub use wire::{WorkerReply, WorkerRequest, WORKER_PROTOCOL};
 pub use worker::{run_stdio_worker, run_worker};

@@ -1,5 +1,5 @@
-//! The cluster supervisor: scatter mutations, gather shard exports,
-//! merge through the flat engine.
+//! The cluster supervisor: scatter mutations, delta-gather shard exports,
+//! answer from a persistent merged book.
 //!
 //! A [`ClusterBook`] owns one OS process per shard. Each worker holds a
 //! full K-shard [`LiveBook`] in which only its own shard is populated, so
@@ -7,26 +7,40 @@
 //! [`stable_shard`](flexoffers_engine::stable_shard) placement the
 //! in-process book uses — keeps worker `w`'s shard `w` byte-equal to
 //! shard `w` of an in-process K-shard book fed the same serialized
-//! mutation stream. Queries gather every worker's export, splice the
-//! populated shards into one [`BookExport`], and push it through
-//! [`LiveBook::from_export`] + [`LiveBook::answer`] — the merge and the
+//! mutation stream.
+//!
+//! # Delta gather
+//!
+//! The supervisor keeps a persistent **merged book** — a real in-process
+//! [`LiveBook`] holding every shard as of the last gather — plus, per
+//! slot, the worker's last confirmed state digest. A gather pipelines
+//! `export {if_digest}` to every worker; clean workers answer the tiny
+//! `not_modified` frame (digest equality over the canonical shard JSON
+//! implies content equality, so the merged book's copy is already exact),
+//! and only dirty workers ship their shard, which
+//! [`LiveBook::import_shard`] splices into the merged book in place.
+//! Queries then answer straight off the merged book — the merge and the
 //! answer bytes come from the *same code* as the in-process tier, which
 //! is what makes cross-process answers byte-identical at any
-//! workers × threads × kernel budget. `from_export`'s structural
+//! workers × threads × kernel budget, and a mostly-clean book pays for
+//! one dirty shard instead of K full exports. `import_shard`'s structural
 //! validation (placement, duplicate ids, digests, cache shapes) doubles
-//! as wire-integrity checking on everything a worker ships back.
+//! as wire-integrity checking on everything a worker ships back, and
+//! [`answer_full`](ClusterBook::answer_full) keeps the old
+//! full-gather path alive as a byte-identity oracle.
 //!
 //! # Failure handling
 //!
 //! Worker death is detected on the pipe (a failed write or an EOF read)
 //! and repaired in place: the supervisor respawns the process, rehydrates
-//! it from the worker's last gathered shard export plus a replay of the
-//! mutation suffix routed to it since, and retries the in-flight
-//! operation. The suffix is recorded *before* the pipe round-trip, so an
-//! op that killed the pipe mid-flight is replayed into the fresh process
-//! exactly once — the dead process took its copy of the book with it, so
-//! there is nothing to double-apply against. Respawn attempts are
-//! bounded; exhaustion surfaces as the structured
+//! it from the merged book's copy of its shard plus a replay of the
+//! mutation suffix routed to it since the last gather, and retries the
+//! in-flight operation. The suffix is recorded *before* the pipe
+//! round-trip, so an op that killed the pipe mid-flight is replayed into
+//! the fresh process exactly once. A respawn also clears the slot's
+//! digest, so the next gather always pulls (and re-validates) a full
+//! export from the rebuilt process rather than trusting a cached hash.
+//! Respawn attempts are bounded; exhaustion surfaces as the structured
 //! [`ClusterError::WorkerLost`], never a panic or a hang.
 
 use std::collections::BTreeSet;
@@ -41,10 +55,12 @@ use flexoffers_model::FlexOffer;
 use flexoffers_serving::{
     BookExport, Event, EventSink, ImportError, LiveBook, QueryKind, ServeConfig, ShardExport,
 };
-use flexoffers_storage::value_to_export;
-use serde::Value;
+use flexoffers_storage::shard_digest;
 
-use crate::wire::{parse_reply, request_line, WorkerReply, WorkerRequest};
+use crate::wire::{
+    parse_export_payload, parse_reply, write_request_line, ExportPayload, WorkerReply,
+    WorkerRequest,
+};
 
 /// How many consecutive boot attempts a single respawn may make before
 /// the worker is declared lost.
@@ -84,8 +100,8 @@ pub enum ClusterError {
         /// The human-readable detail.
         message: String,
     },
-    /// The merged shard exports failed [`LiveBook::from_export`]
-    /// validation — a worker shipped a structurally corrupt shard.
+    /// A gathered shard failed [`LiveBook::import_shard`] validation — a
+    /// worker shipped a structurally corrupt shard.
     Import(ImportError),
     /// An update or remove referenced an id that is not live.
     UnknownId {
@@ -117,7 +133,7 @@ impl fmt::Display for ClusterError {
                 code,
                 message,
             } => write!(f, "cluster worker {worker} failed [{code}]: {message}"),
-            ClusterError::Import(e) => write!(f, "merged shard export rejected: {e}"),
+            ClusterError::Import(e) => write!(f, "gathered shard export rejected: {e}"),
             ClusterError::UnknownId { id } => write!(f, "unknown offer id {id} — not live"),
             ClusterError::IdTaken { id } => {
                 write!(
@@ -166,6 +182,22 @@ impl WorkerSpec {
     }
 }
 
+/// Cumulative gather-path counters — how much of the cluster's query
+/// traffic the delta path absorbed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatherStats {
+    /// How many gathers ran.
+    pub gathers: u64,
+    /// Shard exports that shipped in full (digest miss or first contact).
+    pub dirty_shards: u64,
+    /// Shard exports answered `not_modified` (digest hit; nothing
+    /// deserialized, nothing imported).
+    pub cached_shards: u64,
+    /// Total reply-line bytes of the full exports — what the delta path
+    /// actually moved over the pipes.
+    pub dirty_bytes: u64,
+}
+
 /// Why one pipe round-trip failed — drives the repair decision.
 enum ConnFailure {
     /// The pipe broke (EPIPE, EOF, or an unreadable reply stream): the
@@ -180,12 +212,17 @@ enum ConnFailure {
     },
 }
 
-/// One live worker process and its pipes.
+/// One live worker process and its pipes. The request and reply line
+/// buffers live here so the per-event scatter and per-query gather reuse
+/// their allocations across round-trips instead of allocating two strings
+/// per pipe exchange.
 struct WorkerConn {
     child: Child,
     stdin: ChildStdin,
     stdout: BufReader<ChildStdout>,
     next_request: u64,
+    write_buf: String,
+    reply_buf: String,
 }
 
 impl WorkerConn {
@@ -203,6 +240,8 @@ impl WorkerConn {
             stdin,
             stdout,
             next_request: 0,
+            write_buf: String::new(),
+            reply_buf: String::new(),
         })
     }
 
@@ -214,7 +253,9 @@ impl WorkerConn {
     fn send(&mut self, request: &WorkerRequest) -> io::Result<u64> {
         let id = self.next_request;
         self.next_request += 1;
-        writeln!(self.stdin, "{}", request_line(id, request))?;
+        write_request_line(&mut self.write_buf, id, request);
+        self.write_buf.push('\n');
+        self.stdin.write_all(self.write_buf.as_bytes())?;
         self.stdin.flush()?;
         Ok(id)
     }
@@ -222,17 +263,19 @@ impl WorkerConn {
     /// Reads one reply line and checks it echoes `expect`. Anything that
     /// breaks the strict request/reply cadence — EOF, garbage, a stray
     /// id — means the stream can no longer be trusted and reads as a
-    /// repairable [`ConnFailure::Io`].
-    fn read_reply(&mut self, expect: u64) -> Result<Value, ConnFailure> {
-        let mut line = String::new();
+    /// repairable [`ConnFailure::Io`]. The raw line stays in `reply_buf`
+    /// until the next read, so [`last_reply_len`](Self::last_reply_len)
+    /// can meter what a full export actually cost on the wire.
+    fn read_reply(&mut self, expect: u64) -> Result<serde::Value, ConnFailure> {
+        self.reply_buf.clear();
         let n = self
             .stdout
-            .read_line(&mut line)
+            .read_line(&mut self.reply_buf)
             .map_err(|e| ConnFailure::Io(e.to_string()))?;
         if n == 0 {
             return Err(ConnFailure::Io("worker closed its pipe".to_owned()));
         }
-        let (id, reply) = parse_reply(line.trim_end()).map_err(ConnFailure::Io)?;
+        let (id, reply) = parse_reply(self.reply_buf.trim_end()).map_err(ConnFailure::Io)?;
         if id != Some(expect) {
             return Err(ConnFailure::Io(format!(
                 "reply id {id:?} does not echo request {expect}"
@@ -244,7 +287,12 @@ impl WorkerConn {
         }
     }
 
-    fn roundtrip(&mut self, request: &WorkerRequest) -> Result<Value, ConnFailure> {
+    /// The byte length of the most recently read reply line.
+    fn last_reply_len(&self) -> usize {
+        self.reply_buf.trim_end().len()
+    }
+
+    fn roundtrip(&mut self, request: &WorkerRequest) -> Result<serde::Value, ConnFailure> {
         let id = self
             .send(request)
             .map_err(|e| ConnFailure::Io(e.to_string()))?;
@@ -291,21 +339,16 @@ impl RoutedOp {
     }
 }
 
-fn empty_shard() -> ShardExport {
-    ShardExport {
-        ids: Vec::new(),
-        offers: Vec::new(),
-        key_digest: 0,
-        cache: None,
-    }
-}
-
-/// One worker slot: the live connection plus everything needed to rebuild
-/// the process from scratch — its shard as of the last gather, and the
-/// mutation suffix routed to it since.
+/// One worker slot: the live connection, the state digest the worker
+/// confirmed at the last gather (`None` until first contact and after
+/// every respawn — a `None` digest forces the next gather to pull a full
+/// export), and the mutation suffix routed since the last gather. The
+/// respawn baseline is *not* stored here: the supervisor's merged book
+/// already holds every shard as of the last gather, so one copy serves
+/// both querying and worker rehydration.
 struct Slot {
     conn: WorkerConn,
-    snapshot: ShardExport,
+    digest: Option<u64>,
     suffix: Vec<RoutedOp>,
 }
 
@@ -323,6 +366,7 @@ fn try_boot(
 ) -> Result<WorkerConn, ConnFailure> {
     let mut conn = WorkerConn::spawn(spec).map_err(|e| ConnFailure::Io(e.to_string()))?;
     conn.roundtrip(&WorkerRequest::Init {
+        shard: w,
         shards: workers,
         threads: budget.threads(),
         kernel: budget.kernel(),
@@ -345,10 +389,19 @@ fn try_boot(
     Ok(conn)
 }
 
+fn empty_shard() -> ShardExport {
+    ShardExport {
+        ids: Vec::new(),
+        offers: Vec::new(),
+        key_digest: 0,
+        cache: None,
+    }
+}
+
 /// Splits a worker's gathered export into its populated shard, rejecting
 /// exports whose shape or placement is off. (Value-level corruption —
-/// digests, duplicate ids, cache shapes — is caught later by the merged
-/// [`LiveBook::from_export`].)
+/// digests, duplicate ids, cache shapes — is caught by the merged book's
+/// [`LiveBook::import_shard`].)
 fn own_shard(w: usize, workers: usize, export: BookExport) -> Result<ShardExport, ClusterError> {
     let fault = |message: String| ClusterError::Worker {
         worker: w,
@@ -376,20 +429,25 @@ fn own_shard(w: usize, workers: usize, export: BookExport) -> Result<ShardExport
 /// The supervisor: a live book whose shards are worker processes.
 ///
 /// Mutations scatter to the owning worker synchronously (one pipe
-/// round-trip); queries gather every worker's warmed shard export and
-/// merge them through the in-process engine. The public surface mirrors
-/// [`LiveBook`] — [`apply`](ClusterBook::apply) speaks the same
-/// [`Event`] stream, and [`EventSink`] lets
+/// round-trip); queries delta-gather — conditional exports confirm clean
+/// shards by digest and ship only dirty ones, which are imported into the
+/// supervisor's persistent merged [`LiveBook`] before it answers. The
+/// public surface mirrors [`LiveBook`] — [`apply`](ClusterBook::apply)
+/// speaks the same [`Event`] stream, and [`EventSink`] lets
 /// [`LiveServer::spawn_sink`](flexoffers_serving::LiveServer::spawn_sink)
 /// and the TCP tier drive a cluster exactly like a local book.
 pub struct ClusterBook {
-    config: ServeConfig,
     budget: Budget,
     spec: WorkerSpec,
     slots: Vec<Slot>,
+    /// Every shard as of the last gather, behind the same engine the
+    /// in-process tier answers with. Doubles as the respawn baseline
+    /// store: worker `w` rehydrates from `merged.export_shard(w)`.
+    merged: LiveBook,
     live: BTreeSet<u64>,
     next_id: u64,
     respawns: u64,
+    stats: GatherStats,
 }
 
 impl ClusterBook {
@@ -404,33 +462,36 @@ impl ClusterBook {
         if workers == 0 {
             return Err(ClusterError::ZeroWorkers);
         }
+        let merged = LiveBook::new(config, workers, Engine::new(budget))
+            .expect("workers >= 1, so the merged book has shards");
         let mut slots = Vec::with_capacity(workers);
         for w in 0..workers {
-            let snapshot = empty_shard();
-            let conn =
-                try_boot(&spec, workers, budget, w, &snapshot, &[], 0).map_err(|e| match e {
+            let conn = try_boot(&spec, workers, budget, w, &empty_shard(), &[], 0).map_err(
+                |e| match e {
                     ConnFailure::Io(message) => ClusterError::Spawn { worker: w, message },
                     ConnFailure::Fault { code, message } => ClusterError::Worker {
                         worker: w,
                         code,
                         message,
                     },
-                })?;
+                },
+            )?;
             eprintln!("cluster worker {w} started (pid {})", conn.pid());
             slots.push(Slot {
                 conn,
-                snapshot,
+                digest: None,
                 suffix: Vec::new(),
             });
         }
         Ok(Self {
-            config,
             budget,
             spec,
             slots,
+            merged,
             live: BTreeSet::new(),
             next_id: 0,
             respawns: 0,
+            stats: GatherStats::default(),
         })
     }
 
@@ -464,6 +525,11 @@ impl ClusterBook {
         self.respawns
     }
 
+    /// Cumulative delta-gather counters.
+    pub fn gather_stats(&self) -> GatherStats {
+        self.stats
+    }
+
     /// The current worker process ids, by shard.
     pub fn worker_pids(&self) -> Vec<u32> {
         self.slots.iter().map(|s| s.conn.pid()).collect()
@@ -478,16 +544,19 @@ impl ClusterBook {
         let _ = self.slots[w].conn.child.wait();
     }
 
-    /// Rebuilds worker `w` from its slot's snapshot + suffix. Bounded
-    /// attempts; exhaustion is [`ClusterError::WorkerLost`].
+    /// Rebuilds worker `w` from the merged book's copy of its shard plus
+    /// the slot's suffix, and clears the slot digest — a rebuilt process
+    /// must prove its state with a full export on the next gather.
+    /// Bounded attempts; exhaustion is [`ClusterError::WorkerLost`].
     fn respawn(&mut self, w: usize) -> Result<(), ClusterError> {
+        let snapshot = self.merged.export_shard(w);
         for _ in 0..RESPAWN_ATTEMPTS {
             let boot = try_boot(
                 &self.spec,
                 self.slots.len(),
                 self.budget,
                 w,
-                &self.slots[w].snapshot,
+                &snapshot,
                 &self.slots[w].suffix,
                 self.next_id,
             );
@@ -495,6 +564,7 @@ impl ClusterBook {
                 Ok(conn) => {
                     eprintln!("cluster worker {w} respawned (pid {})", conn.pid());
                     self.slots[w].conn = conn;
+                    self.slots[w].digest = None;
                     self.respawns += 1;
                     return Ok(());
                 }
@@ -571,10 +641,12 @@ impl ClusterBook {
     }
 
     /// Collects worker `w`'s export on a connection that just failed:
-    /// respawn, then one retry on the fresh process.
-    fn regather_one(&mut self, w: usize) -> Result<Value, ClusterError> {
+    /// respawn, then one retry on the fresh process. The respawn cleared
+    /// the slot digest, so the retry is unconditional and must ship full.
+    fn regather_one(&mut self, w: usize) -> Result<serde::Value, ClusterError> {
         self.respawn(w)?;
-        match self.slots[w].conn.roundtrip(&WorkerRequest::Export) {
+        let request = WorkerRequest::Export { if_digest: None };
+        match self.slots[w].conn.roundtrip(&request) {
             Ok(value) => Ok(value),
             Err(ConnFailure::Io(_)) => Err(ClusterError::WorkerLost { worker: w }),
             Err(ConnFailure::Fault { code, message }) => Err(ClusterError::Worker {
@@ -585,18 +657,123 @@ impl ClusterBook {
         }
     }
 
-    /// Gathers every worker's warmed shard and splices them into one
-    /// merged export under the supervisor's id counter. A successful
-    /// gather also advances each slot's respawn baseline (snapshot :=
-    /// gathered shard, suffix := empty), keeping replay suffixes bounded
-    /// by the inter-query mutation rate.
-    fn gather(&mut self) -> Result<BookExport, ClusterError> {
+    /// Brings the merged book up to date with every worker: pipeline
+    /// conditional exports, confirm clean shards by digest, import only
+    /// the dirty ones. A gathered worker's slot resets (digest :=
+    /// confirmed value, suffix := empty) — the merged book *is* the
+    /// respawn baseline, so the two advance together here and nowhere
+    /// else. A digest hit is sound because the digest covers the
+    /// canonical shard JSON: equal digest ⇒ equal canonical bytes ⇒ the
+    /// merged book's copy is the worker's exact state, suffix included.
+    fn gather(&mut self) -> Result<(), ClusterError> {
         let workers = self.slots.len();
+        self.merged.reserve_ids(self.next_id);
         // Scatter the export requests first so workers refresh their
-        // caches in parallel; replies are drained in shard order.
+        // caches (and hash their shards) in parallel; replies are drained
+        // in shard order.
         let mut pending: Vec<Option<u64>> = Vec::with_capacity(workers);
         for slot in &mut self.slots {
-            pending.push(slot.conn.send(&WorkerRequest::Export).ok());
+            let request = WorkerRequest::Export {
+                if_digest: slot.digest,
+            };
+            pending.push(slot.conn.send(&request).ok());
+        }
+        let (mut dirty, mut cached, mut dirty_bytes) = (0u64, 0u64, 0u64);
+        for (w, request) in pending.into_iter().enumerate() {
+            let first = match request {
+                Some(id) => self.slots[w].conn.read_reply(id),
+                None => Err(ConnFailure::Io("export request write failed".to_owned())),
+            };
+            let value = match first {
+                Ok(value) => value,
+                Err(ConnFailure::Io(_)) => self.regather_one(w)?,
+                Err(ConnFailure::Fault { code, message }) => {
+                    return Err(ClusterError::Worker {
+                        worker: w,
+                        code,
+                        message,
+                    })
+                }
+            };
+            let fault = |message: String| ClusterError::Worker {
+                worker: w,
+                code: "bad_export".to_owned(),
+                message,
+            };
+            match parse_export_payload(&value).map_err(fault)? {
+                ExportPayload::NotModified { digest } => {
+                    if self.slots[w].digest != Some(digest) {
+                        return Err(ClusterError::Worker {
+                            worker: w,
+                            code: "bad_export".to_owned(),
+                            message: format!(
+                                "not_modified confirmed digest {digest}, supervisor expected {:?}",
+                                self.slots[w].digest
+                            ),
+                        });
+                    }
+                    cached += 1;
+                }
+                ExportPayload::Full { digest, book } => {
+                    dirty_bytes += self.slots[w].conn.last_reply_len() as u64;
+                    let shard = own_shard(w, workers, book)?;
+                    // A legacy worker ships no digest; hash the shard
+                    // ourselves so the *next* gather is still conditional
+                    // — any full export is a digest refresh.
+                    let digest = digest.unwrap_or_else(|| shard_digest(&shard));
+                    self.merged
+                        .import_shard(w, shard)
+                        .map_err(ClusterError::Import)?;
+                    self.slots[w].digest = Some(digest);
+                    dirty += 1;
+                }
+            }
+            self.slots[w].suffix.clear();
+        }
+        self.stats.gathers += 1;
+        self.stats.dirty_shards += dirty;
+        self.stats.cached_shards += cached;
+        self.stats.dirty_bytes += dirty_bytes;
+        eprintln!("cluster gather: {dirty} dirty / {cached} cached");
+        Ok(())
+    }
+
+    /// Gathers and merges the cluster's current state into one
+    /// [`BookExport`] — what a snapshot of the cluster persists. Shards
+    /// arrive warm (workers refresh before exporting), so the export is
+    /// as query-ready as an in-process book's.
+    pub fn export(&mut self) -> Result<BookExport, ClusterError> {
+        self.gather()?;
+        Ok(self.merged.export())
+    }
+
+    /// Raises the id counter to at least `next_id` — the journal-replay
+    /// seeding path, where ids past the last live offer (removed tail
+    /// ids) must not be reassigned.
+    pub fn reserve_ids(&mut self, next_id: u64) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    /// Answers one query: delta-gather, then answer off the merged book —
+    /// the very same [`LiveBook`] code the in-process tier runs, so the
+    /// byte-identity contract is enforced rather than re-implemented.
+    pub fn answer(&mut self, kind: QueryKind) -> Result<String, ClusterError> {
+        self.gather()?;
+        Ok(self.merged.answer(kind))
+    }
+
+    /// Answers one query over unconditional full exports from every
+    /// worker, rebuilding a fresh book from scratch — the pre-delta
+    /// gather path, kept as the byte-identity oracle the delta path is
+    /// tested (and benchmarked) against. Deliberately touches no slot
+    /// digest, no suffix, and not the merged book, so interleaving oracle
+    /// queries never helps the delta path.
+    pub fn answer_full(&mut self, kind: QueryKind) -> Result<String, ClusterError> {
+        let workers = self.slots.len();
+        let mut pending: Vec<Option<u64>> = Vec::with_capacity(workers);
+        for slot in &mut self.slots {
+            let request = WorkerRequest::Export { if_digest: None };
+            pending.push(slot.conn.send(&request).ok());
         }
         let mut shards = Vec::with_capacity(workers);
         for (w, request) in pending.into_iter().enumerate() {
@@ -615,44 +792,31 @@ impl ClusterBook {
                     })
                 }
             };
-            let export = value_to_export(&value).map_err(|message| ClusterError::Worker {
+            let fault = |message: String| ClusterError::Worker {
                 worker: w,
                 code: "bad_export".to_owned(),
                 message,
-            })?;
-            let shard = own_shard(w, workers, export)?;
-            self.slots[w].snapshot = shard.clone();
-            self.slots[w].suffix.clear();
-            shards.push(shard);
+            };
+            let book = match parse_export_payload(&value).map_err(fault)? {
+                ExportPayload::Full { book, .. } => book,
+                ExportPayload::NotModified { .. } => {
+                    return Err(fault(
+                        "worker answered not_modified to an unconditional export".to_owned(),
+                    ))
+                }
+            };
+            shards.push(own_shard(w, workers, book)?);
         }
-        Ok(BookExport {
+        let merged = BookExport {
             next_id: self.next_id,
             shards,
-        })
-    }
-
-    /// Gathers and merges the cluster's current state into one
-    /// [`BookExport`] — what a snapshot of the cluster persists. Shards
-    /// arrive warm (workers refresh before exporting), so the export is
-    /// as query-ready as an in-process book's.
-    pub fn export(&mut self) -> Result<BookExport, ClusterError> {
-        self.gather()
-    }
-
-    /// Raises the id counter to at least `next_id` — the journal-replay
-    /// seeding path, where ids past the last live offer (removed tail
-    /// ids) must not be reassigned.
-    pub fn reserve_ids(&mut self, next_id: u64) {
-        self.next_id = self.next_id.max(next_id);
-    }
-
-    /// Answers one query: gather, merge, and answer through the very same
-    /// [`LiveBook`] code the in-process tier runs — this is where the
-    /// byte-identity contract is enforced rather than re-implemented.
-    pub fn answer(&mut self, kind: QueryKind) -> Result<String, ClusterError> {
-        let merged = self.gather()?;
-        let mut book = LiveBook::from_export(self.config.clone(), Engine::new(self.budget), merged)
-            .map_err(ClusterError::Import)?;
+        };
+        let mut book = LiveBook::from_export(
+            self.merged.config().clone(),
+            Engine::new(self.budget),
+            merged,
+        )
+        .map_err(ClusterError::Import)?;
         Ok(book.answer(kind))
     }
 

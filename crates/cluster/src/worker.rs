@@ -1,15 +1,29 @@
 //! The shard-worker loop: a dumb shard executor driven over stdio.
 //!
 //! A worker holds a full K-shard [`LiveBook`] in which only its own shard
-//! ever receives offers — the supervisor routes each mutation to the
-//! worker that owns `stable_shard(id, K)`, so the ids land in their stable
-//! shard *by construction* and the worker's populated shard stays
-//! byte-equal to the corresponding shard of an in-process K-shard book fed
-//! the same serialized mutation stream. The worker never answers queries
-//! itself: `export` refreshes its caches and ships the book image, and the
-//! supervisor merges the gathered shards through
-//! [`LiveBook::from_export`] so answer bytes come from the same code path
-//! as the in-process tier.
+//! (named at `init`) ever receives offers — the supervisor routes each
+//! mutation to the worker that owns `stable_shard(id, K)`, so the ids land
+//! in their stable shard *by construction* and the worker's populated
+//! shard stays byte-equal to the corresponding shard of an in-process
+//! K-shard book fed the same serialized mutation stream. The worker never
+//! answers queries itself: `export` refreshes its caches and ships the
+//! book image, and the supervisor merges the gathered shards into its
+//! persistent book so answer bytes come from the same code path as the
+//! in-process tier.
+//!
+//! # The state digest
+//!
+//! Each worker maintains its shard **state digest** incrementally across
+//! events: any mutation (or `load`) invalidates it, and the next `export`
+//! recomputes it lazily — FNV-1a 64 over the canonical single-line JSON
+//! of the worker's own [`ShardExport`](flexoffers_serving::ShardExport)
+//! body ([`flexoffers_storage::shard_digest`]), which embeds the
+//! commutative `key_digest`. While the worker is clean, a conditional
+//! `export {if_digest}` whose digest matches answers with the tiny
+//! `not_modified` frame and serializes nothing; on a miss the cached
+//! canonical JSON (the exact bytes the digest covers) is spliced straight
+//! into the reply, so the shard body is serialized once per state, not
+//! once per gather.
 //!
 //! The loop is strictly sequential request/reply (the supervisor pipelines
 //! at most one outstanding request per worker per operation), flushes
@@ -20,10 +34,24 @@ use std::io::{self, BufRead, Write};
 
 use flexoffers_engine::{Budget, Engine};
 use flexoffers_serving::{LiveBook, ServeConfig};
-use flexoffers_storage::export_to_value;
-use serde::Value;
+use flexoffers_storage::{fnv1a64, shard_to_value};
 
-use crate::wire::{error_line, ok_line, parse_request, WorkerRequest};
+use crate::wire::{
+    error_line, full_export_payload, not_modified_payload, ok_line_raw, parse_request,
+    WorkerRequest,
+};
+
+/// The worker's post-`init` state: its book, which shard of it is its own,
+/// and the lazily (re)computed state digest with the canonical shard JSON
+/// it was computed over.
+struct WorkerState {
+    budget: Budget,
+    shard: usize,
+    book: LiveBook,
+    /// `Some((digest, canonical_shard_json))` while no mutation has
+    /// touched the book since the digest was computed.
+    digest: Option<(u64, String)>,
+}
 
 /// Runs the worker loop over arbitrary reader/writer pairs (the stdio
 /// binary passes locked stdin/stdout; tests pass in-memory pipes).
@@ -36,7 +64,7 @@ pub fn run_worker<R: BufRead, W: Write>(input: R, mut output: W) -> io::Result<(
     // worker (it shapes query *answers*, and answers happen at the
     // supervisor merge), so the default serves. The budget rides along so
     // `load` can rebuild a book under the same engine settings.
-    let mut book: Option<(Budget, LiveBook)> = None;
+    let mut state: Option<WorkerState> = None;
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -50,10 +78,10 @@ pub fn run_worker<R: BufRead, W: Write>(input: R, mut output: W) -> io::Result<(
                 continue;
             }
         };
-        let reply = match handle(&mut book, request) {
-            Ok(Some(payload)) => ok_line(id, payload),
+        let reply = match handle(&mut state, request) {
+            Ok(Some(payload)) => ok_line_raw(id, &payload),
             Ok(None) => {
-                writeln!(output, "{}", ok_line(id, Value::Bool(true)))?;
+                writeln!(output, "{}", ok_line_raw(id, "true"))?;
                 output.flush()?;
                 return Ok(());
             }
@@ -65,58 +93,99 @@ pub fn run_worker<R: BufRead, W: Write>(input: R, mut output: W) -> io::Result<(
     Ok(())
 }
 
-/// Handles one request against the worker's book. `Ok(None)` means
-/// `shutdown` — acknowledge and exit.
+/// Handles one request against the worker's book, answering with the raw
+/// JSON of the reply's `ok` payload. `Ok(None)` means `shutdown` —
+/// acknowledge and exit.
 fn handle(
-    state: &mut Option<(Budget, LiveBook)>,
+    state: &mut Option<WorkerState>,
     request: WorkerRequest,
-) -> Result<Option<Value>, (&'static str, String)> {
-    let ok = || Ok(Some(Value::Bool(true)));
+) -> Result<Option<String>, (&'static str, String)> {
+    let ok = || Ok(Some("true".to_owned()));
+    fn live(state: &mut Option<WorkerState>) -> Result<&mut WorkerState, (&'static str, String)> {
+        state.as_mut().ok_or_else(no_book)
+    }
     match request {
         WorkerRequest::Init {
+            shard,
             shards,
             threads,
             kernel,
         } => {
+            if shard >= shards {
+                return Err((
+                    "bad_request",
+                    format!("shard index {shard} out of range for {shards} shard(s)"),
+                ));
+            }
             let budget = Budget::with_threads(threads)
                 .map_err(|e| ("bad_request", e.to_string()))?
                 .with_kernel(kernel);
             let fresh = LiveBook::new(ServeConfig::default(), shards, Engine::new(budget))
                 .map_err(|e| ("bad_request", e.to_string()))?;
-            *state = Some((budget, fresh));
+            *state = Some(WorkerState {
+                budget,
+                shard,
+                book: fresh,
+                digest: None,
+            });
             ok()
         }
         WorkerRequest::Add { offer_id, offer } => {
-            let (_, book) = state.as_mut().ok_or_else(no_book)?;
-            book.add_at(offer_id, offer)
+            let st = live(state)?;
+            st.book
+                .add_at(offer_id, offer)
                 .map_err(|e| ("bad_event", e.to_string()))?;
+            st.digest = None;
             ok()
         }
         WorkerRequest::Update { offer_id, offer } => {
-            let (_, book) = state.as_mut().ok_or_else(no_book)?;
-            book.update(offer_id, offer)
+            let st = live(state)?;
+            st.book
+                .update(offer_id, offer)
                 .map_err(|e| ("bad_event", e.to_string()))?;
+            st.digest = None;
             ok()
         }
         WorkerRequest::Remove { offer_id } => {
-            let (_, book) = state.as_mut().ok_or_else(no_book)?;
-            book.remove(offer_id)
+            let st = live(state)?;
+            st.book
+                .remove(offer_id)
                 .map_err(|e| ("bad_event", e.to_string()))?;
+            st.digest = None;
             ok()
         }
-        WorkerRequest::Export => {
-            let (_, book) = state.as_mut().ok_or_else(no_book)?;
+        WorkerRequest::Export { if_digest } => {
+            let st = live(state)?;
             // Warm the caches first so the supervisor's merged book
             // re-evaluates nothing — the evaluation work happens here, in
             // parallel across workers.
-            book.refresh();
-            Ok(Some(export_to_value(&book.export())))
+            st.book.refresh();
+            if st.digest.is_none() {
+                let own = st.book.export_shard(st.shard);
+                let body =
+                    serde_json::to_string(&shard_to_value(&own)).expect("shard values serialize");
+                st.digest = Some((fnv1a64(body.as_bytes()), body));
+            }
+            let (digest, body) = st.digest.as_ref().expect("computed above");
+            if if_digest == Some(*digest) {
+                Ok(Some(not_modified_payload(*digest)))
+            } else {
+                Ok(Some(full_export_payload(
+                    *digest,
+                    st.book.next_id(),
+                    st.book.shard_count(),
+                    st.shard,
+                    body,
+                )))
+            }
         }
         WorkerRequest::Load { book: image } => {
-            let (budget, book) = state.as_mut().ok_or_else(no_book)?;
-            let loaded = LiveBook::from_export(ServeConfig::default(), Engine::new(*budget), image)
-                .map_err(|e| ("bad_book", e.to_string()))?;
-            *book = loaded;
+            let st = live(state)?;
+            let loaded =
+                LiveBook::from_export(ServeConfig::default(), Engine::new(st.budget), image)
+                    .map_err(|e| ("bad_book", e.to_string()))?;
+            st.book = loaded;
+            st.digest = None;
             ok()
         }
         WorkerRequest::Shutdown => Ok(None),
@@ -141,12 +210,24 @@ pub fn run_stdio_worker() -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::{parse_reply, request_line, WorkerReply};
+    use crate::wire::{
+        parse_export_payload, parse_reply, request_line, ExportPayload, WorkerReply,
+    };
     use flexoffers_engine::Kernel;
     use flexoffers_model::{FlexOffer, Slice};
+    use flexoffers_serving::BookExport;
 
     fn offer(tes: i64) -> FlexOffer {
         FlexOffer::new(tes, tes + 4, vec![Slice::new(0, 3).unwrap()]).unwrap()
+    }
+
+    fn init(shard: usize, shards: usize) -> WorkerRequest {
+        WorkerRequest::Init {
+            shard,
+            shards,
+            threads: 1,
+            kernel: Kernel::Auto,
+        }
     }
 
     /// Drives a scripted request sequence through an in-memory worker and
@@ -168,6 +249,19 @@ mod tests {
             .collect()
     }
 
+    fn full_book(reply: &WorkerReply) -> (u64, BookExport) {
+        let WorkerReply::Ok(payload) = reply else {
+            panic!("export failed: {reply:?}");
+        };
+        match parse_export_payload(payload).expect("export payload parses") {
+            ExportPayload::Full {
+                digest: Some(digest),
+                book,
+            } => (digest, book),
+            other => panic!("expected a digest-wrapped full export, got {other:?}"),
+        }
+    }
+
     #[test]
     fn a_worker_populates_only_its_routed_shard_and_exports_it_warm() {
         // Two ids the supervisor would route to the same worker: the
@@ -178,11 +272,7 @@ mod tests {
             .find(|&id| flexoffers_engine::stable_shard(id, 4) == home)
             .unwrap();
         let replies = drive(&[
-            WorkerRequest::Init {
-                shards: 4,
-                threads: 1,
-                kernel: Kernel::Auto,
-            },
+            init(home, 4),
             WorkerRequest::Add {
                 offer_id: first,
                 offer: offer(0),
@@ -195,15 +285,12 @@ mod tests {
                 offer_id: second,
                 offer: offer(9),
             },
-            WorkerRequest::Export,
+            WorkerRequest::Export { if_digest: None },
             WorkerRequest::Remove { offer_id: first },
-            WorkerRequest::Export,
+            WorkerRequest::Export { if_digest: None },
         ]);
         assert_eq!(replies.len(), 7);
-        let WorkerReply::Ok(export) = &replies[4] else {
-            panic!("export failed: {:?}", replies[4]);
-        };
-        let book = flexoffers_storage::value_to_export(export).expect("export parses");
+        let (digest, book) = full_book(&replies[4]);
         assert_eq!(book.shards.len(), 4);
         let populated: Vec<usize> = (0..4).filter(|&s| !book.shards[s].ids.is_empty()).collect();
         assert_eq!(populated, vec![home], "exactly the routed shard");
@@ -212,36 +299,87 @@ mod tests {
             book.shards[home].cache.is_some(),
             "export refreshes before shipping, so the shard arrives warm"
         );
-        let WorkerReply::Ok(after_remove) = &replies[6] else {
-            panic!("second export failed: {:?}", replies[6]);
-        };
-        let book = flexoffers_storage::value_to_export(after_remove).expect("export parses");
+        // The shipped digest is the canonical one the supervisor could
+        // recompute from the shard body.
+        assert_eq!(digest, flexoffers_storage::shard_digest(&book.shards[home]));
+        let (after_digest, book) = full_book(&replies[6]);
         assert_eq!(book.shards[home].ids, vec![second]);
+        assert_ne!(digest, after_digest, "the remove changed the state");
+    }
+
+    #[test]
+    fn conditional_exports_gate_on_state_not_on_mutation_count() {
+        let home = flexoffers_engine::stable_shard(1, 2);
+        let replies = drive(&[
+            init(home, 2),
+            WorkerRequest::Add {
+                offer_id: 1,
+                offer: offer(0),
+            },
+            WorkerRequest::Export { if_digest: None },
+            // A stale digest misses…
+            WorkerRequest::Export {
+                if_digest: Some(0xbad),
+            },
+            // …an update that *replaces the offer with identical content*
+            // still digests equal — the digest gates on state, so the next
+            // conditional export is a hit…
+            WorkerRequest::Update {
+                offer_id: 1,
+                offer: offer(0),
+            },
+            WorkerRequest::Export { if_digest: None },
+            // …and a content-changing update misses again.
+            WorkerRequest::Update {
+                offer_id: 1,
+                offer: offer(7),
+            },
+            WorkerRequest::Export { if_digest: None },
+        ]);
+        let (digest, _) = full_book(&replies[2]);
+        let (missed, _) = full_book(&replies[3]);
+        assert_eq!(digest, missed, "a miss reships the same state");
+        let (after_noop_update, _) = full_book(&replies[5]);
+        assert_eq!(after_noop_update, digest);
+        let (changed, _) = full_book(&replies[7]);
+        assert_ne!(changed, digest);
+
+        // Now drive the actual hit: export, then conditional export with
+        // the digest just received, with no mutation between.
+        let replies = drive(&[
+            init(home, 2),
+            WorkerRequest::Add {
+                offer_id: 1,
+                offer: offer(0),
+            },
+            WorkerRequest::Export { if_digest: None },
+            WorkerRequest::Export {
+                if_digest: Some(digest),
+            },
+        ]);
+        let (again, _) = full_book(&replies[2]);
+        assert_eq!(again, digest, "same history, same digest");
+        let WorkerReply::Ok(payload) = &replies[3] else {
+            panic!("conditional export failed: {:?}", replies[3]);
+        };
+        assert_eq!(
+            parse_export_payload(payload).unwrap(),
+            ExportPayload::NotModified { digest },
+            "matching digest ships nothing"
+        );
     }
 
     #[test]
     fn protocol_errors_are_replies_not_exits() {
-        // Mutating before init, a dead id, and a taken id all answer with
-        // coded errors and leave the loop alive for the next request.
+        // Mutating before init, a bad shard index, a dead id, and a taken
+        // id all answer with coded errors and leave the loop alive for the
+        // next request.
         let mut out = Vec::new();
         let script = [
             request_line(0, &WorkerRequest::Remove { offer_id: 3 }),
             "this is not json".to_owned(),
-            request_line(
-                1,
-                &WorkerRequest::Init {
-                    shards: 2,
-                    threads: 1,
-                    kernel: Kernel::Scalar,
-                },
-            ),
-            request_line(
-                2,
-                &WorkerRequest::Add {
-                    offer_id: 4,
-                    offer: offer(0),
-                },
-            ),
+            request_line(1, &init(2, 2)),
+            request_line(2, &init(0, 2)),
             request_line(
                 3,
                 &WorkerRequest::Add {
@@ -249,8 +387,15 @@ mod tests {
                     offer: offer(0),
                 },
             ),
-            request_line(4, &WorkerRequest::Remove { offer_id: 9 }),
-            request_line(5, &WorkerRequest::Export),
+            request_line(
+                4,
+                &WorkerRequest::Add {
+                    offer_id: 4,
+                    offer: offer(0),
+                },
+            ),
+            request_line(5, &WorkerRequest::Remove { offer_id: 9 }),
+            request_line(6, &WorkerRequest::Export { if_digest: None }),
         ]
         .join("\n");
         run_worker(script.as_bytes(), &mut out).unwrap();
@@ -264,12 +409,13 @@ mod tests {
         assert_eq!(code(0), "no_book");
         assert_eq!(replies[1].0, None, "unreadable line answers id:null");
         assert_eq!(code(1), "bad_frame");
-        assert!(matches!(replies[2].1, WorkerReply::Ok(_)), "init");
-        assert!(matches!(replies[3].1, WorkerReply::Ok(_)), "add");
-        assert_eq!(code(4), "bad_event");
+        assert_eq!(code(2), "bad_request", "shard index out of range");
+        assert!(matches!(replies[3].1, WorkerReply::Ok(_)), "init");
+        assert!(matches!(replies[4].1, WorkerReply::Ok(_)), "add");
         assert_eq!(code(5), "bad_event");
+        assert_eq!(code(6), "bad_event");
         assert!(
-            matches!(replies[6].1, WorkerReply::Ok(_)),
+            matches!(replies[7].1, WorkerReply::Ok(_)),
             "the loop survives every error"
         );
     }
@@ -277,16 +423,9 @@ mod tests {
     #[test]
     fn shutdown_acknowledges_then_exits_ignoring_later_lines() {
         let script = [
-            request_line(
-                0,
-                &WorkerRequest::Init {
-                    shards: 1,
-                    threads: 1,
-                    kernel: Kernel::Auto,
-                },
-            ),
+            request_line(0, &init(0, 1)),
             request_line(1, &WorkerRequest::Shutdown),
-            request_line(2, &WorkerRequest::Export),
+            request_line(2, &WorkerRequest::Export { if_digest: None }),
         ]
         .join("\n");
         let mut out = Vec::new();

@@ -206,6 +206,82 @@ proptest! {
         prop_assert_eq!(cluster.live_ids(), reference.live_ids());
         cluster.shutdown();
     }
+
+    /// The delta-gather contract: at every query in a random
+    /// interleaving, the delta answer byte-matches both the full-gather
+    /// oracle ([`ClusterBook::answer_full`]) and the in-process
+    /// reference — including when a worker is SIGKILLed at a random
+    /// event. Afterwards, the caching behaviour itself is pinned: a
+    /// back-to-back clean query confirms every shard by digest (zero
+    /// dirty), and a kill forces exactly the respawned victim to ship a
+    /// full export again (respawn invalidates the digest; the gather
+    /// repairs the merge book).
+    #[test]
+    fn delta_gathers_match_the_full_gather_oracle_and_cache_clean_shards(
+        ops in arb_ops(),
+        workers_pick in 0usize..3,
+        kernel_pick in 0usize..3,
+        kill_frac in 0usize..=100,
+        victim_pick in 0usize..4,
+    ) {
+        let workers = [1, 2, 4][workers_pick];
+        let kernel = [Kernel::Scalar, Kernel::Columnar, Kernel::Auto][kernel_pick];
+        let budget = Budget::sequential().with_kernel(kernel);
+        let victim = victim_pick % workers;
+        let config = ServeConfig::default();
+        let events = resolve(ops);
+        let kill_at = events.len() * kill_frac / 100;
+
+        let mut cluster =
+            ClusterBook::spawn(config.clone(), budget, workers, worker_spec()).unwrap();
+        let mut reference = LiveBook::new(config, workers, Engine::sequential()).unwrap();
+        for (i, event) in events.into_iter().enumerate() {
+            if i == kill_at {
+                cluster.kill_worker(victim);
+            }
+            if let Event::Query(kind) = event {
+                let full = cluster.answer_full(kind).expect("full-gather oracle answers");
+                let delta = cluster.answer(kind).expect("delta gather answers");
+                let want = reference.answer(kind);
+                prop_assert_eq!(&delta, &full, "event {}: delta vs full-gather oracle", i);
+                prop_assert_eq!(&delta, &want, "event {}: delta vs in-process", i);
+            } else {
+                cluster.apply(event.clone()).expect("resolved events are valid");
+                reference.apply(event).expect("resolved events are valid");
+            }
+        }
+
+        // Settle the merge book, then pin the cache behaviour: with no
+        // mutations in between, the next gather confirms every shard.
+        prop_assert_eq!(
+            cluster.answer(QueryKind::Measure).unwrap(),
+            reference.answer(QueryKind::Measure)
+        );
+        let before = cluster.gather_stats();
+        prop_assert_eq!(
+            cluster.answer(QueryKind::Measure).unwrap(),
+            reference.answer(QueryKind::Measure)
+        );
+        let clean = cluster.gather_stats();
+        prop_assert_eq!(clean.dirty_shards - before.dirty_shards, 0,
+            "a clean back-to-back gather ships nothing");
+        prop_assert_eq!(clean.cached_shards - before.cached_shards, workers as u64,
+            "every shard confirms by digest");
+
+        // A SIGKILL invalidates exactly the victim's digest: the respawn
+        // replays its shard and the next gather pulls one full export.
+        cluster.kill_worker(victim);
+        prop_assert_eq!(
+            cluster.answer(QueryKind::Aggregate).unwrap(),
+            reference.answer(QueryKind::Aggregate)
+        );
+        let repaired = cluster.gather_stats();
+        prop_assert_eq!(repaired.dirty_shards - clean.dirty_shards, 1,
+            "the respawned worker must report a digest miss");
+        prop_assert_eq!(repaired.cached_shards - clean.cached_shards, (workers - 1) as u64,
+            "untouched workers stay cached through a peer's respawn");
+        cluster.shutdown();
+    }
 }
 
 fn offer(tes: i64) -> FlexOffer {

@@ -47,8 +47,10 @@ pub struct Snapshot {
 }
 
 /// FNV-1a 64 over the body bytes — dependency-free and plenty to catch
-/// torn or tampered snapshot files.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// torn or tampered snapshot files. Public because the cluster tier's
+/// conditional gather uses the same hash over the same canonical bytes
+/// for its shard state digests ([`shard_digest`]).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -92,44 +94,58 @@ fn cell_to_value(cell: &Result<f64, MeasureError>) -> Value {
 /// a journal seq on disk, and a cluster shard worker ships the same value
 /// over its pipe. One codec, so the two cannot drift.
 pub fn export_to_value(export: &BookExport) -> Value {
-    let shards: Vec<Value> = export
-        .shards
-        .iter()
-        .map(|shard| {
-            let cache = match &shard.cache {
-                None => Value::Null,
-                Some(cache) => obj(vec![
-                    (
-                        "rows",
-                        Value::Array(
-                            cache
-                                .rows
-                                .iter()
-                                .map(|row| Value::Array(row.iter().map(cell_to_value).collect()))
-                                .collect(),
-                        ),
-                    ),
-                    ("baseline", cache.baseline.to_value()),
-                ]),
-            };
-            obj(vec![
-                (
-                    "ids",
-                    Value::Array(shard.ids.iter().map(|&id| Value::U64(id)).collect()),
-                ),
-                (
-                    "offers",
-                    Value::Array(shard.offers.iter().map(Serialize::to_value).collect()),
-                ),
-                ("key_digest", Value::U64(shard.key_digest)),
-                ("cache", cache),
-            ])
-        })
-        .collect();
+    let shards: Vec<Value> = export.shards.iter().map(shard_to_value).collect();
     obj(vec![
         ("next_id", Value::U64(export.next_id)),
         ("shards", Value::Array(shards)),
     ])
+}
+
+/// Encodes one [`ShardExport`] exactly as it appears inside
+/// [`export_to_value`]'s `shards` array. Public so a shard worker can
+/// serialize just its own shard (the other entries of its book are empty)
+/// and so [`shard_digest`] has a canonical body to hash.
+pub fn shard_to_value(shard: &ShardExport) -> Value {
+    let cache = match &shard.cache {
+        None => Value::Null,
+        Some(cache) => obj(vec![
+            (
+                "rows",
+                Value::Array(
+                    cache
+                        .rows
+                        .iter()
+                        .map(|row| Value::Array(row.iter().map(cell_to_value).collect()))
+                        .collect(),
+                ),
+            ),
+            ("baseline", cache.baseline.to_value()),
+        ]),
+    };
+    obj(vec![
+        (
+            "ids",
+            Value::Array(shard.ids.iter().map(|&id| Value::U64(id)).collect()),
+        ),
+        (
+            "offers",
+            Value::Array(shard.offers.iter().map(Serialize::to_value).collect()),
+        ),
+        ("key_digest", Value::U64(shard.key_digest)),
+        ("cache", cache),
+    ])
+}
+
+/// The shard **state digest** the conditional gather protocol compares:
+/// FNV-1a 64 over the canonical single-line JSON of [`shard_to_value`].
+/// Because the body embeds the offers, the cached rows/baseline, *and*
+/// the commutative `key_digest`, two shards with equal digests answer
+/// every query identically (up to the 2⁻⁶⁴ collision odds any content
+/// hash accepts). Both sides of the pipe can compute it: the worker from
+/// its own shard, the supervisor from a cached or legacy full export.
+pub fn shard_digest(shard: &ShardExport) -> u64 {
+    let body = serde_json::to_string(&shard_to_value(shard)).expect("shard values serialize");
+    fnv1a64(body.as_bytes())
 }
 
 fn snapshot_to_value(snapshot: &Snapshot) -> Value {
@@ -381,6 +397,31 @@ mod tests {
             export: export.clone(),
         }))
         .is_ok());
+    }
+
+    #[test]
+    fn shard_values_are_exactly_the_export_entries_and_digests_track_content() {
+        let export = warm_export();
+        let Value::Array(entries) = field(&export_to_value(&export), "shards").unwrap().clone()
+        else {
+            panic!("shards is an array")
+        };
+        for (shard, entry) in export.shards.iter().zip(&entries) {
+            assert_eq!(&shard_to_value(shard), entry, "one codec, two entry points");
+        }
+        // The digest is a pure function of the shard body: identical for
+        // clones, different once any member changes.
+        for shard in &export.shards {
+            assert_eq!(shard_digest(shard), shard_digest(&shard.clone()));
+        }
+        let populated = export
+            .shards
+            .iter()
+            .find(|s| !s.ids.is_empty())
+            .expect("warm export has offers");
+        let mut tweaked = populated.clone();
+        tweaked.ids[0] += 1_000_000;
+        assert_ne!(shard_digest(populated), shard_digest(&tweaked));
     }
 
     #[test]

@@ -124,7 +124,35 @@ fn cluster_replay_is_byte_equal_to_batch_at_any_worker_count() {
             !stderr.contains("respawned"),
             "no worker died during a clean replay: {stderr}"
         );
+        assert_eq!(
+            stderr.matches("cluster gather: ").count(),
+            6,
+            "one delta-gather counter line per query: {stderr}"
+        );
     }
+}
+
+#[test]
+fn back_to_back_queries_confirm_every_shard_by_digest() {
+    // Two queries with no mutation in between: the first gather pulls
+    // both shards in full (first contact), the second must confirm both
+    // by state digest and ship nothing — the counter line the CI smoke
+    // also greps for.
+    let mut script = stdout_of(
+        &["events", "--city", "40", "--churn", "5", "--queries", "0"],
+        None,
+    );
+    script.push_str(QUERY);
+    script.push_str(QUERY);
+    let (_, stderr) = run_ok(&["serve", "--script", "-", "--workers", "2"], Some(&script));
+    assert!(
+        stderr.contains("cluster gather: 2 dirty / 0 cached"),
+        "first contact ships both shards in full: {stderr}"
+    );
+    assert!(
+        stderr.contains("cluster gather: 0 dirty / 2 cached"),
+        "an unchanged book gathers entirely from the digest cache: {stderr}"
+    );
 }
 
 #[test]

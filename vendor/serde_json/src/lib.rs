@@ -28,6 +28,15 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON appended to `out`, reusing the
+/// buffer's existing capacity. `out` is not cleared first — callers that
+/// want a fresh string clear it themselves, which lets one buffer serve
+/// many serializations without reallocating.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    write_value(out, &value.to_value(), None, 0);
+    Ok(())
+}
+
 /// Serializes `value` to an indented JSON string.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
